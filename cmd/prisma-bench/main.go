@@ -1,0 +1,269 @@
+// Command prisma-bench regenerates the paper's evaluation (Figures 2-4)
+// and the repository's ablations in the deterministic virtual-time
+// simulator, printing the tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|all
+//
+// Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
+// default 1/128 preserves every shape in a fraction of the event count.
+// Reported "paper-scale" numbers extrapolate by 1/scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/distrib"
+	"github.com/dsrhaslab/prisma-go/internal/experiments"
+	"github.com/dsrhaslab/prisma-go/internal/train"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0, "dataset scale in (0,1]; 0 = calibration default (1/128)")
+		epochs   = flag.Int("epochs", 0, "training epochs per run; 0 = paper's 10")
+		runs     = flag.Int("runs", 0, "runs per configuration; 0 = paper's 5")
+		seed     = flag.Int64("seed", 0, "base seed; 0 = calibration default")
+		models   = flag.String("models", "", "comma-free model filter: lenet|alexnet|resnet50 (default: figure-specific)")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical at any value")
+		format   = flag.String("format", "table", "output format: table | csv | json")
+		deadline = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = none)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cal := experiments.Default()
+	if *scale > 0 {
+		if *scale > 1 {
+			log.Fatal("prisma-bench: -scale must be in (0, 1]")
+		}
+		cal.Scale = *scale
+	}
+	if *epochs > 0 {
+		cal.Epochs = *epochs
+	}
+	if *runs > 0 {
+		cal.Runs = *runs
+	}
+	if *seed != 0 {
+		cal.Seed = *seed
+	}
+	cal.Parallelism = *par
+
+	report := func(s string) { log.Println(s) }
+	if *quiet {
+		report = nil
+	}
+	if *deadline > 0 {
+		go func() {
+			time.Sleep(*deadline)
+			log.Fatal("prisma-bench: timeout exceeded")
+		}()
+	}
+
+	figModels := train.Models()
+	if *models != "" {
+		m, err := train.ModelByName(*models)
+		if err != nil {
+			log.Fatalf("prisma-bench: %v", err)
+		}
+		figModels = []train.Model{m}
+	}
+
+	if *format != "table" && *format != "csv" && *format != "json" {
+		log.Fatalf("prisma-bench: unknown format %q", *format)
+	}
+	bundle := experiments.Results{Scale: cal.Scale, Epochs: cal.Epochs, Runs: cal.Runs, Seed: cal.Seed}
+
+	start := time.Now()
+	what := flag.Arg(0)
+	if what == "fig2" || what == "all" {
+		cells, err := experiments.RunFig2(cal, figModels, experiments.BatchSizes(), report)
+		if err != nil {
+			log.Fatalf("prisma-bench: fig2: %v", err)
+		}
+		bundle.Fig2 = cells
+		switch *format {
+		case "table":
+			fmt.Println()
+			if err := experiments.RenderFig2(os.Stdout, cells); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		case "csv":
+			if err := experiments.WriteFig2CSV(os.Stdout, cells); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if what == "fig3" || what == "all" {
+		series, err := experiments.RunFig3(cal, figModels, 256, report)
+		if err != nil {
+			log.Fatalf("prisma-bench: fig3: %v", err)
+		}
+		bundle.Fig3 = series
+		switch *format {
+		case "table":
+			fmt.Println()
+			if err := experiments.RenderFig3(os.Stdout, series); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		case "csv":
+			if err := experiments.WriteFig3CSV(os.Stdout, series); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if what == "fig4" || what == "all" {
+		fig4Models := []train.Model{train.LeNet(), train.AlexNet()}
+		if *models != "" {
+			fig4Models = figModels
+		}
+		cells, err := experiments.RunFig4(cal, fig4Models, 256, experiments.WorkerCounts(), report)
+		if err != nil {
+			log.Fatalf("prisma-bench: fig4: %v", err)
+		}
+		bundle.Fig4 = cells
+		switch *format {
+		case "table":
+			fmt.Println()
+			if err := experiments.RenderFig4(os.Stdout, cells); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		case "csv":
+			if err := experiments.WriteFig4CSV(os.Stdout, cells); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *format == "json" {
+		if err := bundle.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if what == "ablation" || what == "all" {
+		runAblations(cal, report)
+	}
+	if what == "distrib" || what == "all" {
+		runDistrib()
+	}
+	switch what {
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "all":
+	default:
+		log.Fatalf("prisma-bench: unknown target %q", what)
+	}
+	log.Printf("prisma-bench: done in %v (scale %.5f, %d epochs, %d runs)",
+		time.Since(start).Round(time.Millisecond), cal.Scale, cal.Epochs, cal.Runs)
+}
+
+func runDistrib() {
+	fmt.Println("Distributed stages — coordinated vs independent control (8 nodes, shared PFS)")
+	base := distrib.DefaultConfig()
+	rows := make([][]string, 0, 2)
+	for _, mode := range []distrib.Mode{distrib.Independent, distrib.Coordinated} {
+		cfg := base
+		cfg.Mode = mode
+		res, err := distrib.Run(cfg)
+		if err != nil {
+			log.Fatalf("prisma-bench: distrib %s: %v", mode, err)
+		}
+		rows = append(rows, []string{
+			mode.String(),
+			res.Makespan.Round(time.Millisecond).String(),
+			fmt.Sprint(res.TotalMaxReaders),
+			fmt.Sprint(res.PFS.Reads),
+		})
+	}
+	if err := experiments.WriteTable(os.Stdout, []string{"mode", "makespan", "peak threads", "pfs reads"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+func runAblations(cal experiments.Calibration, report func(string)) {
+	rows, err := experiments.RunAblationStaticT(cal, []int{1, 2, 4, 8, 16, 32}, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation static-t: %v", err)
+	}
+	fmt.Println()
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — static producer count vs auto-tuning (LeNet, batch 256)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err = experiments.RunAblationBuffer(cal, []int{1, 4, 16, 64, 256, 1024}, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation buffer: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — buffer capacity N (t pinned at 4)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err = experiments.RunAblationDevices(cal, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation devices: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — storage media (auto-tuned PRISMA)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err = experiments.RunAblationDatasets(cal, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation datasets: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — dataset families from MiB to TiB scale (§I motivation)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err = experiments.RunAblationAlgorithms(cal, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation algorithms: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — control algorithms for (t, N) (the §V-A open comparison)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err = experiments.RunAblationPackedFormat(cal, []int64{1 << 20, 4 << 20, 16 << 20}, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation data-format: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — per-file reads vs TFRecord-style packed shards (1 epoch, 1 reader)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rows, err = experiments.RunAblationValPrefetch(cal, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation val-prefetch: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — validation-file prefetching (the §V-A prototype limitation)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	costs := []time.Duration{0, 20 * time.Microsecond, 55 * time.Microsecond, 150 * time.Microsecond, 500 * time.Microsecond}
+	rows, err = experiments.RunAblationAccessCost(cal, costs, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: ablation access-cost: %v", err)
+	}
+	if err := experiments.RenderAblation(os.Stdout, "Ablation — serialized buffer/IPC access cost (the §V-B bottleneck)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

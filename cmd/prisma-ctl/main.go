@@ -1,0 +1,178 @@
+// Command prisma-ctl is the control-plane CLI for a running prisma-server:
+// it inspects stage statistics and adjusts the tuning knobs over the same
+// UNIX socket the data path uses.
+//
+// Usage:
+//
+//	prisma-ctl -socket /tmp/prisma.sock stats
+//	prisma-ctl -socket /tmp/prisma.sock ping
+//	prisma-ctl -socket /tmp/prisma.sock set-producers 4
+//	prisma-ctl -socket /tmp/prisma.sock set-buffer 256
+//	prisma-ctl -socket /tmp/prisma.sock plan epoch0.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	prisma "github.com/dsrhaslab/prisma-go"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: prisma-ctl [-socket PATH] COMMAND [ARGS]
+
+commands:
+  stats                 print the stage's monitoring snapshot
+  ping                  probe server liveness
+  set-producers N       set the producer thread count t
+  set-buffer N          set the buffer capacity N
+  plan FILE             submit an epoch plan (newline-separated filenames)
+  watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
+	os.Exit(2)
+}
+
+func main() {
+	socket := flag.String("socket", "/tmp/prisma.sock", "PRISMA server socket")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := prisma.Dial(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "stats":
+		s, err := client.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reads:            %d\n", s.Reads)
+		fmt.Printf("buffer hits:      %d\n", s.Hits)
+		fmt.Printf("bypasses:         %d\n", s.Bypasses)
+		fmt.Printf("errors:           %d\n", s.Errors)
+		fmt.Printf("prefetched files: %d\n", s.PrefetchedFiles)
+		fmt.Printf("read errors:      %d\n", s.ReadErrors)
+		fmt.Printf("queue length:     %d\n", s.QueueLen)
+		fmt.Printf("producers (t):    %d\n", s.Producers)
+		fmt.Printf("buffer (len/N):   %d/%d\n", s.BufferLen, s.BufferCapacity)
+		fmt.Printf("consumer wait:    %v\n", s.ConsumerWait)
+		fmt.Printf("producer wait:    %v\n", s.ProducerWait)
+
+	case "ping":
+		if err := client.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+
+	case "set-producers":
+		n := argInt(args, 1)
+		if err := client.SetProducers(n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("producers set to %d\n", n)
+
+	case "set-buffer":
+		n := argInt(args, 1)
+		if err := client.SetBufferCapacity(n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("buffer capacity set to %d\n", n)
+
+	case "watch":
+		interval := time.Second
+		if len(args) > 1 {
+			d, err := time.ParseDuration(args[1])
+			if err != nil || d <= 0 {
+				fatal(fmt.Errorf("bad watch interval %q", args[1]))
+			}
+			interval = d
+		}
+		watch(client, interval)
+
+	case "plan":
+		if len(args) < 2 {
+			usage()
+		}
+		names, err := readPlan(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		if err := client.SubmitPlan(names); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("submitted plan with %d files\n", len(names))
+
+	default:
+		usage()
+	}
+}
+
+// watch polls the stage and prints per-interval rates until interrupted.
+func watch(client *prisma.Client, interval time.Duration) {
+	prev, err := client.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %10s %10s %10s %8s %8s %10s\n",
+		"time", "reads/s", "hits/s", "bypass/s", "t", "N", "buffered")
+	start := time.Now()
+	for range time.Tick(interval) {
+		cur, err := client.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		secs := interval.Seconds()
+		fmt.Printf("%-10s %10.0f %10.0f %10.0f %8d %8d %10d\n",
+			time.Since(start).Round(time.Second),
+			float64(cur.Reads-prev.Reads)/secs,
+			float64(cur.Hits-prev.Hits)/secs,
+			float64(cur.Bypasses-prev.Bypasses)/secs,
+			cur.Producers, cur.BufferCapacity, cur.BufferLen)
+		prev = cur
+	}
+}
+
+func argInt(args []string, i int) int {
+	if len(args) <= i {
+		usage()
+	}
+	n, err := strconv.Atoi(args[i])
+	if err != nil {
+		fatal(fmt.Errorf("not a number: %q", args[i]))
+	}
+	return n
+}
+
+func readPlan(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var names []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			names = append(names, line)
+		}
+	}
+	return names, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prisma-ctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command prisma-server runs a PRISMA data-plane stage over a local
+// dataset directory and exposes it on a UNIX domain socket, for
+// multi-process data loaders (the paper's PyTorch integration path).
+//
+// Usage:
+//
+//	prisma-server -dir /data/imagenet -socket /tmp/prisma.sock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	prisma "github.com/dsrhaslab/prisma-go"
+)
+
+func main() {
+	var (
+		dir          = flag.String("dir", "", "dataset root directory (required)")
+		socket       = flag.String("socket", "/tmp/prisma.sock", "UNIX socket path to serve on")
+		producers    = flag.Int("producers", 1, "initial producer threads t")
+		maxProducers = flag.Int("max-producers", 32, "maximum producer threads")
+		buffer       = flag.Int("buffer", 16, "initial buffer capacity N (samples)")
+		maxBuffer    = flag.Int("max-buffer", 4096, "maximum buffer capacity")
+		noAutotune   = flag.Bool("no-autotune", false, "disable the control-plane feedback loop")
+		interval     = flag.Duration("interval", 500*time.Millisecond, "control loop interval")
+		statsEvery   = flag.Duration("stats", 0, "print stats every interval (0 = off)")
+		traceFile    = flag.String("trace", "", "record backend I/O to this JSON-lines file (analyzed with prisma-trace)")
+		httpAddr     = flag.String("http", "", "serve the HTTP admin API (/stats, /metrics, /tuning) on this address, e.g. :9090")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "prisma-server: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := prisma.Open(prisma.Options{
+		Dir:              *dir,
+		InitialProducers: *producers,
+		MaxProducers:     *maxProducers,
+		InitialBuffer:    *buffer,
+		MaxBuffer:        *maxBuffer,
+		DisableAutoTune:  *noAutotune,
+		ControlInterval:  *interval,
+		TraceFile:        *traceFile,
+	})
+	if err != nil {
+		log.Fatalf("prisma-server: %v", err)
+	}
+	defer p.Close()
+
+	// A stale socket from a previous run would block the listener.
+	_ = os.Remove(*socket)
+	if err := p.ServeUnix(*socket); err != nil {
+		log.Fatalf("prisma-server: %v", err)
+	}
+	log.Printf("prisma-server: serving %d files (%.1f MiB) from %s on %s",
+		p.Files(), float64(p.TotalBytes())/(1<<20), *dir, *socket)
+
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("prisma-server: admin API on %s", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, p.AdminHandler()); err != nil {
+				log.Printf("prisma-server: admin API: %v", err)
+			}
+		}()
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := p.Stats()
+				log.Printf("stats: reads=%d hits=%d bypasses=%d errors=%d t=%d N=%d buffered=%d queue=%d",
+					s.Reads, s.Hits, s.Bypasses, s.Errors, s.Producers, s.BufferCapacity, s.BufferLen, s.QueueLen)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("prisma-server: shutting down")
+	_ = os.Remove(*socket)
+}

@@ -1,0 +1,83 @@
+// Command prisma-trace analyzes JSON-lines I/O traces recorded by the
+// middleware (Options.TraceFile / prisma-server -trace): it prints
+// latency/throughput summaries and a request-concurrency timeline.
+//
+// Usage:
+//
+//	prisma-trace summary io.trace
+//	prisma-trace -bucket 100ms timeline io.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: prisma-trace [flags] summary|timeline FILE
+
+commands:
+  summary    latency and throughput statistics
+  timeline   per-bucket request concurrency (-bucket controls granularity)`)
+	os.Exit(2)
+}
+
+func main() {
+	bucket := flag.Duration("bucket", 100*time.Millisecond, "timeline bucket width")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 2 {
+		usage()
+	}
+	cmd, path := flag.Arg(0), flag.Arg(1)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "summary":
+		s := tr.Summarize()
+		fmt.Printf("events:        %d (%d errors)\n", s.Events, s.Errors)
+		fmt.Printf("bytes:         %.1f MiB\n", float64(s.Bytes)/(1<<20))
+		fmt.Printf("duration:      %v\n", s.Duration.Round(time.Millisecond))
+		fmt.Printf("throughput:    %.0f reads/s\n", s.ReadsPerSec)
+		fmt.Printf("latency mean:  %v\n", s.MeanLatency.Round(time.Microsecond))
+		fmt.Printf("latency p50:   %v\n", s.P50.Round(time.Microsecond))
+		fmt.Printf("latency p95:   %v\n", s.P95.Round(time.Microsecond))
+		fmt.Printf("latency p99:   %v\n", s.P99.Round(time.Microsecond))
+		fmt.Printf("latency max:   %v\n", s.MaxLatency.Round(time.Microsecond))
+
+	case "timeline":
+		depth := tr.ConcurrencyTimeline(*bucket)
+		max := 1
+		for _, d := range depth {
+			if d > max {
+				max = d
+			}
+		}
+		for i, d := range depth {
+			bar := strings.Repeat("█", d*40/max)
+			fmt.Printf("%10v  %4d  %s\n", time.Duration(i)*(*bucket), d, bar)
+		}
+
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prisma-trace: %v\n", err)
+	os.Exit(1)
+}

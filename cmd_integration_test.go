@@ -1,0 +1,217 @@
+package prisma_test
+
+// End-to-end integration of the shipped binaries: prisma-datagen writes a
+// dataset, prisma-server serves it on a UNIX socket, prisma-ctl inspects
+// and tunes it over the same socket.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildCommands compiles the three binaries once into a temp dir.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, cmd := range []string{"prisma-server", "prisma-ctl", "prisma-datagen"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	return bin
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCommands(t)
+	dataDir := t.TempDir()
+
+	// 1. Generate a small dataset.
+	out, err := exec.Command(filepath.Join(bin, "prisma-datagen"),
+		"-dir", dataDir, "-train-files", "64", "-val-files", "8", "-mean-size", "4096").CombinedOutput()
+	if err != nil {
+		t.Fatalf("datagen: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "manifest.txt")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+
+	// 2. Start the server.
+	sock := filepath.Join(t.TempDir(), "it.sock")
+	server := exec.Command(filepath.Join(bin, "prisma-server"),
+		"-dir", dataDir, "-socket", sock, "-interval", "50ms")
+	serverOut := &strings.Builder{}
+	server.Stdout, server.Stderr = serverOut, serverOut
+	if err := server.Start(); err != nil {
+		t.Fatalf("server start: %v", err)
+	}
+	defer func() {
+		_ = server.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = server.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = server.Process.Kill()
+			<-done
+		}
+	}()
+
+	// Wait for the socket to appear.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("socket never appeared; server output:\n%s", serverOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ctl := func(args ...string) string {
+		t.Helper()
+		full := append([]string{"-socket", sock}, args...)
+		out, err := exec.Command(filepath.Join(bin, "prisma-ctl"), full...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("ctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// 3. Ping and tune over the control path.
+	if got := ctl("ping"); !strings.Contains(got, "ok") {
+		t.Fatalf("ping = %q", got)
+	}
+	ctl("set-producers", "4")
+	ctl("set-buffer", "32")
+	stats := ctl("stats")
+	if !strings.Contains(stats, "producers (t):    4") {
+		t.Fatalf("stats after set-producers:\n%s", stats)
+	}
+	if !strings.Contains(stats, "/32") {
+		t.Fatalf("stats after set-buffer:\n%s", stats)
+	}
+
+	// 4. Submit a plan from a file (names come from the manifest).
+	manifest, err := os.ReadFile(filepath.Join(dataDir, "manifest.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(string(manifest), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && strings.HasPrefix(fields[0], "train/") {
+			names = append(names, fields[0])
+		}
+	}
+	if len(names) != 64 {
+		t.Fatalf("parsed %d train names, want 64", len(names))
+	}
+	planPath := filepath.Join(t.TempDir(), "plan.txt")
+	if err := os.WriteFile(planPath, []byte(strings.Join(names, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl("plan", planPath); !strings.Contains(got, "64 files") {
+		t.Fatalf("plan = %q", got)
+	}
+
+	// 5. The plan must reach the data plane: queue length + prefetched
+	//    counts become visible in stats once producers drain the queue.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		stats = ctl("stats")
+		if strings.Contains(stats, "prefetched files: ") && !strings.Contains(stats, "prefetched files: 0") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("producers never prefetched; stats:\n%s", stats)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 6. Bad invocations fail cleanly.
+	if out, err := exec.Command(filepath.Join(bin, "prisma-ctl"), "-socket", sock, "set-producers", "NaN").CombinedOutput(); err == nil {
+		t.Fatalf("ctl accepted garbage: %s", out)
+	}
+	if out, err := exec.Command(filepath.Join(bin, "prisma-server"), "-socket", sock).CombinedOutput(); err == nil {
+		t.Fatalf("server without -dir succeeded: %s", out)
+	}
+}
+
+func TestBenchAndTraceBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"prisma-bench", "prisma-trace"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	// A tiny fig3 run produces both CDF tables.
+	out, err := exec.Command(filepath.Join(bin, "prisma-bench"),
+		"-scale", "0.001", "-runs", "1", "-models", "lenet", "-quiet", "fig3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("prisma-bench fig3: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"tf-optimized", "prisma", "cumulative", "max threads"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fig3 output missing %q:\n%s", want, text)
+		}
+	}
+	// Unknown targets fail.
+	if out, err := exec.Command(filepath.Join(bin, "prisma-bench"), "nonsense").CombinedOutput(); err == nil {
+		t.Fatalf("unknown target accepted: %s", out)
+	}
+
+	// prisma-trace analyzes a hand-written trace.
+	tracePath := filepath.Join(t.TempDir(), "t.jsonl")
+	traceContent := `{"at":0,"name":"a","size":100,"latency":1000000}
+{"at":500000,"name":"b","size":200,"latency":2000000}
+`
+	if err := os.WriteFile(tracePath, []byte(traceContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(filepath.Join(bin, "prisma-trace"), "summary", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("prisma-trace summary: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "events:        2") {
+		t.Errorf("summary output unexpected:\n%s", out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "prisma-trace"), "-bucket", "1ms", "timeline", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("prisma-trace timeline: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "█") {
+		t.Errorf("timeline output missing bars:\n%s", out)
+	}
+	// Garbage trace fails cleanly.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	_ = os.WriteFile(bad, []byte("{nope"), 0o644)
+	if out, err := exec.Command(filepath.Join(bin, "prisma-trace"), "summary", bad).CombinedOutput(); err == nil {
+		t.Fatalf("garbage trace accepted: %s", out)
+	}
+}
+
+func TestDatagenRejectsMissingDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCommands(t)
+	if out, err := exec.Command(filepath.Join(bin, "prisma-datagen")).CombinedOutput(); err == nil {
+		t.Fatalf("datagen without -dir succeeded: %s", out)
+	}
+}

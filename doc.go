@@ -1,0 +1,37 @@
+// Package prisma is a framework-agnostic storage middleware that
+// accelerates deep-learning training I/O — a Go implementation of the
+// PRISMA prototype from "The Case for Storage Optimization Decoupling in
+// Deep Learning Frameworks" (Macedo et al., IEEE CLUSTER 2021).
+//
+// Instead of each DL framework embedding its own caching/prefetching
+// logic, PRISMA decouples storage optimizations into a Software-Defined
+// Storage layer: a data plane of self-contained optimization objects
+// (parallel prefetching, tiering, throttling) behind a POSIX-style read
+// interception point, and a control plane whose feedback loop auto-tunes
+// the number of producer threads t and the buffer capacity N.
+//
+// Quickstart:
+//
+//	p, err := prisma.Open(prisma.Options{Dir: "/data/imagenet"})
+//	if err != nil { ... }
+//	defer p.Close()
+//
+//	// Share each epoch's shuffled filename list so PRISMA prefetches
+//	// ahead of the training loop (order must match consumption order).
+//	plan := p.ShuffledFileList(seed, epoch)
+//	p.SubmitPlan(plan)
+//
+//	for _, name := range plan {
+//		data, err := p.Read(name) // served from the in-memory buffer
+//		...
+//	}
+//
+// Multi-process data loaders (the PyTorch model) talk to the same stage
+// over a UNIX domain socket via ServeUnix and the client in this package.
+//
+// The repository also contains, under internal/, the full substrate used
+// to reproduce the paper's evaluation: a deterministic discrete-event
+// engine, a storage-device model, miniature TensorFlow/PyTorch input
+// pipelines, a simulated 4-GPU trainer, and harnesses that regenerate
+// Figures 2-4. See DESIGN.md and EXPERIMENTS.md.
+package prisma

@@ -1,0 +1,115 @@
+package prisma_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	prisma "github.com/dsrhaslab/prisma-go"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+)
+
+// exampleDataset materializes a small dataset and returns its directory.
+func exampleDataset() string {
+	dir, err := os.MkdirTemp("", "prisma-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := make([]dataset.Sample, 16)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("train/%04d.jpg", i), Size: 4096}
+	}
+	if err := dataset.Generate(dir, dataset.MustNew(samples), 1); err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}
+
+// Example shows the minimal training-loop integration: share the epoch's
+// shuffled filename list, then read through the data plane.
+func Example() {
+	dir := exampleDataset()
+	defer os.RemoveAll(dir)
+
+	p, err := prisma.Open(prisma.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	plan := p.ShuffledFileList(42, 0) // seed 42, epoch 0
+	if err := p.SubmitPlan(plan); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range plan {
+		if _, err := p.Read(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	fmt.Printf("%d reads, %d served from the prefetch buffer\n", st.Reads, st.Hits)
+	// Output:
+	// 16 reads, 16 served from the prefetch buffer
+}
+
+// ExampleOpen_manualTuning pins the knobs instead of auto-tuning — the
+// "manually optimized" deployment the paper's auto-tuner replaces.
+func ExampleOpen_manualTuning() {
+	dir := exampleDataset()
+	defer os.RemoveAll(dir)
+
+	p, err := prisma.Open(prisma.Options{
+		Dir:              dir,
+		DisableAutoTune:  true,
+		InitialProducers: 4,
+		InitialBuffer:    64,
+		MaxBuffer:        64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	st := p.Stats()
+	fmt.Printf("t=%d N=%d\n", st.Producers, st.BufferCapacity)
+	// Output:
+	// t=4 N=64
+}
+
+// ExamplePrisma_ServeUnix exposes the stage to worker processes over a
+// UNIX domain socket — the multi-process (PyTorch-style) integration.
+func ExamplePrisma_ServeUnix() {
+	dir := exampleDataset()
+	defer os.RemoveAll(dir)
+
+	p, err := prisma.Open(prisma.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	sock := filepath.Join(dir, "prisma.sock")
+	if err := p.ServeUnix(sock); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each worker process dials its own client.
+	worker, err := prisma.Dial(sock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer worker.Close()
+
+	plan := p.ShuffledFileList(7, 0)
+	if err := worker.SubmitPlan(plan); err != nil {
+		log.Fatal(err)
+	}
+	data, err := worker.Read(plan[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %d bytes over the socket\n", len(data))
+	// Output:
+	// read 4096 bytes over the socket
+}

@@ -1,0 +1,73 @@
+// Quickstart: generate a small dataset on disk, open PRISMA over it, share
+// an epoch plan, and read the epoch through the data plane — the minimal
+// integration any DL data loader needs (paper §IV: share the shuffled
+// filename list, swap the read call).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	prisma "github.com/dsrhaslab/prisma-go"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "prisma-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. A small synthetic dataset (stand-in for your training corpus).
+	const files = 512
+	man, err := dataset.Synthetic("train", files, 64<<10, 0.5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.Generate(dir, man, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d files, %.1f MiB under %s\n", man.Len(), float64(man.TotalBytes())/(1<<20), dir)
+
+	// 2. Open PRISMA over the directory. The control plane auto-tunes the
+	//    producer count t and buffer capacity N while you train.
+	p, err := prisma.Open(prisma.Options{Dir: dir, ControlInterval: 50 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// 3. Train for three epochs. Per epoch: share the shuffled filename
+	//    list (the same deterministic shuffle your job script would use),
+	//    then read files in that order — each read is served from the
+	//    in-memory buffer that the producers fill ahead of you.
+	const epochs = 3
+	start := time.Now()
+	var bytes int64
+	for epoch := 0; epoch < epochs; epoch++ {
+		plan := p.ShuffledFileList(7, epoch)
+		if err := p.SubmitPlan(plan); err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range plan {
+			data, err := p.Read(name)
+			if err != nil {
+				log.Fatalf("read %s: %v", name, err)
+			}
+			bytes += int64(len(data))
+			// <- your preprocess + train step goes here
+		}
+		fmt.Printf("epoch %d done\n", epoch)
+	}
+	elapsed := time.Since(start)
+
+	st := p.Stats()
+	fmt.Printf("\nread %d files (%.1f MiB) in %v (%.0f files/s)\n",
+		st.Reads, float64(bytes)/(1<<20), elapsed.Round(time.Millisecond),
+		float64(st.Reads)/elapsed.Seconds())
+	fmt.Printf("buffer hits: %d / %d reads (every planned read served from memory)\n", st.Hits, st.Reads)
+	fmt.Printf("auto-tuned to t=%d producers, N=%d buffer slots\n", st.Producers, st.BufferCapacity)
+}

@@ -1,0 +1,56 @@
+// TensorFlow scenario: compare the paper's three §V-A setups — TF baseline
+// (single-threaded reads, no prefetch), TF optimized (intrinsic 30-thread
+// pool + autotuned prefetch buffer), and PRISMA (the baseline pipeline
+// with reads intercepted by a decoupled, auto-tuned data plane) — on an
+// I/O-bound LeNet/ImageNet workload in the deterministic virtual-time
+// simulator. This regenerates one column of Figure 2 interactively.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/experiments"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/train"
+)
+
+func main() {
+	cal := experiments.Default()
+	cal.Scale = 1.0 / 256 // ~5 k training files; shapes preserved
+	cal.Runs = 1
+
+	model := train.LeNet()
+	const batch = 256
+
+	fmt.Printf("LeNet on synthetic ImageNet (scale %.4f, %d epochs, batch %d, %d GPUs)\n\n",
+		cal.Scale, cal.Epochs, batch, cal.GPUs)
+
+	var baseline time.Duration
+	for _, setup := range experiments.TFSetups() {
+		m, err := experiments.RunTF(cal, model, batch, setup, cal.Seed)
+		if err != nil {
+			log.Fatalf("%s: %v", setup, err)
+		}
+		line := fmt.Sprintf("%-13s %10v  (paper-scale %6.0f s)",
+			setup, m.Elapsed.Round(time.Millisecond), cal.PaperScale(m.Elapsed).Seconds())
+		if setup == "tf-baseline" {
+			baseline = m.Elapsed
+		} else if baseline > 0 {
+			line += fmt.Sprintf("  %2.0f%% faster than baseline", (1-float64(m.Elapsed)/float64(baseline))*100)
+		}
+		if setup == "prisma" {
+			line += fmt.Sprintf("  [auto-tuned to t=%d N=%d, %d threads max]",
+				m.FinalTuning.Producers, m.FinalTuning.BufferCapacity, metrics.MaxValue(m.Readers))
+		}
+		if setup == "tf-optimized" {
+			line += fmt.Sprintf("  [%d reader threads max]", metrics.MaxValue(m.Readers))
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("\nThe decoupled PRISMA data plane matches the framework-intrinsic")
+	fmt.Println("optimization within a small margin — using a fraction of its threads —")
+	fmt.Println("without touching the framework's internals (10 LoC integration, §IV).")
+}

@@ -1,0 +1,3 @@
+module github.com/dsrhaslab/prisma-go
+
+go 1.22

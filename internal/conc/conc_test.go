@@ -1,0 +1,454 @@
+package conc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+)
+
+// harness runs body under an Env and waits for completion. For the sim env
+// it drives the simulation; for the real env it joins spawned goroutines.
+type harness struct {
+	name string
+	run  func(t *testing.T, body func(env Env))
+}
+
+func harnesses() []harness {
+	return []harness{
+		{"sim", func(t *testing.T, body func(Env)) {
+			t.Helper()
+			s := sim.New()
+			env := NewSimEnv(s)
+			s.Spawn("test-body", func(*sim.Process) { body(env) })
+			if err := s.Run(); err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+		}},
+		{"real", func(t *testing.T, body func(Env)) {
+			t.Helper()
+			env := NewScaledReal(1000)
+			done := make(chan struct{})
+			env.Go("test-body", func() {
+				defer close(done)
+				body(env)
+			})
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("real-env test body timed out")
+			}
+			env.Join()
+		}},
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				start := env.Now()
+				env.Sleep(50 * time.Millisecond)
+				if got := env.Now() - start; got < 50*time.Millisecond {
+					t.Errorf("slept %v, want >= 50ms", got)
+				}
+			})
+		})
+	}
+}
+
+func TestMutexProtectsCounter(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				mu := env.NewMutex()
+				wg := env.NewWaitGroup()
+				counter := 0
+				const workers, iters = 8, 200
+				wg.Add(workers)
+				for i := 0; i < workers; i++ {
+					env.Go(fmt.Sprintf("w%d", i), func() {
+						defer wg.Done()
+						for j := 0; j < iters; j++ {
+							mu.Lock()
+							counter++
+							mu.Unlock()
+						}
+					})
+				}
+				wg.Wait()
+				if counter != workers*iters {
+					t.Errorf("counter = %d, want %d", counter, workers*iters)
+				}
+			})
+		})
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				mu := env.NewMutex()
+				cond := env.NewCond(mu)
+				wg := env.NewWaitGroup()
+				var box []int
+				const n = 50
+				wg.Add(2)
+				env.Go("producer", func() {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						mu.Lock()
+						box = append(box, i)
+						cond.Signal()
+						mu.Unlock()
+						env.Sleep(time.Millisecond)
+					}
+				})
+				got := make([]int, 0, n)
+				env.Go("consumer", func() {
+					defer wg.Done()
+					for len(got) < n {
+						mu.Lock()
+						for len(box) == 0 {
+							cond.Wait()
+						}
+						got = append(got, box[0])
+						box = box[1:]
+						mu.Unlock()
+					}
+				})
+				wg.Wait()
+				for i, v := range got {
+					if v != i {
+						t.Errorf("got[%d] = %d, want %d", i, v, i)
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				for i := 0; i < 10; i++ {
+					if err := q.Put(i); err != nil {
+						t.Fatalf("Put: %v", err)
+					}
+				}
+				for i := 0; i < 10; i++ {
+					v, ok := q.Get()
+					if !ok || v != i {
+						t.Fatalf("Get = %d,%v, want %d,true", v, ok, i)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 2)
+				wg := env.NewWaitGroup()
+				wg.Add(1)
+				var putDone time.Duration
+				env.Go("producer", func() {
+					defer wg.Done()
+					for i := 0; i < 3; i++ {
+						_ = q.Put(i)
+					}
+					putDone = env.Now()
+				})
+				env.Sleep(100 * time.Millisecond)
+				drainStart := env.Now()
+				if v, ok := q.Get(); !ok || v != 0 {
+					t.Errorf("Get = %d,%v, want 0,true", v, ok)
+				}
+				wg.Wait()
+				if putDone < drainStart {
+					t.Errorf("third Put completed at %v before a Get freed space at %v", putDone, drainStart)
+				}
+			})
+		})
+	}
+}
+
+func TestQueueBlocksWhenEmpty(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[string](env, 0)
+				wg := env.NewWaitGroup()
+				wg.Add(1)
+				var got string
+				env.Go("consumer", func() {
+					defer wg.Done()
+					got, _ = q.Get()
+				})
+				env.Sleep(50 * time.Millisecond)
+				_ = q.Put("late")
+				wg.Wait()
+				if got != "late" {
+					t.Errorf("got %q, want \"late\"", got)
+				}
+			})
+		})
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				_ = q.Put(1)
+				_ = q.Put(2)
+				q.Close()
+				if err := q.Put(3); err != ErrClosed {
+					t.Errorf("Put after close = %v, want ErrClosed", err)
+				}
+				if v, ok := q.Get(); !ok || v != 1 {
+					t.Errorf("drain 1: got %d,%v", v, ok)
+				}
+				if v, ok := q.Get(); !ok || v != 2 {
+					t.Errorf("drain 2: got %d,%v", v, ok)
+				}
+				if _, ok := q.Get(); ok {
+					t.Error("Get after drain reported ok")
+				}
+				if !q.Closed() {
+					t.Error("Closed() = false after Close")
+				}
+			})
+		})
+	}
+}
+
+func TestQueueCloseWakesBlockedConsumer(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				wg := env.NewWaitGroup()
+				wg.Add(1)
+				var ok bool
+				env.Go("consumer", func() {
+					defer wg.Done()
+					_, ok = q.Get()
+				})
+				env.Sleep(20 * time.Millisecond)
+				q.Close()
+				wg.Wait()
+				if ok {
+					t.Error("blocked Get returned ok after Close on empty queue")
+				}
+			})
+		})
+	}
+}
+
+func TestQueueCloseWakesBlockedProducer(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 1)
+				_ = q.Put(0)
+				wg := env.NewWaitGroup()
+				wg.Add(1)
+				var err error
+				env.Go("producer", func() {
+					defer wg.Done()
+					err = q.Put(1)
+				})
+				env.Sleep(20 * time.Millisecond)
+				q.Close()
+				wg.Wait()
+				if err != ErrClosed {
+					t.Errorf("blocked Put = %v, want ErrClosed", err)
+				}
+			})
+		})
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				if _, ok := q.TryGet(); ok {
+					t.Error("TryGet on empty queue reported ok")
+				}
+				_ = q.Put(7)
+				if v, ok := q.TryGet(); !ok || v != 7 {
+					t.Errorf("TryGet = %d,%v, want 7,true", v, ok)
+				}
+			})
+		})
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				for i := 0; i < 5; i++ {
+					_ = q.Put(i)
+				}
+				if q.Len() != 5 {
+					t.Errorf("Len = %d, want 5", q.Len())
+				}
+			})
+		})
+	}
+}
+
+func TestQueueSetCapacity(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 1)
+				_ = q.Put(0)
+				released := false
+				wg := env.NewWaitGroup()
+				wg.Add(1)
+				env.Go("producer", func() {
+					defer wg.Done()
+					_ = q.Put(1)
+					released = true
+				})
+				env.Sleep(30 * time.Millisecond)
+				if released {
+					t.Error("Put proceeded while full")
+				}
+				q.SetCapacity(2) // growing wakes the producer
+				wg.Wait()
+				if !released {
+					t.Error("grow did not release producer")
+				}
+				if q.Capacity() != 2 {
+					t.Errorf("Capacity = %d, want 2", q.Capacity())
+				}
+				q.SetCapacity(0) // unbounded
+				for i := 0; i < 10; i++ {
+					if err := q.Put(i); err != nil {
+						t.Fatalf("unbounded Put: %v", err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestQueueSetCapacityNegativePanics(t *testing.T) {
+	q := NewQueue[int](NewReal(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative capacity")
+		}
+	}()
+	q.SetCapacity(-1)
+}
+
+func TestNegativeQueueCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative capacity")
+		}
+	}()
+	NewQueue[int](NewReal(), -1)
+}
+
+func TestScaledRealClock(t *testing.T) {
+	env := NewScaledReal(1000)
+	start := env.Now()
+	env.Sleep(time.Second) // wall time: ~1ms
+	elapsed := env.Now() - start
+	if elapsed < time.Second {
+		t.Fatalf("scaled clock advanced %v, want >= 1s", elapsed)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("scaled clock advanced %v, implausibly large", elapsed)
+	}
+}
+
+func TestRealSleepNonPositiveReturnsImmediately(t *testing.T) {
+	env := NewReal()
+	start := time.Now()
+	env.Sleep(0)
+	env.Sleep(-time.Hour)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("non-positive Sleep blocked")
+	}
+}
+
+// Property: queue preserves order and count for arbitrary input sequences,
+// under the simulated environment.
+func TestQueueOrderProperty(t *testing.T) {
+	prop := func(vals []int32, capRaw uint8) bool {
+		capacity := int(capRaw) % 5 // 0 = unbounded
+		s := sim.New()
+		env := NewSimEnv(s)
+		var got []int32
+		s.Spawn("driver", func(*sim.Process) {
+			q := NewQueue[int32](env, capacity)
+			wg := env.NewWaitGroup()
+			wg.Add(2)
+			env.Go("producer", func() {
+				defer wg.Done()
+				for _, v := range vals {
+					_ = q.Put(v)
+				}
+				q.Close()
+			})
+			env.Go("consumer", func() {
+				defer wg.Done()
+				for {
+					v, ok := q.Get()
+					if !ok {
+						return
+					}
+					got = append(got, v)
+				}
+			})
+			wg.Wait()
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

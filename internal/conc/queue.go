@@ -1,0 +1,128 @@
+package conc
+
+import "errors"
+
+// ErrClosed is returned by Queue.Put after Close.
+var ErrClosed = errors.New("conc: queue closed")
+
+// Queue is a FIFO queue usable from any Env. A capacity of zero means
+// unbounded; otherwise Put blocks while the queue is full. Get blocks while
+// the queue is empty. Close wakes all blocked callers: pending items can
+// still be drained, after which Get reports !ok.
+type Queue[T any] struct {
+	env      Env
+	mu       Mutex
+	notEmpty Cond
+	notFull  Cond
+	items    []T
+	capacity int
+	closed   bool
+}
+
+// NewQueue returns a queue bound to env with the given capacity (0 =
+// unbounded).
+func NewQueue[T any](env Env, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic("conc: negative queue capacity")
+	}
+	q := &Queue[T]{env: env, capacity: capacity}
+	q.mu = env.NewMutex()
+	q.notEmpty = env.NewCond(q.mu)
+	q.notFull = env.NewCond(q.mu)
+	return q
+}
+
+// Put appends v, blocking while the queue is at capacity. It returns
+// ErrClosed if the queue is (or becomes) closed while waiting.
+func (q *Queue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false once the queue is closed and drained.
+func (q *Queue[T]) Get() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Capacity reports the current capacity (0 = unbounded).
+func (q *Queue[T]) Capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capacity
+}
+
+// SetCapacity adjusts the capacity at runtime (0 = unbounded). Growing (or
+// unbounding) the queue wakes blocked producers; shrinking takes effect as
+// consumers drain.
+func (q *Queue[T]) SetCapacity(capacity int) {
+	if capacity < 0 {
+		panic("conc: negative queue capacity")
+	}
+	q.mu.Lock()
+	if capacity == 0 || capacity > q.capacity {
+		q.notFull.Broadcast()
+	}
+	q.capacity = capacity
+	q.mu.Unlock()
+}
+
+// Close marks the queue closed and wakes every blocked producer and
+// consumer. It is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

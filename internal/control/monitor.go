@@ -1,0 +1,126 @@
+package control
+
+import (
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+)
+
+// Snapshot is one timestamped data-plane observation.
+type Snapshot struct {
+	At    time.Duration
+	Stats core.StageStats
+}
+
+// Monitor is the control plane's metric collector (paper §III: the control
+// plane "communicates with the data plane for collecting monitoring
+// metrics (e.g., cache hits, I/O rate)"): a bounded ring of periodic
+// snapshots per stage, with derived rates over arbitrary windows. It is
+// what dashboards, policies, and the fairness arbiter read.
+type Monitor struct {
+	env      conc.Env
+	mu       conc.Mutex
+	capacity int
+	series   map[string][]Snapshot
+}
+
+// NewMonitor keeps up to capacity snapshots per stage (older ones are
+// dropped FIFO).
+func NewMonitor(env conc.Env, capacity int) *Monitor {
+	if capacity < 2 {
+		panic("control: monitor needs capacity >= 2 (rates need two points)")
+	}
+	return &Monitor{env: env, mu: env.NewMutex(), capacity: capacity, series: make(map[string][]Snapshot)}
+}
+
+// Record appends a snapshot for stage id at the current time.
+func (m *Monitor) Record(id string, stats core.StageStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := append(m.series[id], Snapshot{At: m.env.Now(), Stats: stats})
+	if len(s) > m.capacity {
+		s = s[len(s)-m.capacity:]
+	}
+	m.series[id] = s
+}
+
+// Series returns a copy of the retained snapshots for id, oldest first.
+func (m *Monitor) Series(id string) []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.series[id]
+	out := make([]Snapshot, len(src))
+	copy(out, src)
+	return out
+}
+
+// Len reports the retained snapshot count for id.
+func (m *Monitor) Len(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.series[id])
+}
+
+// Rates summarizes stage activity over the trailing window.
+type Rates struct {
+	Window      time.Duration
+	ReadsPerSec float64
+	HitRate     float64 // hits / reads within the window
+	ErrorRate   float64 // errors / reads within the window
+}
+
+// Rate derives windowed rates for id from the two snapshots spanning the
+// requested window (the oldest retained one if the window exceeds
+// retention). ok is false with fewer than two snapshots.
+func (m *Monitor) Rate(id string, window time.Duration) (Rates, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.series[id]
+	if len(s) < 2 {
+		return Rates{}, false
+	}
+	newest := s[len(s)-1]
+	oldest := s[0]
+	cutoff := newest.At - window
+	for _, snap := range s {
+		if snap.At >= cutoff {
+			oldest = snap
+			break
+		}
+	}
+	if oldest.At >= newest.At {
+		// window smaller than one sampling interval: widen to the last pair
+		oldest = s[len(s)-2]
+	}
+	dt := (newest.At - oldest.At).Seconds()
+	if dt <= 0 {
+		return Rates{}, false
+	}
+	reads := newest.Stats.Reads - oldest.Stats.Reads
+	hits := newest.Stats.Hits - oldest.Stats.Hits
+	errors := newest.Stats.Errors - oldest.Stats.Errors
+	r := Rates{Window: newest.At - oldest.At, ReadsPerSec: float64(reads) / dt}
+	if reads > 0 {
+		r.HitRate = float64(hits) / float64(reads)
+		r.ErrorRate = float64(errors) / float64(reads)
+	}
+	return r, true
+}
+
+// EnableMonitoring attaches a monitor to the controller: every Tick also
+// records each managed stage's snapshot. Call before Start.
+func (c *Controller) EnableMonitoring(capacity int) *Monitor {
+	m := NewMonitor(c.env, capacity)
+	c.mu.Lock()
+	c.monitor = m
+	c.mu.Unlock()
+	return m
+}
+
+// Monitor returns the attached monitor, or nil.
+func (c *Controller) Monitor() *Monitor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.monitor
+}

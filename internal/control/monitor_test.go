@@ -1,0 +1,132 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+)
+
+func TestMonitorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 1 accepted")
+		}
+	}()
+	NewMonitor(conc.NewReal(), 1)
+}
+
+func TestMonitorRingRetention(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		m := NewMonitor(env, 3)
+		for i := 0; i < 5; i++ {
+			m.Record("s", core.StageStats{Reads: int64(i)})
+			env.Sleep(time.Second)
+		}
+		if m.Len("s") != 3 {
+			t.Errorf("Len = %d, want 3", m.Len("s"))
+		}
+		series := m.Series("s")
+		if series[0].Stats.Reads != 2 || series[2].Stats.Reads != 4 {
+			t.Errorf("series = %+v, want reads 2..4", series)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorRates(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		m := NewMonitor(env, 16)
+		// 100 reads/s, 80% hits, over 4 seconds of snapshots.
+		for i := 0; i <= 4; i++ {
+			m.Record("s", core.StageStats{
+				Reads:  int64(i * 100),
+				Hits:   int64(i * 80),
+				Errors: int64(i * 2),
+			})
+			if i < 4 {
+				env.Sleep(time.Second)
+			}
+		}
+		r, ok := m.Rate("s", 2*time.Second)
+		if !ok {
+			t.Error("Rate not available")
+			return
+		}
+		if r.ReadsPerSec < 99 || r.ReadsPerSec > 101 {
+			t.Errorf("ReadsPerSec = %v, want ≈100", r.ReadsPerSec)
+		}
+		if r.HitRate < 0.79 || r.HitRate > 0.81 {
+			t.Errorf("HitRate = %v, want 0.8", r.HitRate)
+		}
+		if r.ErrorRate < 0.019 || r.ErrorRate > 0.021 {
+			t.Errorf("ErrorRate = %v, want 0.02", r.ErrorRate)
+		}
+		// Huge window clamps to retention.
+		if _, ok := m.Rate("s", time.Hour); !ok {
+			t.Error("wide-window Rate not available")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorRateNeedsTwoPoints(t *testing.T) {
+	env := conc.NewReal()
+	m := NewMonitor(env, 4)
+	if _, ok := m.Rate("s", time.Second); ok {
+		t.Fatal("Rate with zero snapshots reported ok")
+	}
+	m.Record("s", core.StageStats{})
+	if _, ok := m.Rate("s", time.Second); ok {
+		t.Fatal("Rate with one snapshot reported ok")
+	}
+}
+
+func TestControllerMonitoringIntegration(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		c := NewController(env, 100*time.Millisecond)
+		mon := c.EnableMonitoring(32)
+		if c.Monitor() != mon {
+			t.Error("Monitor() does not return the attached monitor")
+		}
+		dp := &fakeDP{}
+		_ = c.Attach("s1", dp, NewAutotuner(), DefaultPolicy(), Tuning{Producers: 1, BufferCapacity: 8})
+		c.Start()
+		for i := 0; i < 10; i++ {
+			env.Sleep(100 * time.Millisecond)
+			dp.stats.Reads += 50
+			dp.stats.Hits += 45
+			dp.stats.Now = env.Now()
+		}
+		c.Stop()
+		if mon.Len("s1") < 5 {
+			t.Errorf("monitor captured %d snapshots, want several", mon.Len("s1"))
+		}
+		r, ok := mon.Rate("s1", 500*time.Millisecond)
+		if !ok {
+			t.Error("no rate from controller-fed monitor")
+			return
+		}
+		if r.ReadsPerSec < 400 || r.ReadsPerSec > 600 {
+			t.Errorf("ReadsPerSec = %v, want ≈500", r.ReadsPerSec)
+		}
+		if r.HitRate < 0.85 || r.HitRate > 0.95 {
+			t.Errorf("HitRate = %v, want 0.9", r.HitRate)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package control
+
+import (
+	"fmt"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"time"
+)
+
+// ReplicaGroup addresses the paper's availability requirement (§III): the
+// control plane is logically centralized but physically replicated. All
+// replicas hold the same stage registrations; only the leader — the
+// lowest-indexed live replica — executes control rounds. When the leader
+// fails, the next live replica takes over on the following round, resuming
+// policy enforcement from its own (slightly stale) snapshots.
+type ReplicaGroup struct {
+	env      conc.Env
+	interval time.Duration
+
+	mu        conc.Mutex
+	replicas  []*Controller
+	alive     []bool
+	started   bool
+	stopped   bool
+	failovers int64
+	lastLead  int
+}
+
+// NewReplicaGroup creates n controller replicas (n >= 1), none started.
+func NewReplicaGroup(env conc.Env, interval time.Duration, n int) *ReplicaGroup {
+	if n < 1 {
+		panic("control: replica group needs >= 1 replica")
+	}
+	g := &ReplicaGroup{env: env, interval: interval, mu: env.NewMutex(), lastLead: 0}
+	for i := 0; i < n; i++ {
+		g.replicas = append(g.replicas, NewController(env, interval))
+		g.alive = append(g.alive, true)
+	}
+	return g
+}
+
+// Attach registers the stage with every replica so any of them can take
+// over. Because algorithms may be stateful (e.g. *Autotuner), each replica
+// receives its own instance from the factory.
+func (g *ReplicaGroup) Attach(id string, dp DataPlane, newAlg func() Algorithm, pol Policy, initial Tuning) error {
+	for i, c := range g.replicas {
+		if err := c.Attach(id, dp, newAlg(), pol, initial); err != nil {
+			return fmt.Errorf("control: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Leader reports the index of the current leader, or -1 when none is live.
+func (g *ReplicaGroup) Leader() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leaderLocked()
+}
+
+func (g *ReplicaGroup) leaderLocked() int {
+	for i, ok := range g.alive {
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Fail marks replica i dead (simulated crash).
+func (g *ReplicaGroup) Fail(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.alive[i] = false
+}
+
+// Recover marks replica i live again; leadership returns to the lowest
+// index on the next round.
+func (g *ReplicaGroup) Recover(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.alive[i] = true
+}
+
+// Failovers reports how many rounds were executed by a different replica
+// than the previous round.
+func (g *ReplicaGroup) Failovers() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.failovers
+}
+
+// Replica exposes replica i (for tests and inspection).
+func (g *ReplicaGroup) Replica(i int) *Controller { return g.replicas[i] }
+
+// Tick runs one control round on the current leader. It reports the
+// replica index that executed the round, or -1 when all replicas are down.
+func (g *ReplicaGroup) Tick() int {
+	g.mu.Lock()
+	lead := g.leaderLocked()
+	if lead >= 0 && lead != g.lastLead {
+		g.failovers++
+	}
+	if lead >= 0 {
+		g.lastLead = lead
+	}
+	g.mu.Unlock()
+	if lead < 0 {
+		return -1
+	}
+	g.replicas[lead].Tick()
+	return lead
+}
+
+// Start launches the group's autonomous loop.
+func (g *ReplicaGroup) Start() {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		panic("control: replica group started twice")
+	}
+	g.started = true
+	g.mu.Unlock()
+	g.env.Go("prisma-controller-group", func() {
+		for {
+			g.env.Sleep(g.interval)
+			g.mu.Lock()
+			stopped := g.stopped
+			g.mu.Unlock()
+			if stopped {
+				return
+			}
+			g.Tick()
+		}
+	})
+}
+
+// Stop terminates the autonomous loop after its current sleep.
+func (g *ReplicaGroup) Stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.mu.Unlock()
+}

@@ -1,0 +1,226 @@
+// Package core implements the PRISMA data plane (paper §IV): a parallel
+// data-prefetching optimization object built from a FIFO filename queue, a
+// bounded in-memory buffer with the paper's evict-on-read policy, and a
+// stage that exposes the POSIX-style read interception point and the
+// control interface consumed by the control plane.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+)
+
+// ErrClosed is returned by buffer and stage operations after shutdown.
+var ErrClosed = errors.New("core: closed")
+
+// Item is one prefetched sample, or a producer-side read failure destined
+// for the consumer that requests the file.
+type Item struct {
+	Name  string
+	Size  int64
+	Bytes []byte // nil under modeled backends
+	Err   error  // non-nil when the producer's read failed
+}
+
+// Buffer is the bounded in-memory sample buffer. Semantics follow the
+// paper: it stores at most N samples; "a training file is stored in the
+// buffer whenever it is read by a producer and is evicted when a consumer
+// requests it". Take blocks until the named sample arrives; Put blocks
+// while the buffer is full — except when a consumer is already waiting for
+// that exact sample, which must be admitted to avoid a full-buffer/ordering
+// deadlock between out-of-order producer completions and in-order
+// consumers.
+//
+// AccessCost models the serialized critical-section cost of one buffer
+// operation (lock + copy + IPC handoff). It is the knob behind the paper's
+// observed PyTorch 8+ worker synchronization bottleneck (§V-B).
+type Buffer struct {
+	env        conc.Env
+	mu         conc.Mutex
+	notFull    conc.Cond
+	arrived    conc.Cond
+	capacity   int
+	accessCost time.Duration
+	items      map[string]Item
+	waiting    map[string]int // names consumers are currently blocked on
+	closed     bool
+
+	puts           *metrics.Counter
+	takes          *metrics.Counter
+	occupancy      *metrics.TimeInState
+	consumerWaitNS *metrics.Counter
+	producerWaitNS *metrics.Counter
+}
+
+// NewBuffer returns an empty buffer with the given initial capacity N >= 1.
+func NewBuffer(env conc.Env, capacity int, accessCost time.Duration) *Buffer {
+	if capacity < 1 {
+		panic("core: buffer capacity must be >= 1")
+	}
+	if accessCost < 0 {
+		panic("core: negative buffer access cost")
+	}
+	b := &Buffer{
+		env:            env,
+		capacity:       capacity,
+		accessCost:     accessCost,
+		items:          make(map[string]Item),
+		waiting:        make(map[string]int),
+		puts:           metrics.NewCounter(env),
+		takes:          metrics.NewCounter(env),
+		occupancy:      metrics.NewTimeInState(env, 0),
+		consumerWaitNS: metrics.NewCounter(env),
+		producerWaitNS: metrics.NewCounter(env),
+	}
+	b.mu = env.NewMutex()
+	b.notFull = env.NewCond(b.mu)
+	b.arrived = env.NewCond(b.mu)
+	return b
+}
+
+// Put stores a sample, blocking while the buffer is full (unless a consumer
+// is already waiting for this sample). It returns ErrClosed after Close.
+func (b *Buffer) Put(it Item) error {
+	start := b.env.Now()
+	b.mu.Lock()
+	for len(b.items) >= b.capacity && b.waiting[it.Name] == 0 && !b.closed {
+		b.notFull.Wait()
+	}
+	if waited := b.env.Now() - start; waited > 0 {
+		b.producerWaitNS.Add(int64(waited))
+	}
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if b.accessCost > 0 {
+		b.env.Sleep(b.accessCost) // serialized: cost paid under the lock
+	}
+	b.items[it.Name] = it
+	b.occupancy.Set(len(b.items))
+	b.puts.Inc()
+	b.arrived.Broadcast()
+	b.mu.Unlock()
+	return nil
+}
+
+// Take blocks until the named sample is present, removes it (evict-on-read)
+// and returns it. ok is false if the buffer closes while waiting.
+func (b *Buffer) Take(name string) (Item, bool) {
+	start := b.env.Now()
+	b.mu.Lock()
+	if _, present := b.items[name]; !present {
+		b.waiting[name]++
+		// A producer may be blocked on a full buffer while holding exactly
+		// this sample; let it re-check the waiting set.
+		b.notFull.Broadcast()
+		for {
+			if _, present := b.items[name]; present || b.closed {
+				break
+			}
+			b.arrived.Wait()
+		}
+		if b.waiting[name]--; b.waiting[name] == 0 {
+			delete(b.waiting, name)
+		}
+	}
+	if waited := b.env.Now() - start; waited > 0 {
+		b.consumerWaitNS.Add(int64(waited))
+	}
+	it, present := b.items[name]
+	if !present { // closed while waiting
+		b.mu.Unlock()
+		return Item{}, false
+	}
+	if b.accessCost > 0 {
+		b.env.Sleep(b.accessCost)
+	}
+	delete(b.items, name)
+	b.occupancy.Set(len(b.items))
+	b.takes.Inc()
+	b.notFull.Signal()
+	b.mu.Unlock()
+	return it, true
+}
+
+// Len reports the number of buffered samples.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// Capacity reports the current capacity N.
+func (b *Buffer) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// SetCapacity adjusts N (control-plane knob). Growing the buffer releases
+// blocked producers; shrinking takes effect lazily as consumers drain.
+func (b *Buffer) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	if n > b.capacity {
+		b.notFull.Broadcast()
+	}
+	b.capacity = n
+	b.mu.Unlock()
+}
+
+// Close wakes all blocked producers and consumers; subsequent operations
+// fail. Buffered items are discarded.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.items = make(map[string]Item)
+		b.occupancy.Set(0)
+		b.notFull.Broadcast()
+		b.arrived.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// BufferStats is a snapshot of buffer activity.
+type BufferStats struct {
+	Len           int
+	Capacity      int
+	Puts          int64
+	Takes         int64
+	ConsumerWait  time.Duration // cumulative time consumers blocked in Take
+	ProducerWait  time.Duration // cumulative time producers blocked in Put
+	MeanOccupancy float64       // time-weighted average fill level
+}
+
+// Stats snapshots the buffer counters.
+func (b *Buffer) Stats() BufferStats {
+	dist := b.occupancy.Distribution()
+	var total, weighted float64
+	for level, d := range dist {
+		total += float64(d)
+		weighted += float64(level) * float64(d)
+	}
+	mean := 0.0
+	if total > 0 {
+		mean = weighted / total
+	}
+	b.mu.Lock()
+	l, c := len(b.items), b.capacity
+	b.mu.Unlock()
+	return BufferStats{
+		Len:           l,
+		Capacity:      c,
+		Puts:          b.puts.Value(),
+		Takes:         b.takes.Value(),
+		ConsumerWait:  time.Duration(b.consumerWaitNS.Value()),
+		ProducerWait:  time.Duration(b.producerWaitNS.Value()),
+		MeanOccupancy: mean,
+	}
+}

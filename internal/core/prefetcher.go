@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// PrefetcherConfig parameterizes the parallel data-prefetching optimization
+// object. The control plane adjusts Producers (t) and BufferCapacity (N) at
+// runtime within [1, MaxProducers] and [1, MaxBufferCapacity].
+type PrefetcherConfig struct {
+	// InitialProducers is t at startup.
+	InitialProducers int
+	// MaxProducers bounds t.
+	MaxProducers int
+	// InitialBufferCapacity is N at startup.
+	InitialBufferCapacity int
+	// MaxBufferCapacity bounds N.
+	MaxBufferCapacity int
+	// BufferAccessCost is the serialized per-operation cost of the shared
+	// in-memory buffer (see Buffer).
+	BufferAccessCost time.Duration
+}
+
+// DefaultPrefetcherConfig mirrors the prototype's conservative starting
+// point: one producer and a small buffer, leaving tuning to the control
+// plane's feedback loop.
+func DefaultPrefetcherConfig() PrefetcherConfig {
+	return PrefetcherConfig{
+		InitialProducers:      1,
+		MaxProducers:          32,
+		InitialBufferCapacity: 16,
+		MaxBufferCapacity:     4096,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c PrefetcherConfig) Validate() error {
+	if c.InitialProducers < 1 {
+		return fmt.Errorf("core: InitialProducers %d < 1", c.InitialProducers)
+	}
+	if c.MaxProducers < c.InitialProducers {
+		return fmt.Errorf("core: MaxProducers %d < InitialProducers %d", c.MaxProducers, c.InitialProducers)
+	}
+	if c.InitialBufferCapacity < 1 {
+		return fmt.Errorf("core: InitialBufferCapacity %d < 1", c.InitialBufferCapacity)
+	}
+	if c.MaxBufferCapacity < c.InitialBufferCapacity {
+		return fmt.Errorf("core: MaxBufferCapacity %d < InitialBufferCapacity %d", c.MaxBufferCapacity, c.InitialBufferCapacity)
+	}
+	if c.BufferAccessCost < 0 {
+		return fmt.Errorf("core: negative BufferAccessCost")
+	}
+	return nil
+}
+
+// Prefetcher reads planned files from backend storage ahead of consumption
+// using up to t concurrent producer threads, parking samples in the bounded
+// buffer. The plan — the per-epoch shuffled filename list shared by the DL
+// framework — feeds an internal FIFO queue that fixes the read order.
+type Prefetcher struct {
+	env     conc.Env
+	backend storage.Backend
+	cfg     PrefetcherConfig
+	buffer  *Buffer
+	queue   *conc.Queue[string]
+
+	mu      conc.Mutex
+	target  int // desired t
+	running int // producers currently alive
+	nextID  int
+	planned map[string]int // outstanding plan multiplicity per name
+	closed  bool
+
+	activeReaders *metrics.TimeInState // threads inside backend.ReadFile (Fig. 3 signal)
+	prefetched    *metrics.Counter
+	readErrors    *metrics.Counter
+}
+
+// NewPrefetcher builds (but does not start) a prefetcher.
+func NewPrefetcher(env conc.Env, backend storage.Backend, cfg PrefetcherConfig) (*Prefetcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pf := &Prefetcher{
+		env:           env,
+		backend:       backend,
+		cfg:           cfg,
+		buffer:        NewBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost),
+		queue:         conc.NewQueue[string](env, 0),
+		planned:       make(map[string]int),
+		activeReaders: metrics.NewTimeInState(env, 0),
+		prefetched:    metrics.NewCounter(env),
+		readErrors:    metrics.NewCounter(env),
+	}
+	pf.mu = env.NewMutex()
+	return pf, nil
+}
+
+// Start launches the initial producers. It must be called exactly once,
+// from a thread of the prefetcher's environment.
+func (pf *Prefetcher) Start() { pf.SetProducers(pf.cfg.InitialProducers) }
+
+// Buffer exposes the in-memory buffer (for the stage and for tests).
+func (pf *Prefetcher) Buffer() *Buffer { return pf.buffer }
+
+// Config returns the static configuration.
+func (pf *Prefetcher) Config() PrefetcherConfig { return pf.cfg }
+
+// SubmitPlan appends the shuffled filename list of one epoch to the
+// prefetch queue. Names are read in exactly this order.
+func (pf *Prefetcher) SubmitPlan(names []string) error {
+	pf.mu.Lock()
+	if pf.closed {
+		pf.mu.Unlock()
+		return ErrClosed
+	}
+	for _, n := range names {
+		pf.planned[n]++
+	}
+	pf.mu.Unlock()
+	for _, n := range names {
+		if err := pf.queue.Put(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Planned reports whether name has an outstanding plan entry; unplanned
+// reads bypass the buffer (the prototype does not prefetch validation
+// files, paper §V-A).
+func (pf *Prefetcher) Planned(name string) bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.planned[name] > 0
+}
+
+// consumed decrements the plan multiplicity after a successful Take.
+func (pf *Prefetcher) consumed(name string) {
+	pf.mu.Lock()
+	if pf.planned[name]--; pf.planned[name] <= 0 {
+		delete(pf.planned, name)
+	}
+	pf.mu.Unlock()
+}
+
+// SetProducers adjusts the target number of producer threads t, spawning
+// new producers immediately and retiring surplus ones as they finish their
+// current file. The value is clamped to [1, MaxProducers]; 0 is allowed
+// and stops all producers (used at shutdown).
+func (pf *Prefetcher) SetProducers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > pf.cfg.MaxProducers {
+		n = pf.cfg.MaxProducers
+	}
+	pf.mu.Lock()
+	if pf.closed {
+		pf.mu.Unlock()
+		return
+	}
+	pf.target = n
+	var spawn []int
+	for pf.running < pf.target {
+		pf.running++
+		pf.nextID++
+		spawn = append(spawn, pf.nextID)
+	}
+	pf.mu.Unlock()
+	for _, id := range spawn {
+		id := id
+		pf.env.Go(fmt.Sprintf("prisma-producer-%d", id), func() { pf.producerLoop() })
+	}
+}
+
+// Producers reports (target, running) producer counts.
+func (pf *Prefetcher) Producers() (target, running int) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.target, pf.running
+}
+
+// producerLoop is the body of one producer thread.
+func (pf *Prefetcher) producerLoop() {
+	for {
+		pf.mu.Lock()
+		if pf.closed || pf.running > pf.target {
+			pf.running--
+			pf.mu.Unlock()
+			return
+		}
+		pf.mu.Unlock()
+
+		name, ok := pf.queue.Get()
+		if !ok { // queue closed and drained
+			pf.mu.Lock()
+			pf.running--
+			pf.mu.Unlock()
+			return
+		}
+
+		pf.activeReaders.Add(1)
+		data, err := pf.backend.ReadFile(name)
+		pf.activeReaders.Add(-1)
+
+		it := Item{Name: name, Size: data.Size, Bytes: data.Bytes, Err: err}
+		if err != nil {
+			pf.readErrors.Inc()
+		} else {
+			pf.prefetched.Inc()
+		}
+		if pf.buffer.Put(it) != nil {
+			// Buffer closed: shutting down.
+			pf.mu.Lock()
+			pf.running--
+			pf.mu.Unlock()
+			return
+		}
+	}
+}
+
+// ActiveReaderDistribution reports time spent at each concurrent-reader
+// count — the paper's Figure 3 measurement for PRISMA.
+func (pf *Prefetcher) ActiveReaderDistribution() map[int]time.Duration {
+	return pf.activeReaders.Distribution()
+}
+
+// Close stops producers and unblocks all buffer users. Idempotent.
+func (pf *Prefetcher) Close() {
+	pf.mu.Lock()
+	if pf.closed {
+		pf.mu.Unlock()
+		return
+	}
+	pf.closed = true
+	pf.target = 0
+	pf.mu.Unlock()
+	pf.queue.Close()
+	pf.buffer.Close()
+}
+
+// QueueLen reports the number of filenames awaiting prefetch.
+func (pf *Prefetcher) QueueLen() int { return pf.queue.Len() }
+
+// PrefetchedFiles reports the number of successful producer reads.
+func (pf *Prefetcher) PrefetchedFiles() int64 { return pf.prefetched.Value() }
+
+// ReadErrors reports the number of failed producer reads.
+func (pf *Prefetcher) ReadErrors() int64 { return pf.readErrors.Value() }

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// testBackend builds a modeled backend with n files of the given size over
+// a device with per-read latency lat and c channels.
+func testBackend(env conc.Env, n int, size int64, lat time.Duration, channels int) (*storage.ModeledBackend, []string) {
+	samples := make([]dataset.Sample, n)
+	names := make([]string, n)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("f%04d", i), Size: size}
+		names[i] = samples[i].Name
+	}
+	m := dataset.MustNew(samples)
+	dev, err := storage.NewDevice(env, storage.DeviceSpec{
+		BaseLatency:    lat,
+		BytesPerSecond: 1e15, // transfer time negligible
+		Channels:       channels,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return storage.NewModeledBackend(m, dev, nil), names
+}
+
+func pfConfig(t, n int) PrefetcherConfig {
+	return PrefetcherConfig{
+		InitialProducers:      t,
+		MaxProducers:          32,
+		InitialBufferCapacity: n,
+		MaxBufferCapacity:     4096,
+	}
+}
+
+func TestPrefetcherConfigValidate(t *testing.T) {
+	bad := []PrefetcherConfig{
+		{InitialProducers: 0, MaxProducers: 1, InitialBufferCapacity: 1, MaxBufferCapacity: 1},
+		{InitialProducers: 2, MaxProducers: 1, InitialBufferCapacity: 1, MaxBufferCapacity: 1},
+		{InitialProducers: 1, MaxProducers: 1, InitialBufferCapacity: 0, MaxBufferCapacity: 1},
+		{InitialProducers: 1, MaxProducers: 1, InitialBufferCapacity: 2, MaxBufferCapacity: 1},
+		{InitialProducers: 1, MaxProducers: 1, InitialBufferCapacity: 1, MaxBufferCapacity: 1, BufferAccessCost: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultPrefetcherConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestPrefetcherDeliversPlannedFiles(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 20, 1000, time.Millisecond, 4)
+		pf, err := NewPrefetcher(env, backend, pfConfig(2, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf.Start()
+		if err := pf.SubmitPlan(names); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			it, ok := pf.Buffer().Take(n)
+			if !ok || it.Err != nil || it.Name != n {
+				t.Fatalf("Take(%s) = %+v, %v", n, it, ok)
+			}
+			pf.consumed(n)
+		}
+		if pf.PrefetchedFiles() != 20 {
+			t.Errorf("PrefetchedFiles = %d, want 20", pf.PrefetchedFiles())
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherRespectsProducerLimit(t *testing.T) {
+	// With t=3 producers, at most 3 threads read concurrently even though
+	// the device has 8 channels.
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	var dist map[int]time.Duration
+	s.Spawn("driver", func(*sim.Process) {
+		backend, names := testBackend(env, 30, 1000, time.Millisecond, 8)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(3, 64))
+		pf.Start()
+		_ = pf.SubmitPlan(names)
+		for _, n := range names {
+			it, ok := pf.Buffer().Take(n)
+			if !ok || it.Err != nil {
+				t.Errorf("Take(%s) failed", n)
+			}
+			pf.consumed(n)
+		}
+		dist = pf.ActiveReaderDistribution()
+		pf.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if max := metrics.MaxValue(dist); max != 3 {
+		t.Fatalf("max concurrent readers = %d, want 3", max)
+	}
+}
+
+func TestPrefetcherReadsInPlanOrder(t *testing.T) {
+	// With a single producer, files must hit the device in plan order.
+	runSim(t, func(env conc.Env) {
+		samples := []dataset.Sample{{Name: "a", Size: 1}, {Name: "b", Size: 1}, {Name: "c", Size: 1}}
+		m := dataset.MustNew(samples)
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 1})
+		var order []string
+		rec := &recordingBackend{inner: storage.NewModeledBackend(m, dev, nil), order: &order}
+		pf, _ := NewPrefetcher(env, rec, pfConfig(1, 8))
+		pf.Start()
+		_ = pf.SubmitPlan([]string{"b", "c", "a"})
+		for _, n := range []string{"b", "c", "a"} {
+			_, _ = pf.Buffer().Take(n)
+			pf.consumed(n)
+		}
+		pf.Close()
+		want := "b,c,a"
+		got := ""
+		for i, n := range order {
+			if i > 0 {
+				got += ","
+			}
+			got += n
+		}
+		if got != want {
+			t.Fatalf("device order = %s, want %s", got, want)
+		}
+	})
+}
+
+type recordingBackend struct {
+	inner storage.Backend
+	order *[]string
+}
+
+func (r *recordingBackend) ReadFile(name string) (storage.Data, error) {
+	*r.order = append(*r.order, name)
+	return r.inner.ReadFile(name)
+}
+func (r *recordingBackend) Size(name string) (int64, error) { return r.inner.Size(name) }
+
+func TestPrefetcherSetProducersScalesUp(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 40, 1000, time.Millisecond, 8)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(1, 64))
+		pf.Start()
+		pf.SetProducers(6)
+		if target, running := pf.Producers(); target != 6 || running != 6 {
+			t.Fatalf("Producers = %d/%d, want 6/6", target, running)
+		}
+		_ = pf.SubmitPlan(names)
+		for _, n := range names {
+			_, _ = pf.Buffer().Take(n)
+			pf.consumed(n)
+		}
+		if max := metrics.MaxValue(pf.ActiveReaderDistribution()); max != 6 {
+			t.Errorf("max concurrent readers = %d, want 6", max)
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherSetProducersScalesDown(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 10, 1000, time.Millisecond, 8)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(4, 64))
+		pf.Start()
+		_ = pf.SubmitPlan(names[:5])
+		for _, n := range names[:5] {
+			_, _ = pf.Buffer().Take(n)
+			pf.consumed(n)
+		}
+		pf.SetProducers(1)
+		// Surplus producers retire after their next dequeue attempt; feed
+		// the queue so blocked producers cycle.
+		_ = pf.SubmitPlan(names[5:])
+		for _, n := range names[5:] {
+			_, _ = pf.Buffer().Take(n)
+			pf.consumed(n)
+		}
+		env.Sleep(10 * time.Millisecond)
+		if target, _ := pf.Producers(); target != 1 {
+			t.Fatalf("target = %d, want 1", target)
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherClampsToMaxProducers(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, _ := testBackend(env, 1, 1, time.Millisecond, 1)
+		cfg := pfConfig(1, 4)
+		cfg.MaxProducers = 4
+		pf, _ := NewPrefetcher(env, backend, cfg)
+		pf.Start()
+		pf.SetProducers(100)
+		if target, _ := pf.Producers(); target != 4 {
+			t.Fatalf("target = %d, want clamp to 4", target)
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherErrorReachesConsumer(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 4, 1000, time.Millisecond, 2)
+		faulty := storage.NewFaultyBackend(env, backend)
+		faulty.FailName("f0001")
+		pf, _ := NewPrefetcher(env, faulty, pfConfig(2, 8))
+		pf.Start()
+		_ = pf.SubmitPlan(names)
+		for _, n := range names {
+			it, ok := pf.Buffer().Take(n)
+			if !ok {
+				t.Fatalf("Take(%s) closed", n)
+			}
+			pf.consumed(n)
+			if n == "f0001" {
+				if !errors.Is(it.Err, storage.ErrInjected) {
+					t.Errorf("Take(f0001).Err = %v, want injected fault", it.Err)
+				}
+			} else if it.Err != nil {
+				t.Errorf("Take(%s).Err = %v, want nil", n, it.Err)
+			}
+		}
+		if pf.ReadErrors() != 1 {
+			t.Errorf("ReadErrors = %d, want 1", pf.ReadErrors())
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherPlannedBookkeeping(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 4, 1000, time.Millisecond, 2)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(1, 8))
+		pf.Start()
+		if pf.Planned("f0000") {
+			t.Error("file planned before SubmitPlan")
+		}
+		_ = pf.SubmitPlan(names[:2])
+		if !pf.Planned("f0000") || pf.Planned("f0003") {
+			t.Error("planned set wrong after SubmitPlan")
+		}
+		_, _ = pf.Buffer().Take("f0000")
+		pf.consumed("f0000")
+		if pf.Planned("f0000") {
+			t.Error("file still planned after consumption")
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherMultiEpochPlan(t *testing.T) {
+	// The same file planned for two epochs is prefetched and consumable
+	// twice.
+	runSim(t, func(env conc.Env) {
+		backend, _ := testBackend(env, 2, 1000, time.Millisecond, 2)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(1, 8))
+		pf.Start()
+		_ = pf.SubmitPlan([]string{"f0000", "f0001"})
+		_ = pf.SubmitPlan([]string{"f0001", "f0000"})
+		for _, n := range []string{"f0000", "f0001", "f0001", "f0000"} {
+			it, ok := pf.Buffer().Take(n)
+			if !ok || it.Err != nil {
+				t.Fatalf("Take(%s) = %+v, %v", n, it, ok)
+			}
+			pf.consumed(n)
+		}
+		if pf.PrefetchedFiles() != 4 {
+			t.Errorf("PrefetchedFiles = %d, want 4", pf.PrefetchedFiles())
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherCloseIdempotentAndRejectsPlans(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 2, 1000, time.Millisecond, 1)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(1, 4))
+		pf.Start()
+		pf.Close()
+		pf.Close()
+		if err := pf.SubmitPlan(names); err != ErrClosed {
+			t.Fatalf("SubmitPlan after Close = %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestPrefetcherStartsBeforeEpoch(t *testing.T) {
+	// The paper credits PRISMA's PyTorch wins to prefetching starting
+	// before the epoch begins: after SubmitPlan and a head start, the
+	// buffer should already hold samples before any consumer arrives.
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 20, 1000, time.Millisecond, 4)
+		pf, _ := NewPrefetcher(env, backend, pfConfig(4, 8))
+		pf.Start()
+		_ = pf.SubmitPlan(names)
+		env.Sleep(50 * time.Millisecond) // head start
+		if got := pf.Buffer().Len(); got != 8 {
+			t.Fatalf("buffer holds %d samples after head start, want full at 8", got)
+		}
+		pf.Close()
+	})
+}

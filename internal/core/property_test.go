@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// TestPrefetcherDeliveryProperty drives the full stage with randomized
+// shapes — file counts, producer counts, buffer capacities, consumer
+// pacing, epoch counts, and mid-run retuning — and checks the core
+// invariant: every planned sample is delivered exactly once per plan
+// entry, in consumption order, with no losses, duplicates, or leaks.
+func TestPrefetcherDeliveryProperty(t *testing.T) {
+	prop := func(seed int64, filesRaw, producersRaw, bufRaw, epochsRaw uint8) bool {
+		nFiles := int(filesRaw)%50 + 1
+		producers := int(producersRaw)%6 + 1
+		bufCap := int(bufRaw)%8 + 1
+		epochs := int(epochsRaw)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		s := sim.New()
+		env := conc.NewSimEnv(s)
+		ok := true
+		s.Spawn("driver", func(*sim.Process) {
+			samples := make([]dataset.Sample, nFiles)
+			for i := range samples {
+				samples[i] = dataset.Sample{Name: fmt.Sprintf("f%03d", i), Size: int64(rng.Intn(200_000) + 1000)}
+			}
+			man := dataset.MustNew(samples)
+			dev, err := storage.NewDevice(env, storage.DeviceSpec{
+				BaseLatency:    time.Duration(rng.Intn(900)+100) * time.Microsecond,
+				BytesPerSecond: 1e9,
+				Channels:       rng.Intn(4) + 1,
+			})
+			if err != nil {
+				ok = false
+				return
+			}
+			backend := storage.NewModeledBackend(man, dev, nil)
+			pf, err := NewPrefetcher(env, backend, PrefetcherConfig{
+				InitialProducers:      producers,
+				MaxProducers:          8,
+				InitialBufferCapacity: bufCap,
+				MaxBufferCapacity:     64,
+				BufferAccessCost:      time.Duration(rng.Intn(20)) * time.Microsecond,
+			})
+			if err != nil {
+				ok = false
+				return
+			}
+			st := NewStage(env, backend, NewPrefetchObject(pf))
+			pf.Start()
+			defer st.Close()
+
+			delivered := make(map[string]int)
+			for epoch := 0; epoch < epochs; epoch++ {
+				plan := man.EpochFileList(seed, epoch)
+				if err := st.SubmitPlan(plan); err != nil {
+					ok = false
+					return
+				}
+				for i, name := range plan {
+					// Random consumer pacing and mid-run retuning.
+					if rng.Intn(4) == 0 {
+						env.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+					}
+					if i%17 == 5 {
+						st.SetProducers(rng.Intn(8) + 1)
+					}
+					if i%23 == 7 {
+						st.SetBufferCapacity(rng.Intn(32) + 1)
+					}
+					data, err := st.Read(name)
+					if err != nil || data.Name != name {
+						ok = false
+						return
+					}
+					delivered[name]++
+				}
+			}
+
+			// Exactly epochs deliveries per file.
+			for _, sm := range samples {
+				if delivered[sm.Name] != epochs {
+					ok = false
+					return
+				}
+			}
+			stats := st.Stats()
+			total := int64(nFiles * epochs)
+			if stats.Hits != total || stats.Bypasses != 0 || stats.Errors != 0 {
+				ok = false
+				return
+			}
+			// No leaked samples in the buffer and an empty queue.
+			if stats.Buffer.Len != 0 || stats.QueueLen != 0 {
+				ok = false
+				return
+			}
+			// Puts and takes balance.
+			if stats.Buffer.Puts != stats.Buffer.Takes || stats.Buffer.Puts != total {
+				ok = false
+				return
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferNeverExceedsCapacityProperty hammers the buffer with random
+// producer/consumer schedules and asserts the occupancy bound: at most
+// capacity + (samples being actively awaited) items are ever resident.
+func TestBufferNeverExceedsCapacityProperty(t *testing.T) {
+	prop := func(seed int64, capRaw, itemsRaw uint8) bool {
+		capacity := int(capRaw)%6 + 1
+		items := int(itemsRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		s := sim.New()
+		env := conc.NewSimEnv(s)
+		ok := true
+		s.Spawn("driver", func(*sim.Process) {
+			b := NewBuffer(env, capacity, 0)
+			maxLen := 0
+			wg := env.NewWaitGroup()
+			wg.Add(2)
+			env.Go("producer", func() {
+				defer wg.Done()
+				for i := 0; i < items; i++ {
+					env.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+					if b.Put(Item{Name: fmt.Sprintf("x%d", i)}) != nil {
+						return
+					}
+					if l := b.Len(); l > maxLen {
+						maxLen = l
+					}
+				}
+			})
+			env.Go("consumer", func() {
+				defer wg.Done()
+				for i := 0; i < items; i++ {
+					env.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+					if _, okTake := b.Take(fmt.Sprintf("x%d", i)); !okTake {
+						return
+					}
+				}
+			})
+			wg.Wait()
+			// One consumer: overshoot bound is capacity + 1.
+			if maxLen > capacity+1 {
+				ok = false
+			}
+			if b.Len() != 0 {
+				ok = false
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// OptimizationObject is the data plane's extension point (paper §III-A):
+// a self-contained, reusable I/O mechanism applied to intercepted requests.
+// Read reports handled=false when the object declines the request, letting
+// the stage fall through to the next object or the raw backend.
+type OptimizationObject interface {
+	// Name identifies the object in stats and logs.
+	Name() string
+	// Read applies the object's I/O logic to the named file.
+	Read(name string) (data storage.Data, handled bool, err error)
+	// Close releases the object's resources.
+	Close()
+}
+
+// PrefetchObject adapts a Prefetcher to the OptimizationObject interface:
+// planned files are served from the in-memory buffer (evicting them);
+// unplanned files are declined so the stage bypasses to backend storage.
+type PrefetchObject struct {
+	pf *Prefetcher
+}
+
+// NewPrefetchObject wraps pf.
+func NewPrefetchObject(pf *Prefetcher) *PrefetchObject { return &PrefetchObject{pf: pf} }
+
+// Name implements OptimizationObject.
+func (o *PrefetchObject) Name() string { return "parallel-prefetch" }
+
+// Prefetcher exposes the wrapped prefetcher (for the control plane).
+func (o *PrefetchObject) Prefetcher() *Prefetcher { return o.pf }
+
+// Read serves a planned file from the buffer, blocking until the producers
+// deliver it.
+func (o *PrefetchObject) Read(name string) (storage.Data, bool, error) {
+	if !o.pf.Planned(name) {
+		return storage.Data{}, false, nil
+	}
+	it, ok := o.pf.buffer.Take(name)
+	if !ok {
+		return storage.Data{}, true, ErrClosed
+	}
+	o.pf.consumed(name)
+	if it.Err != nil {
+		return storage.Data{}, true, it.Err
+	}
+	return storage.Data{Name: it.Name, Size: it.Size, Bytes: it.Bytes}, true, nil
+}
+
+// Close shuts down the prefetcher.
+func (o *PrefetchObject) Close() { o.pf.Close() }
+
+// StageStats is the monitoring snapshot exported through the stage's
+// control interface (paper §III-A module three).
+type StageStats struct {
+	Now time.Duration
+
+	// Request-path counters.
+	Reads    int64 // total intercepted reads
+	Hits     int64 // served by an optimization object
+	Bypasses int64 // fell through to backend storage
+	Errors   int64 // reads that returned an error
+
+	// Prefetcher state (zero-valued when no prefetch object is attached).
+	QueueLen         int
+	TargetProducers  int
+	RunningProducers int
+	PrefetchedFiles  int64
+	ReadErrors       int64
+
+	Buffer BufferStats
+}
+
+// Stage is one PRISMA data-plane stage: a chain of optimization objects in
+// front of backend storage, a POSIX-style Read interception point, and the
+// control interface (Stats / SetProducers / SetBufferCapacity).
+type Stage struct {
+	env     conc.Env
+	backend storage.Backend
+	objects []OptimizationObject
+	pf      *Prefetcher // non-nil when a PrefetchObject is attached
+
+	reads    *metrics.Counter
+	hits     *metrics.Counter
+	bypasses *metrics.Counter
+	errors   *metrics.Counter
+}
+
+// NewStage assembles a stage over backend with the given optimization
+// objects, consulted in order.
+func NewStage(env conc.Env, backend storage.Backend, objects ...OptimizationObject) *Stage {
+	st := &Stage{
+		env:      env,
+		backend:  backend,
+		objects:  objects,
+		reads:    metrics.NewCounter(env),
+		hits:     metrics.NewCounter(env),
+		bypasses: metrics.NewCounter(env),
+		errors:   metrics.NewCounter(env),
+	}
+	for _, o := range objects {
+		if po, ok := o.(*PrefetchObject); ok {
+			st.pf = po.Prefetcher()
+		}
+	}
+	return st
+}
+
+// Read is the POSIX interception point: the DL framework's read/pread calls
+// land here (the TensorFlow integration swaps its file-system backend's
+// pread for this call; the PyTorch integration forwards over a UNIX
+// socket).
+func (s *Stage) Read(name string) (storage.Data, error) {
+	s.reads.Inc()
+	for _, o := range s.objects {
+		data, handled, err := o.Read(name)
+		if !handled {
+			continue
+		}
+		if err != nil {
+			s.errors.Inc()
+			return storage.Data{}, err
+		}
+		s.hits.Inc()
+		return data, nil
+	}
+	s.bypasses.Inc()
+	data, err := s.backend.ReadFile(name)
+	if err != nil {
+		s.errors.Inc()
+		return storage.Data{}, err
+	}
+	return data, nil
+}
+
+// Size reports a file's size from backend metadata (stat-style call: no
+// data moves and the buffer is not consulted).
+func (s *Stage) Size(name string) (int64, error) { return s.backend.Size(name) }
+
+// SubmitPlan forwards an epoch's shuffled filename list to the prefetcher.
+// It is a no-op error when the stage has no prefetch object.
+func (s *Stage) SubmitPlan(names []string) error {
+	if s.pf == nil {
+		return ErrClosed
+	}
+	return s.pf.SubmitPlan(names)
+}
+
+// Prefetcher exposes the attached prefetcher, or nil.
+func (s *Stage) Prefetcher() *Prefetcher { return s.pf }
+
+// Stats snapshots the stage (control interface).
+func (s *Stage) Stats() StageStats {
+	st := StageStats{
+		Now:      s.env.Now(),
+		Reads:    s.reads.Value(),
+		Hits:     s.hits.Value(),
+		Bypasses: s.bypasses.Value(),
+		Errors:   s.errors.Value(),
+	}
+	if s.pf != nil {
+		st.QueueLen = s.pf.QueueLen()
+		st.TargetProducers, st.RunningProducers = s.pf.Producers()
+		st.PrefetchedFiles = s.pf.PrefetchedFiles()
+		st.ReadErrors = s.pf.ReadErrors()
+		st.Buffer = s.pf.Buffer().Stats()
+	}
+	return st
+}
+
+// SetProducers adjusts the prefetcher's t (control interface). No-op
+// without a prefetch object.
+func (s *Stage) SetProducers(n int) {
+	if s.pf != nil {
+		s.pf.SetProducers(n)
+	}
+}
+
+// SetBufferCapacity adjusts the prefetcher's N (control interface). No-op
+// without a prefetch object.
+func (s *Stage) SetBufferCapacity(n int) {
+	if s.pf != nil {
+		s.pf.Buffer().SetCapacity(n)
+	}
+}
+
+// Close shuts down every optimization object.
+func (s *Stage) Close() {
+	for _, o := range s.objects {
+		o.Close()
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// newTestStage builds a stage with a prefetch object over a modeled backend.
+func newTestStage(env conc.Env, nFiles int, producers int) (*Stage, []string) {
+	backend, names := testBackend(env, nFiles, 1000, time.Millisecond, 4)
+	pf, err := NewPrefetcher(env, backend, pfConfig(producers, 8))
+	if err != nil {
+		panic(err)
+	}
+	st := NewStage(env, backend, NewPrefetchObject(pf))
+	pf.Start()
+	return st, names
+}
+
+func TestStageServesPlannedFromBuffer(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		st, names := newTestStage(env, 10, 2)
+		if err := st.SubmitPlan(names); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			d, err := st.Read(n)
+			if err != nil || d.Name != n || d.Size != 1000 {
+				t.Fatalf("Read(%s) = %+v, %v", n, d, err)
+			}
+		}
+		stats := st.Stats()
+		if stats.Reads != 10 || stats.Hits != 10 || stats.Bypasses != 0 {
+			t.Fatalf("stats = %+v, want 10 reads, 10 hits", stats)
+		}
+		st.Close()
+	})
+}
+
+func TestStageBypassesUnplanned(t *testing.T) {
+	// Validation files are not in the plan: they go straight to backend
+	// storage (paper §V-A: "PRISMA's prototype does not perform prefetching
+	// for validation files").
+	runSim(t, func(env conc.Env) {
+		st, names := newTestStage(env, 10, 2)
+		_ = st.SubmitPlan(names[:5])
+		d, err := st.Read(names[7]) // unplanned
+		if err != nil || d.Size != 1000 {
+			t.Fatalf("bypass Read = %+v, %v", d, err)
+		}
+		stats := st.Stats()
+		if stats.Bypasses != 1 || stats.Hits != 0 {
+			t.Fatalf("stats = %+v, want 1 bypass", stats)
+		}
+		st.Close()
+	})
+}
+
+func TestStageErrorCounting(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 4, 1000, time.Millisecond, 2)
+		faulty := storage.NewFaultyBackend(env, backend)
+		faulty.FailName(names[0])
+		pf, _ := NewPrefetcher(env, faulty, pfConfig(1, 8))
+		st := NewStage(env, faulty, NewPrefetchObject(pf))
+		pf.Start()
+		_ = st.SubmitPlan(names[:1])
+		if _, err := st.Read(names[0]); !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("Read = %v, want injected error", err)
+		}
+		// Bypass error path, too.
+		if _, err := st.Read(names[0]); !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("bypass Read = %v, want injected error", err)
+		}
+		if st.Stats().Errors != 2 {
+			t.Fatalf("Errors = %d, want 2", st.Stats().Errors)
+		}
+		st.Close()
+	})
+}
+
+func TestStageWithoutPrefetcher(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 2, 1000, time.Millisecond, 1)
+		st := NewStage(env, backend)
+		if err := st.SubmitPlan(names); err != ErrClosed {
+			t.Fatalf("SubmitPlan = %v, want ErrClosed (no prefetch object)", err)
+		}
+		if st.Prefetcher() != nil {
+			t.Fatal("Prefetcher() != nil for plain stage")
+		}
+		d, err := st.Read(names[0])
+		if err != nil || d.Size != 1000 {
+			t.Fatalf("Read = %+v, %v", d, err)
+		}
+		st.SetProducers(5)       // must not panic
+		st.SetBufferCapacity(10) // must not panic
+		if s := st.Stats(); s.Bypasses != 1 {
+			t.Fatalf("Bypasses = %d, want 1", s.Bypasses)
+		}
+	})
+}
+
+func TestStageControlInterface(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		st, names := newTestStage(env, 20, 1)
+		st.SetProducers(4)
+		st.SetBufferCapacity(32)
+		_ = st.SubmitPlan(names)
+		for _, n := range names {
+			if _, err := st.Read(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats := st.Stats()
+		if stats.TargetProducers != 4 {
+			t.Errorf("TargetProducers = %d, want 4", stats.TargetProducers)
+		}
+		if stats.Buffer.Capacity != 32 {
+			t.Errorf("Buffer.Capacity = %d, want 32", stats.Buffer.Capacity)
+		}
+		if stats.PrefetchedFiles != 20 {
+			t.Errorf("PrefetchedFiles = %d, want 20", stats.PrefetchedFiles)
+		}
+		st.Close()
+	})
+}
+
+func TestStageReadBlocksUntilPrefetchedAndOverlaps(t *testing.T) {
+	// A consumer arriving before producers finish must block only until its
+	// file lands, and prefetch must overlap consumption: total time for
+	// n files with t=4 producers over a 4-channel device is ~n/4 reads.
+	runSim(t, func(env conc.Env) {
+		st, names := newTestStage(env, 40, 4)
+		_ = st.SubmitPlan(names)
+		start := env.Now()
+		for _, n := range names {
+			if _, err := st.Read(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed := env.Now() - start
+		// 40 files, 1ms device latency, 4 producers: ≈10ms, certainly well
+		// under the 40ms a serial reader would need.
+		if elapsed > 20*time.Millisecond {
+			t.Fatalf("elapsed %v, want ≈10ms with 4-way prefetch", elapsed)
+		}
+		st.Close()
+	})
+}
+
+// failingObject declines nothing and always errors, for chain testing.
+type failingObject struct{ calls int }
+
+func (f *failingObject) Name() string { return "failing" }
+func (f *failingObject) Read(name string) (storage.Data, bool, error) {
+	f.calls++
+	return storage.Data{}, false, nil // always declines
+}
+func (f *failingObject) Close() {}
+
+func TestStageObjectChainOrder(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 2, 1000, time.Millisecond, 1)
+		declining := &failingObject{}
+		pf, _ := NewPrefetcher(env, backend, pfConfig(1, 4))
+		st := NewStage(env, backend, declining, NewPrefetchObject(pf))
+		pf.Start()
+		_ = st.SubmitPlan(names[:1])
+		if _, err := st.Read(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		if declining.calls != 1 {
+			t.Fatalf("first object consulted %d times, want 1", declining.calls)
+		}
+		if st.Stats().Hits != 1 {
+			t.Fatal("prefetch object behind a declining object did not serve the read")
+		}
+		st.Close()
+	})
+}

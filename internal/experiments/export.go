@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file provides machine-readable exports of the figure results, for
+// plotting pipelines that consume the harness's output (prisma-bench
+// -format csv|json).
+
+// WriteFig2CSV emits one row per Figure 2 cell.
+func WriteFig2CSV(w io.Writer, cells []Fig2Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "model", "batch", "setup", "mean_s", "stddev_s", "paper_scale_s", "reduction"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			"fig2", c.Model, fmt.Sprint(c.Batch), c.Setup,
+			secs(c.Summary.Mean), secs(c.Summary.Stddev), secs(c.PaperScale),
+			fmt.Sprintf("%.4f", c.Reduction),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig3CSV emits one row per CDF point.
+func WriteFig3CSV(w io.Writer, series []Fig3Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "model", "setup", "threads", "fraction", "cum_fraction"}); err != nil {
+		return err
+	}
+	for _, sr := range series {
+		for _, p := range sr.CDF {
+			if err := cw.Write([]string{
+				"fig3", sr.Model, sr.Setup, fmt.Sprint(p.Value),
+				fmt.Sprintf("%.6f", p.Fraction), fmt.Sprintf("%.6f", p.CumFraction),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV emits one row per Figure 4 cell.
+func WriteFig4CSV(w io.Writer, cells []Fig4Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "model", "workers", "setup", "mean_s", "stddev_s", "paper_scale_s"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			"fig4", c.Model, fmt.Sprint(c.Workers), c.Setup,
+			secs(c.Summary.Mean), secs(c.Summary.Stddev), secs(c.PaperScale),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.6f", d.Seconds()) }
+
+// Results bundles everything one prisma-bench invocation produced, for the
+// JSON export.
+type Results struct {
+	Scale  float64         `json:"scale"`
+	Epochs int             `json:"epochs"`
+	Runs   int             `json:"runs"`
+	Seed   int64           `json:"seed"`
+	Fig2   []Fig2Cell      `json:"fig2,omitempty"`
+	Fig3   []Fig3Series    `json:"fig3,omitempty"`
+	Fig4   []Fig4Cell      `json:"fig4,omitempty"`
+	Ablate [][]AblationRow `json:"ablations,omitempty"`
+}
+
+// WriteJSON serializes the bundle with indentation.
+func (r Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

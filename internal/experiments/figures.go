@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/train"
+)
+
+// Fig2Cell is one bar of Figure 2: average 10-epoch training time of one
+// (model, batch, setup) configuration.
+type Fig2Cell struct {
+	Model   string
+	Batch   int
+	Setup   string
+	Summary metrics.Summary // over cal.Runs runs, at cal.Scale
+	// PaperScale extrapolates the mean to full ImageNet scale.
+	PaperScale time.Duration
+	// Reduction is 1 - mean/baselineMean for the same (model, batch);
+	// zero for the baseline itself.
+	Reduction float64
+}
+
+// RunFig2 regenerates Figure 2 for the given models and batch sizes.
+// Progress (one line per finished cell) is reported through report, which
+// may be nil.
+func RunFig2(cal Calibration, models []train.Model, batches []int, report func(string)) ([]Fig2Cell, error) {
+	var cells []Fig2Cell
+	for _, model := range models {
+		for _, batch := range batches {
+			var baselineMean time.Duration
+			for _, setup := range TFSetups() {
+				samples := make([]time.Duration, cal.Runs)
+				err := forEach(cal.Parallelism, cal.Runs, func(r int) error {
+					m, err := RunTF(cal, model, batch, setup, cal.Seed+int64(r))
+					if err != nil {
+						return fmt.Errorf("fig2 %s/%d/%s run %d: %w", model.Name, batch, setup, r, err)
+					}
+					samples[r] = m.Elapsed
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				cell := Fig2Cell{
+					Model:   model.Name,
+					Batch:   batch,
+					Setup:   setup,
+					Summary: metrics.Summarize(samples),
+				}
+				cell.PaperScale = cal.PaperScale(cell.Summary.Mean)
+				if setup == "tf-baseline" {
+					baselineMean = cell.Summary.Mean
+				} else if baselineMean > 0 {
+					cell.Reduction = 1 - float64(cell.Summary.Mean)/float64(baselineMean)
+				}
+				cells = append(cells, cell)
+				if report != nil {
+					report(fmt.Sprintf("fig2 %-8s b=%-3d %-12s mean=%-12v (paper-scale %v, reduction %.0f%%)",
+						model.Name, batch, setup, cell.Summary.Mean.Round(time.Millisecond),
+						cell.PaperScale.Round(time.Second), cell.Reduction*100))
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig3Series is one line of Figure 3: the CDF of time spent at each
+// concurrent-reader-thread count for one (model, setup).
+type Fig3Series struct {
+	Model string
+	Setup string
+	// CDF covers positive thread counts only (the figure plots time the
+	// I/O threads spend actively reading).
+	CDF        []metrics.CDFPoint
+	MaxThreads int
+	// FinalTuning is the PRISMA control plane's converged tuning (zero
+	// for tf-optimized).
+	FinalTuning string
+}
+
+// RunFig3 regenerates Figure 3: TF-optimized vs PRISMA reader-concurrency
+// CDFs per model at the given batch size (the paper uses its largest).
+func RunFig3(cal Calibration, models []train.Model, batch int, report func(string)) ([]Fig3Series, error) {
+	var series []Fig3Series
+	for _, model := range models {
+		for _, setup := range []string{"tf-optimized", "prisma"} {
+			m, err := RunTF(cal, model, batch, setup, cal.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s/%s: %w", model.Name, setup, err)
+			}
+			dist := make(map[int]time.Duration, len(m.Readers))
+			for k, v := range m.Readers {
+				if k > 0 {
+					dist[k] = v
+				}
+			}
+			sr := Fig3Series{
+				Model:      model.Name,
+				Setup:      setup,
+				CDF:        metrics.CDFOf(dist),
+				MaxThreads: metrics.MaxValue(dist),
+			}
+			if setup == "prisma" {
+				sr.FinalTuning = fmt.Sprintf("t=%d N=%d", m.FinalTuning.Producers, m.FinalTuning.BufferCapacity)
+			}
+			series = append(series, sr)
+			if report != nil {
+				report(fmt.Sprintf("fig3 %-8s %-12s max-threads=%d %s", model.Name, setup, sr.MaxThreads, sr.FinalTuning))
+			}
+		}
+	}
+	return series, nil
+}
+
+// Fig4Cell is one point of Figure 4: average training time of PyTorch (or
+// PRISMA) at a worker count.
+type Fig4Cell struct {
+	Model      string
+	Workers    int
+	Setup      string
+	Summary    metrics.Summary
+	PaperScale time.Duration
+}
+
+// RunFig4 regenerates Figure 4 for the given models and worker counts at
+// the paper's batch size (256 per GPU).
+func RunFig4(cal Calibration, models []train.Model, batch int, workers []int, report func(string)) ([]Fig4Cell, error) {
+	var cells []Fig4Cell
+	for _, model := range models {
+		for _, w := range workers {
+			for _, setup := range []string{"pytorch", "prisma"} {
+				samples := make([]time.Duration, cal.Runs)
+				err := forEach(cal.Parallelism, cal.Runs, func(r int) error {
+					m, err := RunTorch(cal, model, batch, w, setup, cal.Seed+int64(r))
+					if err != nil {
+						return fmt.Errorf("fig4 %s/w%d/%s run %d: %w", model.Name, w, setup, r, err)
+					}
+					samples[r] = m.Elapsed
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				cell := Fig4Cell{
+					Model:   model.Name,
+					Workers: w,
+					Setup:   setup,
+					Summary: metrics.Summarize(samples),
+				}
+				cell.PaperScale = cal.PaperScale(cell.Summary.Mean)
+				cells = append(cells, cell)
+				if report != nil {
+					report(fmt.Sprintf("fig4 %-8s w=%-2d %-8s mean=%-12v (paper-scale %v)",
+						model.Name, w, setup, cell.Summary.Mean.Round(time.Millisecond), cell.PaperScale.Round(time.Second)))
+				}
+			}
+		}
+	}
+	return cells, nil
+}

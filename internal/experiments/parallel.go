@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(i) for i in [0, n) across a bounded worker pool. Each
+// simulation is deterministic and self-contained, so execution order does
+// not affect results — only wall time. Collected errors are returned in
+// index order (first non-nil wins for the caller's convenience).
+func forEach(parallelism, n int, fn func(i int) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/train"
+)
+
+// probeCal is a fast calibration for shape probing.
+func probeCal() Calibration {
+	cal := Default()
+	cal.Scale = 1.0 / 512
+	cal.Epochs = 10
+	cal.Runs = 1
+	return cal
+}
+
+// TestProbeFig2Shapes logs the Fig. 2 landscape at small scale; run with
+// -v to inspect calibration.
+func TestProbeFig2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	cal := probeCal()
+	cells, err := RunFig2(cal, train.Models(), []int{64, 256}, func(s string) { t.Log(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cells
+}
+
+func TestProbeFig3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	cal := probeCal()
+	series, err := RunFig3(cal, train.Models(), 256, func(s string) { t.Log(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range series {
+		t.Logf("fig3 %s/%s: %d points, max=%d", sr.Model, sr.Setup, len(sr.CDF), sr.MaxThreads)
+	}
+}
+
+func TestProbeFig4Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	cal := probeCal()
+	cells, err := RunFig4(cal, []train.Model{train.LeNet()}, 256, []int{0, 2, 4, 8, 16}, func(s string) { t.Log(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cells
+	_ = time.Second
+}

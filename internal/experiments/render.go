@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteTable renders rows as an aligned plain-text table.
+func WriteTable(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtDur(d time.Duration) string  { return d.Round(time.Millisecond).String() }
+func fmtSecs(d time.Duration) string { return fmt.Sprintf("%.0f s", d.Seconds()) }
+
+// RenderFig2 writes the Figure 2 table.
+func RenderFig2(w io.Writer, cells []Fig2Cell) error {
+	fmt.Fprintln(w, "Figure 2 — Average training time, TensorFlow setups (10 epochs, 4 GPUs)")
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Model, fmt.Sprint(c.Batch), c.Setup,
+			fmtDur(c.Summary.Mean), fmtDur(c.Summary.Stddev),
+			fmtSecs(c.PaperScale),
+			fmt.Sprintf("%.0f%%", c.Reduction*100),
+		})
+	}
+	return WriteTable(w, []string{"model", "batch", "setup", "mean", "stddev", "paper-scale", "reduction"}, rows)
+}
+
+// RenderFig3 writes the Figure 3 CDF tables.
+func RenderFig3(w io.Writer, series []Fig3Series) error {
+	fmt.Fprintln(w, "Figure 3 — CDF of time at each concurrent reader-thread count (batch 256)")
+	for _, sr := range series {
+		label := sr.Setup
+		if sr.FinalTuning != "" {
+			label += " (" + sr.FinalTuning + ")"
+		}
+		fmt.Fprintf(w, "\n%s / %s — max threads %d\n", sr.Model, label, sr.MaxThreads)
+		rows := make([][]string, 0, len(sr.CDF))
+		for _, p := range sr.CDF {
+			rows = append(rows, []string{
+				fmt.Sprint(p.Value),
+				fmt.Sprintf("%.1f%%", p.Fraction*100),
+				fmt.Sprintf("%.1f%%", p.CumFraction*100),
+			})
+		}
+		if err := WriteTable(w, []string{"threads", "time share", "cumulative"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig4 writes the Figure 4 table.
+func RenderFig4(w io.Writer, cells []Fig4Cell) error {
+	fmt.Fprintln(w, "Figure 4 — Average training time, PyTorch worker sweep vs PRISMA (batch 256)")
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			c.Model, fmt.Sprint(c.Workers), c.Setup,
+			fmtDur(c.Summary.Mean), fmtDur(c.Summary.Stddev),
+			fmtSecs(c.PaperScale),
+		})
+	}
+	return WriteTable(w, []string{"model", "workers", "setup", "mean", "stddev", "paper-scale"}, rows)
+}
+
+// RenderAblation writes an ablation table.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) error {
+	fmt.Fprintln(w, title)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Value, fmtDur(r.Elapsed), fmtSecs(r.PaperScale),
+			fmt.Sprint(r.MaxThreads), r.Tuning,
+		})
+	}
+	return WriteTable(w, []string{"config", "elapsed", "paper-scale", "max-threads", "converged"}, out)
+}

@@ -1,0 +1,132 @@
+// Package fairness implements the multi-tenant access-coordination
+// policies the paper motivates (§II "partial visibility", §VII "it would
+// be interesting to explore and introduce performance isolation and
+// resource fairness policies"): a token-bucket rate limiter, a
+// pass-through throttling optimization object that slots into a stage's
+// object chain, and a control-plane arbiter that divides shared-device
+// capacity across jobs by weighted max-min fairness — the system-wide
+// coordination a framework-intrinsic optimization cannot provide.
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// TokenBucket is a rate limiter over a conc.Env clock: tokens refill at
+// Rate per second up to Burst; Acquire blocks until its tokens are
+// available. Safe for concurrent use.
+type TokenBucket struct {
+	env conc.Env
+	mu  conc.Mutex
+
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Duration
+}
+
+// NewTokenBucket returns a full bucket. rate and burst must be positive.
+func NewTokenBucket(env conc.Env, rate, burst float64) (*TokenBucket, error) {
+	if rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("fairness: rate %v and burst %v must be positive", rate, burst)
+	}
+	return &TokenBucket{env: env, mu: env.NewMutex(), rate: rate, burst: burst, tokens: burst, last: env.Now()}, nil
+}
+
+// refill advances the bucket to now. Caller holds mu.
+func (b *TokenBucket) refill(now time.Duration) {
+	dt := (now - b.last).Seconds()
+	if dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		b.last = now
+	}
+}
+
+// Acquire blocks until n tokens are available and consumes them. n may
+// exceed the burst; the debt is simply paid over time.
+func (b *TokenBucket) Acquire(n float64) {
+	if n <= 0 {
+		return
+	}
+	for {
+		now := b.env.Now()
+		b.mu.Lock()
+		b.refill(now)
+		if b.tokens >= n {
+			b.tokens -= n
+			b.mu.Unlock()
+			return
+		}
+		deficit := n - b.tokens
+		// Consume what is there and wait out the deficit; concurrent
+		// acquirers serialize naturally through the shared deficit.
+		b.tokens = 0
+		n = deficit
+		rate := b.rate
+		b.mu.Unlock()
+		wait := time.Duration(deficit / rate * float64(time.Second))
+		if wait < time.Microsecond {
+			wait = time.Microsecond
+		}
+		b.env.Sleep(wait)
+	}
+}
+
+// SetRate adjusts the refill rate (control-plane knob).
+func (b *TokenBucket) SetRate(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.refill(b.env.Now())
+	b.rate = rate
+	b.mu.Unlock()
+}
+
+// Rate reports the current refill rate.
+func (b *TokenBucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// ThrottleObject is a pass-through optimization object: it charges each
+// intercepted read against a token bucket (one token per read) and then
+// declines the request so the next object — or backend storage — serves
+// it. Placing it first in a stage's chain rate-limits the whole job.
+type ThrottleObject struct {
+	Bucket *TokenBucket
+}
+
+// Name implements core.OptimizationObject.
+func (o ThrottleObject) Name() string { return "fair-throttle" }
+
+// Read implements core.OptimizationObject: pay, then pass through.
+func (o ThrottleObject) Read(name string) (storage.Data, bool, error) {
+	o.Bucket.Acquire(1)
+	return storage.Data{}, false, nil
+}
+
+// Close implements core.OptimizationObject.
+func (o ThrottleObject) Close() {}
+
+// ThrottledBackend wraps a storage.Backend with a bucket, for throttling
+// below the prefetcher (producers are then rate-limited too).
+type ThrottledBackend struct {
+	Bucket *TokenBucket
+	Inner  storage.Backend
+}
+
+// ReadFile implements storage.Backend.
+func (t ThrottledBackend) ReadFile(name string) (storage.Data, error) {
+	t.Bucket.Acquire(1)
+	return t.Inner.ReadFile(name)
+}
+
+// Size implements storage.Backend.
+func (t ThrottledBackend) Size(name string) (int64, error) { return t.Inner.Size(name) }

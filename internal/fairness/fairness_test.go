@@ -1,0 +1,351 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+func runSim(t *testing.T, body func(env conc.Env)) {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("test-body", func(*sim.Process) { body(env) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	env := conc.NewReal()
+	if _, err := NewTokenBucket(env, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(env, 1, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestTokenBucketRateLimits(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, err := NewTokenBucket(env, 100, 1) // 100 tokens/s, tiny burst
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := env.Now()
+		for i := 0; i < 50; i++ {
+			b.Acquire(1)
+		}
+		elapsed := env.Now() - start
+		// 50 tokens at 100/s ≈ 0.5s (1 free from the burst).
+		if elapsed < 400*time.Millisecond || elapsed > 600*time.Millisecond {
+			t.Fatalf("elapsed %v, want ≈490ms", elapsed)
+		}
+	})
+}
+
+func TestTokenBucketBurstIsFree(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := NewTokenBucket(env, 10, 100)
+		start := env.Now()
+		for i := 0; i < 100; i++ {
+			b.Acquire(1)
+		}
+		if env.Now() != start {
+			t.Fatalf("burst consumed %v of time, want 0", env.Now()-start)
+		}
+	})
+}
+
+func TestTokenBucketSetRate(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := NewTokenBucket(env, 10, 1)
+		b.Acquire(1) // drain the burst
+		b.SetRate(1000)
+		if b.Rate() != 1000 {
+			t.Fatalf("Rate = %v, want 1000", b.Rate())
+		}
+		start := env.Now()
+		for i := 0; i < 100; i++ {
+			b.Acquire(1)
+		}
+		elapsed := env.Now() - start
+		if elapsed > 200*time.Millisecond {
+			t.Fatalf("elapsed %v after rate raise, want ≈100ms", elapsed)
+		}
+	})
+}
+
+func TestTokenBucketAcquireZeroIsFree(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := NewTokenBucket(env, 1, 1)
+		start := env.Now()
+		b.Acquire(0)
+		b.Acquire(-5)
+		if env.Now() != start {
+			t.Fatal("non-positive Acquire consumed time")
+		}
+	})
+}
+
+func TestTokenBucketConcurrentFairSharing(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := NewTokenBucket(env, 1000, 1)
+		counts := make([]int, 2)
+		wg := env.NewWaitGroup()
+		wg.Add(2)
+		deadline := env.Now() + time.Second
+		for i := 0; i < 2; i++ {
+			i := i
+			env.Go(fmt.Sprintf("acquirer-%d", i), func() {
+				defer wg.Done()
+				for env.Now() < deadline {
+					b.Acquire(1)
+					counts[i]++
+				}
+			})
+		}
+		wg.Wait()
+		total := counts[0] + counts[1]
+		if total < 900 || total > 1200 {
+			t.Fatalf("total = %d, want ≈1000 (rate-limited)", total)
+		}
+	})
+}
+
+// stageFixture builds a stage over a shared device with optional throttle.
+func stageFixture(env conc.Env, dev *storage.Device, n int, bucket *TokenBucket) (*core.Stage, []string) {
+	samples := make([]dataset.Sample, n)
+	names := make([]string, n)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("f%04d", i), Size: 1000}
+		names[i] = samples[i].Name
+	}
+	backend := storage.NewModeledBackend(dataset.MustNew(samples), dev, nil)
+	if bucket != nil {
+		return core.NewStage(env, backend, ThrottleObject{Bucket: bucket}), names
+	}
+	return core.NewStage(env, backend, nil...), names
+}
+
+func TestThrottleObjectLimitsStage(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Microsecond, BytesPerSecond: 1e12, Channels: 8})
+		bucket, _ := NewTokenBucket(env, 100, 1)
+		st, names := stageFixture(env, dev, 50, bucket)
+		start := env.Now()
+		for _, n := range names {
+			if _, err := st.Read(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed := env.Now() - start
+		if elapsed < 400*time.Millisecond {
+			t.Fatalf("elapsed %v, want >= ~0.5s at 100 reads/s", elapsed)
+		}
+		// Reads still completed (pass-through, not rejection).
+		if st.Stats().Bypasses != 50 {
+			t.Fatalf("Bypasses = %d, want 50", st.Stats().Bypasses)
+		}
+	})
+}
+
+func TestThrottledBackend(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Microsecond, BytesPerSecond: 1e12, Channels: 8})
+		samples := []dataset.Sample{{Name: "a", Size: 10}}
+		inner := storage.NewModeledBackend(dataset.MustNew(samples), dev, nil)
+		bucket, _ := NewTokenBucket(env, 10, 1)
+		tb := ThrottledBackend{Bucket: bucket, Inner: inner}
+		start := env.Now()
+		for i := 0; i < 11; i++ {
+			if _, err := tb.ReadFile("a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if env.Now()-start < 900*time.Millisecond {
+			t.Fatalf("elapsed %v, want ≈1s at 10 reads/s", env.Now()-start)
+		}
+		if n, err := tb.Size("a"); err != nil || n != 10 {
+			t.Fatalf("Size = %d, %v", n, err)
+		}
+	})
+}
+
+func TestArbiterValidation(t *testing.T) {
+	env := conc.NewReal()
+	if _, err := NewArbiter(env, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	a, _ := NewArbiter(env, 100)
+	bucket, _ := NewTokenBucket(env, 1, 1)
+	if err := a.Register("x", 0, bucket, func() int64 { return 0 }); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := a.Register("x", 1, bucket, func() int64 { return 0 }); err != nil {
+		t.Error(err)
+	}
+	if err := a.Register("x", 1, bucket, func() int64 { return 0 }); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestArbiterEqualSplitUnderSaturation(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		var c1, c2 metrics.Counter
+		b1, _ := NewTokenBucket(env, 1000, 1)
+		b2, _ := NewTokenBucket(env, 1000, 1)
+		cnt1 := metrics.NewCounter(env)
+		cnt2 := metrics.NewCounter(env)
+		_ = a.Register("job1", 1, b1, cnt1.Value)
+		_ = a.Register("job2", 1, b2, cnt2.Value)
+		// Both tenants demand far above capacity.
+		cnt1.Add(5000)
+		cnt2.Add(5000)
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		r1, _ := a.Allocation("job1")
+		r2, _ := a.Allocation("job2")
+		if math.Abs(r1-500) > 50 || math.Abs(r2-500) > 50 {
+			t.Fatalf("allocations %v/%v, want ≈500/500", r1, r2)
+		}
+		_ = c1
+		_ = c2
+	})
+}
+
+func TestArbiterWeightedSplit(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 900)
+		b1, _ := NewTokenBucket(env, 900, 1)
+		b2, _ := NewTokenBucket(env, 900, 1)
+		cnt1 := metrics.NewCounter(env)
+		cnt2 := metrics.NewCounter(env)
+		_ = a.Register("gold", 2, b1, cnt1.Value)
+		_ = a.Register("bronze", 1, b2, cnt2.Value)
+		cnt1.Add(10000)
+		cnt2.Add(10000)
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		r1, _ := a.Allocation("gold")
+		r2, _ := a.Allocation("bronze")
+		if math.Abs(r1-600) > 60 || math.Abs(r2-300) > 30 {
+			t.Fatalf("allocations %v/%v, want ≈600/300 (2:1)", r1, r2)
+		}
+	})
+}
+
+func TestArbiterLowDemandTenantKeepsDemandOnly(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		b1, _ := NewTokenBucket(env, 1000, 1)
+		b2, _ := NewTokenBucket(env, 1000, 1)
+		cnt1 := metrics.NewCounter(env)
+		cnt2 := metrics.NewCounter(env)
+		_ = a.Register("light", 1, b1, cnt1.Value)
+		_ = a.Register("heavy", 1, b2, cnt2.Value)
+		cnt1.Add(100)  // demands ≈100/s
+		cnt2.Add(5000) // demands far more
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		r1, _ := a.Allocation("light")
+		r2, _ := a.Allocation("heavy")
+		if r1 > 150 {
+			t.Fatalf("light tenant granted %v, want ≈its demand (~105)", r1)
+		}
+		if r2 < 800 {
+			t.Fatalf("heavy tenant granted %v, want the slack (≈895)", r2)
+		}
+	})
+}
+
+func TestArbiterNeverStarves(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		b1, _ := NewTokenBucket(env, 1000, 1)
+		cnt := metrics.NewCounter(env)
+		_ = a.Register("idle", 1, b1, cnt.Value)
+		env.Sleep(time.Second)
+		a.Tick(time.Second) // zero demand
+		r, _ := a.Allocation("idle")
+		if r < 1 {
+			t.Fatalf("idle tenant granted %v, want >= 1 (no starvation)", r)
+		}
+	})
+}
+
+func TestArbiterUnregisterOpensBucket(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		b1, _ := NewTokenBucket(env, 5, 1)
+		cnt := metrics.NewCounter(env)
+		_ = a.Register("job", 1, b1, cnt.Value)
+		a.Unregister("job")
+		if b1.Rate() != 1000 {
+			t.Fatalf("rate after unregister = %v, want capacity 1000", b1.Rate())
+		}
+		if _, ok := a.Allocation("job"); ok {
+			t.Fatal("unregistered tenant still allocated")
+		}
+		a.Unregister("job") // idempotent
+	})
+}
+
+func TestEndToEndFairSharing(t *testing.T) {
+	// Two greedy jobs share one device through throttled backends; the
+	// arbiter loop converges them to an even split — the coordinated
+	// control framework-intrinsic optimizations cannot deliver (§II).
+	runSim(t, func(env conc.Env) {
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: 500 * time.Microsecond, BytesPerSecond: 1e12, Channels: 4})
+		// Device capacity: 4 / 0.5ms = 8000 reads/s; arbiter manages 8000.
+		arb, _ := NewArbiter(env, 8000)
+		arb.Start(100 * time.Millisecond)
+
+		mkJob := func(id string, threads int) (*metrics.Counter, *TokenBucket) {
+			samples := make([]dataset.Sample, 1000)
+			for i := range samples {
+				samples[i] = dataset.Sample{Name: fmt.Sprintf("%s-%04d", id, i), Size: 100}
+			}
+			backend := storage.NewModeledBackend(dataset.MustNew(samples), dev, nil)
+			bucket, _ := NewTokenBucket(env, 8000, 1)
+			tb := ThrottledBackend{Bucket: bucket, Inner: backend}
+			count := metrics.NewCounter(env)
+			for w := 0; w < threads; w++ {
+				env.Go(fmt.Sprintf("%s-w%d", id, w), func() {
+					deadline := 2 * time.Second
+					for env.Now() < deadline {
+						if _, err := tb.ReadFile(samples[int(count.Value())%1000].Name); err != nil {
+							return
+						}
+						count.Inc()
+					}
+				})
+			}
+			return count, bucket
+		}
+
+		// Aggressive job with 8 threads vs modest job with 2: without
+		// arbitration the aggressor would take ~80% of the device.
+		c1, b1 := mkJob("big", 8)
+		c2, b2 := mkJob("small", 2)
+		_ = arb.Register("big", 1, b1, c1.Value)
+		_ = arb.Register("small", 1, b2, c2.Value)
+
+		env.Sleep(2200 * time.Millisecond)
+		arb.Stop()
+		n1, n2 := c1.Value(), c2.Value()
+		share := float64(n1) / float64(n1+n2)
+		if share < 0.40 || share > 0.66 {
+			t.Fatalf("aggressive job took %.0f%% (counts %d/%d), want ≈50%% under arbitration", share*100, n1, n2)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+// Package httpadmin exposes a PRISMA stage's control interface over HTTP
+// for dashboards and scrapers: JSON statistics, Prometheus-style text
+// metrics, liveness, and knob updates. It is the observability face of the
+// control plane for real deployments (prisma-server -http).
+package httpadmin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/dsrhaslab/prisma-go/internal/control"
+)
+
+// Handler serves the admin API for one data-plane stage.
+type Handler struct {
+	dp  control.DataPlane
+	mux *http.ServeMux
+}
+
+// New builds the admin handler over any control.DataPlane (a *core.Stage
+// in practice).
+func New(dp control.DataPlane) *Handler {
+	h := &Handler{dp: dp, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.healthz)
+	h.mux.HandleFunc("/stats", h.stats)
+	h.mux.HandleFunc("/metrics", h.metrics)
+	h.mux.HandleFunc("/tuning", h.tuning)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// stats returns the full StageStats snapshot as JSON.
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h.dp.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// metrics renders Prometheus text exposition format.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.dp.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, help, typ string, value float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, value)
+	}
+	write("prisma_reads_total", "Intercepted read requests.", "counter", float64(s.Reads))
+	write("prisma_buffer_hits_total", "Reads served from the prefetch buffer.", "counter", float64(s.Hits))
+	write("prisma_bypasses_total", "Reads passed through to backend storage.", "counter", float64(s.Bypasses))
+	write("prisma_errors_total", "Failed reads.", "counter", float64(s.Errors))
+	write("prisma_prefetched_files_total", "Files fetched ahead by producers.", "counter", float64(s.PrefetchedFiles))
+	write("prisma_read_errors_total", "Producer-side read failures.", "counter", float64(s.ReadErrors))
+	write("prisma_queue_length", "Filenames awaiting prefetch.", "gauge", float64(s.QueueLen))
+	write("prisma_producers", "Target producer thread count t.", "gauge", float64(s.TargetProducers))
+	write("prisma_buffer_length", "Samples currently buffered.", "gauge", float64(s.Buffer.Len))
+	write("prisma_buffer_capacity", "Buffer capacity N.", "gauge", float64(s.Buffer.Capacity))
+	write("prisma_consumer_wait_seconds_total", "Cumulative consumer blocking time.", "counter", s.Buffer.ConsumerWait.Seconds())
+	write("prisma_producer_wait_seconds_total", "Cumulative producer blocking time.", "counter", s.Buffer.ProducerWait.Seconds())
+}
+
+// tuning applies knob updates: POST /tuning?producers=N and/or ?buffer=M.
+func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	applied := map[string]int{}
+	if v := q.Get("producers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad producers value", http.StatusBadRequest)
+			return
+		}
+		h.dp.SetProducers(n)
+		applied["producers"] = n
+	}
+	if v := q.Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad buffer value", http.StatusBadRequest)
+			return
+		}
+		h.dp.SetBufferCapacity(n)
+		applied["buffer"] = n
+	}
+	if len(applied) == 0 {
+		http.Error(w, "nothing to apply (use ?producers=N and/or ?buffer=M)", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(applied)
+}

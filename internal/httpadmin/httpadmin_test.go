@@ -1,0 +1,165 @@
+package httpadmin
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/prisma-go/internal/core"
+)
+
+// fakeDP is a scriptable data plane.
+type fakeDP struct {
+	stats     core.StageStats
+	producers int
+	buffer    int
+}
+
+func (f *fakeDP) Stats() core.StageStats  { return f.stats }
+func (f *fakeDP) SetProducers(n int)      { f.producers = n }
+func (f *fakeDP) SetBufferCapacity(n int) { f.buffer = n }
+
+func newServer(t *testing.T) (*httptest.Server, *fakeDP) {
+	t.Helper()
+	dp := &fakeDP{}
+	dp.stats.Reads = 100
+	dp.stats.Hits = 90
+	dp.stats.TargetProducers = 4
+	dp.stats.Buffer.Capacity = 64
+	srv := httptest.NewServer(New(dp))
+	t.Cleanup(srv.Close)
+	return srv, dp
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got core.StageStats
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Reads != 100 || got.Hits != 90 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestStatsRejectsPost(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Post(srv.URL+"/stats", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(strings.Builder)
+	if _, err := readAll(body, resp); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		"# TYPE prisma_reads_total counter",
+		"prisma_reads_total 100",
+		"prisma_buffer_hits_total 90",
+		"# TYPE prisma_producers gauge",
+		"prisma_producers 4",
+		"prisma_buffer_capacity 64",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func readAll(sb *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := resp.Body.Read(buf)
+		sb.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+func TestTuningApplies(t *testing.T) {
+	srv, dp := newServer(t)
+	resp, err := http.Post(srv.URL+"/tuning?producers=7&buffer=128", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if dp.producers != 7 || dp.buffer != 128 {
+		t.Fatalf("applied = %d/%d, want 7/128", dp.producers, dp.buffer)
+	}
+}
+
+func TestTuningValidation(t *testing.T) {
+	srv, dp := newServer(t)
+	cases := []string{
+		"/tuning?producers=abc",
+		"/tuning?buffer=0",
+		"/tuning", // nothing to apply
+	}
+	for _, path := range cases {
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	if dp.producers != 0 || dp.buffer != 0 {
+		t.Fatalf("bad requests mutated the stage: %+v", dp)
+	}
+	// GET on /tuning is rejected.
+	resp, err := http.Get(srv.URL + "/tuning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /tuning status = %d, want 405", resp.StatusCode)
+	}
+}

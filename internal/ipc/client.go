@@ -1,0 +1,121 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// Client is one consumer process's connection to the PRISMA server. A
+// client issues one request at a time (guarded by a mutex); spawn one
+// client per worker process, as the prototype does.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to the PRISMA server socket.
+func Dial(socketPath string) (*Client, error) {
+	conn, err := net.Dial("unix", socketPath)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: dial %s: %w", socketPath, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// roundTrip sends one request frame and awaits the matching response.
+func (c *Client) roundTrip(opcode byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, opcode, payload); err != nil {
+		return nil, err
+	}
+	gotOp, resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if gotOp != opcode {
+		return nil, fmt.Errorf("ipc: response opcode %d for request %d", gotOp, opcode)
+	}
+	return parseResponse(resp)
+}
+
+// Read requests a file through the server's stage — the intercepted read
+// path for multi-process consumers.
+func (c *Client) Read(name string) (storage.Data, error) {
+	resp, err := c.roundTrip(OpRead, appendString(nil, name))
+	if err != nil {
+		return storage.Data{}, err
+	}
+	size, k := binary.Uvarint(resp)
+	if k <= 0 {
+		return storage.Data{}, fmt.Errorf("ipc: malformed read response")
+	}
+	bytes, _, err := readBytes(resp[k:])
+	if err != nil {
+		return storage.Data{}, err
+	}
+	if len(bytes) == 0 {
+		bytes = nil
+	}
+	return storage.Data{Name: name, Size: int64(size), Bytes: bytes}, nil
+}
+
+// SubmitPlan forwards an epoch's shuffled filename list.
+func (c *Client) SubmitPlan(names []string) error {
+	payload := binary.AppendUvarint(nil, uint64(len(names)))
+	for _, n := range names {
+		payload = appendString(payload, n)
+	}
+	_, err := c.roundTrip(OpPlan, payload)
+	return err
+}
+
+// Stats fetches the stage's monitoring snapshot.
+func (c *Client) Stats() (core.StageStats, error) {
+	resp, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return core.StageStats{}, err
+	}
+	var stats core.StageStats
+	if err := json.Unmarshal(resp, &stats); err != nil {
+		return core.StageStats{}, fmt.Errorf("ipc: decode stats: %w", err)
+	}
+	return stats, nil
+}
+
+// SetProducers adjusts the stage's t remotely (control path).
+func (c *Client) SetProducers(n int) error {
+	if n < 0 {
+		n = 0
+	}
+	_, err := c.roundTrip(OpSetProducers, binary.AppendUvarint(nil, uint64(n)))
+	return err
+}
+
+// SetBufferCapacity adjusts the stage's N remotely (control path).
+func (c *Client) SetBufferCapacity(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	_, err := c.roundTrip(OpSetBuffer, binary.AppendUvarint(nil, uint64(n)))
+	return err
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(OpPing, nil)
+	return err
+}
+
+// Close severs the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,302 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// startServer builds a real-mode PRISMA stage over generated files and
+// serves it on a temp socket.
+func startServer(t *testing.T, nFiles int) (*Server, *core.Stage, []string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	samples := make([]dataset.Sample, nFiles)
+	names := make([]string, nFiles)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("f%03d.bin", i), Size: int64(1024 + i)}
+		names[i] = samples[i].Name
+	}
+	man := dataset.MustNew(samples)
+	if err := dataset.Generate(dir, man, 42); err != nil {
+		t.Fatal(err)
+	}
+	env := conc.NewReal()
+	backend := storage.NewDirBackend(dir)
+	pf, err := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
+		InitialProducers: 2, MaxProducers: 8, InitialBufferCapacity: 8, MaxBufferCapacity: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := core.NewStage(env, backend, core.NewPrefetchObject(pf))
+	pf.Start()
+
+	sock := filepath.Join(t.TempDir(), "prisma.sock")
+	srv, err := Serve(sock, stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		stage.Close()
+	})
+	return srv, stage, names, sock
+}
+
+func TestClientReadPlannedFile(t *testing.T) {
+	_, _, names, sock := startServer(t, 4)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SubmitPlan(names); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		d, err := c.Read(n)
+		if err != nil {
+			t.Fatalf("Read(%s): %v", n, err)
+		}
+		want := int64(1024 + i)
+		if d.Size != want || int64(len(d.Bytes)) != want {
+			t.Fatalf("Read(%s): size %d, %d bytes, want %d", n, d.Size, len(d.Bytes), want)
+		}
+	}
+}
+
+func TestClientReadBypass(t *testing.T) {
+	_, stage, names, sock := startServer(t, 3)
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// No plan submitted: the read bypasses the buffer but still succeeds.
+	d, err := c.Read(names[0])
+	if err != nil || d.Size != 1024 {
+		t.Fatalf("Read = %+v, %v", d, err)
+	}
+	if stage.Stats().Bypasses != 1 {
+		t.Fatalf("Bypasses = %d, want 1", stage.Stats().Bypasses)
+	}
+}
+
+func TestClientReadMissingFileIsRemoteError(t *testing.T) {
+	_, _, _, sock := startServer(t, 1)
+	c, _ := Dial(sock)
+	defer c.Close()
+	_, err := c.Read("ghost.bin")
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestClientStatsAndControl(t *testing.T) {
+	_, _, names, sock := startServer(t, 4)
+	c, _ := Dial(sock)
+	defer c.Close()
+	if err := c.SubmitPlan(names[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetProducers(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBufferCapacity(32); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads < 1 {
+		t.Fatalf("stats.Reads = %d, want >= 1", stats.Reads)
+	}
+	if stats.TargetProducers != 5 {
+		t.Fatalf("TargetProducers = %d, want 5", stats.TargetProducers)
+	}
+	if stats.Buffer.Capacity != 32 {
+		t.Fatalf("Buffer.Capacity = %d, want 32", stats.Buffer.Capacity)
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	// One client per simulated worker process, all reading concurrently —
+	// the PyTorch integration shape.
+	_, _, names, sock := startServer(t, 64)
+	planner, _ := Dial(sock)
+	defer planner.Close()
+	if err := planner.SubmitPlan(names); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names))
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(sock)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := w; i < len(names); i += workers {
+				if _, err := c.Read(names[i]); err != nil {
+					errs <- fmt.Errorf("worker %d read %s: %w", w, names[i], err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, _, _, sock := startServer(t, 1)
+	c, _ := Dial(sock)
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseSeversClients(t *testing.T) {
+	srv, _, _, sock := startServer(t, 1)
+	c, _ := Dial(sock)
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping succeeded after server close")
+	}
+	// Idempotent close.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestDialMissingSocket(t *testing.T) {
+	if _, err := Dial(filepath.Join(t.TempDir(), "nope.sock")); err == nil {
+		t.Fatal("Dial of missing socket succeeded")
+	}
+}
+
+func TestStringCodecRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "train/0001.jpg", string(make([]byte, 1000))} {
+		buf := appendString([]byte{0xFF}, s) // leading junk survives
+		got, rest, err := readString(buf[1:])
+		if err != nil || got != s || len(rest) != 0 {
+			t.Fatalf("round trip %q: got %q rest %d err %v", s, got, len(rest), err)
+		}
+	}
+}
+
+func TestStringCodecTruncated(t *testing.T) {
+	buf := appendString(nil, "hello")
+	if _, _, err := readString(buf[:3]); err == nil {
+		t.Fatal("truncated string accepted")
+	}
+	if _, _, err := readString(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+func TestBytesCodecRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	buf := appendBytes(nil, payload)
+	got, rest, err := readBytes(buf)
+	if err != nil || len(rest) != 0 || string(got) != string(payload) {
+		t.Fatalf("round trip failed: %v %v %v", got, rest, err)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	prop := func(opcode byte, payload []byte) bool {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, opcode, payload); err != nil {
+			return false
+		}
+		gotOp, gotPayload, err := readFrame(&buf)
+		if err != nil || gotOp != opcode {
+			return false
+		}
+		if len(gotPayload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if gotPayload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, OpRead, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+		t.Fatalf("writeFrame oversize = %v, want ErrFrameTooLarge", err)
+	}
+	// A hostile length prefix is rejected before allocation.
+	var hdr [5]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("readFrame oversize = %v, want ErrFrameTooLarge", err)
+	}
+	// Zero-length frames are malformed (no opcode).
+	if _, _, err := readFrame(bytes.NewReader(make([]byte, 4))); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	_ = writeFrame(&buf, OpRead, []byte("hello"))
+	raw := buf.Bytes()
+	if _, _, err := readFrame(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestParseResponseStatuses(t *testing.T) {
+	if _, err := parseResponse(nil); err == nil {
+		t.Error("empty response accepted")
+	}
+	if out, err := parseResponse(okResponse([]byte("x"))); err != nil || string(out) != "x" {
+		t.Errorf("ok response: %v %v", out, err)
+	}
+	if _, err := parseResponse(errResponse(errors.New("boom"))); err == nil {
+		t.Error("error response produced no error")
+	}
+	if _, err := parseResponse([]byte{99}); err == nil {
+		t.Error("unknown status accepted")
+	}
+}

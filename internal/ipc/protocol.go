@@ -1,0 +1,153 @@
+// Package ipc implements the UNIX-domain-socket client/server PRISMA uses
+// to serve multi-process consumers (paper §IV: "because PyTorch uses
+// processes instead of threads, we implemented an inter-process
+// communication client-server through UNIX Domain Sockets. For each
+// spawned process, a PRISMA client instance is created to intercept all
+// read invocations and submit them to the server").
+//
+// Wire format: every message is a frame of
+//
+//	uint32 payload length (big endian) | uint8 opcode | payload
+//
+// Strings and counts inside payloads are uvarint-prefixed. Responses carry
+// a status byte (0 = ok, 1 = error-with-message).
+package ipc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpRead         = 1 // request a file read through the stage
+	OpPlan         = 2 // submit an epoch filename list
+	OpStats        = 3 // fetch stage statistics (control interface)
+	OpSetProducers = 4 // control: set t
+	OpSetBuffer    = 5 // control: set N
+	OpPing         = 6 // liveness probe
+)
+
+// Response status bytes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// MaxFrame bounds a frame payload; larger frames indicate a corrupt or
+// hostile peer.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports an oversized frame.
+var ErrFrameTooLarge = errors.New("ipc: frame exceeds maximum size")
+
+// writeFrame sends opcode+payload as one frame.
+func writeFrame(w io.Writer, opcode byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = opcode
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (opcode byte, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("ipc: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// appendString encodes a uvarint-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readString decodes a uvarint-prefixed string, returning the remainder.
+func readString(src []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return "", nil, fmt.Errorf("ipc: malformed string length")
+	}
+	src = src[k:]
+	if uint64(len(src)) < n {
+		return "", nil, fmt.Errorf("ipc: truncated string (want %d bytes, have %d)", n, len(src))
+	}
+	return string(src[:n]), src[n:], nil
+}
+
+// appendBytes encodes a uvarint-prefixed byte slice.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// readBytes decodes a uvarint-prefixed byte slice, returning the remainder.
+func readBytes(src []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("ipc: malformed bytes length")
+	}
+	src = src[k:]
+	if uint64(len(src)) < n {
+		return nil, nil, fmt.Errorf("ipc: truncated bytes (want %d, have %d)", n, len(src))
+	}
+	out := make([]byte, n)
+	copy(out, src[:n])
+	return out, src[n:], nil
+}
+
+// okResponse prefixes a payload with the OK status byte.
+func okResponse(payload []byte) []byte {
+	return append([]byte{statusOK}, payload...)
+}
+
+// errResponse encodes an error message response.
+func errResponse(err error) []byte {
+	return appendString([]byte{statusErr}, err.Error())
+}
+
+// parseResponse splits status from payload, converting remote errors.
+func parseResponse(payload []byte) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("ipc: empty response")
+	}
+	switch payload[0] {
+	case statusOK:
+		return payload[1:], nil
+	case statusErr:
+		msg, _, err := readString(payload[1:])
+		if err != nil {
+			return nil, fmt.Errorf("ipc: malformed error response: %v", err)
+		}
+		return nil, &RemoteError{Msg: msg}
+	default:
+		return nil, fmt.Errorf("ipc: unknown response status %d", payload[0])
+	}
+}
+
+// RemoteError is an error reported by the PRISMA server.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "ipc: remote: " + e.Msg }

@@ -1,0 +1,179 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/dsrhaslab/prisma-go/internal/core"
+)
+
+// Server exposes one PRISMA stage over a UNIX domain socket. Each consumer
+// process holds its own connection; requests on a connection are handled
+// sequentially (matching the prototype's one-client-per-worker design),
+// while different connections proceed concurrently.
+type Server struct {
+	stage    *core.Stage
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for stage on the given socket path. It returns
+// once the listener is active.
+func Serve(socketPath string, stage *core.Stage) (*Server, error) {
+	l, err := net.Listen("unix", socketPath)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: listen %s: %w", socketPath, err)
+	}
+	s := &Server{stage: stage, listener: l, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the socket address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		opcode, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp := s.handle(opcode, payload)
+		if err := writeFrame(conn, opcode, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request and builds the response payload.
+func (s *Server) handle(opcode byte, payload []byte) []byte {
+	switch opcode {
+	case OpRead:
+		name, _, err := readString(payload)
+		if err != nil {
+			return errResponse(err)
+		}
+		data, err := s.stage.Read(name)
+		if err != nil {
+			return errResponse(err)
+		}
+		out := binary.AppendUvarint(nil, uint64(data.Size))
+		out = appendBytes(out, data.Bytes)
+		return okResponse(out)
+
+	case OpPlan:
+		count, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errResponse(errors.New("malformed plan count"))
+		}
+		payload = payload[k:]
+		// Cap the preallocation: the count is attacker-controlled; the
+		// slice still grows to the actual number of parsed names.
+		prealloc := count
+		if prealloc > 4096 {
+			prealloc = 4096
+		}
+		names := make([]string, 0, prealloc)
+		for i := uint64(0); i < count; i++ {
+			var name string
+			var err error
+			name, payload, err = readString(payload)
+			if err != nil {
+				return errResponse(err)
+			}
+			names = append(names, name)
+		}
+		if err := s.stage.SubmitPlan(names); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
+
+	case OpStats:
+		stats := s.stage.Stats()
+		blob, err := json.Marshal(stats)
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(blob)
+
+	case OpSetProducers:
+		n, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errResponse(errors.New("malformed producer count"))
+		}
+		s.stage.SetProducers(int(n))
+		return okResponse(nil)
+
+	case OpSetBuffer:
+		n, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errResponse(errors.New("malformed buffer capacity"))
+		}
+		s.stage.SetBufferCapacity(int(n))
+		return okResponse(nil)
+
+	case OpPing:
+		return okResponse(nil)
+
+	default:
+		return errResponse(fmt.Errorf("unknown opcode %d", opcode))
+	}
+}
+
+// Close stops accepting, severs live connections, and waits for handler
+// goroutines to drain. It does not close the stage.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+)
+
+// Histogram records duration samples and answers summary queries. Samples
+// are retained exactly (the experiment harness needs faithful means and
+// standard deviations over run counts in the single digits to a few
+// million, which fits comfortably in memory).
+type Histogram struct {
+	mu      conc.Mutex
+	samples []time.Duration
+	sum     time.Duration
+}
+
+// NewHistogram returns an empty histogram bound to env.
+func NewHistogram(env conc.Env) *Histogram { return &Histogram{mu: env.NewMutex()} }
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean reports the average sample, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Stddev reports the population standard deviation, or zero when fewer
+// than two samples exist.
+func (h *Histogram) Stddev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(h.sum) / float64(n)
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n)))
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples, or zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 || q > 1 {
+		panic("metrics: quantile out of [0,1]")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// Max reports the largest sample, or zero when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max time.Duration
+	for _, s := range h.samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Snapshot returns a copy of all samples in insertion order.
+func (h *Histogram) Snapshot() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Summary bundles the headline statistics of a sample set. It is what the
+// experiment harness reports per configuration ("average and standard
+// deviation of 5 runs").
+type Summary struct {
+	Count  int
+	Mean   time.Duration
+	Stddev time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Summarize computes a Summary over raw samples.
+func Summarize(samples []time.Duration) Summary {
+	s := Summary{Count: len(samples)}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = samples[0]
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = sum / time.Duration(s.Count)
+	if s.Count >= 2 {
+		mean := float64(sum) / float64(s.Count)
+		var ss float64
+		for _, d := range samples {
+			diff := float64(d) - mean
+			ss += diff * diff
+		}
+		s.Stddev = time.Duration(math.Sqrt(ss / float64(s.Count)))
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+// Package metrics provides the measurement primitives used by the PRISMA
+// data plane and the experiment harness: counters, gauges, duration
+// histograms, and a time-in-state tracker that records how long a discrete
+// quantity (e.g. the number of concurrently reading threads) spends at each
+// value — the measurement behind the paper's Figure 3 CDF.
+//
+// All types are safe for use from multiple threads of the owning conc.Env.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	mu conc.Mutex
+	n  int64
+}
+
+// NewCounter returns a zeroed counter bound to env.
+func NewCounter(env conc.Env) *Counter { return &Counter{mu: env.NewMutex()} }
+
+// Add increments the counter by delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative Counter delta")
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Gauge is an instantaneous signed value.
+type Gauge struct {
+	mu conc.Mutex
+	v  int64
+}
+
+// NewGauge returns a zeroed gauge bound to env.
+func NewGauge(env conc.Env) *Gauge { return &Gauge{mu: env.NewMutex()} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v += delta
+	return g.v
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// TimeInState tracks how long an integer-valued signal spends at each
+// value. Transitions are timestamped with env.Now(); call Finish (or
+// Distribution, which finishes implicitly via snapshotting) once the
+// observation window ends.
+type TimeInState struct {
+	env     conc.Env
+	mu      conc.Mutex
+	current int
+	since   time.Duration
+	total   map[int]time.Duration
+}
+
+// NewTimeInState starts tracking with the signal at initial.
+func NewTimeInState(env conc.Env, initial int) *TimeInState {
+	return &TimeInState{
+		env:     env,
+		mu:      env.NewMutex(),
+		current: initial,
+		since:   env.Now(),
+		total:   make(map[int]time.Duration),
+	}
+}
+
+// Set records a transition of the signal to v at the current time.
+func (t *TimeInState) Set(v int) {
+	now := t.env.Now()
+	t.mu.Lock()
+	t.total[t.current] += now - t.since
+	t.current = v
+	t.since = now
+	t.mu.Unlock()
+}
+
+// Add shifts the signal by delta (convenience for +1/-1 concurrency
+// tracking) and returns the new value.
+func (t *TimeInState) Add(delta int) int {
+	now := t.env.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total[t.current] += now - t.since
+	t.current += delta
+	t.since = now
+	return t.current
+}
+
+// Current reports the present value of the signal.
+func (t *TimeInState) Current() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// Distribution returns a copy of the accumulated time per value, including
+// the in-progress interval up to now.
+func (t *TimeInState) Distribution() map[int]time.Duration {
+	now := t.env.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]time.Duration, len(t.total)+1)
+	for k, v := range t.total {
+		out[k] = v
+	}
+	out[t.current] += now - t.since
+	return out
+}
+
+// CDFPoint is one step of a cumulative distribution: the fraction of
+// observed time spent at values <= Value.
+type CDFPoint struct {
+	Value       int
+	Fraction    float64 // time share of exactly this value
+	CumFraction float64 // time share of all values <= this one
+}
+
+// CDF returns the cumulative time distribution over values, sorted
+// ascending. It returns nil when no time has been observed.
+func (t *TimeInState) CDF() []CDFPoint {
+	dist := t.Distribution()
+	return CDFOf(dist)
+}
+
+// CDFOf converts a value→duration map into sorted CDF points.
+func CDFOf(dist map[int]time.Duration) []CDFPoint {
+	var total time.Duration
+	values := make([]int, 0, len(dist))
+	for v, d := range dist {
+		if d < 0 {
+			panic(fmt.Sprintf("metrics: negative duration %v for value %d", d, v))
+		}
+		if d == 0 {
+			continue
+		}
+		values = append(values, v)
+		total += d
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Ints(values)
+	out := make([]CDFPoint, 0, len(values))
+	var cum float64
+	for _, v := range values {
+		f := float64(dist[v]) / float64(total)
+		cum += f
+		out = append(out, CDFPoint{Value: v, Fraction: f, CumFraction: cum})
+	}
+	// Clamp the final point against floating-point drift.
+	out[len(out)-1].CumFraction = 1
+	return out
+}
+
+// MaxValue returns the largest value with non-zero observed time, or zero
+// when nothing was observed.
+func MaxValue(dist map[int]time.Duration) int {
+	max := 0
+	for v, d := range dist {
+		if d > 0 && v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+)
+
+func TestCounterBasics(t *testing.T) {
+	env := conc.NewReal()
+	c := NewCounter(env)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delta")
+		}
+	}()
+	NewCounter(conc.NewReal()).Add(-1)
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	g := NewGauge(conc.NewReal())
+	g.Set(10)
+	if got := g.Add(-3); got != 7 {
+		t.Fatalf("Add returned %d, want 7", got)
+	}
+	if g.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", g.Value())
+	}
+}
+
+// simTimeInState runs fn inside a simulation and returns the tracker.
+func simTimeInState(t *testing.T, fn func(env conc.Env, ts *TimeInState)) *TimeInState {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	var ts *TimeInState
+	s.Spawn("driver", func(*sim.Process) {
+		ts = NewTimeInState(env, 0)
+		fn(env, ts)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestTimeInStateDistribution(t *testing.T) {
+	ts := simTimeInState(t, func(env conc.Env, ts *TimeInState) {
+		env.Sleep(2 * time.Second) // 2s at 0
+		ts.Set(3)
+		env.Sleep(time.Second) // 1s at 3
+		ts.Set(1)
+		env.Sleep(time.Second) // 1s at 1
+	})
+	dist := ts.Distribution()
+	want := map[int]time.Duration{0: 2 * time.Second, 3: time.Second, 1: time.Second}
+	for k, v := range want {
+		if dist[k] != v {
+			t.Errorf("dist[%d] = %v, want %v", k, dist[k], v)
+		}
+	}
+}
+
+func TestTimeInStateAdd(t *testing.T) {
+	ts := simTimeInState(t, func(env conc.Env, ts *TimeInState) {
+		if got := ts.Add(2); got != 2 {
+			t.Errorf("Add(2) = %d, want 2", got)
+		}
+		env.Sleep(time.Second)
+		if got := ts.Add(-1); got != 1 {
+			t.Errorf("Add(-1) = %d, want 1", got)
+		}
+		env.Sleep(3 * time.Second)
+	})
+	dist := ts.Distribution()
+	if dist[2] != time.Second || dist[1] != 3*time.Second {
+		t.Fatalf("dist = %v, want 1s@2, 3s@1", dist)
+	}
+	if ts.Current() != 1 {
+		t.Fatalf("Current = %d, want 1", ts.Current())
+	}
+}
+
+func TestCDFComputation(t *testing.T) {
+	dist := map[int]time.Duration{
+		1: 1 * time.Second,
+		2: 2 * time.Second,
+		4: 1 * time.Second,
+	}
+	cdf := CDFOf(dist)
+	if len(cdf) != 3 {
+		t.Fatalf("len(cdf) = %d, want 3", len(cdf))
+	}
+	if cdf[0].Value != 1 || !close(cdf[0].CumFraction, 0.25) {
+		t.Errorf("cdf[0] = %+v, want value 1 cum 0.25", cdf[0])
+	}
+	if cdf[1].Value != 2 || !close(cdf[1].CumFraction, 0.75) {
+		t.Errorf("cdf[1] = %+v, want value 2 cum 0.75", cdf[1])
+	}
+	if cdf[2].Value != 4 || cdf[2].CumFraction != 1 {
+		t.Errorf("cdf[2] = %+v, want value 4 cum 1", cdf[2])
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if cdf := CDFOf(nil); cdf != nil {
+		t.Fatalf("CDFOf(nil) = %v, want nil", cdf)
+	}
+	if cdf := CDFOf(map[int]time.Duration{1: 0}); cdf != nil {
+		t.Fatalf("CDF of zero durations = %v, want nil", cdf)
+	}
+}
+
+func TestCDFNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative duration")
+		}
+	}()
+	CDFOf(map[int]time.Duration{1: -time.Second})
+}
+
+// Property: CDF is sorted by value, cumulative fractions are nondecreasing
+// within [0,1], and the last point is exactly 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	prop := func(raw map[int8]uint16) bool {
+		dist := make(map[int]time.Duration)
+		for k, v := range raw {
+			dist[int(k)] = time.Duration(v) * time.Millisecond
+		}
+		cdf := CDFOf(dist)
+		if cdf == nil {
+			total := time.Duration(0)
+			for _, d := range dist {
+				total += d
+			}
+			return total == 0
+		}
+		prevVal := int(-1 << 30)
+		prevCum := 0.0
+		for _, p := range cdf {
+			if p.Value <= prevVal {
+				return false
+			}
+			if p.CumFraction < prevCum-1e-9 || p.CumFraction > 1+1e-9 {
+				return false
+			}
+			prevVal, prevCum = p.Value, p.CumFraction
+		}
+		return cdf[len(cdf)-1].CumFraction == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	dist := map[int]time.Duration{3: time.Second, 7: 0, 5: time.Second}
+	if got := MaxValue(dist); got != 5 {
+		t.Fatalf("MaxValue = %d, want 5 (7 has zero time)", got)
+	}
+	if got := MaxValue(nil); got != 0 {
+		t.Fatalf("MaxValue(nil) = %d, want 0", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram(conc.NewReal())
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		h.Observe(d * time.Second)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Mean() != 25*time.Second {
+		t.Fatalf("Mean = %v, want 25s", h.Mean())
+	}
+	if h.Max() != 40*time.Second {
+		t.Fatalf("Max = %v, want 40s", h.Max())
+	}
+	// Population stddev of {10,20,30,40} = sqrt(125) ≈ 11.18
+	sd := h.Stddev().Seconds()
+	if sd < 11.1 || sd > 11.3 {
+		t.Fatalf("Stddev = %vs, want ≈11.18s", sd)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(conc.NewReal())
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Quantile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+	if got := h.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(conc.NewReal())
+	if h.Mean() != 0 || h.Stddev() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram stats not all zero")
+	}
+}
+
+func TestHistogramClampsNegative(t *testing.T) {
+	h := NewHistogram(conc.NewReal())
+	h.Observe(-time.Second)
+	if h.Mean() != 0 {
+		t.Fatalf("Mean = %v, want 0 (negative clamped)", h.Mean())
+	}
+}
+
+func TestHistogramQuantileRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for q > 1")
+		}
+	}()
+	NewHistogram(conc.NewReal()).Quantile(1.5)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{2 * time.Second, 4 * time.Second})
+	if s.Count != 2 || s.Mean != 3*time.Second || s.Min != 2*time.Second || s.Max != 4*time.Second {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Stddev != time.Second {
+		t.Fatalf("Stddev = %v, want 1s", s.Stddev)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zeroes", z)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

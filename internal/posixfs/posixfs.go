@@ -1,0 +1,280 @@
+// Package posixfs is the POSIX-style interception layer of the data plane
+// (paper §III-A, second stage module). Go cannot interpose libc the way an
+// LD_PRELOAD shim would, so interception is explicit: a small VFS whose
+// mount table routes file reads either through a PRISMA stage or straight
+// to a storage backend. The DL framework shims (internal/tfmini,
+// internal/torchmini) perform all storage access through this layer, so
+// swapping a mount is the Go equivalent of the paper's "replaced the pread
+// invocation with Prisma.read" 10-line TensorFlow change.
+package posixfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// Reader serves whole-file reads by name. *core.Stage satisfies it (its
+// Read is the interception point); BackendReader adapts a raw
+// storage.Backend.
+type Reader interface {
+	Read(name string) (storage.Data, error)
+}
+
+// BackendReader adapts a storage.Backend to the Reader interface, for
+// mounts that bypass PRISMA entirely.
+type BackendReader struct{ B storage.Backend }
+
+// Read implements Reader.
+func (r BackendReader) Read(name string) (storage.Data, error) { return r.B.ReadFile(name) }
+
+// FS is a minimal POSIX-like virtual filesystem with a longest-prefix
+// mount table: Open/Read/Pread/Close plus a whole-file convenience. It is
+// safe for concurrent use from threads of its environment.
+type FS struct {
+	env conc.Env
+
+	mu     conc.Mutex
+	mounts map[string]Reader // mount point (no trailing slash, "" = root) -> reader
+	fds    map[int]*openFile
+	nextFD int
+}
+
+type openFile struct {
+	path   string
+	reader Reader
+	rel    string // path relative to the mount point
+	data   *storage.Data
+	offset int64
+}
+
+// New returns an empty filesystem.
+func New(env conc.Env) *FS {
+	return &FS{
+		env:    env,
+		mu:     env.NewMutex(),
+		mounts: make(map[string]Reader),
+		fds:    make(map[int]*openFile),
+		nextFD: 3, // 0..2 reserved, as a nod to the original interface
+	}
+}
+
+// Mount routes paths under prefix (slash-separated, e.g. "data/train"; ""
+// mounts the root) to r. Longest prefix wins at resolution time.
+func (fs *FS) Mount(prefix string, r Reader) {
+	prefix = strings.Trim(prefix, "/")
+	fs.mu.Lock()
+	fs.mounts[prefix] = r
+	fs.mu.Unlock()
+}
+
+// Unmount removes a mount point.
+func (fs *FS) Unmount(prefix string) {
+	prefix = strings.Trim(prefix, "/")
+	fs.mu.Lock()
+	delete(fs.mounts, prefix)
+	fs.mu.Unlock()
+}
+
+// Mounts lists mount points, most specific first.
+func (fs *FS) Mounts() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.mounts))
+	for p := range fs.mounts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// resolve finds the longest-prefix mount for path.
+func (fs *FS) resolve(path string) (Reader, string, error) {
+	clean := strings.Trim(path, "/")
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	best := -1
+	var bestReader Reader
+	var bestRel string
+	for prefix, r := range fs.mounts {
+		var rel string
+		switch {
+		case prefix == "":
+			rel = clean
+		case clean == prefix:
+			rel = ""
+		case strings.HasPrefix(clean, prefix+"/"):
+			rel = clean[len(prefix)+1:]
+		default:
+			continue
+		}
+		if len(prefix) > best {
+			best = len(prefix)
+			bestReader = r
+			bestRel = rel
+		}
+	}
+	if best < 0 {
+		return nil, "", fmt.Errorf("posixfs: no mount serves %q", path)
+	}
+	return bestReader, bestRel, nil
+}
+
+// Open prepares path for reading and returns a file descriptor. The file's
+// content is fetched lazily on first access, so Open itself performs no
+// I/O (mirroring open(2) against already-resolved metadata).
+func (fs *FS) Open(path string) (int, error) {
+	reader, rel, err := fs.resolve(path)
+	if err != nil {
+		return -1, err
+	}
+	fs.mu.Lock()
+	fd := fs.nextFD
+	fs.nextFD++
+	fs.fds[fd] = &openFile{path: path, reader: reader, rel: rel}
+	fs.mu.Unlock()
+	return fd, nil
+}
+
+func (fs *FS) file(fd int) (*openFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("posixfs: bad file descriptor %d", fd)
+	}
+	return f, nil
+}
+
+// fetch loads the file's content through its mount, once.
+func (fs *FS) fetch(f *openFile) error {
+	fs.mu.Lock()
+	loaded := f.data != nil
+	fs.mu.Unlock()
+	if loaded {
+		return nil
+	}
+	data, err := f.reader.Read(f.rel)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if f.data == nil {
+		f.data = &data
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// Read reads up to len(buf) bytes at the descriptor's current offset,
+// advancing it. It returns 0 at end of file. Under modeled backends the
+// returned count reflects the file size but buf's contents are unchanged.
+func (fs *FS) Read(fd int, buf []byte) (int, error) {
+	f, err := fs.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.fetch(f); err != nil {
+		return 0, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.copyAt(f, buf, f.offset)
+	f.offset += int64(n)
+	return n, nil
+}
+
+// Pread reads up to len(buf) bytes at the given offset without moving the
+// descriptor's offset — the call the TensorFlow integration replaces.
+func (fs *FS) Pread(fd int, buf []byte, offset int64) (int, error) {
+	if offset < 0 {
+		return 0, fmt.Errorf("posixfs: negative offset %d", offset)
+	}
+	f, err := fs.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.fetch(f); err != nil {
+		return 0, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.copyAt(f, buf, offset), nil
+}
+
+// copyAt copies file bytes into buf from off; with payloadless data it
+// just computes the count. Caller holds fs.mu.
+func (fs *FS) copyAt(f *openFile, buf []byte, off int64) int {
+	if off >= f.data.Size {
+		return 0
+	}
+	n := int64(len(buf))
+	if remaining := f.data.Size - off; remaining < n {
+		n = remaining
+	}
+	if f.data.Bytes != nil {
+		copy(buf[:n], f.data.Bytes[off:off+n])
+	}
+	return int(n)
+}
+
+// Sizer is the optional metadata extension of Reader: mounts whose targets
+// can report file sizes without transferring data (backends and stages)
+// support Stat through it.
+type Sizer interface {
+	Size(name string) (int64, error)
+}
+
+// Size implements Sizer for BackendReader.
+func (r BackendReader) Size(name string) (int64, error) { return r.B.Size(name) }
+
+// Stat reports a file's size through its mount without reading data,
+// mirroring stat(2). It fails when the mount's reader cannot serve
+// metadata.
+func (fs *FS) Stat(path string) (int64, error) {
+	reader, rel, err := fs.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	sz, ok := reader.(Sizer)
+	if !ok {
+		return 0, fmt.Errorf("posixfs: mount serving %q does not support Stat", path)
+	}
+	return sz.Size(rel)
+}
+
+// ReadWhole opens, fully reads, and closes path in one call — the shape of
+// access DL data loaders actually perform per sample.
+func (fs *FS) ReadWhole(path string) (storage.Data, error) {
+	reader, rel, err := fs.resolve(path)
+	if err != nil {
+		return storage.Data{}, err
+	}
+	return reader.Read(rel)
+}
+
+// Close releases the descriptor.
+func (fs *FS) Close(fd int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.fds[fd]; !ok {
+		return fmt.Errorf("posixfs: bad file descriptor %d", fd)
+	}
+	delete(fs.fds, fd)
+	return nil
+}
+
+// OpenCount reports the number of open descriptors (leak checks in tests).
+func (fs *FS) OpenCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.fds)
+}

@@ -1,0 +1,301 @@
+package posixfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// memReader serves fixed byte contents, standing in for a real backend.
+type memReader struct {
+	files map[string][]byte
+	reads []string
+}
+
+func (m *memReader) Read(name string) (storage.Data, error) {
+	m.reads = append(m.reads, name)
+	b, ok := m.files[name]
+	if !ok {
+		return storage.Data{}, &storage.NotExistError{Name: name}
+	}
+	return storage.Data{Name: name, Size: int64(len(b)), Bytes: b}, nil
+}
+
+func newFS(t *testing.T) (*FS, *memReader) {
+	t.Helper()
+	env := conc.NewReal()
+	fs := New(env)
+	mem := &memReader{files: map[string][]byte{
+		"x.jpg":       []byte("0123456789"),
+		"sub/y.jpg":   []byte("abcdef"),
+		"sub/z/w.bin": []byte("zz"),
+	}}
+	fs.Mount("data", mem)
+	return fs, mem
+}
+
+func TestOpenReadClose(t *testing.T) {
+	fs, _ := newFS(t)
+	fd, err := fs.Open("data/x.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := fs.Read(fd, buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("Read = %d %q %v", n, buf[:n], err)
+	}
+	n, err = fs.Read(fd, buf)
+	if err != nil || n != 4 || string(buf) != "4567" {
+		t.Fatalf("second Read = %d %q %v (offset must advance)", n, buf[:n], err)
+	}
+	n, _ = fs.Read(fd, buf)
+	if n != 2 || string(buf[:n]) != "89" {
+		t.Fatalf("tail Read = %d %q", n, buf[:n])
+	}
+	n, _ = fs.Read(fd, buf)
+	if n != 0 {
+		t.Fatalf("EOF Read = %d, want 0", n)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if fs.OpenCount() != 0 {
+		t.Fatal("descriptor leaked")
+	}
+}
+
+func TestPreadDoesNotMoveOffset(t *testing.T) {
+	fs, _ := newFS(t)
+	fd, _ := fs.Open("data/x.jpg")
+	defer fs.Close(fd)
+	buf := make([]byte, 3)
+	n, err := fs.Pread(fd, buf, 5)
+	if err != nil || n != 3 || string(buf) != "567" {
+		t.Fatalf("Pread = %d %q %v", n, buf, err)
+	}
+	// Sequential offset still at zero.
+	n, _ = fs.Read(fd, buf)
+	if string(buf[:n]) != "012" {
+		t.Fatalf("Read after Pread = %q, want 012", buf[:n])
+	}
+	if _, err := fs.Pread(fd, buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestOpenIsLazy(t *testing.T) {
+	fs, mem := newFS(t)
+	fd, err := fs.Open("data/x.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.reads) != 0 {
+		t.Fatal("Open triggered a backend read")
+	}
+	buf := make([]byte, 1)
+	_, _ = fs.Read(fd, buf)
+	_, _ = fs.Read(fd, buf)
+	if len(mem.reads) != 1 {
+		t.Fatalf("backend reads = %d, want exactly 1 (fetch once)", len(mem.reads))
+	}
+}
+
+func TestLongestPrefixMount(t *testing.T) {
+	env := conc.NewReal()
+	fs := New(env)
+	outer := &memReader{files: map[string][]byte{"sub/y.jpg": []byte("outer")}}
+	inner := &memReader{files: map[string][]byte{"y.jpg": []byte("inner")}}
+	fs.Mount("data", outer)
+	fs.Mount("data/sub", inner)
+	d, err := fs.ReadWhole("data/sub/y.jpg")
+	if err != nil || string(d.Bytes) != "inner" {
+		t.Fatalf("ReadWhole = %q, %v, want inner mount", d.Bytes, err)
+	}
+	mounts := fs.Mounts()
+	if mounts[0] != "data/sub" {
+		t.Fatalf("Mounts = %v, want most specific first", mounts)
+	}
+}
+
+func TestRootMount(t *testing.T) {
+	env := conc.NewReal()
+	fs := New(env)
+	mem := &memReader{files: map[string][]byte{"a": []byte("1")}}
+	fs.Mount("", mem)
+	if _, err := fs.ReadWhole("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadWhole("/a"); err != nil {
+		t.Fatalf("leading slash rejected: %v", err)
+	}
+}
+
+func TestUnmount(t *testing.T) {
+	fs, _ := newFS(t)
+	fs.Unmount("data")
+	if _, err := fs.ReadWhole("data/x.jpg"); err == nil || !strings.Contains(err.Error(), "no mount") {
+		t.Fatalf("err = %v, want no-mount error", err)
+	}
+}
+
+func TestBadDescriptor(t *testing.T) {
+	fs, _ := newFS(t)
+	if _, err := fs.Read(99, make([]byte, 1)); err == nil {
+		t.Fatal("Read on bad fd succeeded")
+	}
+	if err := fs.Close(99); err == nil {
+		t.Fatal("Close on bad fd succeeded")
+	}
+}
+
+func TestMissingFileSurfacesBackendError(t *testing.T) {
+	fs, _ := newFS(t)
+	fd, err := fs.Open("data/ghost.jpg") // Open succeeds (lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read(fd, make([]byte, 1)); err == nil {
+		t.Fatal("Read of missing file succeeded")
+	}
+}
+
+func TestBackendReaderAdapter(t *testing.T) {
+	dir := t.TempDir()
+	m := dataset.MustNew([]dataset.Sample{{Name: "f.bin", Size: 64}})
+	if err := dataset.Generate(dir, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	env := conc.NewReal()
+	fs := New(env)
+	fs.Mount("real", BackendReader{B: storage.NewDirBackend(dir)})
+	d, err := fs.ReadWhole("real/f.bin")
+	if err != nil || d.Size != 64 || len(d.Bytes) != 64 {
+		t.Fatalf("ReadWhole = %+v, %v", d, err)
+	}
+}
+
+func TestStageMountInterceptsReads(t *testing.T) {
+	// End-to-end: a PRISMA stage mounted at "train" serves planned reads
+	// from its buffer; a raw-backend mount at "val" bypasses. Sizes are
+	// conveyed even though the modeled backend carries no payload.
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		man := dataset.MustNew([]dataset.Sample{
+			{Name: "t0", Size: 100}, {Name: "t1", Size: 100}, {Name: "v0", Size: 50},
+		})
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 2})
+		backend := storage.NewModeledBackend(man, dev, nil)
+		pf, _ := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
+			InitialProducers: 1, MaxProducers: 4, InitialBufferCapacity: 4, MaxBufferCapacity: 16,
+		})
+		st := core.NewStage(env, backend, core.NewPrefetchObject(pf))
+		pf.Start()
+		_ = st.SubmitPlan([]string{"t0", "t1"})
+
+		fs := New(env)
+		fs.Mount("train", st) // *core.Stage is a Reader
+		fs.Mount("val", BackendReader{B: backend})
+
+		for _, p := range []string{"train/t0", "train/t1"} {
+			d, err := fs.ReadWhole(p)
+			if err != nil || d.Size != 100 {
+				t.Errorf("ReadWhole(%s) = %+v, %v", p, d, err)
+			}
+		}
+		if d, err := fs.ReadWhole("val/v0"); err != nil || d.Size != 50 {
+			t.Errorf("ReadWhole(val/v0) = %+v, %v", d, err)
+		}
+		if st.Stats().Hits != 2 {
+			t.Errorf("stage hits = %d, want 2", st.Stats().Hits)
+		}
+		st.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatThroughMounts(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		man := dataset.MustNew([]dataset.Sample{{Name: "t0", Size: 4096}})
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 1})
+		backend := storage.NewModeledBackend(man, dev, nil)
+		pf, _ := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
+			InitialProducers: 1, MaxProducers: 2, InitialBufferCapacity: 2, MaxBufferCapacity: 4,
+		})
+		st := core.NewStage(env, backend, core.NewPrefetchObject(pf))
+		pf.Start()
+		defer st.Close()
+
+		fs := New(env)
+		fs.Mount("train", st) // *core.Stage supports Size → Stat works
+		fs.Mount("raw", BackendReader{B: backend})
+
+		start := env.Now()
+		n, err := fs.Stat("train/t0")
+		if err != nil || n != 4096 {
+			t.Errorf("Stat via stage = %d, %v", n, err)
+		}
+		if env.Now() != start {
+			t.Error("Stat consumed device time")
+		}
+		if n, err := fs.Stat("raw/t0"); err != nil || n != 4096 {
+			t.Errorf("Stat via backend = %d, %v", n, err)
+		}
+		if _, err := fs.Stat("nowhere/t0"); err == nil {
+			t.Error("Stat with no mount succeeded")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatUnsupportedMount(t *testing.T) {
+	env := conc.NewReal()
+	fs := New(env)
+	fs.Mount("m", &memReader{files: map[string][]byte{"a": []byte("x")}})
+	if _, err := fs.Stat("m/a"); err == nil {
+		t.Fatal("Stat on Sizer-less mount succeeded")
+	}
+}
+
+func TestPayloadlessReadCounts(t *testing.T) {
+	// Under a modeled backend, Read returns correct byte counts with no
+	// payload (callers treat buf as scratch).
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		man := dataset.MustNew([]dataset.Sample{{Name: "f", Size: 10}})
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 1})
+		backend := storage.NewModeledBackend(man, dev, nil)
+		fs := New(env)
+		fs.Mount("", BackendReader{B: backend})
+		fd, err := fs.Open("f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 6)
+		n1, _ := fs.Read(fd, buf)
+		n2, _ := fs.Read(fd, buf)
+		n3, _ := fs.Read(fd, buf)
+		if n1 != 6 || n2 != 4 || n3 != 0 {
+			t.Errorf("reads = %d,%d,%d, want 6,4,0", n1, n2, n3)
+		}
+		_ = fs.Close(fd)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+package recordio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// PackManifest lays a dataset's samples into shards of roughly shardBytes
+// each, in manifest order, without materializing payloads — the packing
+// plan for modeled (sim-mode) backends. It returns the index plus a shard
+// manifest usable with storage.NewModeledBackend.
+func PackManifest(man *dataset.Manifest, prefix string, shardBytes int64) (*Index, *dataset.Manifest, error) {
+	if shardBytes < headerSize+1 {
+		return nil, nil, fmt.Errorf("recordio: shard size %d too small", shardBytes)
+	}
+	ix := NewIndex()
+	var shards []dataset.Sample
+	shardIdx := -1
+	var shardName string
+	var offset int64
+	newShard := func() {
+		if shardIdx >= 0 {
+			shards = append(shards, dataset.Sample{Name: shardName, Size: offset})
+		}
+		shardIdx++
+		shardName = fmt.Sprintf("%s/shard-%05d.rec", prefix, shardIdx)
+		offset = 0
+	}
+	newShard()
+	for i := 0; i < man.Len(); i++ {
+		s := man.Sample(i)
+		recLen := headerSize + s.Size
+		if offset > 0 && offset+recLen > shardBytes {
+			newShard()
+		}
+		if err := ix.Add(s.Name, Entry{Shard: shardName, Offset: offset, Length: recLen}); err != nil {
+			return nil, nil, err
+		}
+		offset += recLen
+	}
+	if offset > 0 || shardIdx == 0 {
+		shards = append(shards, dataset.Sample{Name: shardName, Size: offset})
+	}
+	shardMan, err := dataset.New(shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, shardMan, nil
+}
+
+// PackDir packs every file of a source directory's manifest into real
+// shard files under dstDir, returning the index.
+func PackDir(srcDir string, man *dataset.Manifest, dstDir, prefix string, shardBytes int64) (*Index, error) {
+	if shardBytes < headerSize+1 {
+		return nil, fmt.Errorf("recordio: shard size %d too small", shardBytes)
+	}
+	src := storage.NewDirBackend(srcDir)
+	ix := NewIndex()
+	shardIdx := -1
+	var w *Writer
+	var f *os.File
+	var shardName string
+	closeShard := func() error {
+		if f == nil {
+			return nil
+		}
+		err := f.Close()
+		f = nil
+		return err
+	}
+	newShard := func() error {
+		if err := closeShard(); err != nil {
+			return err
+		}
+		shardIdx++
+		shardName = fmt.Sprintf("%s/shard-%05d.rec", prefix, shardIdx)
+		path := filepath.Join(dstDir, filepath.FromSlash(shardName))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		w = NewWriter(f)
+		return nil
+	}
+	if err := newShard(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < man.Len(); i++ {
+		s := man.Sample(i)
+		data, err := src.ReadFile(s.Name)
+		if err != nil {
+			closeShard()
+			return nil, err
+		}
+		if w.Offset() > 0 && w.Offset()+headerSize+data.Size > shardBytes {
+			if err := newShard(); err != nil {
+				return nil, err
+			}
+		}
+		off, length, err := w.WriteRecord(data.Bytes)
+		if err != nil {
+			closeShard()
+			return nil, err
+		}
+		if err := ix.Add(s.Name, Entry{Shard: shardName, Offset: off, Length: length}); err != nil {
+			closeShard()
+			return nil, err
+		}
+	}
+	return ix, closeShard()
+}
+
+// IndexedBackend adapts a packed layout back to the per-sample
+// storage.Backend interface: reading a sample name resolves through the
+// index to a byte-range read of its shard. This is what lets the PRISMA
+// prefetcher (which thinks in sample names) run unchanged on top of
+// TFRecord-style shards — the format and the prefetching optimization
+// compose instead of competing.
+type IndexedBackend struct {
+	ix      *Index
+	backend storage.RangeReader
+}
+
+// NewIndexedBackend wires an index to the shard store.
+func NewIndexedBackend(ix *Index, backend storage.RangeReader) *IndexedBackend {
+	return &IndexedBackend{ix: ix, backend: backend}
+}
+
+// ReadFile implements storage.Backend: one ranged read of the record, with
+// payload verification when bytes are available.
+func (b *IndexedBackend) ReadFile(name string) (storage.Data, error) {
+	e, ok := b.ix.Lookup(name)
+	if !ok {
+		return storage.Data{}, &storage.NotExistError{Name: name}
+	}
+	data, err := b.backend.ReadRange(e.Shard, e.Offset, e.Length)
+	if err != nil {
+		return storage.Data{}, err
+	}
+	if data.Bytes != nil {
+		payload, _, err := Decode(data.Bytes)
+		if err != nil {
+			return storage.Data{}, fmt.Errorf("recordio: %s in %s: %w", name, e.Shard, err)
+		}
+		return storage.Data{Name: name, Size: int64(len(payload)), Bytes: payload}, nil
+	}
+	// Modeled backend: report the payload size (header excluded).
+	size := e.Length - headerSize
+	if size < 0 {
+		size = 0
+	}
+	return storage.Data{Name: name, Size: size}, nil
+}
+
+// Size implements storage.Backend from the index alone (no I/O).
+func (b *IndexedBackend) Size(name string) (int64, error) {
+	e, ok := b.ix.Lookup(name)
+	if !ok {
+		return 0, &storage.NotExistError{Name: name}
+	}
+	size := e.Length - headerSize
+	if size < 0 {
+		size = 0
+	}
+	return size, nil
+}
+
+// ShardIterator reads one shard sequentially through a RangeReader in
+// large chunks, amortizing the device's per-request cost across many
+// records — the mechanism that makes packed formats fast on per-request-
+// latency-dominated storage.
+type ShardIterator struct {
+	backend   storage.RangeReader
+	shard     string
+	shardSize int64
+	chunk     int64
+
+	buf    []byte // only populated by real backends
+	bufLen int64  // valid bytes in the current chunk (modeled backends: length only)
+	bufOff int64  // shard offset of the chunk start
+	pos    int64  // absolute shard offset of the next record
+	real   bool
+}
+
+// NewShardIterator opens a sequential reader over one shard. chunkBytes
+// controls the read granularity (e.g. 1 MiB).
+func NewShardIterator(backend storage.RangeReader, shard string, shardSize, chunkBytes int64) (*ShardIterator, error) {
+	if chunkBytes < headerSize+1 {
+		return nil, fmt.Errorf("recordio: chunk size %d too small", chunkBytes)
+	}
+	return &ShardIterator{backend: backend, shard: shard, shardSize: shardSize, chunk: chunkBytes}, nil
+}
+
+// refill loads the chunk containing pos.
+func (it *ShardIterator) refill() error {
+	data, err := it.backend.ReadRange(it.shard, it.pos, it.chunk)
+	if err != nil {
+		return err
+	}
+	it.bufOff = it.pos
+	it.bufLen = data.Size
+	it.buf = data.Bytes
+	it.real = data.Bytes != nil
+	return nil
+}
+
+// Next returns the next record's payload bytes (nil payload with a
+// positive length for modeled backends) and false at end of shard.
+func (it *ShardIterator) Next() (payload []byte, payloadLen int64, ok bool, err error) {
+	if it.pos >= it.shardSize {
+		return nil, 0, false, nil
+	}
+	// Ensure the full record is inside the buffered chunk; re-read from
+	// pos when the header or payload straddles the boundary.
+	avail := it.bufOff + it.bufLen - it.pos
+	if avail < headerSize {
+		if err := it.refill(); err != nil {
+			return nil, 0, false, err
+		}
+		avail = it.bufLen
+		if avail < headerSize {
+			return nil, 0, false, fmt.Errorf("%w: shard %s truncated at %d", ErrCorrupt, it.shard, it.pos)
+		}
+	}
+	if it.real {
+		rel := it.pos - it.bufOff
+		// Peek the length; refill if the payload straddles the chunk.
+		if int64(len(it.buf))-rel >= headerSize {
+			n := int64(uint32(it.buf[rel]) | uint32(it.buf[rel+1])<<8 | uint32(it.buf[rel+2])<<16 | uint32(it.buf[rel+3])<<24)
+			if rel+headerSize+n > int64(len(it.buf)) {
+				if headerSize+n > it.chunk {
+					// Oversized record: read it exactly.
+					data, err := it.backend.ReadRange(it.shard, it.pos, headerSize+n)
+					if err != nil {
+						return nil, 0, false, err
+					}
+					p, recLen, err := Decode(data.Bytes)
+					if err != nil {
+						return nil, 0, false, err
+					}
+					it.pos += recLen
+					return p, int64(len(p)), true, nil
+				}
+				if err := it.refill(); err != nil {
+					return nil, 0, false, err
+				}
+				rel = 0
+			}
+		}
+		p, recLen, err := Decode(it.buf[rel:])
+		if err != nil {
+			return nil, 0, false, err
+		}
+		it.pos += recLen
+		return p, int64(len(p)), true, nil
+	}
+	// Modeled backend: no bytes; record boundaries come from the caller's
+	// index — the iterator cannot parse lengths, so modeled iteration uses
+	// NextModeled with an explicit record length.
+	return nil, 0, false, fmt.Errorf("recordio: modeled shards require NextModeled (no payload bytes)")
+}
+
+// NextModeled advances the iterator over a modeled (payloadless) backend
+// using an externally known record length (from the Index). It charges the
+// device only when crossing into an unbuffered chunk.
+func (it *ShardIterator) NextModeled(recordLen int64) (ok bool, err error) {
+	if it.pos >= it.shardSize {
+		return false, nil
+	}
+	end := it.pos + recordLen
+	for it.bufOff+it.bufLen < end {
+		// Advance chunk-by-chunk until the record is covered.
+		it.pos = maxI64(it.pos, it.bufOff+it.bufLen)
+		if err := it.refill(); err != nil {
+			return false, err
+		}
+		if it.bufLen == 0 {
+			return false, fmt.Errorf("%w: shard %s truncated", ErrCorrupt, it.shard)
+		}
+	}
+	it.pos = end
+	return true, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

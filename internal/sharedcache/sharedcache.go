@@ -1,0 +1,190 @@
+// Package sharedcache implements a multi-job sample cache — the paper's
+// §VII "Access coordination to shared datasets" direction ("it is common
+// to have multiple DL jobs (that are oblivious of each other) operating
+// concurrently over the same dataset"). Unlike PRISMA's evict-on-read
+// training buffer, this cache *retains* samples after a read so a second
+// job training on the same dataset is served from memory instead of
+// hitting the shared device again (the Quiver insight, lifted into a
+// decoupled data-plane building block with system-wide visibility).
+//
+// The cache is keyed by file name and bounded in bytes with LRU eviction;
+// single-flight admission collapses concurrent misses on the same file
+// into one device read, which is where most of the multi-job saving comes
+// from when jobs run in loose lockstep.
+package sharedcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// Stats snapshots cache effectiveness.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Waits       int64 // misses collapsed onto another job's in-flight read
+	Evictions   int64
+	UsedBytes   int64
+	Residents   int
+	DeviceReads int64 // misses that actually hit the backend
+}
+
+// Cache is a byte-bounded, single-flight, LRU sample cache over a shared
+// backend. It implements storage.Backend so any number of PRISMA stages
+// (one per job) can stack on top of it.
+type Cache struct {
+	env      conc.Env
+	inner    storage.Backend
+	capacity int64
+
+	mu        conc.Mutex
+	fetchDone conc.Cond
+	resident  map[string]*list.Element
+	order     *list.List // front = MRU
+	inflight  map[string]bool
+	used      int64
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	waits     *metrics.Counter
+	evictions *metrics.Counter
+	devReads  *metrics.Counter
+}
+
+type entry struct {
+	name  string
+	size  int64
+	bytes []byte // nil under modeled backends
+}
+
+// New builds a cache of capacity bytes over inner.
+func New(env conc.Env, inner storage.Backend, capacity int64) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("sharedcache: capacity %d < 1", capacity)
+	}
+	c := &Cache{
+		env:       env,
+		inner:     inner,
+		capacity:  capacity,
+		mu:        env.NewMutex(),
+		resident:  make(map[string]*list.Element),
+		order:     list.New(),
+		inflight:  make(map[string]bool),
+		hits:      metrics.NewCounter(env),
+		misses:    metrics.NewCounter(env),
+		waits:     metrics.NewCounter(env),
+		evictions: metrics.NewCounter(env),
+		devReads:  metrics.NewCounter(env),
+	}
+	c.fetchDone = env.NewCond(c.mu)
+	return c, nil
+}
+
+// ReadFile implements storage.Backend with single-flight caching.
+func (c *Cache) ReadFile(name string) (storage.Data, error) {
+	c.mu.Lock()
+	for {
+		if el, ok := c.resident[name]; ok {
+			c.order.MoveToFront(el)
+			e := el.Value.(*entry)
+			c.mu.Unlock()
+			c.hits.Inc()
+			return storage.Data{Name: name, Size: e.size, Bytes: e.bytes}, nil
+		}
+		if !c.inflight[name] {
+			break
+		}
+		// Another job is already fetching this file: wait for it instead
+		// of issuing a duplicate device read.
+		c.waits.Inc()
+		c.fetchDone.Wait()
+	}
+	c.inflight[name] = true
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	c.devReads.Inc()
+	data, err := c.inner.ReadFile(name)
+
+	c.mu.Lock()
+	delete(c.inflight, name)
+	if err == nil && data.Size <= c.capacity {
+		c.admit(name, data)
+	}
+	c.fetchDone.Broadcast()
+	c.mu.Unlock()
+	return data, err
+}
+
+// admit inserts the fetched sample, evicting LRU residents. Caller holds
+// c.mu.
+func (c *Cache) admit(name string, data storage.Data) {
+	if _, dup := c.resident[name]; dup {
+		return
+	}
+	for c.used+data.Size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.resident, victim.name)
+		c.used -= victim.size
+		c.evictions.Inc()
+	}
+	c.resident[name] = c.order.PushFront(&entry{name: name, size: data.Size, bytes: data.Bytes})
+	c.used += data.Size
+}
+
+// Size implements storage.Backend.
+func (c *Cache) Size(name string) (int64, error) { return c.inner.Size(name) }
+
+// Resident reports whether name is cached.
+func (c *Cache) Resident(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.resident[name]
+	return ok
+}
+
+// Invalidate drops one cached sample (for dataset updates).
+func (c *Cache) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.resident[name]; ok {
+		victim := el.Value.(*entry)
+		c.order.Remove(el)
+		delete(c.resident, name)
+		c.used -= victim.size
+	}
+}
+
+// Stats snapshots cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	used, n := c.used, len(c.resident)
+	c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Waits:       c.waits.Value(),
+		Evictions:   c.evictions.Value(),
+		UsedBytes:   used,
+		Residents:   n,
+		DeviceReads: c.devReads.Value(),
+	}
+}
+
+// HitRate reports hits / (hits + misses), zero before any traffic.
+func (c *Cache) HitRate() float64 {
+	h, m := c.hits.Value(), c.misses.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,247 @@
+package sharedcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+func runSim(t *testing.T, body func(env conc.Env)) {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("test-body", func(*sim.Process) { body(env) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func fixture(env conc.Env, n int, size int64, lat time.Duration, channels int) (storage.Backend, *storage.Device, []string) {
+	samples := make([]dataset.Sample, n)
+	names := make([]string, n)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("f%04d", i), Size: size}
+		names[i] = samples[i].Name
+	}
+	dev, err := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: lat, BytesPerSecond: 1e15, Channels: channels})
+	if err != nil {
+		panic(err)
+	}
+	return storage.NewModeledBackend(dataset.MustNew(samples), dev, nil), dev, names
+}
+
+func TestValidation(t *testing.T) {
+	env := conc.NewReal()
+	if _, err := New(env, nil, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, dev, names := fixture(env, 4, 1000, time.Millisecond, 2)
+		c, _ := New(env, backend, 1<<20)
+		if _, err := c.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		start := env.Now()
+		if _, err := c.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		if env.Now() != start {
+			t.Fatal("cache hit consumed device time")
+		}
+		if dev.Stats().Reads != 1 {
+			t.Fatalf("device reads = %d, want 1", dev.Stats().Reads)
+		}
+		st := c.Stats()
+		if st.Hits != 1 || st.Misses != 1 || st.Residents != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if c.HitRate() != 0.5 {
+			t.Fatalf("hit rate = %v", c.HitRate())
+		}
+	})
+}
+
+func TestSingleFlightCollapsesConcurrentMisses(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, dev, names := fixture(env, 1, 1000, 10*time.Millisecond, 8)
+		c, _ := New(env, backend, 1<<20)
+		wg := env.NewWaitGroup()
+		wg.Add(5)
+		for i := 0; i < 5; i++ {
+			env.Go(fmt.Sprintf("job-%d", i), func() {
+				defer wg.Done()
+				if _, err := c.ReadFile(names[0]); err != nil {
+					t.Errorf("read: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+		if dev.Stats().Reads != 1 {
+			t.Fatalf("device reads = %d, want 1 (single flight)", dev.Stats().Reads)
+		}
+		st := c.Stats()
+		if st.Waits != 4 {
+			t.Fatalf("waits = %d, want 4", st.Waits)
+		}
+	})
+}
+
+func TestLRUEviction(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, _, names := fixture(env, 5, 1000, time.Millisecond, 2)
+		c, _ := New(env, backend, 3000)
+		for _, n := range names[:3] {
+			_, _ = c.ReadFile(n)
+		}
+		_, _ = c.ReadFile(names[0]) // refresh 0
+		_, _ = c.ReadFile(names[3]) // evicts 1
+		if c.Resident(names[1]) {
+			t.Fatal("LRU victim survived")
+		}
+		if !c.Resident(names[0]) || !c.Resident(names[2]) || !c.Resident(names[3]) {
+			t.Fatal("wrong victim")
+		}
+		if st := c.Stats(); st.Evictions != 1 || st.UsedBytes != 3000 {
+			t.Fatalf("stats = %+v", st)
+		}
+	})
+}
+
+func TestOversizedNeverCached(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, _, names := fixture(env, 1, 10_000, time.Millisecond, 1)
+		c, _ := New(env, backend, 500)
+		if _, err := c.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		if c.Resident(names[0]) {
+			t.Fatal("oversized file cached")
+		}
+	})
+}
+
+func TestErrorNotCached(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, _, names := fixture(env, 2, 1000, time.Millisecond, 1)
+		faulty := storage.NewFaultyBackend(env, backend)
+		faulty.FailName(names[0])
+		c, _ := New(env, faulty, 1<<20)
+		if _, err := c.ReadFile(names[0]); err == nil {
+			t.Fatal("injected fault swallowed")
+		}
+		if c.Resident(names[0]) {
+			t.Fatal("failed read cached")
+		}
+		// Retry after un-arming succeeds (no negative caching).
+		faulty2 := storage.NewFaultyBackend(env, backend)
+		c2, _ := New(env, faulty2, 1<<20)
+		if _, err := c2.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInvalidate(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, dev, names := fixture(env, 1, 1000, time.Millisecond, 1)
+		c, _ := New(env, backend, 1<<20)
+		_, _ = c.ReadFile(names[0])
+		c.Invalidate(names[0])
+		if c.Resident(names[0]) {
+			t.Fatal("still resident after Invalidate")
+		}
+		_, _ = c.ReadFile(names[0])
+		if dev.Stats().Reads != 2 {
+			t.Fatalf("device reads = %d, want 2", dev.Stats().Reads)
+		}
+		c.Invalidate("ghost") // no-op
+	})
+}
+
+func TestSizePassthrough(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, _, names := fixture(env, 1, 1234, time.Millisecond, 1)
+		c, _ := New(env, backend, 1<<20)
+		n, err := c.Size(names[0])
+		if err != nil || n != 1234 {
+			t.Fatalf("Size = %d, %v", n, err)
+		}
+	})
+}
+
+// TestTwoJobsSharedDataset is the §VII scenario: two PRISMA-backed jobs
+// train over the same dataset through one shared cache; the second epoch
+// of traffic is served almost entirely from memory, halving device load.
+func TestTwoJobsSharedDataset(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	var devReads int64
+	var total int64
+	s.Spawn("driver", func(*sim.Process) {
+		backend, dev, names := fixture(env, 200, 100_000, time.Millisecond, 4)
+		cache, _ := New(env, backend, 1<<30)
+
+		// Two jobs, each with its own PRISMA stage over the shared cache.
+		mkStage := func() *core.Stage {
+			pf, err := core.NewPrefetcher(env, cache, core.PrefetcherConfig{
+				InitialProducers: 2, MaxProducers: 8,
+				InitialBufferCapacity: 16, MaxBufferCapacity: 64,
+			})
+			if err != nil {
+				panic(err)
+			}
+			st := core.NewStage(env, cache, core.NewPrefetchObject(pf))
+			pf.Start()
+			return st
+		}
+		stA, stB := mkStage(), mkStage()
+
+		wg := env.NewWaitGroup()
+		wg.Add(2)
+		runJob := func(st *core.Stage, seed int64) {
+			defer wg.Done()
+			plan := dataset.MustNew(samplesOf(names)).EpochFileList(seed, 0)
+			if err := st.SubmitPlan(plan); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, n := range plan {
+				if _, err := st.Read(n); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		env.Go("jobA", func() { runJob(stA, 1) })
+		env.Go("jobB", func() { runJob(stB, 2) })
+		wg.Wait()
+		stA.Close()
+		stB.Close()
+		devReads = dev.Stats().Reads
+		total = int64(2 * len(names))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 400 logical reads, but each file needs the device at most once.
+	if devReads != total/2 {
+		t.Fatalf("device reads = %d, want %d (each file fetched once)", devReads, total/2)
+	}
+}
+
+func samplesOf(names []string) []dataset.Sample {
+	out := make([]dataset.Sample, len(names))
+	for i, n := range names {
+		out[i] = dataset.Sample{Name: n, Size: 100_000}
+	}
+	return out
+}

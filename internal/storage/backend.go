@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+)
+
+// Data is the result of reading a file through a Backend. Modeled backends
+// carry no payload (Bytes is nil); real backends return the file contents.
+type Data struct {
+	Name  string
+	Size  int64
+	Bytes []byte
+}
+
+// Backend serves whole-file reads, blocking the calling thread for the
+// modeled or actual I/O duration. Implementations must be safe for
+// concurrent use from threads of the same conc.Env.
+type Backend interface {
+	// ReadFile reads name in full.
+	ReadFile(name string) (Data, error)
+	// Size reports the file size from metadata, without data transfer.
+	Size(name string) (int64, error)
+}
+
+// RangeReader is the optional byte-range extension of Backend, needed by
+// packed record formats (internal/recordio) that read slices of large
+// shard files rather than whole small files.
+type RangeReader interface {
+	// ReadRange reads n bytes of name starting at off. Reads past the end
+	// of the file are truncated (Data.Size reports the bytes actually
+	// read); off beyond EOF yields an empty Data.
+	ReadRange(name string, off, n int64) (Data, error)
+}
+
+// NotExistError reports a read of an unknown file.
+type NotExistError struct{ Name string }
+
+func (e *NotExistError) Error() string { return fmt.Sprintf("storage: file %q does not exist", e.Name) }
+
+// ModeledBackend serves reads for a manifest's files against an analytic
+// Device, optionally through a page cache. It is the sim-mode storage
+// stack: no bytes move, only (virtual) time passes.
+type ModeledBackend struct {
+	manifest *dataset.Manifest
+	device   *Device
+	cache    *PageCache // nil = no caching (cold-cache experiments)
+}
+
+// NewModeledBackend builds a backend over manifest and device. cache may be
+// nil to model cold-cache behaviour (the paper's training reads are
+// effectively uncached: each file is read once per epoch from a 138 GiB
+// dataset with random order).
+func NewModeledBackend(manifest *dataset.Manifest, device *Device, cache *PageCache) *ModeledBackend {
+	return &ModeledBackend{manifest: manifest, device: device, cache: cache}
+}
+
+// ReadFile blocks for the device's modeled latency and returns a payloadless
+// Data record.
+func (b *ModeledBackend) ReadFile(name string) (Data, error) {
+	s, ok := b.manifest.Lookup(name)
+	if !ok {
+		return Data{}, &NotExistError{Name: name}
+	}
+	if b.cache != nil && b.cache.Touch(name) {
+		// Page-cache hit: memory-speed, modeled as free relative to the
+		// microsecond-scale device costs.
+		return Data{Name: name, Size: s.Size}, nil
+	}
+	b.device.Read(s.Size)
+	if b.cache != nil {
+		b.cache.Insert(name, s.Size)
+	}
+	return Data{Name: name, Size: s.Size}, nil
+}
+
+// ReadRange implements RangeReader: the device is charged for the bytes
+// actually transferred (offsets carry no cost in the analytic model).
+func (b *ModeledBackend) ReadRange(name string, off, n int64) (Data, error) {
+	s, ok := b.manifest.Lookup(name)
+	if !ok {
+		return Data{}, &NotExistError{Name: name}
+	}
+	if off < 0 || n < 0 {
+		return Data{}, fmt.Errorf("storage: negative range (%d, %d)", off, n)
+	}
+	if off >= s.Size {
+		return Data{Name: name, Size: 0}, nil
+	}
+	if off+n > s.Size {
+		n = s.Size - off
+	}
+	if b.cache != nil && b.cache.Touch(name) {
+		return Data{Name: name, Size: n}, nil
+	}
+	b.device.Read(n)
+	return Data{Name: name, Size: n}, nil
+}
+
+// Size reports the manifest size for name.
+func (b *ModeledBackend) Size(name string) (int64, error) {
+	s, ok := b.manifest.Lookup(name)
+	if !ok {
+		return 0, &NotExistError{Name: name}
+	}
+	return s.Size, nil
+}
+
+// Device exposes the underlying device (for stats).
+func (b *ModeledBackend) Device() *Device { return b.device }
+
+// DirBackend serves reads from a real directory tree. File names use
+// forward slashes relative to the root, matching dataset.FromDir.
+type DirBackend struct {
+	root string
+}
+
+// NewDirBackend returns a backend rooted at dir.
+func NewDirBackend(dir string) *DirBackend { return &DirBackend{root: dir} }
+
+// ReadFile reads the file from disk.
+func (b *DirBackend) ReadFile(name string) (Data, error) {
+	path := filepath.Join(b.root, filepath.FromSlash(name))
+	bytes, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Data{}, &NotExistError{Name: name}
+		}
+		return Data{}, err
+	}
+	return Data{Name: name, Size: int64(len(bytes)), Bytes: bytes}, nil
+}
+
+// ReadRange implements RangeReader via pread on the underlying file.
+func (b *DirBackend) ReadRange(name string, off, n int64) (Data, error) {
+	if off < 0 || n < 0 {
+		return Data{}, fmt.Errorf("storage: negative range (%d, %d)", off, n)
+	}
+	path := filepath.Join(b.root, filepath.FromSlash(name))
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Data{}, &NotExistError{Name: name}
+		}
+		return Data{}, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	read, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return Data{}, err
+	}
+	return Data{Name: name, Size: int64(read), Bytes: buf[:read]}, nil
+}
+
+// Size stats the file.
+func (b *DirBackend) Size(name string) (int64, error) {
+	path := filepath.Join(b.root, filepath.FromSlash(name))
+	info, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, &NotExistError{Name: name}
+		}
+		return 0, err
+	}
+	return info.Size(), nil
+}

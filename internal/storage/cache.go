@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"container/list"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+)
+
+// PageCache is a byte-budgeted LRU cache of whole files, modeling the OS
+// page cache in sim mode. It stores no payloads, only residency.
+type PageCache struct {
+	mu       conc.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits   *metrics.Counter
+	misses *metrics.Counter
+}
+
+type cacheEntry struct {
+	name string
+	size int64
+}
+
+// NewPageCache returns a cache with the given byte capacity (must be > 0).
+func NewPageCache(env conc.Env, capacity int64) *PageCache {
+	if capacity <= 0 {
+		panic("storage: page cache capacity must be positive")
+	}
+	return &PageCache{
+		mu:       env.NewMutex(),
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		hits:     metrics.NewCounter(env),
+		misses:   metrics.NewCounter(env),
+	}
+}
+
+// Touch reports whether name is resident, refreshing its recency on a hit.
+func (c *PageCache) Touch(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[name]
+	if !ok {
+		c.misses.Inc()
+		return false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return true
+}
+
+// Insert records name as resident, evicting least-recently-used files as
+// needed. Files larger than the capacity are not cached.
+func (c *PageCache) Insert(name string, size int64) {
+	if size > c.capacity || size < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[name]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, victim.name)
+		c.used -= victim.size
+	}
+	c.entries[name] = c.order.PushFront(&cacheEntry{name: name, size: size})
+	c.used += size
+}
+
+// Used reports resident bytes.
+func (c *PageCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len reports resident file count.
+func (c *PageCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// HitRate reports hits / (hits + misses), or zero before any lookups.
+func (c *PageCache) HitRate() float64 {
+	h, m := c.hits.Value(), c.misses.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Stats reports raw hit and miss counts.
+func (c *PageCache) Stats() (hits, misses int64) {
+	return c.hits.Value(), c.misses.Value()
+}

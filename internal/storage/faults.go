@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+)
+
+// ErrInjected is the base error wrapped by FaultyBackend failures.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultyBackend wraps a Backend and fails selected reads, for failure-path
+// testing of the data plane (producer I/O errors must surface to the
+// consumer that requested the file, not wedge the pipeline).
+type FaultyBackend struct {
+	inner Backend
+
+	mu conc.Mutex
+	// failEvery fails every Nth ReadFile (1-indexed); 0 disables.
+	failEvery int64
+	// failNames fails reads of specific files.
+	failNames map[string]bool
+	count     int64
+	injected  int64
+}
+
+// NewFaultyBackend wraps inner with no faults armed.
+func NewFaultyBackend(env conc.Env, inner Backend) *FaultyBackend {
+	return &FaultyBackend{inner: inner, mu: env.NewMutex(), failNames: make(map[string]bool)}
+}
+
+// FailEvery arms a fault on every nth read (n <= 0 disarms).
+func (f *FaultyBackend) FailEvery(n int64) {
+	f.mu.Lock()
+	f.failEvery = n
+	f.mu.Unlock()
+}
+
+// FailName arms a persistent fault for one file name.
+func (f *FaultyBackend) FailName(name string) {
+	f.mu.Lock()
+	f.failNames[name] = true
+	f.mu.Unlock()
+}
+
+// Injected reports how many faults have fired.
+func (f *FaultyBackend) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// ReadFile applies armed faults, otherwise delegates.
+func (f *FaultyBackend) ReadFile(name string) (Data, error) {
+	f.mu.Lock()
+	f.count++
+	fire := f.failNames[name] || (f.failEvery > 0 && f.count%f.failEvery == 0)
+	if fire {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fire {
+		return Data{}, fmt.Errorf("%w: read of %q", ErrInjected, name)
+	}
+	return f.inner.ReadFile(name)
+}
+
+// Size delegates to the wrapped backend (metadata is assumed healthy).
+func (f *FaultyBackend) Size(name string) (int64, error) { return f.inner.Size(name) }

@@ -1,0 +1,461 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+)
+
+// runSim executes body as a simulated process and fails the test on error.
+func runSim(t *testing.T, body func(env conc.Env)) {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("test-body", func(*sim.Process) { body(env) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestDeviceSpecValidate(t *testing.T) {
+	good := P4600()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("P4600 invalid: %v", err)
+	}
+	bad := []DeviceSpec{
+		{BaseLatency: -1, BytesPerSecond: 1, Channels: 1},
+		{BytesPerSecond: 0, Channels: 1},
+		{BytesPerSecond: 1, Channels: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	spec := DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e6, Channels: 1}
+	if got := spec.ServiceTime(0); got != time.Millisecond {
+		t.Fatalf("ServiceTime(0) = %v, want 1ms", got)
+	}
+	// 1 MB at 1 MB/s = 1s transfer.
+	if got := spec.ServiceTime(1e6); got != time.Second+time.Millisecond {
+		t.Fatalf("ServiceTime(1MB) = %v, want 1.001s", got)
+	}
+	if got := spec.ServiceTime(-5); got != time.Millisecond {
+		t.Fatalf("negative size not clamped: %v", got)
+	}
+}
+
+func TestDeviceSingleRead(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, err := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e6, Channels: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := env.Now()
+		d := dev.Read(1000) // 1ms base + 1ms transfer
+		if d != 2*time.Millisecond {
+			t.Errorf("Read latency = %v, want 2ms", d)
+		}
+		if env.Now()-start != 2*time.Millisecond {
+			t.Errorf("clock advanced %v, want 2ms", env.Now()-start)
+		}
+		st := dev.Stats()
+		if st.Reads != 1 || st.Bytes != 1000 || st.QueueTime != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+}
+
+func TestDeviceSerializesBeyondChannels(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	var makespan time.Duration
+	s.Spawn("driver", func(*sim.Process) {
+		dev, _ := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 2})
+		wg := env.NewWaitGroup()
+		wg.Add(6)
+		for i := 0; i < 6; i++ {
+			env.Go(fmt.Sprintf("r%d", i), func() {
+				defer wg.Done()
+				dev.Read(0)
+			})
+		}
+		wg.Wait()
+		makespan = env.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 6 requests of 1ms each over 2 channels = 3ms makespan.
+	if makespan != 3*time.Millisecond {
+		t.Fatalf("makespan = %v, want 3ms", makespan)
+	}
+}
+
+func TestDeviceQueueTimeAccounting(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	var st DeviceStats
+	s.Spawn("driver", func(*sim.Process) {
+		dev, _ := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 1})
+		wg := env.NewWaitGroup()
+		wg.Add(2)
+		for i := 0; i < 2; i++ {
+			env.Go("r", func() {
+				defer wg.Done()
+				dev.Read(0)
+			})
+		}
+		wg.Wait()
+		st = dev.Stats()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.BusyTime != 2*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want 2ms", st.BusyTime)
+	}
+	if st.QueueTime != time.Millisecond {
+		t.Fatalf("QueueTime = %v, want 1ms (second request waits out the first)", st.QueueTime)
+	}
+}
+
+// Property: with c channels and n equal requests, makespan = ceil(n/c) * svc.
+func TestDeviceMakespanProperty(t *testing.T) {
+	prop := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		c := int(cRaw)%4 + 1
+		s := sim.New()
+		env := conc.NewSimEnv(s)
+		ok := true
+		s.Spawn("driver", func(*sim.Process) {
+			dev, _ := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: c})
+			wg := env.NewWaitGroup()
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				env.Go("r", func() {
+					defer wg.Done()
+					dev.Read(0)
+				})
+			}
+			wg.Wait()
+			want := time.Duration((n+c-1)/c) * time.Millisecond
+			if env.Now() != want {
+				ok = false
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func manifest3() *dataset.Manifest {
+	return dataset.MustNew([]dataset.Sample{
+		{Name: "a", Size: 1000},
+		{Name: "b", Size: 2000},
+		{Name: "c", Size: 3000},
+	})
+}
+
+func TestModeledBackendReadsTakeModeledTime(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e6, Channels: 1})
+		b := NewModeledBackend(manifest3(), dev, nil)
+		start := env.Now()
+		d, err := b.ReadFile("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Size != 2000 || d.Bytes != nil {
+			t.Errorf("Data = %+v, want size 2000, nil bytes", d)
+		}
+		if got := env.Now() - start; got != 3*time.Millisecond { // 1ms + 2000B/1MBps
+			t.Errorf("elapsed %v, want 3ms", got)
+		}
+	})
+}
+
+func TestModeledBackendMissingFile(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, P4600())
+		b := NewModeledBackend(manifest3(), dev, nil)
+		_, err := b.ReadFile("nope")
+		var ne *NotExistError
+		if !errors.As(err, &ne) || ne.Name != "nope" {
+			t.Errorf("err = %v, want NotExistError{nope}", err)
+		}
+		if _, err := b.Size("nope"); err == nil {
+			t.Error("Size of missing file succeeded")
+		}
+	})
+}
+
+func TestModeledBackendSizeIsFree(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, P4600())
+		b := NewModeledBackend(manifest3(), dev, nil)
+		start := env.Now()
+		n, err := b.Size("c")
+		if err != nil || n != 3000 {
+			t.Fatalf("Size = %d, %v", n, err)
+		}
+		if env.Now() != start {
+			t.Error("Size consumed simulated time")
+		}
+	})
+}
+
+func TestModeledBackendWithCache(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e12, Channels: 1})
+		cache := NewPageCache(env, 10_000)
+		b := NewModeledBackend(manifest3(), dev, cache)
+		_, _ = b.ReadFile("a") // miss: device read
+		t0 := env.Now()
+		_, _ = b.ReadFile("a") // hit: free
+		if env.Now() != t0 {
+			t.Error("cache hit consumed device time")
+		}
+		if dev.Stats().Reads != 1 {
+			t.Errorf("device reads = %d, want 1", dev.Stats().Reads)
+		}
+		if cache.HitRate() != 0.5 {
+			t.Errorf("hit rate = %v, want 0.5", cache.HitRate())
+		}
+	})
+}
+
+func TestPageCacheLRUEviction(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		c := NewPageCache(env, 300)
+		c.Insert("a", 100)
+		c.Insert("b", 100)
+		c.Insert("c", 100)
+		c.Touch("a") // refresh a; b is now LRU
+		c.Insert("d", 100)
+		if c.Touch("b") {
+			t.Error("b survived eviction, want LRU eviction")
+		}
+		if !c.Touch("a") || !c.Touch("c") || !c.Touch("d") {
+			t.Error("unexpected eviction of a, c, or d")
+		}
+		if c.Used() != 300 || c.Len() != 3 {
+			t.Errorf("Used=%d Len=%d, want 300/3", c.Used(), c.Len())
+		}
+	})
+}
+
+func TestPageCacheOversizeRejected(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		c := NewPageCache(env, 100)
+		c.Insert("huge", 1000)
+		if c.Len() != 0 {
+			t.Error("oversize file was cached")
+		}
+		c.Insert("neg", -5)
+		if c.Len() != 0 {
+			t.Error("negative-size file was cached")
+		}
+	})
+}
+
+func TestPageCacheReinsertRefreshes(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		c := NewPageCache(env, 200)
+		c.Insert("a", 100)
+		c.Insert("b", 100)
+		c.Insert("a", 100) // refresh, not duplicate
+		if c.Used() != 200 {
+			t.Errorf("Used = %d, want 200", c.Used())
+		}
+		c.Insert("c", 100) // evicts b (LRU), not a
+		if c.Touch("b") {
+			t.Error("b should have been evicted")
+		}
+		if !c.Touch("a") {
+			t.Error("a should have been refreshed by reinsert")
+		}
+	})
+}
+
+func TestPageCacheCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero capacity")
+		}
+	}()
+	NewPageCache(conc.NewReal(), 0)
+}
+
+// Property: cache usage never exceeds capacity.
+func TestPageCacheCapacityProperty(t *testing.T) {
+	prop := func(sizes []uint16, capRaw uint16) bool {
+		capacity := int64(capRaw)%5000 + 1
+		env := conc.NewReal()
+		c := NewPageCache(env, capacity)
+		for i, sz := range sizes {
+			c.Insert(fmt.Sprintf("f%d", i), int64(sz)%2000)
+			if c.Used() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "train")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("hello prisma")
+	if err := os.WriteFile(filepath.Join(sub, "x.jpg"), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := NewDirBackend(dir)
+	d, err := b.ReadFile("train/x.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d.Bytes) != string(content) || d.Size != int64(len(content)) {
+		t.Fatalf("Data = %+v", d)
+	}
+	n, err := b.Size("train/x.jpg")
+	if err != nil || n != int64(len(content)) {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+}
+
+func TestDirBackendMissing(t *testing.T) {
+	b := NewDirBackend(t.TempDir())
+	_, err := b.ReadFile("ghost")
+	var ne *NotExistError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want NotExistError", err)
+	}
+	if _, err := b.Size("ghost"); !errors.As(err, &ne) {
+		t.Fatalf("Size err = %v, want NotExistError", err)
+	}
+}
+
+func TestFaultyBackendFailEvery(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, P4600())
+		f := NewFaultyBackend(env, NewModeledBackend(manifest3(), dev, nil))
+		f.FailEvery(2)
+		var fails int
+		for i := 0; i < 6; i++ {
+			if _, err := f.ReadFile("a"); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				fails++
+			}
+		}
+		if fails != 3 || f.Injected() != 3 {
+			t.Errorf("fails = %d injected = %d, want 3/3", fails, f.Injected())
+		}
+	})
+}
+
+func TestFaultyBackendFailName(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, P4600())
+		f := NewFaultyBackend(env, NewModeledBackend(manifest3(), dev, nil))
+		f.FailName("b")
+		if _, err := f.ReadFile("a"); err != nil {
+			t.Fatalf("healthy read failed: %v", err)
+		}
+		if _, err := f.ReadFile("b"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed read err = %v, want ErrInjected", err)
+		}
+	})
+}
+
+func TestModeledReadRange(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := NewDevice(env, DeviceSpec{BaseLatency: time.Millisecond, BytesPerSecond: 1e6, Channels: 1})
+		b := NewModeledBackend(manifest3(), dev, nil)
+		start := env.Now()
+		d, err := b.ReadRange("c", 1000, 1000) // 1ms base + 1ms transfer
+		if err != nil || d.Size != 1000 {
+			t.Fatalf("ReadRange = %+v, %v", d, err)
+		}
+		if env.Now()-start != 2*time.Millisecond {
+			t.Fatalf("elapsed %v, want 2ms", env.Now()-start)
+		}
+		// Truncated at EOF.
+		d, err = b.ReadRange("a", 800, 1000)
+		if err != nil || d.Size != 200 {
+			t.Fatalf("truncated ReadRange = %+v, %v", d, err)
+		}
+		// Past EOF.
+		d, err = b.ReadRange("a", 5000, 10)
+		if err != nil || d.Size != 0 {
+			t.Fatalf("past-EOF ReadRange = %+v, %v", d, err)
+		}
+		if _, err := b.ReadRange("a", -1, 10); err == nil {
+			t.Fatal("negative offset accepted")
+		}
+		if _, err := b.ReadRange("ghost", 0, 10); err == nil {
+			t.Fatal("missing file accepted")
+		}
+	})
+}
+
+func TestDirReadRange(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x"), []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := NewDirBackend(dir)
+	d, err := b.ReadRange("x", 3, 4)
+	if err != nil || string(d.Bytes) != "3456" || d.Size != 4 {
+		t.Fatalf("ReadRange = %+v, %v", d, err)
+	}
+	// Truncated at EOF.
+	d, err = b.ReadRange("x", 8, 10)
+	if err != nil || string(d.Bytes) != "89" {
+		t.Fatalf("truncated = %+v, %v", d, err)
+	}
+	if _, err := b.ReadRange("x", -1, 1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := b.ReadRange("ghost", 0, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPresetSpecsSane(t *testing.T) {
+	for _, spec := range []DeviceSpec{P4600(), SATAHDD(), NFSShare()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	// The SSD should service a typical ImageNet file far faster than the HDD.
+	ssd := P4600().ServiceTime(113_000)
+	hdd := SATAHDD().ServiceTime(113_000)
+	if ssd*10 > hdd {
+		t.Errorf("SSD (%v) not clearly faster than HDD (%v)", ssd, hdd)
+	}
+}

@@ -1,0 +1,200 @@
+// Package tiering implements the storage-tiering optimization the paper
+// lists as future work (§VII: "it would be interesting to explore the
+// impact of storage tiering policies under different datasets and
+// models"). It is a self-contained data-plane building block in the
+// paper's sense: a Backend that fronts a slow tier (parallel file system,
+// NFS share) with a capacity-bounded fast tier (local NVMe), promoting
+// files after a configurable number of accesses and evicting LRU files
+// when the fast tier fills. An adapter exposes it as a
+// core.OptimizationObject so stages can chain it with prefetching.
+package tiering
+
+import (
+	"container/list"
+	"fmt"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// Config parameterizes the tiering policy.
+type Config struct {
+	// FastCapacity is the fast tier's byte budget.
+	FastCapacity int64
+	// PromoteAfter is the access count at which a file is copied to the
+	// fast tier (1 = promote on first access).
+	PromoteAfter int
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.FastCapacity < 1 {
+		return fmt.Errorf("tiering: fast capacity %d < 1", c.FastCapacity)
+	}
+	if c.PromoteAfter < 1 {
+		return fmt.Errorf("tiering: promote-after %d < 1", c.PromoteAfter)
+	}
+	return nil
+}
+
+// Stats is a snapshot of tiering activity.
+type Stats struct {
+	FastHits   int64
+	SlowReads  int64
+	Promotions int64
+	Evictions  int64
+	FastUsed   int64
+}
+
+// Backend is the tiered storage backend. It is safe for concurrent use
+// from threads of its environment.
+type Backend struct {
+	env  conc.Env
+	cfg  Config
+	slow storage.Backend
+	// fastDevice models the fast tier's transfer costs; residency is
+	// tracked here (the slow backend remains the source of truth for
+	// content).
+	fastDevice *storage.Device
+
+	mu       conc.Mutex
+	resident map[string]*list.Element // name -> LRU element
+	order    *list.List               // front = most recently used
+	used     int64
+	accesses map[string]int
+
+	fastHits   *metrics.Counter
+	slowReads  *metrics.Counter
+	promotions *metrics.Counter
+	evictions  *metrics.Counter
+}
+
+type entry struct {
+	name string
+	size int64
+}
+
+// NewBackend builds a tiered backend: reads missing the fast tier go to
+// slow; promoted copies pay fastDevice write costs; hits pay fastDevice
+// read costs.
+func NewBackend(env conc.Env, cfg Config, slow storage.Backend, fastDevice *storage.Device) (*Backend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Backend{
+		env:        env,
+		cfg:        cfg,
+		slow:       slow,
+		fastDevice: fastDevice,
+		mu:         env.NewMutex(),
+		resident:   make(map[string]*list.Element),
+		order:      list.New(),
+		accesses:   make(map[string]int),
+		fastHits:   metrics.NewCounter(env),
+		slowReads:  metrics.NewCounter(env),
+		promotions: metrics.NewCounter(env),
+		evictions:  metrics.NewCounter(env),
+	}, nil
+}
+
+// ReadFile implements storage.Backend.
+func (b *Backend) ReadFile(name string) (storage.Data, error) {
+	b.mu.Lock()
+	el, hit := b.resident[name]
+	if hit {
+		b.order.MoveToFront(el)
+	}
+	b.mu.Unlock()
+
+	if hit {
+		b.fastHits.Inc()
+		size := el.Value.(*entry).size
+		b.fastDevice.Read(size)
+		return storage.Data{Name: name, Size: size}, nil
+	}
+
+	data, err := b.slow.ReadFile(name)
+	if err != nil {
+		return storage.Data{}, err
+	}
+	b.slowReads.Inc()
+
+	b.mu.Lock()
+	b.accesses[name]++
+	promote := b.accesses[name] >= b.cfg.PromoteAfter &&
+		data.Size <= b.cfg.FastCapacity
+	if promote {
+		b.admit(name, data.Size)
+	}
+	b.mu.Unlock()
+
+	if promote {
+		b.promotions.Inc()
+		b.fastDevice.Write(data.Size) // copy-in cost
+	}
+	return data, nil
+}
+
+// admit inserts name into the fast tier, evicting LRU entries as needed.
+// Caller holds b.mu.
+func (b *Backend) admit(name string, size int64) {
+	if _, dup := b.resident[name]; dup {
+		return
+	}
+	for b.used+size > b.cfg.FastCapacity {
+		back := b.order.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		b.order.Remove(back)
+		delete(b.resident, victim.name)
+		b.used -= victim.size
+		b.evictions.Inc()
+	}
+	b.resident[name] = b.order.PushFront(&entry{name: name, size: size})
+	b.used += size
+	delete(b.accesses, name) // reset the promotion counter
+}
+
+// Size implements storage.Backend (metadata comes from the slow tier).
+func (b *Backend) Size(name string) (int64, error) { return b.slow.Size(name) }
+
+// Resident reports whether name currently lives on the fast tier.
+func (b *Backend) Resident(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.resident[name]
+	return ok
+}
+
+// Stats snapshots tiering counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	used := b.used
+	b.mu.Unlock()
+	return Stats{
+		FastHits:   b.fastHits.Value(),
+		SlowReads:  b.slowReads.Value(),
+		Promotions: b.promotions.Value(),
+		Evictions:  b.evictions.Value(),
+		FastUsed:   used,
+	}
+}
+
+// Object adapts the tiered backend to the data plane's optimization-object
+// interface; it handles every read (it is a complete storage path).
+type Object struct{ B *Backend }
+
+// Name implements core.OptimizationObject.
+func (o Object) Name() string { return "storage-tiering" }
+
+// Read implements core.OptimizationObject.
+func (o Object) Read(name string) (storage.Data, bool, error) {
+	data, err := o.B.ReadFile(name)
+	return data, true, err
+}
+
+// Close implements core.OptimizationObject.
+func (o Object) Close() {}

@@ -1,0 +1,273 @@
+package tiering
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+func runSim(t *testing.T, body func(env conc.Env)) {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("test-body", func(*sim.Process) { body(env) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// tieredFixture builds a slow NFS-like backend plus a fast NVMe-like
+// device with n files of the given size.
+func tieredFixture(env conc.Env, cfg Config, n int, size int64) (*Backend, []string) {
+	samples := make([]dataset.Sample, n)
+	names := make([]string, n)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("f%03d", i), Size: size}
+		names[i] = samples[i].Name
+	}
+	man := dataset.MustNew(samples)
+	slowDev, err := storage.NewDevice(env, storage.DeviceSpec{
+		BaseLatency: 10 * time.Millisecond, BytesPerSecond: 1e9, Channels: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fastDev, err := storage.NewDevice(env, storage.DeviceSpec{
+		BaseLatency: 100 * time.Microsecond, BytesPerSecond: 1e10, Channels: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	slow := storage.NewModeledBackend(man, slowDev, nil)
+	b, err := NewBackend(env, cfg, slow, fastDev)
+	if err != nil {
+		panic(err)
+	}
+	return b, names
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{FastCapacity: 0, PromoteAfter: 1}).Validate() == nil {
+		t.Error("zero capacity accepted")
+	}
+	if (Config{FastCapacity: 1, PromoteAfter: 0}).Validate() == nil {
+		t.Error("zero promote-after accepted")
+	}
+	if err := (Config{FastCapacity: 1 << 20, PromoteAfter: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPromoteOnFirstAccess(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 4, 1000)
+		if _, err := b.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		if !b.Resident(names[0]) {
+			t.Fatal("file not promoted after first access")
+		}
+		st := b.Stats()
+		if st.SlowReads != 1 || st.Promotions != 1 || st.FastHits != 0 {
+			t.Fatalf("stats = %+v", st)
+		}
+		// Second read hits the fast tier.
+		start := env.Now()
+		if _, err := b.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		if env.Now()-start > time.Millisecond {
+			t.Fatalf("fast-tier hit took %v, want ≈100µs", env.Now()-start)
+		}
+		if b.Stats().FastHits != 1 {
+			t.Fatal("fast hit not counted")
+		}
+	})
+}
+
+func TestPromoteAfterThreshold(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 3}, 2, 1000)
+		for i := 0; i < 2; i++ {
+			_, _ = b.ReadFile(names[0])
+			if b.Resident(names[0]) {
+				t.Fatalf("promoted after %d accesses, want 3", i+1)
+			}
+		}
+		_, _ = b.ReadFile(names[0])
+		if !b.Resident(names[0]) {
+			t.Fatal("not promoted after 3 accesses")
+		}
+	})
+}
+
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		// Fast tier fits 3 files of 1000 bytes.
+		b, names := tieredFixture(env, Config{FastCapacity: 3000, PromoteAfter: 1}, 5, 1000)
+		for _, n := range names[:3] {
+			_, _ = b.ReadFile(n)
+		}
+		_, _ = b.ReadFile(names[0]) // refresh 0; 1 is now LRU
+		_, _ = b.ReadFile(names[3]) // promotes 3, evicts 1
+		if b.Resident(names[1]) {
+			t.Fatal("LRU file survived eviction")
+		}
+		if !b.Resident(names[0]) || !b.Resident(names[2]) || !b.Resident(names[3]) {
+			t.Fatal("wrong eviction victim")
+		}
+		if b.Stats().Evictions != 1 {
+			t.Fatalf("evictions = %d, want 1", b.Stats().Evictions)
+		}
+		if b.Stats().FastUsed != 3000 {
+			t.Fatalf("FastUsed = %d, want 3000", b.Stats().FastUsed)
+		}
+	})
+}
+
+func TestOversizeNeverPromoted(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 500, PromoteAfter: 1}, 2, 1000)
+		_, _ = b.ReadFile(names[0])
+		if b.Resident(names[0]) {
+			t.Fatal("file larger than the fast tier promoted")
+		}
+	})
+}
+
+func TestSlowErrorPropagates(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 2, 1000)
+		if _, err := b.ReadFile("ghost"); err == nil {
+			t.Fatal("missing file read succeeded")
+		}
+	})
+}
+
+func TestSizeFromSlowTier(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 2, 1234)
+		n, err := b.Size(names[0])
+		if err != nil || n != 1234 {
+			t.Fatalf("Size = %d, %v", n, err)
+		}
+	})
+}
+
+func TestTieringSpeedsUpRepeatedEpochs(t *testing.T) {
+	// The headline behaviour: epoch 1 pays the slow tier; epoch 2 runs at
+	// fast-tier speed once the working set is promoted.
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 30, PromoteAfter: 1}, 50, 100_000)
+		epoch := func() time.Duration {
+			start := env.Now()
+			for _, n := range names {
+				if _, err := b.ReadFile(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return env.Now() - start
+		}
+		first := epoch()
+		second := epoch()
+		if second*5 > first {
+			t.Fatalf("second epoch %v not ≪ first %v", second, first)
+		}
+	})
+}
+
+func TestObjectAdapterInStage(t *testing.T) {
+	// Tiering composes with the stage as an optimization object.
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 4, 1000)
+		st := core.NewStage(env, b, Object{B: b})
+		d, err := st.Read(names[0])
+		if err != nil || d.Size != 1000 {
+			t.Fatalf("stage Read = %+v, %v", d, err)
+		}
+		if st.Stats().Hits != 1 {
+			t.Fatalf("Hits = %d, want 1 (object handled)", st.Stats().Hits)
+		}
+		if !b.Resident(names[0]) {
+			t.Fatal("promotion did not happen through the stage")
+		}
+		if (Object{B: b}).Name() == "" {
+			t.Fatal("object needs a name")
+		}
+		st.Close()
+	})
+}
+
+func TestPrefetcherOverTieredBackend(t *testing.T) {
+	// Composition: PRISMA's producers read through the tiered backend.
+	// Epoch 1 pulls from the slow tier and promotes; epoch 2's prefetch
+	// runs at fast-tier speed — the two optimization objects stack.
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 30, PromoteAfter: 1}, 60, 100_000)
+		pf, err := core.NewPrefetcher(env, b, core.PrefetcherConfig{
+			InitialProducers: 2, MaxProducers: 8,
+			InitialBufferCapacity: 16, MaxBufferCapacity: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := core.NewStage(env, b, core.NewPrefetchObject(pf))
+		pf.Start()
+		defer st.Close()
+
+		epoch := func() time.Duration {
+			start := env.Now()
+			if err := st.SubmitPlan(names); err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range names {
+				if _, err := st.Read(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return env.Now() - start
+		}
+		first := epoch()
+		second := epoch()
+		if second*3 > first {
+			t.Fatalf("epoch 2 (%v) not ≪ epoch 1 (%v) despite promotion", second, first)
+		}
+		stats := b.Stats()
+		if stats.Promotions != 60 {
+			t.Fatalf("promotions = %d, want 60", stats.Promotions)
+		}
+		if stats.FastHits != 60 {
+			t.Fatalf("fast hits = %d, want 60 (all of epoch 2)", stats.FastHits)
+		}
+	})
+}
+
+func TestTieringUnderConcurrentReaders(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 40, 1000)
+		wg := env.NewWaitGroup()
+		wg.Add(4)
+		for w := 0; w < 4; w++ {
+			w := w
+			env.Go(fmt.Sprintf("reader-%d", w), func() {
+				defer wg.Done()
+				for i := w; i < len(names); i += 4 {
+					if _, err := b.ReadFile(names[i]); err != nil {
+						t.Errorf("read %s: %v", names[i], err)
+					}
+				}
+			})
+		}
+		wg.Wait()
+		st := b.Stats()
+		if st.SlowReads != 40 || st.Promotions != 40 {
+			t.Fatalf("stats = %+v, want 40 slow reads and promotions", st)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+// Package train models the compute side of DL training on the paper's
+// evaluation node (4× NVIDIA V100, synchronous data parallelism): per-model
+// per-batch GPU cost profiles, a GPU cluster that executes steps in
+// (virtual or real) time, and the software-pipelined training loop that
+// overlaps data loading with the previous step's computation — the
+// structure that makes I/O-bound models wait on storage and compute-bound
+// models hide it (paper §II, §V).
+package train
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model characterizes a neural network's training cost on one GPU.
+type Model struct {
+	// Name identifies the model in tables ("lenet", "alexnet", "resnet50").
+	Name string
+	// ComputePerImage is the GPU time to process one image of the
+	// per-GPU sub-batch (forward+backward).
+	ComputePerImage time.Duration
+	// StepOverhead is the fixed per-step cost (kernel launches, gradient
+	// all-reduce across the 4 GPUs, optimizer update).
+	StepOverhead time.Duration
+	// ValComputeFactor scales ComputePerImage for validation (forward
+	// pass only).
+	ValComputeFactor float64
+}
+
+// StepTime reports the duration of one synchronous data-parallel step with
+// the given per-GPU batch size (GPUs run their sub-batches concurrently, so
+// the step costs one sub-batch plus overhead).
+func (m Model) StepTime(batchPerGPU int) time.Duration {
+	return time.Duration(batchPerGPU)*m.ComputePerImage + m.StepOverhead
+}
+
+// ValStepTime reports the duration of one validation (inference) step.
+func (m Model) ValStepTime(batchPerGPU int) time.Duration {
+	per := time.Duration(float64(m.ComputePerImage) * m.ValComputeFactor)
+	return time.Duration(batchPerGPU)*per + m.StepOverhead/2
+}
+
+// Validate reports whether the model profile is usable.
+func (m Model) Validate() error {
+	if m.ComputePerImage <= 0 {
+		return fmt.Errorf("train: model %q has non-positive compute", m.Name)
+	}
+	if m.StepOverhead < 0 {
+		return fmt.Errorf("train: model %q has negative step overhead", m.Name)
+	}
+	if m.ValComputeFactor <= 0 || m.ValComputeFactor > 1 {
+		return fmt.Errorf("train: model %q has bad val factor %v", m.Name, m.ValComputeFactor)
+	}
+	return nil
+}
+
+// The profiles below are calibrated against the paper's evaluation
+// (ImageNet on 4× V100): LeNet is strongly I/O-bound (training consumes
+// ~100k img/s of compute, far above what the SSD delivers), AlexNet is
+// mixed (~3.9k img/s, close to the storage ceiling), and ResNet-50 is
+// compute-bound (~1.2k img/s, well below it).
+
+// LeNet returns the I/O-bound LeNet-5 profile.
+func LeNet() Model {
+	return Model{
+		Name:             "lenet",
+		ComputePerImage:  8 * time.Microsecond,
+		StepOverhead:     2 * time.Millisecond,
+		ValComputeFactor: 0.4,
+	}
+}
+
+// AlexNet returns the mixed AlexNet profile.
+func AlexNet() Model {
+	return Model{
+		Name:             "alexnet",
+		ComputePerImage:  1 * time.Millisecond,
+		StepOverhead:     2 * time.Millisecond,
+		ValComputeFactor: 0.35,
+	}
+}
+
+// ResNet50 returns the compute-bound ResNet-50 profile.
+func ResNet50() Model {
+	return Model{
+		Name:             "resnet50",
+		ComputePerImage:  3300 * time.Microsecond,
+		StepOverhead:     3 * time.Millisecond,
+		ValComputeFactor: 0.33,
+	}
+}
+
+// Models returns the paper's three evaluation models.
+func Models() []Model { return []Model{LeNet(), AlexNet(), ResNet50()} }
+
+// ModelByName looks a profile up by table name.
+func ModelByName(name string) (Model, error) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("train: unknown model %q", name)
+}

@@ -1,0 +1,288 @@
+package train
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+)
+
+func runSim(t *testing.T, body func(env conc.Env)) {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("test-body", func(*sim.Process) { body(env) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestModelProfilesValid(t *testing.T) {
+	for _, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	// The paper's ordering: LeNet ≪ AlexNet < ResNet-50 in compute.
+	if !(LeNet().ComputePerImage < AlexNet().ComputePerImage && AlexNet().ComputePerImage < ResNet50().ComputePerImage) {
+		t.Error("model compute costs not ordered LeNet < AlexNet < ResNet-50")
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("alexnet")
+	if err != nil || m.Name != "alexnet" {
+		t.Fatalf("ModelByName = %+v, %v", m, err)
+	}
+	if _, err := ModelByName("vgg"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestStepTime(t *testing.T) {
+	m := Model{Name: "m", ComputePerImage: time.Millisecond, StepOverhead: 10 * time.Millisecond, ValComputeFactor: 0.5}
+	if got := m.StepTime(64); got != 74*time.Millisecond {
+		t.Fatalf("StepTime(64) = %v, want 74ms", got)
+	}
+	if got := m.ValStepTime(64); got != 37*time.Millisecond {
+		t.Fatalf("ValStepTime(64) = %v, want 32ms + 5ms", got)
+	}
+}
+
+func TestModelValidateRejectsBad(t *testing.T) {
+	bad := []Model{
+		{Name: "a", ComputePerImage: 0, StepOverhead: 1, ValComputeFactor: 0.5},
+		{Name: "b", ComputePerImage: 1, StepOverhead: -1, ValComputeFactor: 0.5},
+		{Name: "c", ComputePerImage: 1, StepOverhead: 1, ValComputeFactor: 0},
+		{Name: "d", ComputePerImage: 1, StepOverhead: 1, ValComputeFactor: 1.5},
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("model %s accepted", m.Name)
+		}
+	}
+}
+
+func TestGPUClusterPipelining(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		g := NewGPUCluster(env, 4)
+		// Two back-to-back 10ms steps: the second issue stalls 10ms.
+		if stall := g.IssueStep(10 * time.Millisecond); stall != 0 {
+			t.Errorf("first stall = %v, want 0", stall)
+		}
+		if stall := g.IssueStep(10 * time.Millisecond); stall != 10*time.Millisecond {
+			t.Errorf("second stall = %v, want 10ms", stall)
+		}
+		g.Drain()
+		if env.Now() != 20*time.Millisecond {
+			t.Errorf("elapsed = %v, want 20ms", env.Now())
+		}
+		if g.BusyTime() != 20*time.Millisecond || g.Steps() != 2 {
+			t.Errorf("busy=%v steps=%d", g.BusyTime(), g.Steps())
+		}
+	})
+}
+
+func TestGPUClusterOverlap(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		g := NewGPUCluster(env, 4)
+		g.IssueStep(10 * time.Millisecond)
+		env.Sleep(6 * time.Millisecond) // "loading" overlaps the step
+		if stall := g.IssueStep(10 * time.Millisecond); stall != 4*time.Millisecond {
+			t.Errorf("stall = %v, want 4ms (6ms hidden by loading)", stall)
+		}
+		g.Drain()
+	})
+}
+
+func TestGPUClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero GPUs")
+		}
+	}()
+	NewGPUCluster(conc.NewReal(), 0)
+}
+
+// delayIter yields n samples, each costing d of loading time.
+type delayIter struct {
+	env conc.Env
+	n   int
+	d   time.Duration
+	i   int
+	err error
+}
+
+func (it *delayIter) Next() (bool, error) {
+	if it.err != nil {
+		return false, it.err
+	}
+	if it.i >= it.n {
+		return false, nil
+	}
+	it.i++
+	if it.d > 0 {
+		it.env.Sleep(it.d)
+	}
+	return true, nil
+}
+
+// fakePipeline hands out delayIters.
+type fakePipeline struct {
+	env          conc.Env
+	trainN, valN int
+	trainD, valD time.Duration
+	trainErr     error
+}
+
+func (p *fakePipeline) TrainIter(epoch int) (Iterator, error) {
+	return &delayIter{env: p.env, n: p.trainN, d: p.trainD, err: p.trainErr}, nil
+}
+func (p *fakePipeline) ValIter(epoch int) (Iterator, error) {
+	return &delayIter{env: p.env, n: p.valN, d: p.valD}, nil
+}
+func (p *fakePipeline) Close() {}
+
+func TestRunComputeBound(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m := Model{Name: "m", ComputePerImage: time.Millisecond, StepOverhead: 0, ValComputeFactor: 0.5}
+		cfg := Config{Model: m, BatchPerGPU: 10, GPUs: 4, Epochs: 1}
+		g := NewGPUCluster(env, 4)
+		// 400 samples, instant loading: 10 steps × 10ms compute = 100ms.
+		p := &fakePipeline{env: env, trainN: 400}
+		res, err := Run(env, cfg, p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Elapsed != 100*time.Millisecond {
+			t.Errorf("Elapsed = %v, want 100ms", res.Elapsed)
+		}
+		if res.TrainSamples != 400 || res.Steps != 10 {
+			t.Errorf("samples=%d steps=%d, want 400/10", res.TrainSamples, res.Steps)
+		}
+		if res.GPUUtil < 0.99 {
+			t.Errorf("GPUUtil = %v, want ≈1 (compute-bound)", res.GPUUtil)
+		}
+	})
+}
+
+func TestRunIOBound(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m := Model{Name: "m", ComputePerImage: 50 * time.Microsecond, StepOverhead: 0, ValComputeFactor: 0.5}
+		cfg := Config{Model: m, BatchPerGPU: 10, GPUs: 4, Epochs: 1}
+		g := NewGPUCluster(env, 4)
+		// 400 samples × 1ms loading = 400ms; compute per step = 0.5ms,
+		// hidden by pipelining except the last step.
+		p := &fakePipeline{env: env, trainN: 400, trainD: time.Millisecond}
+		res, err := Run(env, cfg, p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 400*time.Millisecond + m.StepTime(10)/2 + m.StepTime(10)/2 // loading + final step
+		if res.Elapsed < 400*time.Millisecond || res.Elapsed > want+time.Millisecond {
+			t.Errorf("Elapsed = %v, want ≈400.5ms", res.Elapsed)
+		}
+		if res.GPUUtil > 0.10 {
+			t.Errorf("GPUUtil = %v, want low (I/O-bound)", res.GPUUtil)
+		}
+	})
+}
+
+func TestRunPartialFinalBatch(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m := Model{Name: "m", ComputePerImage: time.Millisecond, StepOverhead: 0, ValComputeFactor: 0.5}
+		cfg := Config{Model: m, BatchPerGPU: 10, GPUs: 4, Epochs: 1}
+		g := NewGPUCluster(env, 4)
+		p := &fakePipeline{env: env, trainN: 45} // 1 full step (40) + partial (5)
+		res, err := Run(env, cfg, p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TrainSamples != 45 || res.Steps != 2 {
+			t.Errorf("samples=%d steps=%d, want 45/2", res.TrainSamples, res.Steps)
+		}
+		// 10ms full step + 10ms×5/40 partial = 11.25ms.
+		want := 10*time.Millisecond + 10*time.Millisecond*5/40
+		if res.Elapsed != want {
+			t.Errorf("Elapsed = %v, want %v", res.Elapsed, want)
+		}
+	})
+}
+
+func TestRunWithValidation(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m := Model{Name: "m", ComputePerImage: time.Millisecond, StepOverhead: 0, ValComputeFactor: 0.5}
+		cfg := Config{Model: m, BatchPerGPU: 10, GPUs: 4, Epochs: 2, Validation: true}
+		g := NewGPUCluster(env, 4)
+		p := &fakePipeline{env: env, trainN: 80, valN: 40}
+		res, err := Run(env, cfg, p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TrainSamples != 160 || res.ValSamples != 80 {
+			t.Errorf("train=%d val=%d, want 160/80", res.TrainSamples, res.ValSamples)
+		}
+		// Per epoch: 2 train steps (20ms) + 1 val step (5ms) = 25ms.
+		if res.Elapsed != 50*time.Millisecond {
+			t.Errorf("Elapsed = %v, want 50ms", res.Elapsed)
+		}
+		if len(res.EpochTimes) != 2 || res.EpochTimes[0] != 25*time.Millisecond {
+			t.Errorf("EpochTimes = %v", res.EpochTimes)
+		}
+	})
+}
+
+func TestRunPerStepSync(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m := Model{Name: "m", ComputePerImage: time.Millisecond, StepOverhead: 0, ValComputeFactor: 0.5}
+		g := NewGPUCluster(env, 4)
+		cfg := Config{Model: m, BatchPerGPU: 10, GPUs: 4, Epochs: 1, PerStepSync: 5 * time.Millisecond}
+		p := &fakePipeline{env: env, trainN: 40}
+		res, err := Run(env, cfg, p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1 step: 5ms sync + 10ms compute.
+		if res.Elapsed != 15*time.Millisecond {
+			t.Errorf("Elapsed = %v, want 15ms", res.Elapsed)
+		}
+	})
+}
+
+func TestRunPropagatesIteratorError(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m := LeNet()
+		cfg := Config{Model: m, BatchPerGPU: 4, GPUs: 4, Epochs: 1}
+		g := NewGPUCluster(env, 4)
+		p := &fakePipeline{env: env, trainN: 10, trainErr: errors.New("disk on fire")}
+		if _, err := Run(env, cfg, p, g); err == nil {
+			t.Fatal("iterator error swallowed")
+		}
+	})
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		g := NewGPUCluster(env, 4)
+		p := &fakePipeline{env: env, trainN: 1}
+		bad := []Config{
+			{Model: LeNet(), BatchPerGPU: 0, GPUs: 4, Epochs: 1},
+			{Model: LeNet(), BatchPerGPU: 1, GPUs: 0, Epochs: 1},
+			{Model: LeNet(), BatchPerGPU: 1, GPUs: 4, Epochs: 0},
+			{Model: LeNet(), BatchPerGPU: 1, GPUs: 4, Epochs: 1, PerStepSync: -1},
+			{Model: Model{}, BatchPerGPU: 1, GPUs: 4, Epochs: 1},
+		}
+		for i, cfg := range bad {
+			if _, err := Run(env, cfg, p, g); err == nil {
+				t.Errorf("bad config %d accepted", i)
+			}
+		}
+		// GPU count mismatch.
+		cfg := Config{Model: LeNet(), BatchPerGPU: 1, GPUs: 2, Epochs: 1}
+		if _, err := Run(env, cfg, p, g); err == nil {
+			t.Error("GPU mismatch accepted")
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+)
+
+// Iterator yields training or validation samples in epoch order. Next
+// blocks for however long the underlying data path takes (serial device
+// reads for a baseline pipeline, a buffer pop for a prefetched one) and
+// reports ok=false at the end of the epoch.
+type Iterator interface {
+	Next() (ok bool, err error)
+}
+
+// Pipeline is a framework input pipeline as seen by the trainer: it
+// produces per-epoch train and validation iterators. Construction of the
+// iterators is where each setup's behaviour lives (serial reads, intrinsic
+// parallel prefetching, or PRISMA interception).
+type Pipeline interface {
+	TrainIter(epoch int) (Iterator, error)
+	ValIter(epoch int) (Iterator, error)
+	Close()
+}
+
+// Config parameterizes one training run.
+type Config struct {
+	Model       Model
+	BatchPerGPU int
+	GPUs        int
+	Epochs      int
+	// PerStepSync is the host-side cost paid synchronously per step
+	// (batch collation, feed dispatch). It does not overlap with loading,
+	// which is why larger batches (fewer steps) help the optimized setups
+	// (paper §V-A).
+	PerStepSync time.Duration
+	// Validation runs the validation phase after every epoch.
+	Validation bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.BatchPerGPU < 1 {
+		return fmt.Errorf("train: batch per GPU %d < 1", c.BatchPerGPU)
+	}
+	if c.GPUs < 1 {
+		return fmt.Errorf("train: GPUs %d < 1", c.GPUs)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("train: epochs %d < 1", c.Epochs)
+	}
+	if c.PerStepSync < 0 {
+		return fmt.Errorf("train: negative per-step sync")
+	}
+	return nil
+}
+
+// Result summarizes one training run.
+type Result struct {
+	Elapsed      time.Duration
+	EpochTimes   []time.Duration
+	TrainSamples int64
+	ValSamples   int64
+	Steps        int64
+	GPUBusy      time.Duration
+	GPUUtil      float64
+}
+
+// Run executes cfg against the pipeline on the cluster and reports timing.
+// It must be called from a thread of env. The loop structure implements
+// single-step software pipelining: read batch k+1 while step k computes.
+func Run(env conc.Env, cfg Config, p Pipeline, gpus *GPUCluster) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if gpus.GPUs() != cfg.GPUs {
+		return Result{}, fmt.Errorf("train: cluster has %d GPUs, config wants %d", gpus.GPUs(), cfg.GPUs)
+	}
+	start := env.Now()
+	res := Result{}
+	globalBatch := cfg.BatchPerGPU * cfg.GPUs
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := env.Now()
+
+		it, err := p.TrainIter(epoch)
+		if err != nil {
+			return res, fmt.Errorf("train: epoch %d: %w", epoch, err)
+		}
+		n, steps, err := runPhase(env, it, globalBatch, cfg.PerStepSync, cfg.Model.StepTime(cfg.BatchPerGPU), gpus)
+		if err != nil {
+			return res, fmt.Errorf("train: epoch %d: %w", epoch, err)
+		}
+		res.TrainSamples += n
+		res.Steps += steps
+
+		if cfg.Validation {
+			vit, err := p.ValIter(epoch)
+			if err != nil {
+				return res, fmt.Errorf("train: epoch %d validation: %w", epoch, err)
+			}
+			vn, vsteps, err := runPhase(env, vit, globalBatch, cfg.PerStepSync, cfg.Model.ValStepTime(cfg.BatchPerGPU), gpus)
+			if err != nil {
+				return res, fmt.Errorf("train: epoch %d validation: %w", epoch, err)
+			}
+			res.ValSamples += vn
+			res.Steps += vsteps
+		}
+		res.EpochTimes = append(res.EpochTimes, env.Now()-epochStart)
+	}
+	gpus.Drain()
+	res.Elapsed = env.Now() - start
+	res.GPUBusy = gpus.BusyTime()
+	if res.Elapsed > 0 {
+		busy := res.GPUBusy
+		if busy > res.Elapsed {
+			busy = res.Elapsed
+		}
+		res.GPUUtil = float64(busy) / float64(res.Elapsed)
+	}
+	return res, nil
+}
+
+// runPhase drives one iterator to exhaustion, issuing a GPU step per
+// (possibly final partial) batch.
+func runPhase(env conc.Env, it Iterator, globalBatch int, perStepSync, stepTime time.Duration, gpus *GPUCluster) (samples, steps int64, err error) {
+	for {
+		filled := 0
+		for filled < globalBatch {
+			ok, err := it.Next()
+			if err != nil {
+				return samples, steps, err
+			}
+			if !ok {
+				break
+			}
+			filled++
+		}
+		if filled == 0 {
+			break
+		}
+		samples += int64(filled)
+		if perStepSync > 0 {
+			env.Sleep(perStepSync) // host-side collation: not overlapped
+		}
+		// Scale the step to the actual (possibly partial) batch.
+		d := stepTime
+		if filled < globalBatch {
+			d = time.Duration(float64(stepTime) * float64(filled) / float64(globalBatch))
+		}
+		gpus.IssueStep(d)
+		steps++
+		if filled < globalBatch {
+			break
+		}
+	}
+	gpus.Drain()
+	return samples, steps, nil
+}

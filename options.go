@@ -1,0 +1,73 @@
+package prisma
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the dataset root on the local filesystem (required). File
+	// names in plans and Read calls are slash-separated paths relative to
+	// this directory.
+	Dir string
+
+	// InitialProducers is the starting number of prefetching threads t
+	// (default 1; the auto-tuner raises it as needed).
+	InitialProducers int
+	// MaxProducers bounds t (default 32).
+	MaxProducers int
+	// InitialBuffer is the starting in-memory buffer capacity N in
+	// samples (default 16).
+	InitialBuffer int
+	// MaxBuffer bounds N (default 4096).
+	MaxBuffer int
+
+	// AutoTune enables the control plane's feedback loop over t and N
+	// (default true — set DisableAutoTune to turn it off).
+	DisableAutoTune bool
+	// ControlInterval is the feedback loop's period (default 500ms).
+	ControlInterval time.Duration
+
+	// TraceFile, when set, records every backend I/O (name, size,
+	// latency, outcome) and writes the trace as JSON lines to this path
+	// on Close — input for offline analysis and replay (prisma-trace).
+	TraceFile string
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() Options {
+	if o.InitialProducers == 0 {
+		o.InitialProducers = 1
+	}
+	if o.MaxProducers == 0 {
+		o.MaxProducers = 32
+	}
+	if o.InitialBuffer == 0 {
+		o.InitialBuffer = 16
+	}
+	if o.MaxBuffer == 0 {
+		o.MaxBuffer = 4096
+	}
+	if o.ControlInterval == 0 {
+		o.ControlInterval = 500 * time.Millisecond
+	}
+	return o
+}
+
+// validate rejects inconsistent options.
+func (o Options) validate() error {
+	if o.Dir == "" {
+		return fmt.Errorf("prisma: Options.Dir is required")
+	}
+	if o.InitialProducers < 1 || o.MaxProducers < o.InitialProducers {
+		return fmt.Errorf("prisma: bad producer bounds [%d, %d]", o.InitialProducers, o.MaxProducers)
+	}
+	if o.InitialBuffer < 1 || o.MaxBuffer < o.InitialBuffer {
+		return fmt.Errorf("prisma: bad buffer bounds [%d, %d]", o.InitialBuffer, o.MaxBuffer)
+	}
+	if o.ControlInterval <= 0 {
+		return fmt.Errorf("prisma: non-positive control interval")
+	}
+	return nil
+}

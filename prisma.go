@@ -1,0 +1,278 @@
+package prisma
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/control"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/httpadmin"
+	"github.com/dsrhaslab/prisma-go/internal/ipc"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+	"github.com/dsrhaslab/prisma-go/internal/trace"
+)
+
+// Prisma is one data-plane stage plus its control plane, serving a local
+// dataset directory. It is safe for concurrent use.
+type Prisma struct {
+	env      *conc.Real
+	manifest *dataset.Manifest
+	stage    *core.Stage
+	ctl      *control.Controller
+	server   *ipc.Server
+	recorder *trace.Recorder
+	traceTo  string
+	closed   bool
+}
+
+// Stats is the public monitoring snapshot (the stage's control-interface
+// view).
+type Stats struct {
+	Reads           int64
+	Hits            int64
+	Bypasses        int64
+	Errors          int64
+	PrefetchedFiles int64
+	ReadErrors      int64
+	QueueLen        int
+	Producers       int
+	BufferLen       int
+	BufferCapacity  int
+	ConsumerWait    time.Duration
+	ProducerWait    time.Duration
+}
+
+// Open builds a PRISMA instance over opts.Dir. The directory is scanned
+// once to build the dataset manifest (file names are slash-separated paths
+// relative to Dir).
+func Open(opts Options) (*Prisma, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	manifest, err := dataset.FromDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("prisma: scanning %s: %w", opts.Dir, err)
+	}
+	if manifest.Len() == 0 {
+		return nil, fmt.Errorf("prisma: no files under %s", opts.Dir)
+	}
+	env := conc.NewReal()
+	var backend storage.Backend = storage.NewDirBackend(opts.Dir)
+	var recorder *trace.Recorder
+	if opts.TraceFile != "" {
+		recorder = trace.NewRecorder(env, backend)
+		backend = recorder
+	}
+	pf, err := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
+		InitialProducers:      opts.InitialProducers,
+		MaxProducers:          opts.MaxProducers,
+		InitialBufferCapacity: opts.InitialBuffer,
+		MaxBufferCapacity:     opts.MaxBuffer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prisma: %w", err)
+	}
+	stage := core.NewStage(env, backend, core.NewPrefetchObject(pf))
+	pf.Start()
+
+	p := &Prisma{env: env, manifest: manifest, stage: stage, recorder: recorder, traceTo: opts.TraceFile}
+	if !opts.DisableAutoTune {
+		pol := control.DefaultPolicy()
+		pol.MinProducers = 1
+		pol.MaxProducers = opts.MaxProducers
+		pol.MinBuffer = 1
+		pol.MaxBuffer = opts.MaxBuffer
+		ctl := control.NewController(env, opts.ControlInterval)
+		initial := control.Tuning{Producers: opts.InitialProducers, BufferCapacity: opts.InitialBuffer}
+		if err := ctl.Attach("stage", stage, control.NewAutotuner(), pol, initial); err != nil {
+			stage.Close()
+			return nil, fmt.Errorf("prisma: %w", err)
+		}
+		ctl.Start()
+		p.ctl = ctl
+	}
+	return p, nil
+}
+
+// Read serves one file through the data plane: planned files come from the
+// prefetch buffer (each is served exactly once per plan entry and evicted);
+// unplanned files fall through to the filesystem.
+func (p *Prisma) Read(name string) ([]byte, error) {
+	data, err := p.stage.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	return data.Bytes, nil
+}
+
+// SubmitPlan shares one epoch's shuffled filename list with the data plane;
+// producers read files in exactly this order, ahead of consumption.
+func (p *Prisma) SubmitPlan(names []string) error {
+	for _, n := range names {
+		if _, ok := p.manifest.Lookup(n); !ok {
+			return fmt.Errorf("prisma: plan references unknown file %q", n)
+		}
+	}
+	return p.stage.SubmitPlan(names)
+}
+
+// ShuffledFileList produces the deterministic per-epoch shuffled filename
+// list — the artifact the paper's job-script module shares between the
+// framework and PRISMA (§IV). Calling it with the same (seed, epoch) in
+// the training loop and in SubmitPlan keeps both sides in the same order
+// without changing how the framework shuffles.
+func (p *Prisma) ShuffledFileList(seed int64, epoch int) []string {
+	return p.manifest.EpochFileList(seed, epoch)
+}
+
+// Files reports the number of files in the scanned dataset.
+func (p *Prisma) Files() int { return p.manifest.Len() }
+
+// TotalBytes reports the scanned dataset volume.
+func (p *Prisma) TotalBytes() int64 { return p.manifest.TotalBytes() }
+
+// Stats snapshots the data plane.
+func (p *Prisma) Stats() Stats {
+	s := p.stage.Stats()
+	return Stats{
+		Reads:           s.Reads,
+		Hits:            s.Hits,
+		Bypasses:        s.Bypasses,
+		Errors:          s.Errors,
+		PrefetchedFiles: s.PrefetchedFiles,
+		ReadErrors:      s.ReadErrors,
+		QueueLen:        s.QueueLen,
+		Producers:       s.TargetProducers,
+		BufferLen:       s.Buffer.Len,
+		BufferCapacity:  s.Buffer.Capacity,
+		ConsumerWait:    s.Buffer.ConsumerWait,
+		ProducerWait:    s.Buffer.ProducerWait,
+	}
+}
+
+// SetProducers pins the producer count t (disable AutoTune to keep it).
+func (p *Prisma) SetProducers(n int) { p.stage.SetProducers(n) }
+
+// SetBufferCapacity pins the buffer capacity N.
+func (p *Prisma) SetBufferCapacity(n int) { p.stage.SetBufferCapacity(n) }
+
+// AdminHandler returns an http.Handler exposing the stage's control
+// interface for dashboards and scrapers: GET /healthz, GET /stats (JSON),
+// GET /metrics (Prometheus text format), POST /tuning?producers=N&buffer=M.
+func (p *Prisma) AdminHandler() http.Handler { return httpadmin.New(p.stage) }
+
+// ServeUnix exposes this stage to other processes over a UNIX domain
+// socket — the integration path for multi-process data loaders (§IV's
+// PyTorch client/server). Connect with Dial from this package.
+func (p *Prisma) ServeUnix(socketPath string) error {
+	if p.server != nil {
+		return errors.New("prisma: already serving")
+	}
+	srv, err := ipc.Serve(socketPath, p.stage)
+	if err != nil {
+		return err
+	}
+	p.server = srv
+	return nil
+}
+
+// Close stops the control loop, the socket server (if any), and the data
+// plane. Blocked readers are released with an error.
+func (p *Prisma) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.ctl != nil {
+		p.ctl.Stop()
+	}
+	var err error
+	if p.server != nil {
+		err = p.server.Close()
+	}
+	p.stage.Close()
+	if p.recorder != nil {
+		if werr := p.dumpTrace(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// dumpTrace writes the recorded backend I/O trace to Options.TraceFile.
+func (p *Prisma) dumpTrace() error {
+	f, err := os.Create(p.traceTo)
+	if err != nil {
+		return fmt.Errorf("prisma: trace: %w", err)
+	}
+	if err := p.recorder.Trace().Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prisma: trace: %w", err)
+	}
+	return f.Close()
+}
+
+// Client is a per-worker-process connection to a PRISMA socket server.
+type Client struct{ c *ipc.Client }
+
+// Dial connects to a PRISMA server started with ServeUnix (or the
+// prisma-server command).
+func Dial(socketPath string) (*Client, error) {
+	c, err := ipc.Dial(socketPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Read requests one file through the remote stage.
+func (c *Client) Read(name string) ([]byte, error) {
+	data, err := c.c.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	return data.Bytes, nil
+}
+
+// SubmitPlan forwards an epoch's shuffled filename list.
+func (c *Client) SubmitPlan(names []string) error { return c.c.SubmitPlan(names) }
+
+// Stats fetches the remote stage's snapshot.
+func (c *Client) Stats() (Stats, error) {
+	s, err := c.c.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Reads:           s.Reads,
+		Hits:            s.Hits,
+		Bypasses:        s.Bypasses,
+		Errors:          s.Errors,
+		PrefetchedFiles: s.PrefetchedFiles,
+		ReadErrors:      s.ReadErrors,
+		QueueLen:        s.QueueLen,
+		Producers:       s.TargetProducers,
+		BufferLen:       s.Buffer.Len,
+		BufferCapacity:  s.Buffer.Capacity,
+		ConsumerWait:    s.Buffer.ConsumerWait,
+		ProducerWait:    s.Buffer.ProducerWait,
+	}, nil
+}
+
+// SetProducers adjusts the remote stage's t.
+func (c *Client) SetProducers(n int) error { return c.c.SetProducers(n) }
+
+// SetBufferCapacity adjusts the remote stage's N.
+func (c *Client) SetBufferCapacity(n int) error { return c.c.SetBufferCapacity(n) }
+
+// Ping probes server liveness.
+func (c *Client) Ping() error { return c.c.Ping() }
+
+// Close severs the connection.
+func (c *Client) Close() error { return c.c.Close() }

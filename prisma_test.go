@@ -1,0 +1,360 @@
+package prisma
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/dataset"
+)
+
+// makeDataset writes n small files under a temp dir and returns it.
+func makeDataset(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	samples := make([]dataset.Sample, n)
+	for i := range samples {
+		samples[i] = dataset.Sample{Name: fmt.Sprintf("train/%04d.jpg", i), Size: int64(2048 + i)}
+	}
+	if err := dataset.Generate(dir, dataset.MustNew(samples), 99); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func open(t *testing.T, dir string, mutate func(*Options)) *Prisma {
+	t.Helper()
+	opts := Options{Dir: dir}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	p, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Error("empty Dir accepted")
+	}
+	if _, err := Open(Options{Dir: t.TempDir()}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	dir := makeDataset(t, 1)
+	if _, err := Open(Options{Dir: dir, InitialProducers: 5, MaxProducers: 2}); err == nil {
+		t.Error("bad producer bounds accepted")
+	}
+	if _, err := Open(Options{Dir: dir, InitialBuffer: 50, MaxBuffer: 4}); err == nil {
+		t.Error("bad buffer bounds accepted")
+	}
+	if _, err := Open(Options{Dir: dir, ControlInterval: -time.Second}); err == nil {
+		t.Error("negative control interval accepted")
+	}
+}
+
+func TestOpenScansManifest(t *testing.T) {
+	dir := makeDataset(t, 10)
+	p := open(t, dir, nil)
+	if p.Files() != 10 {
+		t.Fatalf("Files = %d, want 10", p.Files())
+	}
+	if p.TotalBytes() == 0 {
+		t.Fatal("TotalBytes = 0")
+	}
+}
+
+func TestPlannedReadsComeFromBuffer(t *testing.T) {
+	dir := makeDataset(t, 20)
+	p := open(t, dir, nil)
+	plan := p.ShuffledFileList(7, 0)
+	if err := p.SubmitPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range plan {
+		data, err := p.Read(name)
+		if err != nil {
+			t.Fatalf("Read(%s): %v", name, err)
+		}
+		if len(data) < 2048 {
+			t.Fatalf("Read(%s): %d bytes", name, len(data))
+		}
+	}
+	st := p.Stats()
+	if st.Hits != 20 || st.Bypasses != 0 {
+		t.Fatalf("stats = %+v, want 20 hits", st)
+	}
+}
+
+func TestReadBytesMatchDisk(t *testing.T) {
+	dir := makeDataset(t, 3)
+	p := open(t, dir, nil)
+	plan := p.ShuffledFileList(1, 0)
+	_ = p.SubmitPlan(plan)
+	viaPrisma, err := p.Read(plan[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := readDisk(dir, plan[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaPrisma, raw) {
+		t.Fatal("prefetched bytes differ from disk")
+	}
+}
+
+func readDisk(dir, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, filepath.FromSlash(name)))
+}
+
+func TestUnplannedReadBypasses(t *testing.T) {
+	dir := makeDataset(t, 5)
+	p := open(t, dir, nil)
+	if _, err := p.Read("train/0000.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Bypasses != 1 {
+		t.Fatalf("Bypasses = %d, want 1", st.Bypasses)
+	}
+}
+
+func TestSubmitPlanRejectsUnknownFiles(t *testing.T) {
+	dir := makeDataset(t, 2)
+	p := open(t, dir, nil)
+	if err := p.SubmitPlan([]string{"ghost.jpg"}); err == nil {
+		t.Fatal("unknown plan file accepted")
+	}
+}
+
+func TestShuffledFileListDeterministic(t *testing.T) {
+	dir := makeDataset(t, 30)
+	p := open(t, dir, nil)
+	a := p.ShuffledFileList(5, 2)
+	b := p.ShuffledFileList(5, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (seed, epoch) gave different lists")
+		}
+	}
+	c := p.ShuffledFileList(5, 3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different epochs gave identical lists")
+	}
+}
+
+func TestManualTuningWithoutAutotune(t *testing.T) {
+	dir := makeDataset(t, 5)
+	p := open(t, dir, func(o *Options) { o.DisableAutoTune = true })
+	p.SetProducers(3)
+	p.SetBufferCapacity(7)
+	// Producer changes are applied asynchronously but the target is
+	// immediate.
+	if st := p.Stats(); st.Producers != 3 || st.BufferCapacity != 7 {
+		t.Fatalf("stats = %+v, want t=3 N=7", st)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	dir := makeDataset(t, 2)
+	p := open(t, dir, nil)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads after close fail instead of hanging.
+	plan := p.ShuffledFileList(1, 0)
+	if err := p.SubmitPlan(plan); err == nil {
+		t.Fatal("SubmitPlan after Close succeeded")
+	}
+}
+
+func TestServeUnixRoundTrip(t *testing.T) {
+	dir := makeDataset(t, 16)
+	p := open(t, dir, nil)
+	sock := filepath.Join(t.TempDir(), "prisma.sock")
+	if err := p.ServeUnix(sock); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ServeUnix(sock); err == nil {
+		t.Fatal("double ServeUnix accepted")
+	}
+
+	planner, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer planner.Close()
+	if err := planner.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	plan := p.ShuffledFileList(3, 0)
+	if err := planner.SubmitPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Four "worker processes", one client each.
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(sock)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := w; i < len(plan); i += workers {
+				data, err := c.Read(plan[i])
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if len(data) < 2048 {
+					errs <- fmt.Errorf("worker %d: short read %d", w, len(data))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st, err := planner.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != int64(len(plan)) {
+		t.Fatalf("remote Hits = %d, want %d", st.Hits, len(plan))
+	}
+	if err := planner.SetProducers(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := planner.SetBufferCapacity(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceFileWrittenOnClose(t *testing.T) {
+	dir := makeDataset(t, 8)
+	tracePath := filepath.Join(t.TempDir(), "io.trace")
+	p, err := Open(Options{Dir: dir, TraceFile: tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := p.ShuffledFileList(3, 0)
+	if err := p.SubmitPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range plan {
+		if _, err := p.Read(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(raw), "\n")
+	if lines != 8 {
+		t.Fatalf("trace has %d events, want 8 (one per backend read)", lines)
+	}
+	if !strings.Contains(string(raw), `"name":"train/`) {
+		t.Fatalf("trace content unexpected: %s", raw[:min(200, len(raw))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAdminHandler(t *testing.T) {
+	dir := makeDataset(t, 4)
+	p := open(t, dir, nil)
+	srv := httptest.NewServer(p.AdminHandler())
+	defer srv.Close()
+
+	plan := p.ShuffledFileList(1, 0)
+	_ = p.SubmitPlan(plan)
+	for _, n := range plan {
+		if _, err := p.Read(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "prisma_buffer_hits_total 4") {
+		t.Fatalf("metrics missing hit count:\n%s", body)
+	}
+	// Tuning over HTTP reaches the stage.
+	post, err := http.Post(srv.URL+"/tuning?producers=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if got := p.Stats().Producers; got != 3 {
+		t.Fatalf("producers = %d, want 3 via HTTP", got)
+	}
+}
+
+func TestAutotuneAdjustsUnderLoad(t *testing.T) {
+	dir := makeDataset(t, 400)
+	p := open(t, dir, func(o *Options) { o.ControlInterval = 20 * time.Millisecond })
+	for epoch := 0; epoch < 3; epoch++ {
+		plan := p.ShuffledFileList(11, epoch)
+		if err := p.SubmitPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range plan {
+			if _, err := p.Read(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Hits != 1200 {
+		t.Fatalf("Hits = %d, want 1200", st.Hits)
+	}
+	if st.Producers < 1 || st.Producers > 32 {
+		t.Fatalf("Producers = %d out of policy bounds", st.Producers)
+	}
+}
