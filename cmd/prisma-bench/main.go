@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prisma-bench [flags] fig2|fig3|fig4|ablation|all
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|all
 //
 // Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
 // default 1/128 preserves every shape in a fraction of the event count.
@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/dsrhaslab/prisma-go/internal/chaos"
 	"github.com/dsrhaslab/prisma-go/internal/distrib"
 	"github.com/dsrhaslab/prisma-go/internal/experiments"
 	"github.com/dsrhaslab/prisma-go/internal/train"
@@ -34,10 +35,11 @@ func main() {
 		par      = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical at any value")
 		format   = flag.String("format", "table", "output format: table | csv | json")
 		deadline = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = none)")
+		chaosN   = flag.Int("chaos-schedules", 100, "seeded fault schedules for the chaos target")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|all")
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -159,13 +161,65 @@ func main() {
 	if what == "distrib" || what == "all" {
 		runDistrib()
 	}
+	if what == "chaos" || what == "all" {
+		runChaos(cal.Seed, *chaosN)
+	}
 	switch what {
-	case "fig2", "fig3", "fig4", "ablation", "distrib", "all":
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "all":
 	default:
 		log.Fatalf("prisma-bench: unknown target %q", what)
 	}
 	log.Printf("prisma-bench: done in %v (scale %.5f, %d epochs, %d runs)",
 		time.Since(start).Round(time.Millisecond), cal.Scale, cal.Epochs, cal.Runs)
+}
+
+// runChaos replays n seeded fault schedules through the chaos harness and
+// summarizes delivery accounting, resilience telemetry, and the worst
+// post-heal recovery ratio.
+func runChaos(baseSeed int64, n int) {
+	fmt.Printf("Chaos — %d seeded fault schedules (sim mode, 4 epochs, faults in the middle two)\n", n)
+	var delivered, errors, injected, retries, opens, fastFails int64
+	var worstRecovery float64
+	degraded := 0
+	for i := 0; i < n; i++ {
+		cfg := chaos.DefaultConfig(baseSeed + int64(i))
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			log.Fatalf("prisma-bench: chaos seed %d: %v", cfg.Seed, err)
+		}
+		if got, want := res.Delivered+res.ConsumerErrors, int64(cfg.Files*cfg.Epochs); got != want {
+			log.Fatalf("prisma-bench: chaos seed %d: %d outcomes for %d planned samples", cfg.Seed, got, want)
+		}
+		delivered += res.Delivered
+		errors += res.ConsumerErrors
+		injected += res.Injected
+		retries += res.Retries
+		opens += res.BreakerOpens
+		fastFails += res.FastFails
+		if res.DegradedObserved {
+			degraded++
+		}
+		if res.RecoveryRatio > worstRecovery {
+			worstRecovery = res.RecoveryRatio
+		}
+	}
+	rows := [][]string{{
+		fmt.Sprint(n),
+		fmt.Sprint(delivered),
+		fmt.Sprint(errors),
+		fmt.Sprint(injected),
+		fmt.Sprint(retries),
+		fmt.Sprint(opens),
+		fmt.Sprint(fastFails),
+		fmt.Sprint(degraded),
+		fmt.Sprintf("%.3f", worstRecovery),
+	}}
+	if err := experiments.WriteTable(os.Stdout,
+		[]string{"schedules", "delivered", "consumer errs", "injected", "retries", "breaker opens", "fast fails", "degraded runs", "worst recovery"},
+		rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
 }
 
 func runDistrib() {

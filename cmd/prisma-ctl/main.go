@@ -68,6 +68,11 @@ func main() {
 		fmt.Printf("buffer (len/N):   %d/%d\n", s.BufferLen, s.BufferCapacity)
 		fmt.Printf("consumer wait:    %v\n", s.ConsumerWait)
 		fmt.Printf("producer wait:    %v\n", s.ProducerWait)
+		if s.BreakerState != "" {
+			fmt.Printf("retries:          %d\n", s.Retries)
+			fmt.Printf("breaker:          %s (%d opens)\n", s.BreakerState, s.BreakerOpens)
+			fmt.Printf("degraded:         %v\n", s.Degraded)
+		}
 
 	case "ping":
 		if err := client.Ping(); err != nil {

@@ -53,6 +53,16 @@ func (a *Autotuner) Decide(prev, cur core.StageStats, applied Tuning, pol Policy
 		return next
 	}
 
+	// Degraded mode: the storage backend's circuit breaker is open (or
+	// half-open), so extra reader threads would only pile retries onto a
+	// failing device. Back t off one step per interval and skip the normal
+	// signals; tuning resumes once the breaker closes.
+	if cur.Resilience.Degraded {
+		next.Producers--
+		a.lastRaised = false
+		return pol.Clamp(next)
+	}
+
 	consumerWait := cur.Buffer.ConsumerWait - prev.Buffer.ConsumerWait
 	producerWait := cur.Buffer.ProducerWait - prev.Buffer.ProducerWait
 	starvation := float64(consumerWait) / float64(interval)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
 // Snapshot is one timestamped data-plane observation.
@@ -62,12 +63,33 @@ func (m *Monitor) Len(id string) int {
 	return len(m.series[id])
 }
 
+// Resilience returns the latest recorded resilience snapshot for id. ok is
+// false when no snapshot exists yet.
+func (m *Monitor) Resilience(id string) (storage.ResilienceStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.series[id]
+	if len(s) == 0 {
+		return storage.ResilienceStats{}, false
+	}
+	return s[len(s)-1].Stats.Resilience, true
+}
+
+// Degraded reports whether stage id's storage backend was shedding load
+// (circuit breaker open or probing) as of the latest snapshot. This is the
+// control-plane view of the degraded-mode signal the autotuner acts on.
+func (m *Monitor) Degraded(id string) bool {
+	r, ok := m.Resilience(id)
+	return ok && r.Degraded
+}
+
 // Rates summarizes stage activity over the trailing window.
 type Rates struct {
-	Window      time.Duration
-	ReadsPerSec float64
-	HitRate     float64 // hits / reads within the window
-	ErrorRate   float64 // errors / reads within the window
+	Window        time.Duration
+	ReadsPerSec   float64
+	HitRate       float64 // hits / reads within the window
+	ErrorRate     float64 // errors / reads within the window
+	RetriesPerSec float64 // storage retries within the window
 }
 
 // Rate derives windowed rates for id from the two snapshots spanning the
@@ -100,7 +122,12 @@ func (m *Monitor) Rate(id string, window time.Duration) (Rates, bool) {
 	reads := newest.Stats.Reads - oldest.Stats.Reads
 	hits := newest.Stats.Hits - oldest.Stats.Hits
 	errors := newest.Stats.Errors - oldest.Stats.Errors
-	r := Rates{Window: newest.At - oldest.At, ReadsPerSec: float64(reads) / dt}
+	retries := newest.Stats.Resilience.Retries - oldest.Stats.Resilience.Retries
+	r := Rates{
+		Window:        newest.At - oldest.At,
+		ReadsPerSec:   float64(reads) / dt,
+		RetriesPerSec: float64(retries) / dt,
+	}
 	if reads > 0 {
 		r.HitRate = float64(hits) / float64(reads)
 		r.ErrorRate = float64(errors) / float64(reads)

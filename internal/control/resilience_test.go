@@ -1,0 +1,110 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+func TestAutotunerBacksOffWhenDegraded(t *testing.T) {
+	pol := DefaultPolicy()
+	prev := statsAt(0, 0, 0, 100, 0)
+	// Heavy starvation would normally raise t — but the breaker is open, so
+	// the autotuner must shed producers instead of piling on retries.
+	cur := statsAt(time.Second, 300*time.Millisecond, 0, 100, 50)
+	cur.Resilience = storage.ResilienceStats{State: "open", Degraded: true}
+	got := NewAutotuner().Decide(prev, cur, Tuning{Producers: 4, BufferCapacity: 16}, pol)
+	if got.Producers != 3 {
+		t.Fatalf("Producers = %d, want 3 (degraded back-off)", got.Producers)
+	}
+	if got.BufferCapacity != 16 {
+		t.Fatalf("BufferCapacity = %d, want unchanged 16", got.BufferCapacity)
+	}
+}
+
+func TestAutotunerDegradedRespectsFloor(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.MinProducers = 2
+	prev := statsAt(0, 0, 0, 100, 0)
+	cur := statsAt(time.Second, 0, 0, 100, 50)
+	cur.Resilience.Degraded = true
+	got := NewAutotuner().Decide(prev, cur, Tuning{Producers: 2, BufferCapacity: 16}, pol)
+	if got.Producers != 2 {
+		t.Fatalf("Producers = %d, want clamped at floor 2", got.Producers)
+	}
+}
+
+func TestAutotunerResumesAfterDegradedClears(t *testing.T) {
+	pol := DefaultPolicy()
+	a := NewAutotuner()
+	prev := statsAt(0, 0, 0, 100, 0)
+	degraded := statsAt(time.Second, 300*time.Millisecond, 0, 100, 50)
+	degraded.Resilience.Degraded = true
+	tun := a.Decide(prev, degraded, Tuning{Producers: 4, BufferCapacity: 16}, pol)
+	if tun.Producers != 3 {
+		t.Fatalf("degraded Producers = %d, want 3", tun.Producers)
+	}
+	// The breaker closed; the same starvation now raises t again.
+	healed := statsAt(2*time.Second, 600*time.Millisecond, 0, 100, 100)
+	tun = a.Decide(degraded, healed, tun, pol)
+	if tun.Producers != 4 {
+		t.Fatalf("healed Producers = %d, want 4 (tuning resumed)", tun.Producers)
+	}
+}
+
+func TestMonitorDegradedSignalAndRetriesRate(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(*sim.Process) {
+		m := NewMonitor(env, 16)
+		if m.Degraded("s") {
+			t.Error("Degraded true with no snapshots")
+		}
+		if _, ok := m.Resilience("s"); ok {
+			t.Error("Resilience ok with no snapshots")
+		}
+		// 10 retries/s while the breaker is open.
+		for i := 0; i <= 2; i++ {
+			m.Record("s", core.StageStats{
+				Reads: int64(i * 100),
+				Resilience: storage.ResilienceStats{
+					Retries:  int64(i * 10),
+					State:    "open",
+					Degraded: true,
+				},
+			})
+			if i < 2 {
+				env.Sleep(time.Second)
+			}
+		}
+		if !m.Degraded("s") {
+			t.Error("Degraded = false, want true")
+		}
+		res, ok := m.Resilience("s")
+		if !ok || res.State != "open" || res.Retries != 20 {
+			t.Errorf("Resilience = %+v ok=%v, want open/20", res, ok)
+		}
+		r, ok := m.Rate("s", 2*time.Second)
+		if !ok {
+			t.Fatal("Rate not ok")
+		}
+		if r.RetriesPerSec < 9.9 || r.RetriesPerSec > 10.1 {
+			t.Errorf("RetriesPerSec = %v, want ~10", r.RetriesPerSec)
+		}
+		// Breaker closes: the signal clears on the next snapshot.
+		m.Record("s", core.StageStats{
+			Reads:      300,
+			Resilience: storage.ResilienceStats{Retries: 20, State: "closed"},
+		})
+		if m.Degraded("s") {
+			t.Error("Degraded = true after breaker closed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

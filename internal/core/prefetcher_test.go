@@ -320,3 +320,95 @@ func TestPrefetcherStartsBeforeEpoch(t *testing.T) {
 		pf.Close()
 	})
 }
+
+func TestPrefetcherFaultDoesNotStallOthers(t *testing.T) {
+	// A producer stuck retrying one faulted file must not hold back the
+	// other in-flight producers: every healthy sample is delivered while
+	// the faulted one is still in its backoff sleeps, and the fault then
+	// surfaces on exactly its own Item.Err.
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 8, 1000, time.Millisecond, 4)
+		faulty := storage.NewFaultyBackend(env, backend)
+		faulty.FailName("f0001") // persistent: retries cannot save it
+		resilient, err := storage.NewResilientBackend(env, faulty, storage.ResilienceConfig{
+			MaxAttempts:   3,
+			BaseBackoff:   20 * time.Millisecond, // dwarfs the 1ms healthy reads
+			BackoffFactor: 2,
+			JitterSeed:    5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, _ := NewPrefetcher(env, resilient, pfConfig(4, 16))
+		pf.Start()
+		_ = pf.SubmitPlan(names)
+		for _, n := range names {
+			if n == "f0001" {
+				continue
+			}
+			it, ok := pf.Buffer().Take(n)
+			if !ok || it.Err != nil {
+				t.Fatalf("Take(%s) = %+v, %v while fault in flight", n, it, ok)
+			}
+			pf.consumed(n)
+		}
+		// All healthy samples arrived while f0001 was still retrying (its
+		// two backoff sleeps alone span >= 30ms of virtual time).
+		if now := env.Now(); now >= 30*time.Millisecond {
+			t.Errorf("healthy samples took %v, stalled behind the faulted read", now)
+		}
+		it, ok := pf.Buffer().Take("f0001")
+		if !ok {
+			t.Fatal("Take(f0001) closed")
+		}
+		pf.consumed("f0001")
+		if !errors.Is(it.Err, storage.ErrInjected) {
+			t.Errorf("Take(f0001).Err = %v, want injected fault", it.Err)
+		}
+		if pf.ReadErrors() != 1 {
+			t.Errorf("ReadErrors = %d, want 1", pf.ReadErrors())
+		}
+		pf.Close()
+	})
+}
+
+func TestPrefetcherTransientFaultRetriedToSuccess(t *testing.T) {
+	// A fault that heals within the retry budget must be invisible to the
+	// consumer: the sample arrives with no error, only the resilience
+	// counters show the struggle.
+	runSim(t, func(env conc.Env) {
+		backend, names := testBackend(env, 4, 1000, time.Millisecond, 2)
+		faulty := storage.NewFaultyBackend(env, backend)
+		faulty.FailNTimes("f0002", 2)
+		resilient, err := storage.NewResilientBackend(env, faulty, storage.ResilienceConfig{
+			MaxAttempts:   4,
+			BaseBackoff:   time.Millisecond,
+			BackoffFactor: 2,
+			JitterSeed:    9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, _ := NewPrefetcher(env, resilient, pfConfig(2, 8))
+		pf.Start()
+		_ = pf.SubmitPlan(names)
+		for _, n := range names {
+			it, ok := pf.Buffer().Take(n)
+			if !ok || it.Err != nil {
+				t.Fatalf("Take(%s) = %+v, %v", n, it, ok)
+			}
+			pf.consumed(n)
+		}
+		if pf.ReadErrors() != 0 {
+			t.Errorf("ReadErrors = %d, want 0 (fault healed within retries)", pf.ReadErrors())
+		}
+		st := resilient.ResilienceStats()
+		if st.Retries < 2 {
+			t.Errorf("Retries = %d, want >= 2", st.Retries)
+		}
+		if st.Exhausted != 0 {
+			t.Errorf("Exhausted = %d, want 0", st.Exhausted)
+		}
+		pf.Close()
+	})
+}

@@ -76,6 +76,12 @@ type StageStats struct {
 	ReadErrors       int64
 
 	Buffer BufferStats
+
+	// Resilience reflects the backend's retry/breaker state (zero-valued
+	// when the backend is not a storage.ResilienceReporter). Degraded is
+	// the signal the autotuner watches to back off producers while the
+	// circuit breaker sheds load.
+	Resilience storage.ResilienceStats
 }
 
 // Stage is one PRISMA data-plane stage: a chain of optimization objects in
@@ -171,6 +177,9 @@ func (s *Stage) Stats() StageStats {
 		st.PrefetchedFiles = s.pf.PrefetchedFiles()
 		st.ReadErrors = s.pf.ReadErrors()
 		st.Buffer = s.pf.Buffer().Stats()
+	}
+	if rr, ok := s.backend.(storage.ResilienceReporter); ok {
+		st.Resilience = rr.ResilienceStats()
 	}
 	return st
 }

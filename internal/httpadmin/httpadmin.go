@@ -73,6 +73,15 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	write("prisma_buffer_capacity", "Buffer capacity N.", "gauge", float64(s.Buffer.Capacity))
 	write("prisma_consumer_wait_seconds_total", "Cumulative consumer blocking time.", "counter", s.Buffer.ConsumerWait.Seconds())
 	write("prisma_producer_wait_seconds_total", "Cumulative producer blocking time.", "counter", s.Buffer.ProducerWait.Seconds())
+	write("prisma_backend_retries_total", "Backend read attempts beyond the first.", "counter", float64(s.Resilience.Retries))
+	write("prisma_backend_exhausted_total", "Backend reads that failed after all retry attempts.", "counter", float64(s.Resilience.Exhausted))
+	write("prisma_breaker_opens_total", "Circuit breaker trips to the open state.", "counter", float64(s.Resilience.BreakerOpens))
+	write("prisma_breaker_fast_fails_total", "Reads rejected without touching the backend while the breaker was open.", "counter", float64(s.Resilience.FastFails))
+	degraded := 0.0
+	if s.Resilience.Degraded {
+		degraded = 1
+	}
+	write("prisma_backend_degraded", "1 while the circuit breaker is open or half-open.", "gauge", degraded)
 }
 
 // tuning applies knob updates: POST /tuning?producers=N and/or ?buffer=M.

@@ -3,37 +3,147 @@ package ipc
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
-// Client is one consumer process's connection to the PRISMA server. A
-// client issues one request at a time (guarded by a mutex); spawn one
-// client per worker process, as the prototype does.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+// ErrConnBroken reports a round trip that failed at the transport layer:
+// after a partial read or write the request/response stream may be
+// desynchronized, so the connection is poisoned and redialed rather than
+// reused. Callers can match it with errors.Is.
+var ErrConnBroken = errors.New("ipc: connection broken")
+
+// DialConfig tunes client-side resilience. The zero value preserves the
+// historical behaviour — no deadlines, no in-call retries — except that a
+// poisoned connection is always redialed on the next call instead of
+// deadlocking on a desynced stream.
+type DialConfig struct {
+	// DialTimeout bounds the initial dial and every redial (0 = none).
+	DialTimeout time.Duration
+	// WriteTimeout bounds sending one request frame (0 = none).
+	WriteTimeout time.Duration
+	// ReadTimeout bounds waiting for one response frame (0 = none). A
+	// timeout poisons the connection: the late response would otherwise be
+	// mistaken for the answer to the next request.
+	ReadTimeout time.Duration
+	// MaxReconnects is the number of automatic redial-and-retry rounds an
+	// idempotent round trip may use after a transport failure (0 = fail
+	// immediately). Non-idempotent requests (SubmitPlan) never retry
+	// in-call; they only redial before sending.
+	MaxReconnects int
+	// ReconnectBackoff is the sleep before the first redial, doubled each
+	// further redial within one call (default 10ms when redialing).
+	ReconnectBackoff time.Duration
 }
 
-// Dial connects to the PRISMA server socket.
+// Client is one consumer process's connection to the PRISMA server. A
+// client issues one request at a time (guarded by a mutex); spawn one
+// client per worker process, as the prototype does. After a transport
+// error the connection is poisoned and transparently re-established on the
+// next call (with bounded in-call retries for idempotent requests).
+type Client struct {
+	path string
+	cfg  DialConfig
+
+	mu         sync.Mutex
+	conn       net.Conn
+	broken     bool
+	closed     bool
+	reconnects int64
+}
+
+// Dial connects to the PRISMA server socket with the zero DialConfig.
 func Dial(socketPath string) (*Client, error) {
-	conn, err := net.Dial("unix", socketPath)
+	return DialWithConfig(socketPath, DialConfig{})
+}
+
+// DialWithConfig connects with explicit resilience settings.
+func DialWithConfig(socketPath string, cfg DialConfig) (*Client, error) {
+	conn, err := dialConn(socketPath, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("ipc: dial %s: %w", socketPath, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{path: socketPath, cfg: cfg, conn: conn}, nil
+}
+
+func dialConn(path string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("unix", path, timeout)
+	}
+	return net.Dial("unix", path)
+}
+
+// Reconnects reports how many times the client redialed the server.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Broken reports whether the connection is currently poisoned (it will be
+// redialed on the next call).
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
 }
 
 // roundTrip sends one request frame and awaits the matching response.
-func (c *Client) roundTrip(opcode byte, payload []byte) ([]byte, error) {
+// idempotent requests may be resent on a fresh connection after transport
+// failures, up to MaxReconnects times.
+func (c *Client) roundTrip(opcode byte, payload []byte, idempotent bool) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := 1
+	if idempotent {
+		attempts += c.cfg.MaxReconnects
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if c.closed {
+			return nil, net.ErrClosed
+		}
+		if c.broken {
+			if err := c.redialLocked(attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.exchangeLocked(opcode, payload)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// A clean server-reported error: the stream is intact.
+			return nil, err
+		}
+		// Transport or framing failure: the stream state is unknown.
+		c.poisonLocked()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %v", ErrConnBroken, lastErr)
+}
+
+// exchangeLocked performs one framed request/response on the live
+// connection, applying the configured deadlines. Caller holds c.mu.
+func (c *Client) exchangeLocked(opcode byte, payload []byte) ([]byte, error) {
+	if c.cfg.WriteTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
 	if err := writeFrame(c.conn, opcode, payload); err != nil {
 		return nil, err
+	}
+	if c.cfg.ReadTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		defer c.conn.SetReadDeadline(time.Time{})
 	}
 	gotOp, resp, err := readFrame(c.conn)
 	if err != nil {
@@ -45,10 +155,39 @@ func (c *Client) roundTrip(opcode byte, payload []byte) ([]byte, error) {
 	return parseResponse(resp)
 }
 
+// poisonLocked marks the connection unusable and severs it. Caller holds
+// c.mu.
+func (c *Client) poisonLocked() {
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// redialLocked re-establishes the connection, backing off before every
+// retry round after the first. Caller holds c.mu.
+func (c *Client) redialLocked(attempt int) error {
+	if attempt > 0 {
+		backoff := c.cfg.ReconnectBackoff
+		if backoff <= 0 {
+			backoff = 10 * time.Millisecond
+		}
+		time.Sleep(backoff << (attempt - 1))
+	}
+	conn, err := dialConn(c.path, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("ipc: reconnect %s: %w", c.path, err)
+	}
+	c.conn = conn
+	c.broken = false
+	c.reconnects++
+	return nil
+}
+
 // Read requests a file through the server's stage — the intercepted read
 // path for multi-process consumers.
 func (c *Client) Read(name string) (storage.Data, error) {
-	resp, err := c.roundTrip(OpRead, appendString(nil, name))
+	resp, err := c.roundTrip(OpRead, appendString(nil, name), true)
 	if err != nil {
 		return storage.Data{}, err
 	}
@@ -66,19 +205,21 @@ func (c *Client) Read(name string) (storage.Data, error) {
 	return storage.Data{Name: name, Size: int64(size), Bytes: bytes}, nil
 }
 
-// SubmitPlan forwards an epoch's shuffled filename list.
+// SubmitPlan forwards an epoch's shuffled filename list. A plan mutates
+// stage state, so it is never retried in-call: on a transport failure the
+// caller decides whether resubmitting is safe.
 func (c *Client) SubmitPlan(names []string) error {
 	payload := binary.AppendUvarint(nil, uint64(len(names)))
 	for _, n := range names {
 		payload = appendString(payload, n)
 	}
-	_, err := c.roundTrip(OpPlan, payload)
+	_, err := c.roundTrip(OpPlan, payload, false)
 	return err
 }
 
 // Stats fetches the stage's monitoring snapshot.
 func (c *Client) Stats() (core.StageStats, error) {
-	resp, err := c.roundTrip(OpStats, nil)
+	resp, err := c.roundTrip(OpStats, nil, true)
 	if err != nil {
 		return core.StageStats{}, err
 	}
@@ -94,7 +235,7 @@ func (c *Client) SetProducers(n int) error {
 	if n < 0 {
 		n = 0
 	}
-	_, err := c.roundTrip(OpSetProducers, binary.AppendUvarint(nil, uint64(n)))
+	_, err := c.roundTrip(OpSetProducers, binary.AppendUvarint(nil, uint64(n)), true)
 	return err
 }
 
@@ -103,13 +244,13 @@ func (c *Client) SetBufferCapacity(n int) error {
 	if n < 1 {
 		n = 1
 	}
-	_, err := c.roundTrip(OpSetBuffer, binary.AppendUvarint(nil, uint64(n)))
+	_, err := c.roundTrip(OpSetBuffer, binary.AppendUvarint(nil, uint64(n)), true)
 	return err
 }
 
 // Ping checks server liveness.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(OpPing, nil)
+	_, err := c.roundTrip(OpPing, nil, true)
 	return err
 }
 
@@ -117,5 +258,12 @@ func (c *Client) Ping() error {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
 }

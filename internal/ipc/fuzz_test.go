@@ -12,10 +12,10 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
-// FuzzReadFrame hardens the wire decoder against hostile peers: arbitrary
+// FuzzFrame hardens the wire decoder against hostile peers: arbitrary
 // byte streams must never panic or over-allocate, and every accepted frame
 // must re-encode to the bytes consumed.
-func FuzzReadFrame(f *testing.F) {
+func FuzzFrame(f *testing.F) {
 	var buf bytes.Buffer
 	_ = writeFrame(&buf, OpRead, appendString(nil, "train/0001.jpg"))
 	f.Add(buf.Bytes())
@@ -61,7 +61,7 @@ func FuzzServerHandle(f *testing.F) {
 		if opcode == OpPlan {
 			opcode = OpPing
 		}
-		resp := srv.handle(opcode, payload)
+		resp := srv.safeHandle(opcode, payload)
 		if len(resp) < 1 {
 			t.Fatal("empty response")
 		}

@@ -19,6 +19,13 @@ import (
 // serves it on a temp socket.
 func startServer(t *testing.T, nFiles int) (*Server, *core.Stage, []string, string) {
 	t.Helper()
+	return startServerWithConfig(t, nFiles, ServeConfig{})
+}
+
+// startServerWithConfig is startServer with explicit server resilience
+// settings.
+func startServerWithConfig(t *testing.T, nFiles int, cfg ServeConfig) (*Server, *core.Stage, []string, string) {
+	t.Helper()
 	dir := t.TempDir()
 	samples := make([]dataset.Sample, nFiles)
 	names := make([]string, nFiles)
@@ -42,7 +49,7 @@ func startServer(t *testing.T, nFiles int) (*Server, *core.Stage, []string, stri
 	pf.Start()
 
 	sock := filepath.Join(t.TempDir(), "prisma.sock")
-	srv, err := Serve(sock, stage)
+	srv, err := ServeWithConfig(sock, stage, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

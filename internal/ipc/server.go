@@ -7,17 +7,33 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/core"
 )
 
+// ServeConfig tunes server-side resilience. The zero value preserves the
+// historical behaviour (no per-connection deadlines).
+type ServeConfig struct {
+	// IdleTimeout bounds how long a connection may sit idle between
+	// requests, and how long one request frame and its response may take
+	// to cross the wire (0 = none). An expired connection is dropped; the
+	// client redials.
+	IdleTimeout time.Duration
+}
+
 // Server exposes one PRISMA stage over a UNIX domain socket. Each consumer
 // process holds its own connection; requests on a connection are handled
 // sequentially (matching the prototype's one-client-per-worker design),
-// while different connections proceed concurrently.
+// while different connections proceed concurrently. A panic in one request
+// handler is isolated to an error response on that connection, not a
+// server crash.
 type Server struct {
 	stage    *core.Stage
 	listener net.Listener
+	cfg      ServeConfig
+	panics   atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -25,18 +41,26 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// Serve starts a server for stage on the given socket path. It returns
-// once the listener is active.
+// Serve starts a server for stage on the given socket path with the zero
+// ServeConfig. It returns once the listener is active.
 func Serve(socketPath string, stage *core.Stage) (*Server, error) {
+	return ServeWithConfig(socketPath, stage, ServeConfig{})
+}
+
+// ServeWithConfig starts a server with explicit resilience settings.
+func ServeWithConfig(socketPath string, stage *core.Stage, cfg ServeConfig) (*Server, error) {
 	l, err := net.Listen("unix", socketPath)
 	if err != nil {
 		return nil, fmt.Errorf("ipc: listen %s: %w", socketPath, err)
 	}
-	s := &Server{stage: stage, listener: l, conns: make(map[net.Conn]struct{})}
+	s := &Server{stage: stage, listener: l, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// Panics reports how many request handlers panicked and were isolated.
+func (s *Server) Panics() int64 { return s.panics.Load() }
 
 // Addr reports the socket address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
@@ -70,15 +94,34 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		opcode, payload, err := readFrame(conn)
 		if err != nil {
-			return // EOF or broken peer: drop the connection
+			return // EOF, idle timeout, or broken peer: drop the connection
 		}
-		resp := s.handle(opcode, payload)
+		resp := s.safeHandle(opcode, payload)
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		if err := writeFrame(conn, opcode, resp); err != nil {
 			return
 		}
 	}
+}
+
+// safeHandle isolates a panicking handler to an error response: one bad
+// request (or a bug in one opcode path) must not take down the stage every
+// other consumer is reading through.
+func (s *Server) safeHandle(opcode byte, payload []byte) (resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp = errResponse(fmt.Errorf("handler panic on opcode %d: %v", opcode, r))
+		}
+	}()
+	return s.handle(opcode, payload)
 }
 
 // handle dispatches one request and builds the response payload.

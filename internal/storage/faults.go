@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 )
@@ -10,24 +11,45 @@ import (
 // ErrInjected is the base error wrapped by FaultyBackend failures.
 var ErrInjected = errors.New("storage: injected fault")
 
-// FaultyBackend wraps a Backend and fails selected reads, for failure-path
-// testing of the data plane (producer I/O errors must surface to the
-// consumer that requested the file, not wedge the pipeline).
+// FaultyBackend wraps a Backend and fails or delays selected reads, for
+// failure-path testing of the data plane (producer I/O errors must surface
+// to the consumer that requested the file, not wedge the pipeline). It
+// implements RangeReader passthrough when the wrapped backend does, so
+// recordio shard paths stay testable, and supports transient faults (fail N
+// attempts, then heal) and injected latency for chaos schedules.
 type FaultyBackend struct {
+	env   conc.Env
 	inner Backend
+	rr    RangeReader // inner's range extension, nil when unsupported
 
 	mu conc.Mutex
-	// failEvery fails every Nth ReadFile (1-indexed); 0 disables.
+	// failEvery fails every Nth read (1-indexed); 0 disables.
 	failEvery int64
-	// failNames fails reads of specific files.
+	// failNames fails reads of specific files until healed.
 	failNames map[string]bool
-	count     int64
-	injected  int64
+	// transient maps a name to its remaining injected failures; the fault
+	// heals once the count reaches zero, so retrying readers succeed.
+	transient map[string]int
+	// failNext fails the next N reads regardless of name (a blackout).
+	failNext int64
+	// latency is injected before every read (slow-read emulation).
+	latency  time.Duration
+	count    int64
+	injected int64
+	delayed  int64
 }
 
 // NewFaultyBackend wraps inner with no faults armed.
 func NewFaultyBackend(env conc.Env, inner Backend) *FaultyBackend {
-	return &FaultyBackend{inner: inner, mu: env.NewMutex(), failNames: make(map[string]bool)}
+	rr, _ := inner.(RangeReader)
+	return &FaultyBackend{
+		env:       env,
+		inner:     inner,
+		rr:        rr,
+		mu:        env.NewMutex(),
+		failNames: make(map[string]bool),
+		transient: make(map[string]int),
+	}
 }
 
 // FailEvery arms a fault on every nth read (n <= 0 disarms).
@@ -37,10 +59,65 @@ func (f *FaultyBackend) FailEvery(n int64) {
 	f.mu.Unlock()
 }
 
-// FailName arms a persistent fault for one file name.
+// FailName arms a persistent fault for one file name (until Heal).
 func (f *FaultyBackend) FailName(name string) {
 	f.mu.Lock()
 	f.failNames[name] = true
+	f.mu.Unlock()
+}
+
+// FailNTimes arms a transient fault: the next n reads of name fail, after
+// which the fault heals itself (n <= 0 disarms). This is the shape a
+// retrying reader must survive.
+func (f *FaultyBackend) FailNTimes(name string, n int) {
+	f.mu.Lock()
+	if n <= 0 {
+		delete(f.transient, name)
+	} else {
+		f.transient[name] = n
+	}
+	f.mu.Unlock()
+}
+
+// FailNext arms a blackout: the next n reads of any name fail (n <= 0
+// disarms). Used to drive the circuit breaker past its threshold.
+func (f *FaultyBackend) FailNext(n int64) {
+	f.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	f.failNext = n
+	f.mu.Unlock()
+}
+
+// SetLatency injects d of extra latency into every subsequent read (0
+// disables). The sleep goes through the conc.Env, so sim-mode runs charge
+// virtual time only.
+func (f *FaultyBackend) SetLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// Latency reports the injected per-read latency currently armed.
+func (f *FaultyBackend) Latency() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.latency
+}
+
+// Heal disarms every fault: persistent names, transient counts, blackout,
+// periodic failures, and injected latency.
+func (f *FaultyBackend) Heal() {
+	f.mu.Lock()
+	f.failEvery = 0
+	f.failNext = 0
+	f.latency = 0
+	f.failNames = make(map[string]bool)
+	f.transient = make(map[string]int)
 	f.mu.Unlock()
 }
 
@@ -51,19 +128,72 @@ func (f *FaultyBackend) Injected() int64 {
 	return f.injected
 }
 
-// ReadFile applies armed faults, otherwise delegates.
-func (f *FaultyBackend) ReadFile(name string) (Data, error) {
+// Delayed reports how many reads had latency injected.
+func (f *FaultyBackend) Delayed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delayed
+}
+
+// apply decides whether the current read of name fires a fault and how much
+// latency to inject, updating the fault bookkeeping.
+func (f *FaultyBackend) apply(name string) (fire bool, delay time.Duration) {
 	f.mu.Lock()
 	f.count++
-	fire := f.failNames[name] || (f.failEvery > 0 && f.count%f.failEvery == 0)
+	switch {
+	case f.failNames[name]:
+		fire = true
+	case f.transient[name] > 0:
+		f.transient[name]--
+		if f.transient[name] == 0 {
+			delete(f.transient, name)
+		}
+		fire = true
+	case f.failNext > 0:
+		f.failNext--
+		fire = true
+	case f.failEvery > 0 && f.count%f.failEvery == 0:
+		fire = true
+	}
 	if fire {
 		f.injected++
 	}
+	if f.latency > 0 {
+		f.delayed++
+		delay = f.latency
+	}
 	f.mu.Unlock()
+	return fire, delay
+}
+
+// ReadFile applies armed faults and latency, otherwise delegates.
+func (f *FaultyBackend) ReadFile(name string) (Data, error) {
+	fire, delay := f.apply(name)
+	if delay > 0 {
+		f.env.Sleep(delay)
+	}
 	if fire {
 		return Data{}, fmt.Errorf("%w: read of %q", ErrInjected, name)
 	}
 	return f.inner.ReadFile(name)
+}
+
+// ReadRange implements RangeReader with the same fault application as
+// ReadFile, so wrapping a range-capable backend (recordio shards) keeps the
+// interface. Wrapping a backend without range support yields an error, not
+// a panic.
+func (f *FaultyBackend) ReadRange(name string, off, n int64) (Data, error) {
+	if f.rr == nil {
+		return Data{}, fmt.Errorf("storage: faulty: %T does not support range reads", f.inner)
+	}
+	fire, delay := f.apply(name)
+	if delay > 0 {
+		f.env.Sleep(delay)
+	}
+	if fire {
+		return Data{}, fmt.Errorf("%w: range read of %q [%d, +%d)", ErrInjected, name, off, n)
+	}
+	return f.rr.ReadRange(name, off, n)
 }
 
 // Size delegates to the wrapped backend (metadata is assumed healthy).

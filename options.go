@@ -33,6 +33,26 @@ type Options struct {
 	// latency, outcome) and writes the trace as JSON lines to this path
 	// on Close — input for offline analysis and replay (prisma-trace).
 	TraceFile string
+
+	// DisableResilience turns off the retrying/breaker storage wrapper
+	// entirely (default on: transient backend faults are retried and a
+	// failing backend sheds load through a circuit breaker).
+	DisableResilience bool
+	// ReadRetries is the total number of attempts per backend read,
+	// including the first (default 3; 1 = no retry).
+	ReadRetries int
+	// RetryBackoff is the sleep before the first retry; it doubles per
+	// further attempt with deterministic jitter (default 2ms).
+	RetryBackoff time.Duration
+	// ReadDeadline bounds one backend read attempt (default 0 = none).
+	ReadDeadline time.Duration
+	// BreakerThreshold is the number of consecutive failed attempts that
+	// opens the circuit breaker (default 8; -1 disables the breaker while
+	// keeping retries).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds load before
+	// probing the backend again (default 250ms).
+	BreakerCooldown time.Duration
 }
 
 // withDefaults fills zero values.
@@ -52,6 +72,18 @@ func (o Options) withDefaults() Options {
 	if o.ControlInterval == 0 {
 		o.ControlInterval = 500 * time.Millisecond
 	}
+	if o.ReadRetries == 0 {
+		o.ReadRetries = 3
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 8
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
+	}
 	return o
 }
 
@@ -68,6 +100,18 @@ func (o Options) validate() error {
 	}
 	if o.ControlInterval <= 0 {
 		return fmt.Errorf("prisma: non-positive control interval")
+	}
+	if o.ReadRetries < 1 {
+		return fmt.Errorf("prisma: ReadRetries %d < 1", o.ReadRetries)
+	}
+	if o.RetryBackoff < 0 || o.ReadDeadline < 0 {
+		return fmt.Errorf("prisma: negative retry backoff or read deadline")
+	}
+	if o.BreakerThreshold < -1 {
+		return fmt.Errorf("prisma: BreakerThreshold %d < -1", o.BreakerThreshold)
+	}
+	if o.BreakerCooldown < 0 {
+		return fmt.Errorf("prisma: negative breaker cooldown")
 	}
 	return nil
 }

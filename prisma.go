@@ -45,6 +45,34 @@ type Stats struct {
 	BufferCapacity  int
 	ConsumerWait    time.Duration
 	ProducerWait    time.Duration
+
+	// Resilience telemetry (zero-valued when DisableResilience is set).
+	Retries      int64  // backend read attempts beyond the first
+	BreakerOpens int64  // times the circuit breaker tripped open
+	BreakerState string // "closed", "open", or "half-open" ("" when off)
+	Degraded     bool   // breaker not closed: the backend is shedding load
+}
+
+// statsFrom maps the internal stage snapshot to the public view.
+func statsFrom(s core.StageStats) Stats {
+	return Stats{
+		Reads:           s.Reads,
+		Hits:            s.Hits,
+		Bypasses:        s.Bypasses,
+		Errors:          s.Errors,
+		PrefetchedFiles: s.PrefetchedFiles,
+		ReadErrors:      s.ReadErrors,
+		QueueLen:        s.QueueLen,
+		Producers:       s.TargetProducers,
+		BufferLen:       s.Buffer.Len,
+		BufferCapacity:  s.Buffer.Capacity,
+		ConsumerWait:    s.Buffer.ConsumerWait,
+		ProducerWait:    s.Buffer.ProducerWait,
+		Retries:         s.Resilience.Retries,
+		BreakerOpens:    s.Resilience.BreakerOpens,
+		BreakerState:    s.Resilience.State,
+		Degraded:        s.Resilience.Degraded,
+	}
 }
 
 // Open builds a PRISMA instance over opts.Dir. The directory is scanned
@@ -68,6 +96,25 @@ func Open(opts Options) (*Prisma, error) {
 	if opts.TraceFile != "" {
 		recorder = trace.NewRecorder(env, backend)
 		backend = recorder
+	}
+	if !opts.DisableResilience {
+		rcfg := storage.DefaultResilienceConfig()
+		rcfg.MaxAttempts = opts.ReadRetries
+		rcfg.BaseBackoff = opts.RetryBackoff
+		rcfg.ReadDeadline = opts.ReadDeadline
+		rcfg.BreakerCooldown = opts.BreakerCooldown
+		if opts.BreakerThreshold < 0 {
+			rcfg.BreakerThreshold = 0 // retries without a breaker
+		} else {
+			rcfg.BreakerThreshold = opts.BreakerThreshold
+		}
+		// Resilient goes outermost so the stage sees it as a
+		// ResilienceReporter and retried reads re-enter the trace.
+		rb, err := storage.NewResilientBackend(env, backend, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("prisma: %w", err)
+		}
+		backend = rb
 	}
 	pf, err := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
 		InitialProducers:      opts.InitialProducers,
@@ -138,23 +185,7 @@ func (p *Prisma) Files() int { return p.manifest.Len() }
 func (p *Prisma) TotalBytes() int64 { return p.manifest.TotalBytes() }
 
 // Stats snapshots the data plane.
-func (p *Prisma) Stats() Stats {
-	s := p.stage.Stats()
-	return Stats{
-		Reads:           s.Reads,
-		Hits:            s.Hits,
-		Bypasses:        s.Bypasses,
-		Errors:          s.Errors,
-		PrefetchedFiles: s.PrefetchedFiles,
-		ReadErrors:      s.ReadErrors,
-		QueueLen:        s.QueueLen,
-		Producers:       s.TargetProducers,
-		BufferLen:       s.Buffer.Len,
-		BufferCapacity:  s.Buffer.Capacity,
-		ConsumerWait:    s.Buffer.ConsumerWait,
-		ProducerWait:    s.Buffer.ProducerWait,
-	}
-}
+func (p *Prisma) Stats() Stats { return statsFrom(p.stage.Stats()) }
 
 // SetProducers pins the producer count t (disable AutoTune to keep it).
 func (p *Prisma) SetProducers(n int) { p.stage.SetProducers(n) }
@@ -249,20 +280,7 @@ func (c *Client) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return Stats{
-		Reads:           s.Reads,
-		Hits:            s.Hits,
-		Bypasses:        s.Bypasses,
-		Errors:          s.Errors,
-		PrefetchedFiles: s.PrefetchedFiles,
-		ReadErrors:      s.ReadErrors,
-		QueueLen:        s.QueueLen,
-		Producers:       s.TargetProducers,
-		BufferLen:       s.Buffer.Len,
-		BufferCapacity:  s.Buffer.Capacity,
-		ConsumerWait:    s.Buffer.ConsumerWait,
-		ProducerWait:    s.Buffer.ProducerWait,
-	}, nil
+	return statsFrom(s), nil
 }
 
 // SetProducers adjusts the remote stage's t.
