@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -172,6 +173,52 @@ func BenchmarkBufferPutTake(b *testing.B) {
 		if _, ok := buf.Take(name); !ok {
 			b.Fatal("take failed")
 		}
+	}
+}
+
+// BenchmarkBufferShardedContended measures aggregate Put+Take throughput
+// of the sharded buffer under the §V-B contention shape: 8 paired
+// producer/consumer couples with a serialized per-access cost. K=1 is the
+// paper's single shared buffer (every access behind one lock); K=8 lets
+// couples on different shards overlap their access costs.
+func BenchmarkBufferShardedContended(b *testing.B) {
+	const couples = 8
+	accessCost := 5 * time.Microsecond
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("K%d", shards), func(b *testing.B) {
+			env := conc.NewReal()
+			buf := core.NewShardedBuffer(env, couples*4, accessCost, shards)
+			defer buf.Close()
+			per := b.N/couples + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < couples; c++ {
+				c := c
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						name := fmt.Sprintf("c%d/s%d", c, i)
+						if err := buf.Put(core.Item{Name: name, Size: 1}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						name := fmt.Sprintf("c%d/s%d", c, i)
+						if _, ok := buf.Take(name); !ok {
+							b.Error("take failed")
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(2*couples*per)/b.Elapsed().Seconds(), "ops/s")
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|all
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|all
 //
 // Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
 // default 1/128 preserves every shape in a fraction of the event count.
@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/chaos"
@@ -36,10 +38,13 @@ func main() {
 		format   = flag.String("format", "table", "output format: table | csv | json")
 		deadline = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = none)")
 		chaosN   = flag.Int("chaos-schedules", 100, "seeded fault schedules for the chaos target")
+		shardKs  = flag.String("shards", "1,2,4,8,16", "comma-separated shard counts for the buffer-shards target")
+		shardCs  = flag.String("consumers", "1,2,4,8,16", "comma-separated consumer counts for the buffer-shards target")
+		shardOps = flag.Int("samples-per-consumer", 200, "samples each consumer moves in the buffer-shards target")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|all")
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -164,13 +169,61 @@ func main() {
 	if what == "chaos" || what == "all" {
 		runChaos(cal.Seed, *chaosN)
 	}
+	if what == "buffer-shards" {
+		runShardSweep(cal, *shardKs, *shardCs, *shardOps, report)
+	}
 	switch what {
-	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "all":
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "all":
 	default:
 		log.Fatalf("prisma-bench: unknown target %q", what)
 	}
 	log.Printf("prisma-bench: done in %v (scale %.5f, %d epochs, %d runs)",
 		time.Since(start).Round(time.Millisecond), cal.Scale, cal.Epochs, cal.Runs)
+}
+
+// runShardSweep reproduces the consumer-scaling curve of the shared-buffer
+// synchronization bottleneck (§V-B) at each shard count K: with K=1 every
+// buffer operation serializes behind one lock; sharding restores scaling.
+func runShardSweep(cal experiments.Calibration, shardCSV, consumerCSV string, perConsumer int, report func(string)) {
+	shards, err := parseIntCSV(shardCSV)
+	if err != nil {
+		log.Fatalf("prisma-bench: -shards: %v", err)
+	}
+	consumers, err := parseIntCSV(consumerCSV)
+	if err != nil {
+		log.Fatalf("prisma-bench: -consumers: %v", err)
+	}
+	rows, err := experiments.RunShardSweep(cal, shards, consumers, perConsumer, report)
+	if err != nil {
+		log.Fatalf("prisma-bench: buffer-shards: %v", err)
+	}
+	fmt.Println()
+	title := fmt.Sprintf("Buffer shards — consumer scaling at serialized access cost %v (the §V-B bottleneck)",
+		cal.TorchPrismaStage.BufferAccessCost)
+	if err := experiments.RenderShardSweep(os.Stdout, title, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// parseIntCSV parses a comma-separated list of positive integers.
+func parseIntCSV(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 // runChaos replays n seeded fault schedules through the chaos harness and

@@ -8,6 +8,7 @@
 //	prisma-ctl -socket /tmp/prisma.sock ping
 //	prisma-ctl -socket /tmp/prisma.sock set-producers 4
 //	prisma-ctl -socket /tmp/prisma.sock set-buffer 256
+//	prisma-ctl -socket /tmp/prisma.sock set-shards 8
 //	prisma-ctl -socket /tmp/prisma.sock plan epoch0.txt
 package main
 
@@ -31,6 +32,7 @@ commands:
   ping                  probe server liveness
   set-producers N       set the producer thread count t
   set-buffer N          set the buffer capacity N
+  set-shards K          set the buffer shard count K
   plan FILE             submit an epoch plan (newline-separated filenames)
   watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
 	os.Exit(2)
@@ -66,6 +68,7 @@ func main() {
 		fmt.Printf("queue length:     %d\n", s.QueueLen)
 		fmt.Printf("producers (t):    %d\n", s.Producers)
 		fmt.Printf("buffer (len/N):   %d/%d\n", s.BufferLen, s.BufferCapacity)
+		fmt.Printf("buffer shards:    %d\n", s.BufferShards)
 		fmt.Printf("consumer wait:    %v\n", s.ConsumerWait)
 		fmt.Printf("producer wait:    %v\n", s.ProducerWait)
 		if s.BreakerState != "" {
@@ -93,6 +96,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("buffer capacity set to %d\n", n)
+
+	case "set-shards":
+		n := argInt(args, 1)
+		if err := client.SetBufferShards(n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("buffer shards set to %d\n", n)
 
 	case "watch":
 		interval := time.Second

@@ -85,11 +85,12 @@ func (m *Monitor) Degraded(id string) bool {
 
 // Rates summarizes stage activity over the trailing window.
 type Rates struct {
-	Window        time.Duration
-	ReadsPerSec   float64
-	HitRate       float64 // hits / reads within the window
-	ErrorRate     float64 // errors / reads within the window
-	RetriesPerSec float64 // storage retries within the window
+	Window            time.Duration
+	ReadsPerSec       float64
+	HitRate           float64 // hits / reads within the window
+	ErrorRate         float64 // errors / reads within the window
+	RetriesPerSec     float64 // storage retries within the window
+	BufferTakesPerSec float64 // buffer consumptions within the window (aggregated over shards)
 }
 
 // Rate derives windowed rates for id from the two snapshots spanning the
@@ -123,10 +124,12 @@ func (m *Monitor) Rate(id string, window time.Duration) (Rates, bool) {
 	hits := newest.Stats.Hits - oldest.Stats.Hits
 	errors := newest.Stats.Errors - oldest.Stats.Errors
 	retries := newest.Stats.Resilience.Retries - oldest.Stats.Resilience.Retries
+	takes := newest.Stats.Buffer.Takes - oldest.Stats.Buffer.Takes
 	r := Rates{
-		Window:        newest.At - oldest.At,
-		ReadsPerSec:   float64(reads) / dt,
-		RetriesPerSec: float64(retries) / dt,
+		Window:            newest.At - oldest.At,
+		ReadsPerSec:       float64(reads) / dt,
+		RetriesPerSec:     float64(retries) / dt,
+		BufferTakesPerSec: float64(takes) / dt,
 	}
 	if reads > 0 {
 		r.HitRate = float64(hits) / float64(reads)

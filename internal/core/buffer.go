@@ -7,6 +7,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
@@ -15,6 +16,10 @@ import (
 
 // ErrClosed is returned by buffer and stage operations after shutdown.
 var ErrClosed = errors.New("core: closed")
+
+// MaxBufferShards bounds the shard count of a Buffer; beyond this, shard
+// bookkeeping costs more than the contention it removes.
+const MaxBufferShards = 512
 
 // Item is one prefetched sample, or a producer-side read failure destined
 // for the consumer that requests the file.
@@ -34,29 +39,70 @@ type Item struct {
 // deadlock between out-of-order producer completions and in-order
 // consumers.
 //
+// The buffer is split into K independently locked shards keyed by a hash
+// of the sample name. The paper's single shared buffer (§V-B) serializes
+// every producer and consumer behind one lock — the PyTorch 8+ worker
+// synchronization bottleneck; sharding keeps the AccessCost serialization
+// *within* a shard (still modeling the per-operation cost) while letting
+// operations on different shards proceed concurrently. The global capacity
+// budget N is partitioned across shards (shard i gets ⌈N/K⌉ or ⌊N/K⌋, the
+// partition summing exactly to N), so bounded-N and evict-on-read are
+// preserved. K == 1 reproduces the single-buffer behavior exactly.
+//
 // AccessCost models the serialized critical-section cost of one buffer
 // operation (lock + copy + IPC handoff). It is the knob behind the paper's
 // observed PyTorch 8+ worker synchronization bottleneck (§V-B).
 type Buffer struct {
 	env        conc.Env
-	mu         conc.Mutex
-	notFull    conc.Cond
-	arrived    conc.Cond
-	capacity   int
 	accessCost time.Duration
-	items      map[string]Item
-	waiting    map[string]int // names consumers are currently blocked on
-	closed     bool
+	created    time.Duration
 
-	puts           *metrics.Counter
-	takes          *metrics.Counter
-	occupancy      *metrics.TimeInState
-	consumerWaitNS *metrics.Counter
-	producerWaitNS *metrics.Counter
+	// cfgMu guards the shard set, the capacity budget, and the carryover
+	// counters of retired shards. Lock order is cfgMu before shard.mu;
+	// no code path acquires cfgMu while holding a shard lock.
+	cfgMu    conc.Mutex
+	shards   []*bufShard
+	capacity int
+	closed   bool
+
+	// Cumulative counters carried over from shards retired by SetShards,
+	// so BufferStats stays monotonic across resharding.
+	basePuts, baseTakes            int64
+	baseConsumerNS, baseProducerNS int64
+	baseOccWeighted                int64 // Σ occupancy×duration(ns) of retired shards
 }
 
-// NewBuffer returns an empty buffer with the given initial capacity N >= 1.
+// bufShard is one independently synchronized slice of the buffer. All
+// fields are guarded by mu; the counters are plain integers (not
+// metrics.Counter) precisely so Stats can snapshot a shard consistently
+// under one lock acquisition.
+type bufShard struct {
+	mu      conc.Mutex
+	notFull conc.Cond
+	arrived conc.Cond
+
+	capacity int
+	items    map[string]Item
+	waiting  map[string]int // names consumers are currently blocked on
+	closed   bool
+	retired  bool // replaced by SetShards: wake everybody, re-route
+
+	puts, takes                    int64
+	consumerWaitNS, producerWaitNS int64
+	occupancy                      *metrics.TimeInState
+}
+
+// NewBuffer returns an empty single-shard buffer with the given initial
+// capacity N >= 1 — the paper's shared-buffer semantics, bit for bit.
 func NewBuffer(env conc.Env, capacity int, accessCost time.Duration) *Buffer {
+	return NewShardedBuffer(env, capacity, accessCost, 1)
+}
+
+// NewShardedBuffer returns an empty buffer with capacity N >= 1 split over
+// the given number of shards. The shard count is clamped to [1, N] (every
+// shard must own at least one capacity slot) and to MaxBufferShards;
+// values < 1 select a single shard.
+func NewShardedBuffer(env conc.Env, capacity int, accessCost time.Duration, shards int) *Buffer {
 	if capacity < 1 {
 		panic("core: buffer capacity must be >= 1")
 	}
@@ -64,163 +110,355 @@ func NewBuffer(env conc.Env, capacity int, accessCost time.Duration) *Buffer {
 		panic("core: negative buffer access cost")
 	}
 	b := &Buffer{
-		env:            env,
-		capacity:       capacity,
-		accessCost:     accessCost,
-		items:          make(map[string]Item),
-		waiting:        make(map[string]int),
-		puts:           metrics.NewCounter(env),
-		takes:          metrics.NewCounter(env),
-		occupancy:      metrics.NewTimeInState(env, 0),
-		consumerWaitNS: metrics.NewCounter(env),
-		producerWaitNS: metrics.NewCounter(env),
+		env:        env,
+		accessCost: accessCost,
+		created:    env.Now(),
+		capacity:   capacity,
 	}
-	b.mu = env.NewMutex()
-	b.notFull = env.NewCond(b.mu)
-	b.arrived = env.NewCond(b.mu)
+	b.cfgMu = env.NewMutex()
+	b.shards = newShardSet(env, clampShards(shards, capacity), capacity)
 	return b
 }
 
-// Put stores a sample, blocking while the buffer is full (unless a consumer
+// clampShards forces a requested shard count into [1, min(capacity,
+// MaxBufferShards)].
+func clampShards(k, capacity int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > capacity {
+		k = capacity
+	}
+	if k > MaxBufferShards {
+		k = MaxBufferShards
+	}
+	return k
+}
+
+// newShardSet builds k empty shards with the capacity budget partitioned
+// across them (the first capacity%k shards take the remainder).
+func newShardSet(env conc.Env, k, capacity int) []*bufShard {
+	caps := partitionCapacity(capacity, k)
+	out := make([]*bufShard, k)
+	for i := range out {
+		s := &bufShard{
+			capacity:  caps[i],
+			items:     make(map[string]Item),
+			waiting:   make(map[string]int),
+			occupancy: metrics.NewTimeInState(env, 0),
+		}
+		s.mu = env.NewMutex()
+		s.notFull = env.NewCond(s.mu)
+		s.arrived = env.NewCond(s.mu)
+		out[i] = s
+	}
+	return out
+}
+
+// partitionCapacity splits capacity into k per-shard budgets summing
+// exactly to capacity, each >= 1 (requires k <= capacity).
+func partitionCapacity(capacity, k int) []int {
+	base, rem := capacity/k, capacity%k
+	caps := make([]int, k)
+	for i := range caps {
+		caps[i] = base
+		if i < rem {
+			caps[i]++
+		}
+	}
+	return caps
+}
+
+// shardIndex maps a sample name onto one of k shards (FNV-1a). The mapping
+// is deterministic across runs, keeping the simulator reproducible.
+func shardIndex(name string, k int) int {
+	if k == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return int(h % uint32(k))
+}
+
+// route resolves the current shard for name. The returned shard may be
+// concurrently retired by SetShards; callers must re-route when they find
+// the retired flag set.
+func (b *Buffer) route(name string) *bufShard {
+	b.cfgMu.Lock()
+	s := b.shards[shardIndex(name, len(b.shards))]
+	b.cfgMu.Unlock()
+	return s
+}
+
+// Put stores a sample, blocking while its shard is full (unless a consumer
 // is already waiting for this sample). It returns ErrClosed after Close.
 func (b *Buffer) Put(it Item) error {
 	start := b.env.Now()
-	b.mu.Lock()
-	for len(b.items) >= b.capacity && b.waiting[it.Name] == 0 && !b.closed {
-		b.notFull.Wait()
+	var credited time.Duration
+	for {
+		s := b.route(it.Name)
+		s.mu.Lock()
+		for len(s.items) >= s.capacity && s.waiting[it.Name] == 0 && !s.closed && !s.retired {
+			s.notFull.Wait()
+		}
+		if waited := b.env.Now() - start - credited; waited > 0 {
+			s.producerWaitNS += int64(waited)
+			credited += waited
+		}
+		if s.retired {
+			s.mu.Unlock()
+			continue // resharded while blocked: re-route
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if b.accessCost > 0 {
+			b.env.Sleep(b.accessCost) // serialized within the shard: cost paid under its lock
+		}
+		s.items[it.Name] = it
+		s.occupancy.Set(len(s.items))
+		s.puts++
+		s.arrived.Broadcast()
+		s.mu.Unlock()
+		return nil
 	}
-	if waited := b.env.Now() - start; waited > 0 {
-		b.producerWaitNS.Add(int64(waited))
-	}
-	if b.closed {
-		b.mu.Unlock()
-		return ErrClosed
-	}
-	if b.accessCost > 0 {
-		b.env.Sleep(b.accessCost) // serialized: cost paid under the lock
-	}
-	b.items[it.Name] = it
-	b.occupancy.Set(len(b.items))
-	b.puts.Inc()
-	b.arrived.Broadcast()
-	b.mu.Unlock()
-	return nil
 }
 
 // Take blocks until the named sample is present, removes it (evict-on-read)
 // and returns it. ok is false if the buffer closes while waiting.
 func (b *Buffer) Take(name string) (Item, bool) {
 	start := b.env.Now()
-	b.mu.Lock()
-	if _, present := b.items[name]; !present {
-		b.waiting[name]++
-		// A producer may be blocked on a full buffer while holding exactly
-		// this sample; let it re-check the waiting set.
-		b.notFull.Broadcast()
-		for {
-			if _, present := b.items[name]; present || b.closed {
-				break
+	var credited time.Duration
+	for {
+		s := b.route(name)
+		s.mu.Lock()
+		if s.retired {
+			s.mu.Unlock()
+			continue
+		}
+		if _, present := s.items[name]; !present {
+			s.waiting[name]++
+			// A producer may be blocked on a full shard while holding exactly
+			// this sample; let it re-check the waiting set.
+			s.notFull.Broadcast()
+			for {
+				if _, present := s.items[name]; present || s.closed || s.retired {
+					break
+				}
+				s.arrived.Wait()
 			}
-			b.arrived.Wait()
+			if s.waiting[name]--; s.waiting[name] == 0 {
+				delete(s.waiting, name)
+			}
 		}
-		if b.waiting[name]--; b.waiting[name] == 0 {
-			delete(b.waiting, name)
+		if waited := b.env.Now() - start - credited; waited > 0 {
+			s.consumerWaitNS += int64(waited)
+			credited += waited
 		}
+		if s.retired {
+			s.mu.Unlock()
+			continue // resharded while blocked: the sample moved shards
+		}
+		it, present := s.items[name]
+		if !present { // closed while waiting
+			s.mu.Unlock()
+			return Item{}, false
+		}
+		if b.accessCost > 0 {
+			b.env.Sleep(b.accessCost)
+		}
+		delete(s.items, name)
+		s.occupancy.Set(len(s.items))
+		s.takes++
+		// Broadcast, not Signal: with the waiting-consumer admission
+		// exception the shard can sit over capacity, so a single wakeup can
+		// land on a producer that still cannot proceed and be consumed
+		// without effect while a different blocked producer — one whose
+		// sample a consumer is waiting on — stays asleep. Waking every
+		// blocked producer lets each re-check its own admission condition.
+		s.notFull.Broadcast()
+		s.mu.Unlock()
+		return it, true
 	}
-	if waited := b.env.Now() - start; waited > 0 {
-		b.consumerWaitNS.Add(int64(waited))
-	}
-	it, present := b.items[name]
-	if !present { // closed while waiting
-		b.mu.Unlock()
-		return Item{}, false
-	}
-	if b.accessCost > 0 {
-		b.env.Sleep(b.accessCost)
-	}
-	delete(b.items, name)
-	b.occupancy.Set(len(b.items))
-	b.takes.Inc()
-	b.notFull.Signal()
-	b.mu.Unlock()
-	return it, true
 }
 
-// Len reports the number of buffered samples.
+// Len reports the number of buffered samples across all shards.
 func (b *Buffer) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.items)
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
+	n := 0
+	for _, s := range b.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Capacity reports the current capacity N.
+// Capacity reports the current global capacity budget N.
 func (b *Buffer) Capacity() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
 	return b.capacity
 }
 
-// SetCapacity adjusts N (control-plane knob). Growing the buffer releases
-// blocked producers; shrinking takes effect lazily as consumers drain.
+// Shards reports the current shard count K.
+func (b *Buffer) Shards() int {
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
+	return len(b.shards)
+}
+
+// SetCapacity adjusts N (control-plane knob), repartitioning the budget
+// across shards. Growing releases blocked producers; shrinking takes
+// effect lazily as consumers drain (a shard over its new budget admits no
+// regular Put until Takes bring it back under, but the waiting-consumer
+// exception still applies, so producers can never wedge against waiting
+// consumers). If N drops below the shard count, the buffer reshards down
+// so every shard keeps at least one capacity slot.
 func (b *Buffer) SetCapacity(n int) {
 	if n < 1 {
 		n = 1
 	}
-	b.mu.Lock()
-	if n > b.capacity {
-		b.notFull.Broadcast()
-	}
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
 	b.capacity = n
-	b.mu.Unlock()
+	if n < len(b.shards) {
+		if !b.closed {
+			b.reshardLocked(n)
+		}
+		return
+	}
+	caps := partitionCapacity(n, len(b.shards))
+	for i, s := range b.shards {
+		s.mu.Lock()
+		if caps[i] > s.capacity {
+			s.notFull.Broadcast()
+		}
+		s.capacity = caps[i]
+		s.mu.Unlock()
+	}
+}
+
+// SetShards re-partitions the buffer over k shards (control-plane knob).
+// Buffered samples are redistributed to their new shards; blocked
+// producers and consumers transparently re-route. The count is clamped as
+// in NewShardedBuffer. No-op after Close.
+func (b *Buffer) SetShards(k int) {
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
+	if b.closed {
+		return
+	}
+	k = clampShards(k, b.capacity)
+	if k == len(b.shards) {
+		return
+	}
+	b.reshardLocked(k)
+}
+
+// reshardLocked retires the current shard set and rebuilds k shards,
+// migrating buffered items by the new hash. Caller holds cfgMu. Retired
+// shards wake all their waiters, who observe the retired flag and re-route
+// through the new shard set. Moved items may leave a new shard over its
+// budget; like a capacity shrink, that drains lazily. Items are migrated
+// in sorted-name order so the simulator stays deterministic.
+func (b *Buffer) reshardLocked(k int) {
+	var moved []Item
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.retired = true
+		for _, it := range s.items {
+			moved = append(moved, it)
+		}
+		b.basePuts += s.puts
+		b.baseTakes += s.takes
+		b.baseConsumerNS += s.consumerWaitNS
+		b.baseProducerNS += s.producerWaitNS
+		b.baseOccWeighted += s.occupancy.TimeWeightedSum()
+		s.items = make(map[string]Item)
+		s.notFull.Broadcast()
+		s.arrived.Broadcast()
+		s.mu.Unlock()
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i].Name < moved[j].Name })
+	b.shards = newShardSet(b.env, k, b.capacity)
+	for _, it := range moved {
+		s := b.shards[shardIndex(it.Name, k)]
+		s.items[it.Name] = it
+		s.occupancy.Set(len(s.items))
+	}
 }
 
 // Close wakes all blocked producers and consumers; subsequent operations
 // fail. Buffered items are discarded.
 func (b *Buffer) Close() {
-	b.mu.Lock()
-	if !b.closed {
-		b.closed = true
-		b.items = make(map[string]Item)
-		b.occupancy.Set(0)
-		b.notFull.Broadcast()
-		b.arrived.Broadcast()
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
+	if b.closed {
+		return
 	}
-	b.mu.Unlock()
+	b.closed = true
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.items = make(map[string]Item)
+		s.occupancy.Set(0)
+		s.notFull.Broadcast()
+		s.arrived.Broadcast()
+		s.mu.Unlock()
+	}
 }
 
-// BufferStats is a snapshot of buffer activity.
+// BufferStats is a snapshot of buffer activity, aggregated over shards.
 type BufferStats struct {
 	Len           int
 	Capacity      int
+	Shards        int
 	Puts          int64
 	Takes         int64
 	ConsumerWait  time.Duration // cumulative time consumers blocked in Take
 	ProducerWait  time.Duration // cumulative time producers blocked in Put
-	MeanOccupancy float64       // time-weighted average fill level
+	MeanOccupancy float64       // time-weighted average total fill level
 }
 
-// Stats snapshots the buffer counters.
+// Stats snapshots the buffer counters. Each shard is snapshotted under its
+// own lock (and the shard set under cfgMu), so the counters are mutually
+// consistent: Takes can never exceed Puts, and Len always matches the
+// occupancy accounting.
 func (b *Buffer) Stats() BufferStats {
-	dist := b.occupancy.Distribution()
-	var total, weighted float64
-	for level, d := range dist {
-		total += float64(d)
-		weighted += float64(level) * float64(d)
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
+	st := BufferStats{
+		Capacity: b.capacity,
+		Shards:   len(b.shards),
+		Puts:     b.basePuts,
+		Takes:    b.baseTakes,
 	}
-	mean := 0.0
-	if total > 0 {
-		mean = weighted / total
+	cwNS, pwNS := b.baseConsumerNS, b.baseProducerNS
+	weighted := b.baseOccWeighted
+	for _, s := range b.shards {
+		s.mu.Lock()
+		st.Len += len(s.items)
+		st.Puts += s.puts
+		st.Takes += s.takes
+		cwNS += s.consumerWaitNS
+		pwNS += s.producerWaitNS
+		weighted += s.occupancy.TimeWeightedSum()
+		s.mu.Unlock()
 	}
-	b.mu.Lock()
-	l, c := len(b.items), b.capacity
-	b.mu.Unlock()
-	return BufferStats{
-		Len:           l,
-		Capacity:      c,
-		Puts:          b.puts.Value(),
-		Takes:         b.takes.Value(),
-		ConsumerWait:  time.Duration(b.consumerWaitNS.Value()),
-		ProducerWait:  time.Duration(b.producerWaitNS.Value()),
-		MeanOccupancy: mean,
+	st.ConsumerWait = time.Duration(cwNS)
+	st.ProducerWait = time.Duration(pwNS)
+	if window := b.env.Now() - b.created; window > 0 {
+		st.MeanOccupancy = float64(weighted) / float64(window)
 	}
+	return st
 }

@@ -24,6 +24,10 @@ type PrefetcherConfig struct {
 	// BufferAccessCost is the serialized per-operation cost of the shared
 	// in-memory buffer (see Buffer).
 	BufferAccessCost time.Duration
+	// BufferShards is the buffer shard count K. Zero selects a single shard
+	// (the paper's shared-buffer behavior); values are clamped as in
+	// NewShardedBuffer.
+	BufferShards int
 }
 
 // DefaultPrefetcherConfig mirrors the prototype's conservative starting
@@ -54,6 +58,9 @@ func (c PrefetcherConfig) Validate() error {
 	}
 	if c.BufferAccessCost < 0 {
 		return fmt.Errorf("core: negative BufferAccessCost")
+	}
+	if c.BufferShards < 0 {
+		return fmt.Errorf("core: negative BufferShards")
 	}
 	return nil
 }
@@ -86,11 +93,15 @@ func NewPrefetcher(env conc.Env, backend storage.Backend, cfg PrefetcherConfig) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	shards := cfg.BufferShards
+	if shards < 1 {
+		shards = 1
+	}
 	pf := &Prefetcher{
 		env:           env,
 		backend:       backend,
 		cfg:           cfg,
-		buffer:        NewBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost),
+		buffer:        NewShardedBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost, shards),
 		queue:         conc.NewQueue[string](env, 0),
 		planned:       make(map[string]int),
 		activeReaders: metrics.NewTimeInState(env, 0),

@@ -200,6 +200,14 @@ func (s *Stage) SetBufferCapacity(n int) {
 	}
 }
 
+// SetBufferShards adjusts the buffer's shard count K (control interface).
+// No-op without a prefetch object.
+func (s *Stage) SetBufferShards(k int) {
+	if s.pf != nil {
+		s.pf.Buffer().SetShards(k)
+	}
+}
+
 // Close shuts down every optimization object.
 func (s *Stage) Close() {
 	for _, o := range s.objects {

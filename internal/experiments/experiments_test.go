@@ -542,3 +542,51 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Errorf("RenderAblation: %v, %q", err, sb.String())
 	}
 }
+
+// TestShardSweepScalesAndIsDeterministic is the tentpole acceptance
+// criterion: at 8 consumers with the PyTorch calibration's serialized
+// access cost, 8 shards must deliver at least 2x the aggregate Put+Take
+// throughput of the single-shard buffer — and the whole sweep must be
+// virtual-time deterministic across runs (the K=1 cell is the paper's
+// original shared-buffer behavior).
+func TestShardSweepScalesAndIsDeterministic(t *testing.T) {
+	cal := Default()
+	run := func() []ShardSweepRow {
+		rows, err := RunShardSweep(cal, []int{1, 8}, []int{8}, 50, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	rows := run()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	k1, k8 := rows[0], rows[1]
+	if k1.Shards != 1 || k8.Shards != 8 {
+		t.Fatalf("unexpected row order: %+v", rows)
+	}
+	// K=1 fully serializes: makespan is exactly ops x access cost.
+	wantSerial := time.Duration(2*8*50) * cal.TorchPrismaStage.BufferAccessCost
+	if k1.Makespan != wantSerial {
+		t.Fatalf("K=1 makespan %v, want fully serialized %v", k1.Makespan, wantSerial)
+	}
+	if k8.OpsPerSec < 2*k1.OpsPerSec {
+		t.Fatalf("K=8 throughput %.0f < 2x K=1 %.0f", k8.OpsPerSec, k1.OpsPerSec)
+	}
+	again := run()
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("sweep not deterministic: %+v vs %+v", rows[i], again[i])
+		}
+	}
+}
+
+func TestRenderShardSweep(t *testing.T) {
+	var sb strings.Builder
+	rows := []ShardSweepRow{{Shards: 8, Consumers: 8, Makespan: 22 * time.Millisecond, OpsPerSec: 145455, Speedup: 8}}
+	if err := RenderShardSweep(&sb, "Buffer shards", rows); err != nil ||
+		!strings.Contains(sb.String(), "K=8") || !strings.Contains(sb.String(), "8.00x") {
+		t.Errorf("RenderShardSweep: %v, %q", err, sb.String())
+	}
+}

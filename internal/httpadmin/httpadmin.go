@@ -71,6 +71,7 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	write("prisma_producers", "Target producer thread count t.", "gauge", float64(s.TargetProducers))
 	write("prisma_buffer_length", "Samples currently buffered.", "gauge", float64(s.Buffer.Len))
 	write("prisma_buffer_capacity", "Buffer capacity N.", "gauge", float64(s.Buffer.Capacity))
+	write("prisma_buffer_shards", "Buffer shard count K.", "gauge", float64(s.Buffer.Shards))
 	write("prisma_consumer_wait_seconds_total", "Cumulative consumer blocking time.", "counter", s.Buffer.ConsumerWait.Seconds())
 	write("prisma_producer_wait_seconds_total", "Cumulative producer blocking time.", "counter", s.Buffer.ProducerWait.Seconds())
 	write("prisma_backend_retries_total", "Backend read attempts beyond the first.", "counter", float64(s.Resilience.Retries))
@@ -84,7 +85,15 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	write("prisma_backend_degraded", "1 while the circuit breaker is open or half-open.", "gauge", degraded)
 }
 
-// tuning applies knob updates: POST /tuning?producers=N and/or ?buffer=M.
+// shardTuner is the optional control-interface extension for data planes
+// whose buffer supports resharding (core.Stage does). Kept as an interface
+// assertion so control.DataPlane stays minimal.
+type shardTuner interface {
+	SetBufferShards(k int)
+}
+
+// tuning applies knob updates: POST /tuning?producers=N and/or ?buffer=M
+// and/or ?shards=K.
 func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -110,8 +119,22 @@ func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
 		h.dp.SetBufferCapacity(n)
 		applied["buffer"] = n
 	}
+	if v := q.Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad shards value", http.StatusBadRequest)
+			return
+		}
+		st, ok := h.dp.(shardTuner)
+		if !ok {
+			http.Error(w, "data plane does not support shard tuning", http.StatusNotImplemented)
+			return
+		}
+		st.SetBufferShards(n)
+		applied["shards"] = n
+	}
 	if len(applied) == 0 {
-		http.Error(w, "nothing to apply (use ?producers=N and/or ?buffer=M)", http.StatusBadRequest)
+		http.Error(w, "nothing to apply (use ?producers=N, ?buffer=M and/or ?shards=K)", http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

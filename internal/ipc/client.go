@@ -32,10 +32,12 @@ type DialConfig struct {
 	// timeout poisons the connection: the late response would otherwise be
 	// mistaken for the answer to the next request.
 	ReadTimeout time.Duration
-	// MaxReconnects is the number of automatic redial-and-retry rounds an
-	// idempotent round trip may use after a transport failure (0 = fail
-	// immediately). Non-idempotent requests (SubmitPlan) never retry
-	// in-call; they only redial before sending.
+	// MaxReconnects is the number of automatic redial-and-retry rounds a
+	// resendable round trip may use after a transport failure (0 = fail
+	// immediately). Non-resendable requests — Read (evict-on-read consumes
+	// the sample, so a duplicate send could consume it twice) and
+	// SubmitPlan (appends plan state) — never retry in-call; they only
+	// redial before the first send.
 	MaxReconnects int
 	// ReconnectBackoff is the sleep before the first redial, doubled each
 	// further redial within one call (default 10ms when redialing).
@@ -95,13 +97,18 @@ func (c *Client) Broken() bool {
 }
 
 // roundTrip sends one request frame and awaits the matching response.
-// idempotent requests may be resent on a fresh connection after transport
-// failures, up to MaxReconnects times.
-func (c *Client) roundTrip(opcode byte, payload []byte, idempotent bool) ([]byte, error) {
+// Resendable requests may be resent on a fresh connection after transport
+// failures, up to MaxReconnects times. Non-resendable requests are sent at
+// most once per call: after a transport failure mid-exchange the server may
+// or may not have executed them, so a silent resend could execute the
+// operation twice (for OpRead that means consuming — and discarding — a
+// second sample from the evict-on-read buffer). A poisoned connection is
+// still redialed before the single send, which is always safe.
+func (c *Client) roundTrip(opcode byte, payload []byte, resendable bool) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 1
-	if idempotent {
+	if resendable {
 		attempts += c.cfg.MaxReconnects
 	}
 	var lastErr error
@@ -185,9 +192,12 @@ func (c *Client) redialLocked(attempt int) error {
 }
 
 // Read requests a file through the server's stage — the intercepted read
-// path for multi-process consumers.
+// path for multi-process consumers. A read consumes its sample from the
+// evict-on-read buffer, so it is not resendable: after ErrConnBroken the
+// caller must decide whether to reissue (the sample may or may not have
+// been consumed server-side).
 func (c *Client) Read(name string) (storage.Data, error) {
-	resp, err := c.roundTrip(OpRead, appendString(nil, name), true)
+	resp, err := c.roundTrip(OpRead, appendString(nil, name), false)
 	if err != nil {
 		return storage.Data{}, err
 	}
@@ -245,6 +255,16 @@ func (c *Client) SetBufferCapacity(n int) error {
 		n = 1
 	}
 	_, err := c.roundTrip(OpSetBuffer, binary.AppendUvarint(nil, uint64(n)), true)
+	return err
+}
+
+// SetBufferShards adjusts the buffer's shard count K remotely (control
+// path). Resendable: the knob is an absolute value.
+func (c *Client) SetBufferShards(k int) error {
+	if k < 1 {
+		k = 1
+	}
+	_, err := c.roundTrip(OpSetShards, binary.AppendUvarint(nil, uint64(k)), true)
 	return err
 }
 

@@ -139,6 +139,16 @@ func TestClientStatsAndControl(t *testing.T) {
 	if stats.Buffer.Capacity != 32 {
 		t.Fatalf("Buffer.Capacity = %d, want 32", stats.Buffer.Capacity)
 	}
+	if err := c.SetBufferShards(4); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Buffer.Shards != 4 {
+		t.Fatalf("Buffer.Shards = %d, want 4", stats.Buffer.Shards)
+	}
 }
 
 func TestManyConcurrentClients(t *testing.T) {

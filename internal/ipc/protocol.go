@@ -28,6 +28,7 @@ const (
 	OpSetProducers = 4 // control: set t
 	OpSetBuffer    = 5 // control: set N
 	OpPing         = 6 // liveness probe
+	OpSetShards    = 7 // control: set buffer shard count K
 )
 
 // Response status bytes.

@@ -191,6 +191,14 @@ func (s *Server) handle(opcode byte, payload []byte) []byte {
 		s.stage.SetBufferCapacity(int(n))
 		return okResponse(nil)
 
+	case OpSetShards:
+		n, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errResponse(errors.New("malformed shard count"))
+		}
+		s.stage.SetBufferShards(int(n))
+		return okResponse(nil)
+
 	case OpPing:
 		return okResponse(nil)
 

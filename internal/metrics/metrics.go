@@ -141,6 +141,23 @@ func (t *TimeInState) Distribution() map[int]time.Duration {
 	return out
 }
 
+// TimeWeightedSum returns Σ value×duration in integer nanoseconds,
+// including the in-progress interval up to now. Dividing by the
+// observation window length yields the time-weighted mean of the signal;
+// keeping the sum in integers makes aggregation across trackers exact and
+// deterministic.
+func (t *TimeInState) TimeWeightedSum() int64 {
+	now := t.env.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum int64
+	for v, d := range t.total {
+		sum += int64(v) * int64(d)
+	}
+	sum += int64(t.current) * int64(now-t.since)
+	return sum
+}
+
 // CDFPoint is one step of a cumulative distribution: the fraction of
 // observed time spent at values <= Value.
 type CDFPoint struct {

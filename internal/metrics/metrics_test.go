@@ -256,3 +256,52 @@ func close(a, b float64) bool {
 	d := a - b
 	return d < 1e-9 && d > -1e-9
 }
+
+func TestTimeInStateTimeWeightedSum(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	var sum, sum2 int64
+	s.Spawn("driver", func(p *sim.Process) {
+		ts := NewTimeInState(env, 1)
+		env.Sleep(2 * time.Second) // 1 for 2s
+		ts.Set(3)
+		env.Sleep(time.Second) // 3 for 1s
+		ts.Set(0)
+		env.Sleep(time.Second) // 0 for 1s
+		sum = ts.TimeWeightedSum()
+		ts.Set(5)
+		env.Sleep(time.Second) // in-progress interval: 5 for 1s
+		sum2 = ts.TimeWeightedSum()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1*2+3*1) * int64(time.Second); sum != want {
+		t.Fatalf("TimeWeightedSum = %d, want %d", sum, want)
+	}
+	if want := int64(1*2+3*1+5*1) * int64(time.Second); sum2 != want {
+		t.Fatalf("TimeWeightedSum incl. in-progress = %d, want %d", sum2, want)
+	}
+}
+
+func TestTimeInStateWeightedSumMatchesDistribution(t *testing.T) {
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("driver", func(p *sim.Process) {
+		ts := NewTimeInState(env, 0)
+		for i := 1; i <= 5; i++ {
+			ts.Set(i)
+			env.Sleep(time.Duration(i) * 100 * time.Millisecond)
+		}
+		var fromDist int64
+		for v, d := range ts.Distribution() {
+			fromDist += int64(v) * int64(d)
+		}
+		if got := ts.TimeWeightedSum(); got != fromDist {
+			t.Errorf("TimeWeightedSum = %d, Distribution-derived sum = %d", got, fromDist)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -701,3 +701,67 @@ func TestSemaphoreCapacityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMultiCondMultiMutexDeterministic drives the shape the sharded buffer
+// relies on — many processes blocking and waking across several
+// independent mutex/cond pairs — and pins that repeated runs produce an
+// identical event trace and finish at the identical virtual time. All
+// lock, wait, and wakeup operations must consume zero virtual time; only
+// the explicit sleeps advance the clock.
+func TestMultiCondMultiMutexDeterministic(t *testing.T) {
+	run := func() (string, time.Duration) {
+		s := New()
+		const shards = 4
+		type cell struct {
+			mu    *Mutex
+			cond  *Cond
+			ready bool
+		}
+		cells := make([]*cell, shards)
+		for i := range cells {
+			mu := s.NewMutex()
+			cells[i] = &cell{mu: mu, cond: s.NewCond(mu)}
+		}
+		var trace []string
+		var end time.Duration
+		for i := 0; i < 12; i++ {
+			i := i
+			c := cells[i%shards]
+			s.Spawn(fmt.Sprintf("waiter-%d", i), func(p *Process) {
+				c.mu.Lock()
+				for !c.ready {
+					c.cond.Wait()
+				}
+				c.mu.Unlock()
+				p.Sleep(time.Duration(i%3+1) * time.Millisecond)
+				trace = append(trace, fmt.Sprintf("waiter-%d@%v", i, s.Now()))
+				if s.Now() > end {
+					end = s.Now()
+				}
+			})
+		}
+		s.Spawn("waker", func(p *Process) {
+			p.Sleep(10 * time.Millisecond)
+			for _, c := range cells {
+				c.mu.Lock()
+				c.ready = true
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(trace), end
+	}
+	trace1, end1 := run()
+	for i := 0; i < 3; i++ {
+		trace2, end2 := run()
+		if trace2 != trace1 || end2 != end1 {
+			t.Fatalf("run %d diverged:\n%s (end %v)\nvs\n%s (end %v)", i+2, trace2, end2, trace1, end1)
+		}
+	}
+	if end1 != 13*time.Millisecond {
+		t.Fatalf("end = %v, want 13ms (10ms wake + max 3ms sleep; sync ops are zero-time)", end1)
+	}
+}

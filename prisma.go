@@ -43,6 +43,7 @@ type Stats struct {
 	Producers       int
 	BufferLen       int
 	BufferCapacity  int
+	BufferShards    int
 	ConsumerWait    time.Duration
 	ProducerWait    time.Duration
 
@@ -66,6 +67,7 @@ func statsFrom(s core.StageStats) Stats {
 		Producers:       s.TargetProducers,
 		BufferLen:       s.Buffer.Len,
 		BufferCapacity:  s.Buffer.Capacity,
+		BufferShards:    s.Buffer.Shards,
 		ConsumerWait:    s.Buffer.ConsumerWait,
 		ProducerWait:    s.Buffer.ProducerWait,
 		Retries:         s.Resilience.Retries,
@@ -121,6 +123,7 @@ func Open(opts Options) (*Prisma, error) {
 		MaxProducers:          opts.MaxProducers,
 		InitialBufferCapacity: opts.InitialBuffer,
 		MaxBufferCapacity:     opts.MaxBuffer,
+		BufferShards:          opts.BufferShards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("prisma: %w", err)
@@ -192,6 +195,9 @@ func (p *Prisma) SetProducers(n int) { p.stage.SetProducers(n) }
 
 // SetBufferCapacity pins the buffer capacity N.
 func (p *Prisma) SetBufferCapacity(n int) { p.stage.SetBufferCapacity(n) }
+
+// SetBufferShards adjusts the buffer shard count K.
+func (p *Prisma) SetBufferShards(k int) { p.stage.SetBufferShards(k) }
 
 // AdminHandler returns an http.Handler exposing the stage's control
 // interface for dashboards and scrapers: GET /healthz, GET /stats (JSON),
@@ -288,6 +294,9 @@ func (c *Client) SetProducers(n int) error { return c.c.SetProducers(n) }
 
 // SetBufferCapacity adjusts the remote stage's N.
 func (c *Client) SetBufferCapacity(n int) error { return c.c.SetBufferCapacity(n) }
+
+// SetBufferShards adjusts the remote stage's buffer shard count K.
+func (c *Client) SetBufferShards(k int) error { return c.c.SetBufferShards(k) }
 
 // Ping probes server liveness.
 func (c *Client) Ping() error { return c.c.Ping() }
