@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|all
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|all
 //
 // Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
 // default 1/128 preserves every shape in a fraction of the event count.
@@ -23,6 +23,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/chaos"
 	"github.com/dsrhaslab/prisma-go/internal/distrib"
 	"github.com/dsrhaslab/prisma-go/internal/experiments"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/train"
 )
 
@@ -41,10 +42,11 @@ func main() {
 		shardKs  = flag.String("shards", "1,2,4,8,16", "comma-separated shard counts for the buffer-shards target")
 		shardCs  = flag.String("consumers", "1,2,4,8,16", "comma-separated consumer counts for the buffer-shards target")
 		shardOps = flag.Int("samples-per-consumer", 200, "samples each consumer moves in the buffer-shards target")
+		spansOut = flag.String("spans", "", "write the attribution target's storage-bound cell spans to this JSONL file (prisma-trace attribute reads it)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|all")
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -172,8 +174,11 @@ func main() {
 	if what == "buffer-shards" {
 		runShardSweep(cal, *shardKs, *shardCs, *shardOps, report)
 	}
+	if what == "attribution" || what == "all" {
+		runAttribution(*spansOut, report)
+	}
 	switch what {
-	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "all":
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "attribution", "all":
 	default:
 		log.Fatalf("prisma-bench: unknown target %q", what)
 	}
@@ -204,6 +209,37 @@ func runShardSweep(cal experiments.Calibration, shardCSV, consumerCSV string, pe
 		log.Fatal(err)
 	}
 	fmt.Println()
+}
+
+// runAttribution runs the canonical latency-attribution cells (the same
+// dataset made storage-bound, buffer-capacity-bound, and balanced by the
+// (t, N, consume) setting) and optionally dumps the storage-bound cell's
+// span stream for offline analysis with prisma-trace attribute.
+func runAttribution(spansOut string, report func(string)) {
+	cells, err := experiments.RunAttributionDemo(report)
+	if err != nil {
+		log.Fatalf("prisma-bench: attribution: %v", err)
+	}
+	fmt.Println()
+	if err := experiments.RenderAttribution(os.Stdout,
+		"Latency attribution — where one consumer's epoch goes at each (t, N) setting", cells); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if spansOut != "" {
+		f, err := os.Create(spansOut)
+		if err != nil {
+			log.Fatalf("prisma-bench: attribution: %v", err)
+		}
+		if err := obs.WriteSpans(f, cells[0].Spans); err != nil {
+			f.Close()
+			log.Fatalf("prisma-bench: attribution: write spans: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("prisma-bench: attribution: %v", err)
+		}
+		log.Printf("prisma-bench: wrote %d spans of cell %q to %s", len(cells[0].Spans), cells[0].Label, spansOut)
+	}
 }
 
 // parseIntCSV parses a comma-separated list of positive integers.

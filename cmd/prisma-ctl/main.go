@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,8 @@ commands:
   set-producers N       set the producer thread count t
   set-buffer N          set the buffer capacity N
   set-shards K          set the buffer shard count K
+  set-sampling P        set the lifecycle-trace sampling probability [0, 1]
+  decisions             print the autotuner's decision audit log
   plan FILE             submit an epoch plan (newline-separated filenames)
   watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
 	os.Exit(2)
@@ -104,6 +107,26 @@ func main() {
 		}
 		fmt.Printf("buffer shards set to %d\n", n)
 
+	case "set-sampling":
+		if len(args) < 2 {
+			usage()
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			fatal(fmt.Errorf("bad sampling probability %q (want [0, 1])", args[1]))
+		}
+		if err := client.SetTraceSampling(p); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace sampling set to %g\n", p)
+
+	case "decisions":
+		blob, err := client.Decisions()
+		if err != nil {
+			fatal(err)
+		}
+		printDecisions(blob)
+
 	case "watch":
 		interval := time.Second
 		if len(args) > 1 {
@@ -130,6 +153,57 @@ func main() {
 
 	default:
 		usage()
+	}
+}
+
+// decisionRecord mirrors control.DecisionRecord's JSON shape (the ctl
+// binary links only the public prisma package; the audit log arrives as
+// raw JSON over the socket).
+type decisionRecord struct {
+	At     time.Duration `json:"at"`
+	Tick   int64         `json:"tick"`
+	Rule   string        `json:"rule"`
+	Before struct {
+		Producers      int `json:"Producers"`
+		BufferCapacity int `json:"BufferCapacity"`
+	} `json:"before"`
+	After struct {
+		Producers      int `json:"Producers"`
+		BufferCapacity int `json:"BufferCapacity"`
+	} `json:"after"`
+	Inputs struct {
+		Starvation   float64 `json:"starvation"`
+		ProducerIdle float64 `json:"producer_idle"`
+		TakesPerSec  float64 `json:"takes_per_sec"`
+		QueueLen     int     `json:"queue_len"`
+		Degraded     bool    `json:"degraded"`
+	} `json:"inputs"`
+	Attrib struct {
+		StorageShare    float64 `json:"storage_share"`
+		BufferFullShare float64 `json:"buffer_full_share"`
+		ConsumerShare   float64 `json:"consumer_share"`
+	} `json:"attribution"`
+}
+
+// printDecisions renders the audit log as a table, newest last.
+func printDecisions(blob []byte) {
+	var recs []decisionRecord
+	if err := json.Unmarshal(blob, &recs); err != nil {
+		fatal(fmt.Errorf("decode decisions: %w", err))
+	}
+	if len(recs) == 0 {
+		fmt.Println("no decisions recorded yet")
+		return
+	}
+	fmt.Printf("%-10s %6s %-18s %9s %9s %7s %7s %6s %6s %6s\n",
+		"at", "tick", "rule", "t", "N", "starv", "idle", "stor%", "buf%", "cons%")
+	for _, r := range recs {
+		fmt.Printf("%-10s %6d %-18s %4d->%-4d %4d->%-4d %7.2f %7.2f %6.1f %6.1f %6.1f\n",
+			r.At.Round(time.Millisecond), r.Tick, r.Rule,
+			r.Before.Producers, r.After.Producers,
+			r.Before.BufferCapacity, r.After.BufferCapacity,
+			r.Inputs.Starvation, r.Inputs.ProducerIdle,
+			r.Attrib.StorageShare*100, r.Attrib.BufferFullShare*100, r.Attrib.ConsumerShare*100)
 	}
 }
 

@@ -32,7 +32,10 @@ func main() {
 		interval     = flag.Duration("interval", 500*time.Millisecond, "control loop interval")
 		statsEvery   = flag.Duration("stats", 0, "print stats every interval (0 = off)")
 		traceFile    = flag.String("trace", "", "record backend I/O to this JSON-lines file (analyzed with prisma-trace)")
-		httpAddr     = flag.String("http", "", "serve the HTTP admin API (/stats, /metrics, /tuning) on this address, e.g. :9090")
+		httpAddr     = flag.String("http", "", "serve the HTTP admin API (/stats, /metrics, /tuning, /attribution, /decisions) on this address, e.g. :9090")
+		sampling     = flag.Float64("sampling", 0, "sample-lifecycle trace probability in [0, 1] (0 = off)")
+		spanFile     = flag.String("span-file", "", "write lifecycle spans to this JSON-lines file on shutdown (prisma-trace attribute; implies -sampling 1 when unset)")
+		enablePprof  = flag.Bool("pprof", false, "mount /debug/pprof/ on the admin API (requires -http)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -50,6 +53,9 @@ func main() {
 		DisableAutoTune:  *noAutotune,
 		ControlInterval:  *interval,
 		TraceFile:        *traceFile,
+		TraceSampling:    *sampling,
+		SpanFile:         *spanFile,
+		EnablePprof:      *enablePprof,
 	})
 	if err != nil {
 		log.Fatalf("prisma-server: %v", err)

@@ -1,11 +1,13 @@
 // Command prisma-trace analyzes JSON-lines I/O traces recorded by the
-// middleware (Options.TraceFile / prisma-server -trace): it prints
-// latency/throughput summaries and a request-concurrency timeline.
+// middleware (Options.TraceFile / prisma-server -trace) and lifecycle span
+// files (Options.SpanFile): it prints latency/throughput summaries, a
+// request-concurrency timeline, and a critical-path latency attribution.
 //
 // Usage:
 //
 //	prisma-trace summary io.trace
 //	prisma-trace -bucket 100ms timeline io.trace
+//	prisma-trace -consumers 4 attribute spans.jsonl
 package main
 
 import (
@@ -15,26 +17,35 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/trace"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: prisma-trace [flags] summary|timeline FILE
+	fmt.Fprintln(os.Stderr, `usage: prisma-trace [flags] summary|timeline|attribute FILE
 
 commands:
   summary    latency and throughput statistics
-  timeline   per-bucket request concurrency (-bucket controls granularity)`)
+  timeline   per-bucket request concurrency (-bucket controls granularity)
+  attribute  critical-path latency breakdown from a lifecycle span file
+             (-consumers sets the denominator)`)
 	os.Exit(2)
 }
 
 func main() {
 	bucket := flag.Duration("bucket", 100*time.Millisecond, "timeline bucket width")
+	consumers := flag.Int("consumers", 1, "consumer thread/process count for attribute")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 2 {
 		usage()
 	}
 	cmd, path := flag.Arg(0), flag.Arg(1)
+
+	if cmd == "attribute" {
+		attribute(path, *consumers)
+		return
+	}
 
 	f, err := os.Open(path)
 	if err != nil {
@@ -75,6 +86,44 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// attribute reads a lifecycle span file and prints the critical-path
+// latency breakdown.
+func attribute(path string, consumers int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("%s: no spans", path))
+	}
+	a := obs.AttributeSpans(spans, consumers)
+	byStage := map[string]int{}
+	for _, s := range spans {
+		byStage[s.Stage]++
+	}
+	fmt.Printf("spans:             %d", len(spans))
+	for _, st := range []string{obs.StageFIFOPop, obs.StageStorageRead, obs.StageBufferPark, obs.StageConsumerWait, obs.StageIPC, obs.StageIPCServe} {
+		if n := byStage[st]; n > 0 {
+			fmt.Printf(" %s=%d", st, n)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("window:            %v x %d consumer(s)\n", a.Window.Round(time.Microsecond), a.Consumers)
+	fmt.Printf("storage share:     %5.1f%%  (consumer wait overlapping backend reads)\n", a.StorageShare*100)
+	fmt.Printf("buffer-full share: %5.1f%%  (reads started late: producer parked on full buffer)\n", a.BufferFullShare*100)
+	fmt.Printf("ipc share:         %5.1f%%  (socket transport and framing)\n", a.IPCShare*100)
+	fmt.Printf("consumer share:    %5.1f%%  (data plane kept up)\n", a.ConsumerShare*100)
+	fmt.Printf("consumer wait:     %v (storage %v, buffer-full %v)\n",
+		a.ConsumerWait.Round(time.Microsecond), a.StorageWait.Round(time.Microsecond), a.BufferWait.Round(time.Microsecond))
+	fmt.Printf("storage busy:      %v, producer park: %v\n",
+		a.StorageBusy.Round(time.Microsecond), a.ProducerPark.Round(time.Microsecond))
 }
 
 func fatal(err error) {

@@ -37,6 +37,7 @@ type Autotuner struct {
 	lastRate     float64 // takes/sec observed before the raise
 	plateauAt    int     // producer count beyond which no gain was seen (0 = none)
 	plateauUntil int64   // consecutive calm intervals before retrying above the plateau
+	lastRule     string  // rule that fired on the most recent Decide (audit log)
 }
 
 // NewAutotuner returns a fresh feedback controller.
@@ -45,8 +46,18 @@ func NewAutotuner() *Autotuner { return &Autotuner{} }
 // Name implements Algorithm.
 func (a *Autotuner) Name() string { return "prisma-autotune" }
 
+// LastRule implements RuleReporter: the audit-log name of the rule that
+// produced the most recent Decide outcome.
+func (a *Autotuner) LastRule() string {
+	if a.lastRule == "" {
+		return "hold"
+	}
+	return a.lastRule
+}
+
 // Decide implements Algorithm.
 func (a *Autotuner) Decide(prev, cur core.StageStats, applied Tuning, pol Policy) Tuning {
+	a.lastRule = "hold"
 	next := pol.Clamp(applied)
 	interval := cur.Now - prev.Now
 	if interval <= 0 {
@@ -60,6 +71,7 @@ func (a *Autotuner) Decide(prev, cur core.StageStats, applied Tuning, pol Policy
 	if cur.Resilience.Degraded {
 		next.Producers--
 		a.lastRaised = false
+		a.lastRule = "degraded-backoff"
 		return pol.Clamp(next)
 	}
 
@@ -82,6 +94,7 @@ func (a *Autotuner) Decide(prev, cur core.StageStats, applied Tuning, pol Policy
 			next.Producers--
 			next = pol.Clamp(next)
 			a.plateauAt = next.Producers
+			a.lastRule = "plateau-undo"
 			return next
 		}
 	}
@@ -93,14 +106,17 @@ func (a *Autotuner) Decide(prev, cur core.StageStats, applied Tuning, pol Policy
 			next.Producers++
 			a.lastRaised = true
 			a.lastRate = rate
+			a.lastRule = "raise-producers"
 		} else if pol.GrowBufferOnStarvation && next.BufferCapacity < pol.MaxBuffer {
 			next.BufferCapacity *= 2
+			a.lastRule = "grow-buffer"
 		}
 	case starvation < pol.StarvationLow && idle > pol.ProducerIdleHigh && cur.QueueLen > 0:
 		// Overprovisioned and there is pending work (so the idleness is
 		// genuine back-pressure, not an epoch boundary).
 		next.Producers--
 		a.plateauAt = 0 // the workload eased; allow future exploration
+		a.lastRule = "lower-producers"
 	}
 	return pol.Clamp(next)
 }

@@ -10,13 +10,15 @@ import (
 
 // managedStage is a stage under a controller's supervision.
 type managedStage struct {
-	id      string
-	dp      DataPlane
-	alg     Algorithm
-	pol     Policy
-	prev    core.StageStats
-	applied Tuning
-	history []TuningDecision
+	id        string
+	dp        DataPlane
+	alg       Algorithm
+	pol       Policy
+	prev      core.StageStats
+	applied   Tuning
+	history   []TuningDecision
+	decisions []DecisionRecord // bounded audit ring, see decisions.go
+	consumers int              // attribution denominator (0 -> 1)
 }
 
 // TuningDecision records one control action for observability.
@@ -125,18 +127,43 @@ func (c *Controller) Tick() {
 			mon.Record(id, cur)
 		}
 		next := ms.pol.Clamp(ms.alg.Decide(ms.prev, cur, ms.applied, ms.pol))
-		if next != ms.applied {
+		changed := next != ms.applied
+		if changed {
 			ms.dp.SetProducers(next.Producers)
 			ms.dp.SetBufferCapacity(next.BufferCapacity)
-			c.mu.Lock()
+		}
+		rule := "hold"
+		if changed {
+			rule = "adjust"
+		}
+		if rr, ok := ms.alg.(RuleReporter); ok {
+			rule = rr.LastRule()
+		}
+		consumers := ms.consumers
+		if consumers < 1 {
+			consumers = 1
+		}
+		rec := DecisionRecord{
+			At:     c.env.Now(),
+			Stage:  id,
+			Rule:   rule,
+			Before: ms.applied,
+			After:  next,
+			Inputs: decisionInputs(ms.prev, cur, ms.applied),
+			Attrib: intervalAttribution(ms.prev, cur, consumers),
+		}
+		c.mu.Lock()
+		rec.Tick = c.ticks
+		ms.recordDecision(rec)
+		if changed {
 			ms.history = append(ms.history, TuningDecision{
-				At:     c.env.Now(),
+				At:     rec.At,
 				Stage:  id,
 				Before: ms.applied,
 				After:  next,
 			})
-			c.mu.Unlock()
 		}
+		c.mu.Unlock()
 		ms.applied = next
 		ms.prev = cur
 	}

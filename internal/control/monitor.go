@@ -5,6 +5,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -93,38 +94,84 @@ type Rates struct {
 	BufferTakesPerSec float64 // buffer consumptions within the window (aggregated over shards)
 }
 
-// Rate derives windowed rates for id from the two snapshots spanning the
-// requested window (the oldest retained one if the window exceeds
-// retention). ok is false with fewer than two snapshots.
-func (m *Monitor) Rate(id string, window time.Duration) (Rates, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// counterReset reports whether cur's monotone counters moved backwards
+// relative to prev — the signature of a stage restart, whose fresh counters
+// would otherwise produce nonsensical negative deltas.
+func counterReset(prev, cur Snapshot) bool {
+	return cur.Stats.Reads < prev.Stats.Reads ||
+		cur.Stats.Buffer.Takes < prev.Stats.Buffer.Takes ||
+		cur.Stats.Buffer.ConsumerWait < prev.Stats.Buffer.ConsumerWait
+}
+
+// pairLocked selects the (oldest, newest) snapshot pair spanning the
+// requested window: the oldest retained snapshot inside the window, widened
+// to the last pair when the window is shorter than one sampling interval,
+// and advanced past the most recent counter reset so a stage restart never
+// yields negative deltas. Caller holds m.mu. ok is false with fewer than
+// two usable snapshots.
+func (m *Monitor) pairLocked(id string, window time.Duration) (oldest, newest Snapshot, ok bool) {
 	s := m.series[id]
 	if len(s) < 2 {
-		return Rates{}, false
+		return Snapshot{}, Snapshot{}, false
 	}
-	newest := s[len(s)-1]
-	oldest := s[0]
+	newest = s[len(s)-1]
 	cutoff := newest.At - window
-	for _, snap := range s {
+	idx := 0
+	for i, snap := range s {
 		if snap.At >= cutoff {
-			oldest = snap
+			idx = i
 			break
 		}
 	}
-	if oldest.At >= newest.At {
+	if s[idx].At >= newest.At {
 		// window smaller than one sampling interval: widen to the last pair
-		oldest = s[len(s)-2]
+		idx = len(s) - 2
+	}
+	// A restart resets the stage's counters; measuring across it would go
+	// backwards. Start the window at the first post-reset snapshot instead.
+	for i := idx + 1; i < len(s); i++ {
+		if counterReset(s[i-1], s[i]) {
+			idx = i
+		}
+	}
+	oldest = s[idx]
+	if oldest.At >= newest.At {
+		return Snapshot{}, Snapshot{}, false
+	}
+	return oldest, newest, true
+}
+
+// nonneg clamps a counter delta to zero: even within a reset-free pair a
+// backend swap can lower an auxiliary counter.
+func nonneg(d int64) int64 {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Rate derives windowed rates for id from the two snapshots spanning the
+// requested window (the oldest retained one if the window exceeds
+// retention). Windows shorter than one sampling interval widen to the last
+// snapshot pair, and a counter reset (stage restart) inside the window
+// shrinks it to the post-restart span. ok is false with fewer than two
+// usable snapshots.
+func (m *Monitor) Rate(id string, window time.Duration) (Rates, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldest, newest, ok := m.pairLocked(id, window)
+	if !ok {
+		return Rates{}, false
 	}
 	dt := (newest.At - oldest.At).Seconds()
 	if dt <= 0 {
 		return Rates{}, false
 	}
-	reads := newest.Stats.Reads - oldest.Stats.Reads
-	hits := newest.Stats.Hits - oldest.Stats.Hits
-	errors := newest.Stats.Errors - oldest.Stats.Errors
-	retries := newest.Stats.Resilience.Retries - oldest.Stats.Resilience.Retries
-	takes := newest.Stats.Buffer.Takes - oldest.Stats.Buffer.Takes
+	reads := nonneg(newest.Stats.Reads - oldest.Stats.Reads)
+	hits := nonneg(newest.Stats.Hits - oldest.Stats.Hits)
+	errors := nonneg(newest.Stats.Errors - oldest.Stats.Errors)
+	retries := nonneg(newest.Stats.Resilience.Retries - oldest.Stats.Resilience.Retries)
+	takes := nonneg(newest.Stats.Buffer.Takes - oldest.Stats.Buffer.Takes)
 	r := Rates{
 		Window:            newest.At - oldest.At,
 		ReadsPerSec:       float64(reads) / dt,
@@ -136,6 +183,20 @@ func (m *Monitor) Rate(id string, window time.Duration) (Rates, bool) {
 		r.ErrorRate = float64(errors) / float64(reads)
 	}
 	return r, true
+}
+
+// Attribution derives the critical-path latency breakdown for id over the
+// trailing window from the always-on wait counters (no span sampling
+// needed). consumers < 1 defaults to 1. ok is false with fewer than two
+// usable snapshots.
+func (m *Monitor) Attribution(id string, window time.Duration, consumers int) (obs.Attribution, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldest, newest, ok := m.pairLocked(id, window)
+	if !ok {
+		return obs.Attribution{}, false
+	}
+	return intervalAttribution(oldest.Stats, newest.Stats, consumers), true
 }
 
 // EnableMonitoring attaches a monitor to the controller: every Tick also

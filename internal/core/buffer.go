@@ -12,6 +12,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
 
 // ErrClosed is returned by buffer and stage operations after shutdown.
@@ -28,6 +29,20 @@ type Item struct {
 	Size  int64
 	Bytes []byte // nil under modeled backends
 	Err   error  // non-nil when the producer's read failed
+
+	// Ctx is the sample-lifecycle trace context assigned at plan
+	// submission (zero when unsampled or when the item did not come
+	// through the prefetcher).
+	Ctx obs.Ctx
+	// ReadStart and ReadEnd bound the producer's backend read on the env
+	// clock; PopDelay is how long this sample's FIFO pop was delayed by
+	// its producer parking on a full shard (the previous Put's blocked
+	// time). Together they let Take split a consumer's wait into its
+	// storage-caused and buffer-capacity-caused portions — the always-on
+	// inputs of the latency-attribution report.
+	ReadStart time.Duration
+	ReadEnd   time.Duration
+	PopDelay  time.Duration
 }
 
 // Buffer is the bounded in-memory sample buffer. Semantics follow the
@@ -56,6 +71,8 @@ type Buffer struct {
 	env        conc.Env
 	accessCost time.Duration
 	created    time.Duration
+	tracer     *obs.Tracer                // set before traffic via SetTracer; nil-safe
+	waitHist   *metrics.BucketedHistogram // distribution of consumer Take waits
 
 	// cfgMu guards the shard set, the capacity budget, and the carryover
 	// counters of retired shards. Lock order is cfgMu before shard.mu;
@@ -69,6 +86,8 @@ type Buffer struct {
 	// so BufferStats stays monotonic across resharding.
 	basePuts, baseTakes            int64
 	baseConsumerNS, baseProducerNS int64
+	baseWaitStorageNS              int64
+	baseWaitBufferNS               int64
 	baseOccWeighted                int64 // Σ occupancy×duration(ns) of retired shards
 }
 
@@ -81,6 +100,7 @@ type bufShard struct {
 	notFull conc.Cond
 	arrived conc.Cond
 
+	idx      int // position in the shard set (span annotation)
 	capacity int
 	items    map[string]Item
 	waiting  map[string]int // names consumers are currently blocked on
@@ -89,6 +109,7 @@ type bufShard struct {
 
 	puts, takes                    int64
 	consumerWaitNS, producerWaitNS int64
+	waitStorageNS, waitBufferNS    int64 // consumer-wait attribution splits
 	occupancy                      *metrics.TimeInState
 }
 
@@ -114,6 +135,7 @@ func NewShardedBuffer(env conc.Env, capacity int, accessCost time.Duration, shar
 		accessCost: accessCost,
 		created:    env.Now(),
 		capacity:   capacity,
+		waitHist:   metrics.NewBucketedHistogram(env, nil),
 	}
 	b.cfgMu = env.NewMutex()
 	b.shards = newShardSet(env, clampShards(shards, capacity), capacity)
@@ -142,6 +164,7 @@ func newShardSet(env conc.Env, k, capacity int) []*bufShard {
 	out := make([]*bufShard, k)
 	for i := range out {
 		s := &bufShard{
+			idx:       i,
 			capacity:  caps[i],
 			items:     make(map[string]Item),
 			waiting:   make(map[string]int),
@@ -197,9 +220,22 @@ func (b *Buffer) route(name string) *bufShard {
 	return s
 }
 
+// SetTracer attaches the tracer used for buffer-park and consumer-wait
+// spans. Call before the buffer sees traffic (Stage.SetTracer does; exported
+// for callers driving a bare buffer, e.g. the contention benchmarks).
+func (b *Buffer) SetTracer(t *obs.Tracer) { b.tracer = t }
+
 // Put stores a sample, blocking while its shard is full (unless a consumer
 // is already waiting for this sample). It returns ErrClosed after Close.
 func (b *Buffer) Put(it Item) error {
+	_, err := b.PutTimed(it)
+	return err
+}
+
+// PutTimed is Put, additionally reporting how long the producer was parked
+// on a full shard. The prefetcher threads it into the next Item's PopDelay
+// — the buffer-capacity blame signal of the attribution report.
+func (b *Buffer) PutTimed(it Item) (time.Duration, error) {
 	start := b.env.Now()
 	var credited time.Duration
 	for {
@@ -218,7 +254,7 @@ func (b *Buffer) Put(it Item) error {
 		}
 		if s.closed {
 			s.mu.Unlock()
-			return ErrClosed
+			return credited, ErrClosed
 		}
 		if b.accessCost > 0 {
 			b.env.Sleep(b.accessCost) // serialized within the shard: cost paid under its lock
@@ -227,14 +263,32 @@ func (b *Buffer) Put(it Item) error {
 		s.occupancy.Set(len(s.items))
 		s.puts++
 		s.arrived.Broadcast()
+		shard := s.idx
 		s.mu.Unlock()
-		return nil
+		if it.Ctx.Sampled && credited > 0 {
+			b.tracer.Record(obs.Span{
+				Trace: it.Ctx.Trace, Stage: obs.StageBufferPark, Name: it.Name,
+				At: start, Latency: credited, Shard: shard,
+			})
+		}
+		return credited, nil
 	}
 }
 
 // Take blocks until the named sample is present, removes it (evict-on-read)
 // and returns it. ok is false if the buffer closes while waiting.
 func (b *Buffer) Take(name string) (Item, bool) {
+	return b.TakeCtx(name, obs.Ctx{})
+}
+
+// TakeCtx is Take carrying the consumer's trace context (propagated from
+// the IPC frame or assigned by the stage). Every successful Take splits the
+// consumer's blocked time into its storage-caused portion (waiting while —
+// or before — the sample's backend read ran) and its buffer-capacity-caused
+// portion (the read started late because the sample's producer was parked),
+// feeding the shard's cumulative attribution counters; when sampled, a
+// consumer-wait span carries the same split.
+func (b *Buffer) TakeCtx(name string, ctx obs.Ctx) (Item, bool) {
 	start := b.env.Now()
 	var credited time.Duration
 	for {
@@ -259,7 +313,8 @@ func (b *Buffer) Take(name string) (Item, bool) {
 				delete(s.waiting, name)
 			}
 		}
-		if waited := b.env.Now() - start - credited; waited > 0 {
+		waitEnd := b.env.Now()
+		if waited := waitEnd - start - credited; waited > 0 {
 			s.consumerWaitNS += int64(waited)
 			credited += waited
 		}
@@ -272,6 +327,9 @@ func (b *Buffer) Take(name string) (Item, bool) {
 			s.mu.Unlock()
 			return Item{}, false
 		}
+		storageW, bufferW := attributeWait(credited, waitEnd, it)
+		s.waitStorageNS += int64(storageW)
+		s.waitBufferNS += int64(bufferW)
 		if b.accessCost > 0 {
 			b.env.Sleep(b.accessCost)
 		}
@@ -285,9 +343,69 @@ func (b *Buffer) Take(name string) (Item, bool) {
 		// sample a consumer is waiting on — stays asleep. Waking every
 		// blocked producer lets each re-check its own admission condition.
 		s.notFull.Broadcast()
+		shard := s.idx
 		s.mu.Unlock()
+		b.waitHist.Observe(credited)
+		if ctx.Sampled || it.Ctx.Sampled {
+			span := obs.Span{
+				Trace: ctx.Trace, Stage: obs.StageConsumerWait, Name: name,
+				At: waitEnd - credited, Latency: credited, Shard: shard,
+				Size: it.Size, StorageWait: storageW, BufferWait: bufferW,
+			}
+			if span.Trace == 0 {
+				span.Trace = it.Ctx.Trace
+			}
+			if it.Ctx.Trace != 0 && it.Ctx.Trace != span.Trace {
+				span.Link = it.Ctx.Trace
+			}
+			b.tracer.Record(span)
+		}
 		return it, true
 	}
+}
+
+// attributeWait splits one consumer wait into the portion storage is to
+// blame for and the portion buffer capacity is to blame for. The storage
+// portion is the overlap of the wait with the sample's backend read plus
+// any wait spent before the read began (queued behind busy producers). The
+// buffer portion is bounded by the sample's PopDelay: had its producer not
+// been parked, the read would have started up to PopDelay earlier, removing
+// that much of the wait — this is what makes an undersized N visible even
+// when the wait itself overlaps the (late-started) read. Both portions are
+// clamped so their sum never exceeds the wait.
+func attributeWait(wait, waitEnd time.Duration, it Item) (storageW, bufferW time.Duration) {
+	if wait <= 0 {
+		return 0, 0
+	}
+	bufferW = it.PopDelay
+	if bufferW > wait {
+		bufferW = wait
+	}
+	if it.ReadEnd > it.ReadStart {
+		ws := waitEnd - wait
+		// Overlap of [ws, waitEnd] with the read interval.
+		lo, hi := it.ReadStart, it.ReadEnd
+		if lo < ws {
+			lo = ws
+		}
+		if hi > waitEnd {
+			hi = waitEnd
+		}
+		if hi > lo {
+			storageW = hi - lo
+		}
+		// Wait spent before the read even started (sample still queued).
+		if pre := it.ReadStart - ws; pre > 0 {
+			if pre > wait {
+				pre = wait
+			}
+			storageW += pre
+		}
+	}
+	if storageW > wait-bufferW {
+		storageW = wait - bufferW
+	}
+	return storageW, bufferW
 }
 
 // Len reports the number of buffered samples across all shards.
@@ -383,6 +501,8 @@ func (b *Buffer) reshardLocked(k int) {
 		b.baseTakes += s.takes
 		b.baseConsumerNS += s.consumerWaitNS
 		b.baseProducerNS += s.producerWaitNS
+		b.baseWaitStorageNS += s.waitStorageNS
+		b.baseWaitBufferNS += s.waitBufferNS
 		b.baseOccWeighted += s.occupancy.TimeWeightedSum()
 		s.items = make(map[string]Item)
 		s.notFull.Broadcast()
@@ -428,6 +548,15 @@ type BufferStats struct {
 	ConsumerWait  time.Duration // cumulative time consumers blocked in Take
 	ProducerWait  time.Duration // cumulative time producers blocked in Put
 	MeanOccupancy float64       // time-weighted average total fill level
+
+	// Attribution splits of ConsumerWait (see Buffer.TakeCtx): the portion
+	// storage reads are to blame for, and the portion buffer capacity is
+	// to blame for. Inputs of obs.Attribute.
+	ConsumerWaitStorage    time.Duration
+	ConsumerWaitBufferFull time.Duration
+
+	// WaitHist is the distribution of per-Take consumer waits.
+	WaitHist metrics.HistogramSnapshot
 }
 
 // Stats snapshots the buffer counters. Each shard is snapshotted under its
@@ -444,6 +573,7 @@ func (b *Buffer) Stats() BufferStats {
 		Takes:    b.baseTakes,
 	}
 	cwNS, pwNS := b.baseConsumerNS, b.baseProducerNS
+	wsNS, wbNS := b.baseWaitStorageNS, b.baseWaitBufferNS
 	weighted := b.baseOccWeighted
 	for _, s := range b.shards {
 		s.mu.Lock()
@@ -452,11 +582,16 @@ func (b *Buffer) Stats() BufferStats {
 		st.Takes += s.takes
 		cwNS += s.consumerWaitNS
 		pwNS += s.producerWaitNS
+		wsNS += s.waitStorageNS
+		wbNS += s.waitBufferNS
 		weighted += s.occupancy.TimeWeightedSum()
 		s.mu.Unlock()
 	}
 	st.ConsumerWait = time.Duration(cwNS)
 	st.ProducerWait = time.Duration(pwNS)
+	st.ConsumerWaitStorage = time.Duration(wsNS)
+	st.ConsumerWaitBufferFull = time.Duration(wbNS)
+	st.WaitHist = b.waitHist.Snapshot()
 	if window := b.env.Now() - b.created; window > 0 {
 		st.MeanOccupancy = float64(weighted) / float64(window)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -65,6 +66,14 @@ func (c PrefetcherConfig) Validate() error {
 	return nil
 }
 
+// planEntry is one queued plan position: the file to read, the submission
+// time (FIFO dwell measurement), and the sample's trace context.
+type planEntry struct {
+	name string
+	at   time.Duration
+	ctx  obs.Ctx
+}
+
 // Prefetcher reads planned files from backend storage ahead of consumption
 // using up to t concurrent producer threads, parking samples in the bounded
 // buffer. The plan — the per-epoch shuffled filename list shared by the DL
@@ -74,7 +83,8 @@ type Prefetcher struct {
 	backend storage.Backend
 	cfg     PrefetcherConfig
 	buffer  *Buffer
-	queue   *conc.Queue[string]
+	queue   *conc.Queue[planEntry]
+	tracer  *obs.Tracer // set before Start via setTracer; nil-safe
 
 	mu      conc.Mutex
 	target  int // desired t
@@ -83,7 +93,8 @@ type Prefetcher struct {
 	planned map[string]int // outstanding plan multiplicity per name
 	closed  bool
 
-	activeReaders *metrics.TimeInState // threads inside backend.ReadFile (Fig. 3 signal)
+	activeReaders *metrics.TimeInState       // threads inside backend.ReadFile (Fig. 3 signal)
+	readLat       *metrics.BucketedHistogram // producer-observed storage read latency
 	prefetched    *metrics.Counter
 	readErrors    *metrics.Counter
 }
@@ -102,9 +113,10 @@ func NewPrefetcher(env conc.Env, backend storage.Backend, cfg PrefetcherConfig) 
 		backend:       backend,
 		cfg:           cfg,
 		buffer:        NewShardedBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost, shards),
-		queue:         conc.NewQueue[string](env, 0),
+		queue:         conc.NewQueue[planEntry](env, 0),
 		planned:       make(map[string]int),
 		activeReaders: metrics.NewTimeInState(env, 0),
+		readLat:       metrics.NewBucketedHistogram(env, nil),
 		prefetched:    metrics.NewCounter(env),
 		readErrors:    metrics.NewCounter(env),
 	}
@@ -122,8 +134,17 @@ func (pf *Prefetcher) Buffer() *Buffer { return pf.buffer }
 // Config returns the static configuration.
 func (pf *Prefetcher) Config() PrefetcherConfig { return pf.cfg }
 
+// setTracer attaches the tracer (and propagates it to the buffer). Call
+// before Start; sample-lifecycle trace ids are assigned here at plan
+// submission.
+func (pf *Prefetcher) setTracer(t *obs.Tracer) {
+	pf.tracer = t
+	pf.buffer.SetTracer(t)
+}
+
 // SubmitPlan appends the shuffled filename list of one epoch to the
-// prefetch queue. Names are read in exactly this order.
+// prefetch queue. Names are read in exactly this order. Each plan entry is
+// the head of one sample-lifecycle trace (head sampling decides here).
 func (pf *Prefetcher) SubmitPlan(names []string) error {
 	pf.mu.Lock()
 	if pf.closed {
@@ -134,8 +155,9 @@ func (pf *Prefetcher) SubmitPlan(names []string) error {
 		pf.planned[n]++
 	}
 	pf.mu.Unlock()
+	at := pf.env.Now()
 	for _, n := range names {
-		if err := pf.queue.Put(n); err != nil {
+		if err := pf.queue.Put(planEntry{name: n, at: at, ctx: pf.tracer.StartTrace()}); err != nil {
 			return err
 		}
 	}
@@ -199,6 +221,11 @@ func (pf *Prefetcher) Producers() (target, running int) {
 
 // producerLoop is the body of one producer thread.
 func (pf *Prefetcher) producerLoop() {
+	// prevPark is how long this thread's previous Put parked on a full
+	// shard. It rides on the next Item as PopDelay: that sample's read
+	// started late by (up to) this much because of buffer capacity, which
+	// is the causal signal the consumer-wait attribution needs.
+	var prevPark time.Duration
 	for {
 		pf.mu.Lock()
 		if pf.closed || pf.running > pf.target {
@@ -208,7 +235,7 @@ func (pf *Prefetcher) producerLoop() {
 		}
 		pf.mu.Unlock()
 
-		name, ok := pf.queue.Get()
+		e, ok := pf.queue.Get()
 		if !ok { // queue closed and drained
 			pf.mu.Lock()
 			pf.running--
@@ -216,24 +243,87 @@ func (pf *Prefetcher) producerLoop() {
 			return
 		}
 
-		pf.activeReaders.Add(1)
-		data, err := pf.backend.ReadFile(name)
-		pf.activeReaders.Add(-1)
+		readStart := pf.env.Now()
+		if e.ctx.Sampled {
+			pf.tracer.Record(obs.Span{
+				Trace:   e.ctx.Trace,
+				Stage:   obs.StageFIFOPop,
+				Name:    e.name,
+				At:      e.at,
+				Latency: readStart - e.at,
+			})
+		}
 
-		it := Item{Name: name, Size: data.Size, Bytes: data.Bytes, Err: err}
+		var (
+			data   storage.Data
+			detail storage.ReadDetail
+			err    error
+		)
+		pf.activeReaders.Add(1)
+		if dr, okd := pf.backend.(storage.DetailedReader); okd && e.ctx.Sampled {
+			data, detail, err = dr.ReadFileDetailed(e.name)
+		} else {
+			data, err = pf.backend.ReadFile(e.name)
+		}
+		pf.activeReaders.Add(-1)
+		readEnd := pf.env.Now()
+		pf.readLat.Observe(readEnd - readStart)
+
+		if e.ctx.Sampled {
+			sp := obs.Span{
+				Trace:   e.ctx.Trace,
+				Stage:   obs.StageStorageRead,
+				Name:    e.name,
+				At:      readStart,
+				Latency: readEnd - readStart,
+				Size:    data.Size,
+				Breaker: detail.Breaker,
+			}
+			if detail.Attempts > 1 {
+				sp.Retries = detail.Attempts - 1
+			}
+			if err != nil {
+				sp.Error = err.Error()
+			}
+			pf.tracer.Record(sp)
+		}
+
+		it := Item{
+			Name:      e.name,
+			Size:      data.Size,
+			Bytes:     data.Bytes,
+			Err:       err,
+			Ctx:       e.ctx,
+			ReadStart: readStart,
+			ReadEnd:   readEnd,
+			PopDelay:  prevPark,
+		}
 		if err != nil {
 			pf.readErrors.Inc()
 		} else {
 			pf.prefetched.Inc()
 		}
-		if pf.buffer.Put(it) != nil {
+		parked, perr := pf.buffer.PutTimed(it)
+		if perr != nil {
 			// Buffer closed: shutting down.
 			pf.mu.Lock()
 			pf.running--
 			pf.mu.Unlock()
 			return
 		}
+		prevPark = parked
 	}
+}
+
+// StorageBusy reports the cumulative producer time spent inside backend
+// reads — the attribution report's storage-busy context signal.
+func (pf *Prefetcher) StorageBusy() time.Duration {
+	return time.Duration(pf.activeReaders.TimeWeightedSum())
+}
+
+// ReadLatency returns the producer-observed storage read latency histogram.
+func (pf *Prefetcher) ReadLatency() metrics.HistogramSnapshot {
+	return pf.readLat.Snapshot()
 }
 
 // ActiveReaderDistribution reports time spent at each concurrent-reader

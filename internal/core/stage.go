@@ -5,6 +5,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -19,6 +20,14 @@ type OptimizationObject interface {
 	Read(name string) (data storage.Data, handled bool, err error)
 	// Close releases the object's resources.
 	Close()
+}
+
+// ctxReader is the optional extension an optimization object implements to
+// receive the sample's trace context (mirrors the shardTuner pattern:
+// extending behavior without breaking existing OptimizationObject
+// implementors).
+type ctxReader interface {
+	ReadCtx(name string, ctx obs.Ctx) (data storage.Data, handled bool, err error)
 }
 
 // PrefetchObject adapts a Prefetcher to the OptimizationObject interface:
@@ -40,10 +49,16 @@ func (o *PrefetchObject) Prefetcher() *Prefetcher { return o.pf }
 // Read serves a planned file from the buffer, blocking until the producers
 // deliver it.
 func (o *PrefetchObject) Read(name string) (storage.Data, bool, error) {
+	return o.ReadCtx(name, obs.Ctx{})
+}
+
+// ReadCtx implements ctxReader: the consumer's trace context flows into the
+// buffer so the Take wait is recorded against the right trace.
+func (o *PrefetchObject) ReadCtx(name string, ctx obs.Ctx) (storage.Data, bool, error) {
 	if !o.pf.Planned(name) {
 		return storage.Data{}, false, nil
 	}
-	it, ok := o.pf.buffer.Take(name)
+	it, ok := o.pf.buffer.TakeCtx(name, ctx)
 	if !ok {
 		return storage.Data{}, true, ErrClosed
 	}
@@ -75,6 +90,16 @@ type StageStats struct {
 	PrefetchedFiles  int64
 	ReadErrors       int64
 
+	// StorageBusy is cumulative producer time inside backend reads — the
+	// attribution denominator context.
+	StorageBusy time.Duration
+	// TraceSampling is the tracer's current head-sampling probability
+	// (zero when no tracer is attached).
+	TraceSampling float64
+	// StorageReadLatency is the producer-observed backend read latency
+	// histogram (Prometheus-renderable).
+	StorageReadLatency metrics.HistogramSnapshot
+
 	Buffer BufferStats
 
 	// Resilience reflects the backend's retry/breaker state (zero-valued
@@ -92,6 +117,7 @@ type Stage struct {
 	backend storage.Backend
 	objects []OptimizationObject
 	pf      *Prefetcher // non-nil when a PrefetchObject is attached
+	tracer  *obs.Tracer // nil-safe; set once via SetTracer before traffic
 
 	reads    *metrics.Counter
 	hits     *metrics.Counter
@@ -119,14 +145,49 @@ func NewStage(env conc.Env, backend storage.Backend, objects ...OptimizationObje
 	return st
 }
 
+// SetTracer attaches the observability tracer, propagating it to the
+// prefetcher and buffer. Call before traffic starts.
+func (s *Stage) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	if s.pf != nil {
+		s.pf.setTracer(t)
+	}
+}
+
+// Tracer exposes the attached tracer (nil when tracing is off).
+func (s *Stage) Tracer() *obs.Tracer { return s.tracer }
+
+// SetTraceSampling adjusts the tracer's head-sampling probability at
+// runtime (control interface). No-op without a tracer.
+func (s *Stage) SetTraceSampling(p float64) { s.tracer.SetSampling(p) }
+
 // Read is the POSIX interception point: the DL framework's read/pread calls
 // land here (the TensorFlow integration swaps its file-system backend's
 // pread for this call; the PyTorch integration forwards over a UNIX
 // socket).
 func (s *Stage) Read(name string) (storage.Data, error) {
+	return s.ReadCtx(name, obs.Ctx{})
+}
+
+// ReadCtx is Read with an explicit trace context: the IPC server passes the
+// client-propagated context; a zero ctx makes the stage head-sample a fresh
+// trace for this read.
+func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
+	if !ctx.Sampled {
+		ctx = s.tracer.StartTrace()
+	}
 	s.reads.Inc()
 	for _, o := range s.objects {
-		data, handled, err := o.Read(name)
+		var (
+			data    storage.Data
+			handled bool
+			err     error
+		)
+		if cr, ok := o.(ctxReader); ok {
+			data, handled, err = cr.ReadCtx(name, ctx)
+		} else {
+			data, handled, err = o.Read(name)
+		}
 		if !handled {
 			continue
 		}
@@ -177,7 +238,10 @@ func (s *Stage) Stats() StageStats {
 		st.PrefetchedFiles = s.pf.PrefetchedFiles()
 		st.ReadErrors = s.pf.ReadErrors()
 		st.Buffer = s.pf.Buffer().Stats()
+		st.StorageBusy = s.pf.StorageBusy()
+		st.StorageReadLatency = s.pf.ReadLatency()
 	}
+	st.TraceSampling = s.tracer.Sampling()
 	if rr, ok := s.backend.(storage.ResilienceReporter); ok {
 		st.Resilience = rr.ResilienceStats()
 	}

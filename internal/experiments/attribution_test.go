@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/obs"
+)
+
+// TestAttributionSharesShift is the observability acceptance criterion: one
+// deterministic sim run per (t, N) setting, shares summing to ~100% of the
+// epoch, and the dominant share moving with the bottleneck — t=1 is
+// storage-bound, N=1 is buffer-capacity-bound.
+func TestAttributionSharesShift(t *testing.T) {
+	storageBound, err := RunAttributionCell("A", AttributionConfig{Producers: 1, BufferCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufferBound, err := RunAttributionCell("B", AttributionConfig{Producers: 8, BufferCap: 1, Consume: 350 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cell := range []AttributionCell{storageBound, bufferBound} {
+		a := cell.Attrib
+		sum := a.StorageShare + a.BufferFullShare + a.IPCShare + a.ConsumerShare
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: shares sum to %v, want 1", cell.Label, sum)
+		}
+		for _, sh := range []float64{a.StorageShare, a.BufferFullShare, a.IPCShare, a.ConsumerShare} {
+			if sh < 0 || sh > 1 {
+				t.Errorf("%s: share %v outside [0, 1]", cell.Label, sh)
+			}
+		}
+		if cell.Makespan <= 0 {
+			t.Errorf("%s: non-positive makespan %v", cell.Label, cell.Makespan)
+		}
+	}
+
+	// t=1: a single producer serializes every read, so nearly all consumer
+	// time is waiting on storage.
+	if a := storageBound.Attrib; a.StorageShare <= 0.5 {
+		t.Errorf("t=1 N=64: StorageShare = %.3f, want > 0.5 (buffer-full %.3f, consumer %.3f)",
+			a.StorageShare, a.BufferFullShare, a.ConsumerShare)
+	}
+	// t=8 N=1: reads overlap but almost every sample's read started late
+	// because its producer was parked on the single-slot buffer.
+	if a := bufferBound.Attrib; a.BufferFullShare <= a.StorageShare {
+		t.Errorf("t=8 N=1: BufferFullShare = %.3f not > StorageShare = %.3f (consumer %.3f)",
+			a.BufferFullShare, a.StorageShare, a.ConsumerShare)
+	}
+	// The shift itself: raising t and shrinking N moved the blame.
+	if bufferBound.Attrib.BufferFullShare <= storageBound.Attrib.BufferFullShare {
+		t.Errorf("BufferFullShare did not rise from setting A (%.3f) to setting B (%.3f)",
+			storageBound.Attrib.BufferFullShare, bufferBound.Attrib.BufferFullShare)
+	}
+	if bufferBound.Attrib.StorageShare >= storageBound.Attrib.StorageShare {
+		t.Errorf("StorageShare did not fall from setting A (%.3f) to setting B (%.3f)",
+			storageBound.Attrib.StorageShare, bufferBound.Attrib.StorageShare)
+	}
+}
+
+// TestAttributionDeterministic reruns a cell and demands identical results:
+// the tracer is env-clock-driven and the sampler seeded, so the sim replays
+// exactly — makespan, report, and span stream.
+func TestAttributionDeterministic(t *testing.T) {
+	cfg := AttributionConfig{Producers: 4, BufferCap: 8, Consume: 200 * time.Microsecond}
+	first, err := RunAttributionCell("run1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunAttributionCell("run2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Makespan != second.Makespan {
+		t.Errorf("makespan differs across runs: %v vs %v", first.Makespan, second.Makespan)
+	}
+	if first.Attrib != second.Attrib {
+		t.Errorf("attribution differs across runs:\n%+v\n%+v", first.Attrib, second.Attrib)
+	}
+	if len(first.Spans) != len(second.Spans) {
+		t.Fatalf("span count differs: %d vs %d", len(first.Spans), len(second.Spans))
+	}
+	for i := range first.Spans {
+		if first.Spans[i] != second.Spans[i] {
+			t.Fatalf("span %d differs:\n%+v\n%+v", i, first.Spans[i], second.Spans[i])
+		}
+	}
+}
+
+// TestAttributionSpanExportRoundTrip writes a cell's spans as JSONL, reads
+// them back, and checks the span-derived attribution is identical — the
+// offline prisma-trace path agrees with the in-process one.
+func TestAttributionSpanExportRoundTrip(t *testing.T) {
+	cell, err := RunAttributionCell("export", AttributionConfig{Producers: 2, BufferCap: 4, Consume: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Spans) == 0 {
+		t.Fatal("cell produced no spans at sampling 1")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteSpans(&buf, cell.Spans); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cell.Spans) {
+		t.Fatalf("round-trip changed span count: %d -> %d", len(cell.Spans), len(back))
+	}
+	before := obs.AttributeSpans(cell.Spans, 1)
+	after := obs.AttributeSpans(back, 1)
+	if before != after {
+		t.Errorf("span attribution changed across JSONL round-trip:\n%+v\n%+v", before, after)
+	}
+	// The span view and the counter view must agree on the bottleneck's
+	// identity (exact durations differ: spans see only sampled traces and
+	// window by span extent).
+	if (before.StorageShare > before.BufferFullShare) != (cell.Attrib.StorageShare > cell.Attrib.BufferFullShare) {
+		t.Errorf("span view and counter view disagree on dominant share:\nspans:    %+v\ncounters: %+v",
+			before, cell.Attrib)
+	}
+}

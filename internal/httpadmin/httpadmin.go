@@ -1,32 +1,63 @@
 // Package httpadmin exposes a PRISMA stage's control interface over HTTP
 // for dashboards and scrapers: JSON statistics, Prometheus-style text
-// metrics, liveness, and knob updates. It is the observability face of the
-// control plane for real deployments (prisma-server -http).
+// metrics, liveness, latency attribution, the autotuner decision log, and
+// knob updates. It is the observability face of the control plane for real
+// deployments (prisma-server -http).
 package httpadmin
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"github.com/dsrhaslab/prisma-go/internal/control"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
+
+// Config selects the handler's optional surfaces.
+type Config struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and must be
+	// opted into.
+	EnablePprof bool
+	// Decisions, when set, backs GET /decisions with the autotuner's
+	// audit log (typically Controller.Decisions for the managed stage).
+	Decisions func() []control.DecisionRecord
+	// Consumers is the default attribution denominator for /attribution
+	// (overridable per request with ?consumers=N). Zero means one.
+	Consumers int
+}
 
 // Handler serves the admin API for one data-plane stage.
 type Handler struct {
 	dp  control.DataPlane
+	cfg Config
 	mux *http.ServeMux
 }
 
 // New builds the admin handler over any control.DataPlane (a *core.Stage
-// in practice).
-func New(dp control.DataPlane) *Handler {
-	h := &Handler{dp: dp, mux: http.NewServeMux()}
+// in practice) with the default Config.
+func New(dp control.DataPlane) *Handler { return NewWithConfig(dp, Config{}) }
+
+// NewWithConfig builds the admin handler with explicit options.
+func NewWithConfig(dp control.DataPlane, cfg Config) *Handler {
+	h := &Handler{dp: dp, cfg: cfg, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/healthz", h.healthz)
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/tuning", h.tuning)
+	h.mux.HandleFunc("/attribution", h.attribution)
+	h.mux.HandleFunc("/decisions", h.decisions)
+	if cfg.EnablePprof {
+		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return h
 }
 
@@ -48,6 +79,18 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewEncoder(w).Encode(h.dp.Stats()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// writeHistogram renders one duration histogram in Prometheus histogram
+// exposition format (seconds, cumulative buckets, implicit +Inf).
+func writeHistogram(w http.ResponseWriter, name, help string, snap metrics.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, b := range snap.Buckets {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b.Le.Seconds(), 'g', -1, 64), b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, snap.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
 }
 
 // metrics renders Prometheus text exposition format.
@@ -74,6 +117,10 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	write("prisma_buffer_shards", "Buffer shard count K.", "gauge", float64(s.Buffer.Shards))
 	write("prisma_consumer_wait_seconds_total", "Cumulative consumer blocking time.", "counter", s.Buffer.ConsumerWait.Seconds())
 	write("prisma_producer_wait_seconds_total", "Cumulative producer blocking time.", "counter", s.Buffer.ProducerWait.Seconds())
+	write("prisma_consumer_wait_storage_seconds_total", "Consumer blocking time attributed to storage reads.", "counter", s.Buffer.ConsumerWaitStorage.Seconds())
+	write("prisma_consumer_wait_bufferfull_seconds_total", "Consumer blocking time attributed to buffer capacity.", "counter", s.Buffer.ConsumerWaitBufferFull.Seconds())
+	write("prisma_storage_busy_seconds_total", "Cumulative producer time inside backend reads.", "counter", s.StorageBusy.Seconds())
+	write("prisma_trace_sampling", "Trace head-sampling probability.", "gauge", s.TraceSampling)
 	write("prisma_backend_retries_total", "Backend read attempts beyond the first.", "counter", float64(s.Resilience.Retries))
 	write("prisma_backend_exhausted_total", "Backend reads that failed after all retry attempts.", "counter", float64(s.Resilience.Exhausted))
 	write("prisma_breaker_opens_total", "Circuit breaker trips to the open state.", "counter", float64(s.Resilience.BreakerOpens))
@@ -83,6 +130,61 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		degraded = 1
 	}
 	write("prisma_backend_degraded", "1 while the circuit breaker is open or half-open.", "gauge", degraded)
+	writeHistogram(w, "prisma_storage_read_latency_seconds", "Producer-observed backend read latency.", s.StorageReadLatency)
+	writeHistogram(w, "prisma_consumer_wait_latency_seconds", "Per-Take consumer blocking time.", s.Buffer.WaitHist)
+}
+
+// attribution renders the cumulative critical-path breakdown since stage
+// start: how consumer time divides between storage waits, buffer-capacity
+// waits, and keeping up. ?consumers=N overrides the configured denominator.
+func (h *Handler) attribution(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	consumers := h.cfg.Consumers
+	if v := r.URL.Query().Get("consumers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad consumers value", http.StatusBadRequest)
+			return
+		}
+		consumers = n
+	}
+	s := h.dp.Stats()
+	a := obs.Attribute(obs.AttributionInput{
+		Window:       s.Now,
+		Consumers:    consumers,
+		ConsumerWait: s.Buffer.ConsumerWait,
+		StorageWait:  s.Buffer.ConsumerWaitStorage,
+		BufferWait:   s.Buffer.ConsumerWaitBufferFull,
+		StorageBusy:  s.StorageBusy,
+		ProducerPark: s.Buffer.ProducerWait,
+	})
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(a); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// decisions returns the autotuner's decision audit log as JSON.
+func (h *Handler) decisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.cfg.Decisions == nil {
+		http.Error(w, "decision log unavailable: no controller attached", http.StatusNotImplemented)
+		return
+	}
+	recs := h.cfg.Decisions()
+	if recs == nil {
+		recs = []control.DecisionRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(recs); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // shardTuner is the optional control-interface extension for data planes
@@ -92,15 +194,21 @@ type shardTuner interface {
 	SetBufferShards(k int)
 }
 
+// samplingTuner is the optional extension for data planes with a runtime
+// trace-sampling knob (core.Stage has one).
+type samplingTuner interface {
+	SetTraceSampling(p float64)
+}
+
 // tuning applies knob updates: POST /tuning?producers=N and/or ?buffer=M
-// and/or ?shards=K.
+// and/or ?shards=K and/or ?sampling=P.
 func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	q := r.URL.Query()
-	applied := map[string]int{}
+	applied := map[string]float64{}
 	if v := q.Get("producers"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
@@ -108,7 +216,7 @@ func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		h.dp.SetProducers(n)
-		applied["producers"] = n
+		applied["producers"] = float64(n)
 	}
 	if v := q.Get("buffer"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -117,7 +225,7 @@ func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		h.dp.SetBufferCapacity(n)
-		applied["buffer"] = n
+		applied["buffer"] = float64(n)
 	}
 	if v := q.Get("shards"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -131,10 +239,24 @@ func (h *Handler) tuning(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		st.SetBufferShards(n)
-		applied["shards"] = n
+		applied["shards"] = float64(n)
+	}
+	if v := q.Get("sampling"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			http.Error(w, "bad sampling value (want [0, 1])", http.StatusBadRequest)
+			return
+		}
+		st, ok := h.dp.(samplingTuner)
+		if !ok {
+			http.Error(w, "data plane does not support trace sampling", http.StatusNotImplemented)
+			return
+		}
+		st.SetTraceSampling(p)
+		applied["sampling"] = p
 	}
 	if len(applied) == 0 {
-		http.Error(w, "nothing to apply (use ?producers=N, ?buffer=M and/or ?shards=K)", http.StatusBadRequest)
+		http.Error(w, "nothing to apply (use ?producers=N, ?buffer=M, ?shards=K and/or ?sampling=P)", http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

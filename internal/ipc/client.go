@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -58,6 +60,7 @@ type Client struct {
 	broken     bool
 	closed     bool
 	reconnects int64
+	tracer     *obs.Tracer // nil-safe; client-side spans of intercepted reads
 }
 
 // Dial connects to the PRISMA server socket with the zero DialConfig.
@@ -79,6 +82,15 @@ func dialConn(path string, timeout time.Duration) (net.Conn, error) {
 		return net.DialTimeout("unix", path, timeout)
 	}
 	return net.Dial("unix", path)
+}
+
+// SetTracer attaches a tracer so the client head-samples its reads and
+// records the client-observed round-trip span; the sampled trace id rides
+// the frame header to the server, which continues the same trace.
+func (c *Client) SetTracer(t *obs.Tracer) {
+	c.mu.Lock()
+	c.tracer = t
+	c.mu.Unlock()
 }
 
 // Reconnects reports how many times the client redialed the server.
@@ -105,6 +117,12 @@ func (c *Client) Broken() bool {
 // second sample from the evict-on-read buffer). A poisoned connection is
 // still redialed before the single send, which is always safe.
 func (c *Client) roundTrip(opcode byte, payload []byte, resendable bool) ([]byte, error) {
+	return c.roundTripTrace(opcode, 0, payload, resendable)
+}
+
+// roundTripTrace is roundTrip carrying an explicit span context in the
+// frame header (zero = unsampled).
+func (c *Client) roundTripTrace(opcode byte, trace uint64, payload []byte, resendable bool) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 1
@@ -122,7 +140,7 @@ func (c *Client) roundTrip(opcode byte, payload []byte, resendable bool) ([]byte
 				continue
 			}
 		}
-		resp, err := c.exchangeLocked(opcode, payload)
+		resp, err := c.exchangeLocked(opcode, trace, payload)
 		if err == nil {
 			return resp, nil
 		}
@@ -140,24 +158,27 @@ func (c *Client) roundTrip(opcode byte, payload []byte, resendable bool) ([]byte
 
 // exchangeLocked performs one framed request/response on the live
 // connection, applying the configured deadlines. Caller holds c.mu.
-func (c *Client) exchangeLocked(opcode byte, payload []byte) ([]byte, error) {
+func (c *Client) exchangeLocked(opcode byte, trace uint64, payload []byte) ([]byte, error) {
 	if c.cfg.WriteTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 		defer c.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := writeFrame(c.conn, opcode, payload); err != nil {
+	if err := writeFrame(c.conn, opcode, trace, payload); err != nil {
 		return nil, err
 	}
 	if c.cfg.ReadTimeout > 0 {
 		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
 		defer c.conn.SetReadDeadline(time.Time{})
 	}
-	gotOp, resp, err := readFrame(c.conn)
+	gotOp, gotTrace, resp, err := readFrame(c.conn)
 	if err != nil {
 		return nil, err
 	}
 	if gotOp != opcode {
 		return nil, fmt.Errorf("ipc: response opcode %d for request %d", gotOp, opcode)
+	}
+	if gotTrace != trace {
+		return nil, fmt.Errorf("ipc: response trace %#x for request %#x", gotTrace, trace)
 	}
 	return parseResponse(resp)
 }
@@ -197,7 +218,25 @@ func (c *Client) redialLocked(attempt int) error {
 // caller must decide whether to reissue (the sample may or may not have
 // been consumed server-side).
 func (c *Client) Read(name string) (storage.Data, error) {
-	resp, err := c.roundTrip(OpRead, appendString(nil, name), false)
+	c.mu.Lock()
+	tracer := c.tracer
+	c.mu.Unlock()
+	ctx := tracer.StartTrace()
+	start := tracer.Now()
+	resp, err := c.roundTripTrace(OpRead, ctx.Trace, appendString(nil, name), false)
+	if ctx.Sampled {
+		sp := obs.Span{
+			Trace:   ctx.Trace,
+			Stage:   obs.StageIPC,
+			Name:    name,
+			At:      start,
+			Latency: tracer.Now() - start,
+		}
+		if err != nil {
+			sp.Error = err.Error()
+		}
+		tracer.Record(sp)
+	}
 	if err != nil {
 		return storage.Data{}, err
 	}
@@ -266,6 +305,21 @@ func (c *Client) SetBufferShards(k int) error {
 	}
 	_, err := c.roundTrip(OpSetShards, binary.AppendUvarint(nil, uint64(k)), true)
 	return err
+}
+
+// SetTraceSampling adjusts the server tracer's head-sampling probability
+// remotely (control path). Resendable: the knob is an absolute value.
+func (c *Client) SetTraceSampling(p float64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(p))
+	_, err := c.roundTrip(OpSetTraceSampling, buf[:], true)
+	return err
+}
+
+// Decisions fetches the server's autotuner decision audit log as raw JSON
+// (an array of control.DecisionRecord).
+func (c *Client) Decisions() ([]byte, error) {
+	return c.roundTrip(OpDecisions, nil, true)
 }
 
 // Ping checks server liveness.

@@ -17,22 +17,22 @@ import (
 // must re-encode to the bytes consumed.
 func FuzzFrame(f *testing.F) {
 	var buf bytes.Buffer
-	_ = writeFrame(&buf, OpRead, appendString(nil, "train/0001.jpg"))
+	_ = writeFrame(&buf, OpRead, 0x1234, appendString(nil, "train/0001.jpg"))
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		opcode, payload, err := readFrame(bytes.NewReader(data))
+		opcode, trace, payload, err := readFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		if len(payload)+1 > MaxFrame {
+		if len(payload)+9 > MaxFrame {
 			t.Fatalf("accepted oversized payload %d", len(payload))
 		}
 		var out bytes.Buffer
-		if err := writeFrame(&out, opcode, payload); err != nil {
+		if err := writeFrame(&out, opcode, trace, payload); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
@@ -61,7 +61,7 @@ func FuzzServerHandle(f *testing.F) {
 		if opcode == OpPlan {
 			opcode = OpPing
 		}
-		resp := srv.safeHandle(opcode, payload)
+		resp := srv.safeHandle(opcode, 0, payload)
 		if len(resp) < 1 {
 			t.Fatal("empty response")
 		}

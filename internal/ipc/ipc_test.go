@@ -253,13 +253,13 @@ func TestBytesCodecRoundTrip(t *testing.T) {
 }
 
 func TestFrameRoundTripProperty(t *testing.T) {
-	prop := func(opcode byte, payload []byte) bool {
+	prop := func(opcode byte, trace uint64, payload []byte) bool {
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, opcode, payload); err != nil {
+		if err := writeFrame(&buf, opcode, trace, payload); err != nil {
 			return false
 		}
-		gotOp, gotPayload, err := readFrame(&buf)
-		if err != nil || gotOp != opcode {
+		gotOp, gotTrace, gotPayload, err := readFrame(&buf)
+		if err != nil || gotOp != opcode || gotTrace != trace {
 			return false
 		}
 		if len(gotPayload) != len(payload) {
@@ -279,26 +279,30 @@ func TestFrameRoundTripProperty(t *testing.T) {
 
 func TestFrameRejectsOversize(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, OpRead, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
+	if err := writeFrame(&buf, OpRead, 0, make([]byte, MaxFrame)); err != ErrFrameTooLarge {
 		t.Fatalf("writeFrame oversize = %v, want ErrFrameTooLarge", err)
 	}
 	// A hostile length prefix is rejected before allocation.
-	var hdr [5]byte
+	var hdr [13]byte
 	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
-	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
 		t.Fatalf("readFrame oversize = %v, want ErrFrameTooLarge", err)
 	}
-	// Zero-length frames are malformed (no opcode).
-	if _, _, err := readFrame(bytes.NewReader(make([]byte, 4))); err == nil {
+	// Frames shorter than opcode+trace are malformed.
+	if _, _, _, err := readFrame(bytes.NewReader(make([]byte, 4))); err == nil {
 		t.Fatal("zero-length frame accepted")
+	}
+	short := [4]byte{0, 0, 0, 5} // length 5 < 9: opcode but truncated trace
+	if _, _, _, err := readFrame(bytes.NewReader(append(short[:], make([]byte, 5)...))); err == nil {
+		t.Fatal("short frame accepted")
 	}
 }
 
 func TestFrameTruncatedBody(t *testing.T) {
 	var buf bytes.Buffer
-	_ = writeFrame(&buf, OpRead, []byte("hello"))
+	_ = writeFrame(&buf, OpRead, 7, []byte("hello"))
 	raw := buf.Bytes()
-	if _, _, err := readFrame(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+	if _, _, _, err := readFrame(bytes.NewReader(raw[:len(raw)-2])); err == nil {
 		t.Fatal("truncated frame accepted")
 	}
 }

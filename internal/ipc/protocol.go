@@ -7,8 +7,11 @@
 //
 // Wire format: every message is a frame of
 //
-//	uint32 payload length (big endian) | uint8 opcode | payload
+//	uint32 length (big endian) | uint8 opcode | uint64 trace (big endian) | payload
 //
+// where length covers opcode+trace+payload. The trace field propagates the
+// sample's span context across the process boundary (zero = unsampled);
+// responses echo the request's trace id, doubling as a desync guard.
 // Strings and counts inside payloads are uvarint-prefixed. Responses carry
 // a status byte (0 = ok, 1 = error-with-message).
 package ipc
@@ -29,6 +32,9 @@ const (
 	OpSetBuffer    = 5 // control: set N
 	OpPing         = 6 // liveness probe
 	OpSetShards    = 7 // control: set buffer shard count K
+
+	OpSetTraceSampling = 8 // control: set trace head-sampling probability
+	OpDecisions        = 9 // fetch the autotuner decision audit log (JSON)
 )
 
 // Response status bytes.
@@ -44,14 +50,15 @@ const MaxFrame = 64 << 20
 // ErrFrameTooLarge reports an oversized frame.
 var ErrFrameTooLarge = errors.New("ipc: frame exceeds maximum size")
 
-// writeFrame sends opcode+payload as one frame.
-func writeFrame(w io.Writer, opcode byte, payload []byte) error {
-	if len(payload)+1 > MaxFrame {
+// writeFrame sends opcode+trace+payload as one frame.
+func writeFrame(w io.Writer, opcode byte, trace uint64, payload []byte) error {
+	if len(payload)+9 > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+9))
 	hdr[4] = opcode
+	binary.BigEndian.PutUint64(hdr[5:13], trace)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -60,23 +67,23 @@ func writeFrame(w io.Writer, opcode byte, payload []byte) error {
 }
 
 // readFrame receives one frame.
-func readFrame(r io.Reader) (opcode byte, payload []byte, err error) {
+func readFrame(r io.Reader) (opcode byte, trace uint64, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n < 1 {
-		return 0, nil, fmt.Errorf("ipc: zero-length frame")
+	if n < 9 {
+		return 0, 0, nil, fmt.Errorf("ipc: short frame (%d bytes)", n)
 	}
 	if n > MaxFrame {
-		return 0, nil, ErrFrameTooLarge
+		return 0, 0, nil, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return body[0], body[1:], nil
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
 }
 
 // appendString encodes a uvarint-prefixed string.

@@ -50,7 +50,7 @@ func (cs *countingServer) acceptLoop() {
 func (cs *countingServer) serve(conn net.Conn, misbehave bool) {
 	defer conn.Close()
 	for {
-		opcode, _, err := readFrame(conn)
+		opcode, trace, _, err := readFrame(conn)
 		if err != nil {
 			return
 		}
@@ -68,7 +68,7 @@ func (cs *countingServer) serve(conn net.Conn, misbehave bool) {
 		if opcode == OpRead {
 			body = okResponse(appendBytes(binary.AppendUvarint(nil, 3), []byte("abc")))
 		}
-		if err := writeFrame(conn, opcode, body); err != nil {
+		if err := writeFrame(conn, opcode, trace, body); err != nil {
 			return
 		}
 	}

@@ -47,7 +47,7 @@ func (fs *flakyServer) acceptLoop() {
 func (fs *flakyServer) serve(conn net.Conn, misbehave bool) {
 	defer conn.Close()
 	for {
-		opcode, _, err := readFrame(conn)
+		opcode, trace, _, err := readFrame(conn)
 		if err != nil {
 			return
 		}
@@ -56,7 +56,7 @@ func (fs *flakyServer) serve(conn net.Conn, misbehave bool) {
 			conn.Write([]byte{0, 0, 0})
 			return
 		}
-		if err := writeFrame(conn, opcode, okResponse(nil)); err != nil {
+		if err := writeFrame(conn, opcode, trace, okResponse(nil)); err != nil {
 			return
 		}
 	}
@@ -126,7 +126,7 @@ func TestClientReadTimeoutPoisonsConnection(t *testing.T) {
 			go func(c net.Conn) {
 				defer c.Close()
 				for {
-					if _, _, err := readFrame(c); err != nil {
+					if _, _, _, err := readFrame(c); err != nil {
 						return
 					}
 					// Swallow the request; never respond.
@@ -177,7 +177,7 @@ func TestServerPanicIsolated(t *testing.T) {
 	// A nil stage makes every dispatch panic; safeHandle must convert that
 	// into an error response instead of crashing the server.
 	srv := &Server{}
-	resp := srv.safeHandle(OpStats, nil)
+	resp := srv.safeHandle(OpStats, 0, nil)
 	if _, err := parseResponse(resp); err == nil {
 		t.Fatal("panicking handler produced a success response")
 	} else if _, ok := err.(*RemoteError); !ok {

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
 
 // ServeConfig tunes server-side resilience. The zero value preserves the
@@ -35,10 +37,11 @@ type Server struct {
 	cfg      ServeConfig
 	panics   atomic.Int64
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closed    bool
+	decisions func() ([]byte, error) // OpDecisions source (pre-marshaled JSON)
+	wg        sync.WaitGroup
 }
 
 // Serve starts a server for stage on the given socket path with the zero
@@ -57,6 +60,15 @@ func ServeWithConfig(socketPath string, stage *core.Stage, cfg ServeConfig) (*Se
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetDecisionSource wires the OpDecisions opcode to a provider of the
+// autotuner's decision audit log, pre-marshaled as JSON. The indirection
+// keeps ipc decoupled from the control package.
+func (s *Server) SetDecisionSource(f func() ([]byte, error)) {
+	s.mu.Lock()
+	s.decisions = f
+	s.mu.Unlock()
 }
 
 // Panics reports how many request handlers panicked and were isolated.
@@ -97,15 +109,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		opcode, payload, err := readFrame(conn)
+		opcode, trace, payload, err := readFrame(conn)
 		if err != nil {
 			return // EOF, idle timeout, or broken peer: drop the connection
 		}
-		resp := s.safeHandle(opcode, payload)
+		resp := s.safeHandle(opcode, trace, payload)
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		if err := writeFrame(conn, opcode, resp); err != nil {
+		if err := writeFrame(conn, opcode, trace, resp); err != nil {
 			return
 		}
 	}
@@ -114,25 +126,45 @@ func (s *Server) serveConn(conn net.Conn) {
 // safeHandle isolates a panicking handler to an error response: one bad
 // request (or a bug in one opcode path) must not take down the stage every
 // other consumer is reading through.
-func (s *Server) safeHandle(opcode byte, payload []byte) (resp []byte) {
+func (s *Server) safeHandle(opcode byte, trace uint64, payload []byte) (resp []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
 			resp = errResponse(fmt.Errorf("handler panic on opcode %d: %v", opcode, r))
 		}
 	}()
-	return s.handle(opcode, payload)
+	return s.handle(opcode, trace, payload)
 }
 
 // handle dispatches one request and builds the response payload.
-func (s *Server) handle(opcode byte, payload []byte) []byte {
+func (s *Server) handle(opcode byte, trace uint64, payload []byte) []byte {
 	switch opcode {
 	case OpRead:
 		name, _, err := readString(payload)
 		if err != nil {
 			return errResponse(err)
 		}
-		data, err := s.stage.Read(name)
+		// A non-zero trace continues the client's sampled span; the
+		// server-side handling span shares its id so client and server
+		// views of one read join into a single trace.
+		ctx := obs.Ctx{Trace: trace, Sampled: trace != 0}
+		tracer := s.stage.Tracer()
+		start := tracer.Now()
+		data, err := s.stage.ReadCtx(name, ctx)
+		if ctx.Sampled {
+			sp := obs.Span{
+				Trace:   ctx.Trace,
+				Stage:   obs.StageIPCServe,
+				Name:    name,
+				At:      start,
+				Latency: tracer.Now() - start,
+				Size:    data.Size,
+			}
+			if err != nil {
+				sp.Error = err.Error()
+			}
+			tracer.Record(sp)
+		}
 		if err != nil {
 			return errResponse(err)
 		}
@@ -198,6 +230,30 @@ func (s *Server) handle(opcode byte, payload []byte) []byte {
 		}
 		s.stage.SetBufferShards(int(n))
 		return okResponse(nil)
+
+	case OpSetTraceSampling:
+		if len(payload) != 8 {
+			return errResponse(errors.New("malformed sampling probability"))
+		}
+		p := math.Float64frombits(binary.BigEndian.Uint64(payload))
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return errResponse(fmt.Errorf("sampling probability %v outside [0, 1]", p))
+		}
+		s.stage.SetTraceSampling(p)
+		return okResponse(nil)
+
+	case OpDecisions:
+		s.mu.Lock()
+		src := s.decisions
+		s.mu.Unlock()
+		if src == nil {
+			return errResponse(errors.New("decision log unavailable: no controller attached"))
+		}
+		blob, err := src()
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(blob)
 
 	case OpPing:
 		return okResponse(nil)

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+)
+
+// DefaultLatencyBuckets are Prometheus-style upper bounds covering storage
+// and buffer-wait latencies from tens of microseconds to seconds.
+var DefaultLatencyBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+}
+
+// HistogramBucket is one cumulative bucket: Count samples were <= Le.
+type HistogramBucket struct {
+	Le    time.Duration `json:"le"`
+	Count int64         `json:"count"`
+}
+
+// HistogramSnapshot is a fixed-bucket histogram view, JSON-friendly so it
+// rides inside StageStats over the IPC and HTTP control paths, and directly
+// renderable in Prometheus histogram exposition format (the implicit +Inf
+// bucket equals Count).
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     time.Duration     `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// BucketedHistogram is a bounded-memory duration histogram for hot paths:
+// unlike Histogram it retains only per-bucket counters, never the samples,
+// so it can sit on the producer read path and the consumer Take path of a
+// long-running server without growing.
+type BucketedHistogram struct {
+	mu     conc.Mutex
+	bounds []time.Duration // ascending upper bounds; +Inf implicit
+	counts []int64         // len(bounds)+1, last = overflow
+	count  int64
+	sum    time.Duration
+}
+
+// NewBucketedHistogram returns an empty histogram with the given ascending
+// upper bounds (nil selects DefaultLatencyBuckets).
+func NewBucketedHistogram(env conc.Env, bounds []time.Duration) *BucketedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	own := make([]time.Duration, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &BucketedHistogram{
+		mu:     env.NewMutex(),
+		bounds: own,
+		counts: make([]int64, len(own)+1),
+	}
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *BucketedHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	h.mu.Lock()
+	h.counts[idx]++
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Snapshot returns the cumulative-bucket view.
+func (h *BucketedHistogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	if h.count == 0 {
+		return snap
+	}
+	snap.Buckets = make([]HistogramBucket, len(h.bounds))
+	var cum int64
+	for i, le := range h.bounds {
+		cum += h.counts[i]
+		snap.Buckets[i] = HistogramBucket{Le: le, Count: cum}
+	}
+	return snap
+}
+
+// Bucketize folds the exact sample set into a cumulative fixed-bucket
+// snapshot (nil bounds selects DefaultLatencyBuckets) — the bridge from the
+// experiment harness's exact histograms to Prometheus exposition.
+func (h *Histogram) Bucketize(bounds []time.Duration) HistogramSnapshot {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	samples := h.Snapshot()
+	snap := HistogramSnapshot{Count: int64(len(samples))}
+	if len(samples) == 0 {
+		return snap
+	}
+	counts := make([]int64, len(bounds))
+	for _, d := range samples {
+		snap.Sum += d
+		idx := sort.Search(len(bounds), func(i int) bool { return bounds[i] >= d })
+		if idx < len(bounds) {
+			counts[idx]++
+		}
+	}
+	snap.Buckets = make([]HistogramBucket, len(bounds))
+	var cum int64
+	for i, le := range bounds {
+		cum += counts[i]
+		snap.Buckets[i] = HistogramBucket{Le: le, Count: cum}
+	}
+	return snap
+}

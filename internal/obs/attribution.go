@@ -1,0 +1,164 @@
+package obs
+
+import "time"
+
+// AttributionInput are the cumulative (or per-window delta) counters the
+// attribution math consumes. They come either from StageStats (the always-on
+// path: the buffer splits every consumer wait at Take time) or from a span
+// file (AttributeSpans).
+type AttributionInput struct {
+	// Window is the wall (or virtual) time the counters cover.
+	Window time.Duration
+	// Consumers is the number of consumer threads/processes demanding
+	// samples during the window (>= 1). Shares are fractions of
+	// Consumers x Window — the epoch's total consumer time.
+	Consumers int
+	// ConsumerWait is the total time consumers spent blocked in Take.
+	ConsumerWait time.Duration
+	// StorageWait is the portion of ConsumerWait overlapping the awaited
+	// sample's backend read (or spent before it, queued behind busy
+	// producers) — time the storage device is to blame for.
+	StorageWait time.Duration
+	// BufferWait is the portion of ConsumerWait attributable to buffer
+	// capacity: the awaited sample's read started late because its producer
+	// was parked on a full shard. With a larger N the read would have
+	// started (up to) that much earlier.
+	BufferWait time.Duration
+	// IPCOverhead is the socket/framing cost: client-observed round-trip
+	// time minus server-side handling time.
+	IPCOverhead time.Duration
+	// StorageBusy is the total producer time spent inside backend reads
+	// (context, not part of the share math).
+	StorageBusy time.Duration
+	// ProducerPark is the total producer time blocked on full shards
+	// (context, not part of the share math).
+	ProducerPark time.Duration
+}
+
+// Attribution is the per-epoch critical-path breakdown: how the consumers'
+// time divides between waiting on storage, waiting on buffer capacity, IPC
+// overhead, and actually consuming (the stage keeping up). The four shares
+// sum to 1 by construction.
+type Attribution struct {
+	Window    time.Duration `json:"window"`
+	Consumers int           `json:"consumers"`
+
+	// StorageShare: fraction of consumer time lost waiting on backend
+	// reads — raise t (or the device is saturated).
+	StorageShare float64 `json:"storage_share"`
+	// BufferFullShare: fraction lost because buffer capacity delayed read
+	// start times — raise N.
+	BufferFullShare float64 `json:"buffer_full_share"`
+	// IPCShare: fraction lost to socket transport and framing.
+	IPCShare float64 `json:"ipc_share"`
+	// ConsumerShare: the remainder — time consumers were computing, i.e.
+	// the data plane kept up (the pipeline is consumer-bound).
+	ConsumerShare float64 `json:"consumer_share"`
+
+	// Raw inputs, for dashboards and decision records.
+	ConsumerWait time.Duration `json:"consumer_wait"`
+	StorageWait  time.Duration `json:"storage_wait"`
+	BufferWait   time.Duration `json:"buffer_wait"`
+	IPCOverhead  time.Duration `json:"ipc_overhead"`
+	StorageBusy  time.Duration `json:"storage_busy"`
+	ProducerPark time.Duration `json:"producer_park"`
+}
+
+// Attribute computes the critical-path breakdown from wait counters. The
+// denominator is Consumers x Window (total consumer time); each blame
+// bucket is clamped to [0, 1] and the buckets are scaled down
+// proportionally if rounding pushes their sum past 1, so the shares always
+// sum to exactly 1.
+func Attribute(in AttributionInput) Attribution {
+	if in.Consumers < 1 {
+		in.Consumers = 1
+	}
+	a := Attribution{
+		Window:       in.Window,
+		Consumers:    in.Consumers,
+		ConsumerWait: clampDur(in.ConsumerWait),
+		StorageWait:  clampDur(in.StorageWait),
+		BufferWait:   clampDur(in.BufferWait),
+		IPCOverhead:  clampDur(in.IPCOverhead),
+		StorageBusy:  clampDur(in.StorageBusy),
+		ProducerPark: clampDur(in.ProducerPark),
+	}
+	denom := float64(in.Window) * float64(in.Consumers)
+	if denom <= 0 {
+		a.ConsumerShare = 1
+		return a
+	}
+	a.StorageShare = clampShare(float64(a.StorageWait) / denom)
+	a.BufferFullShare = clampShare(float64(a.BufferWait) / denom)
+	a.IPCShare = clampShare(float64(a.IPCOverhead) / denom)
+	total := a.StorageShare + a.BufferFullShare + a.IPCShare
+	if total > 1 {
+		a.StorageShare /= total
+		a.BufferFullShare /= total
+		a.IPCShare /= total
+		total = 1
+	}
+	a.ConsumerShare = 1 - total
+	return a
+}
+
+func clampDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func clampShare(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// AttributeSpans derives the breakdown from an exported span stream: the
+// window is the span extent, consumer waits and their storage/buffer splits
+// come from consumer-wait spans, and IPC overhead is the client-observed
+// round-trip time minus the server-side handling time. With sampling < 1
+// the shares describe the sampled traces (an unbiased estimate of the
+// population shares under head sampling).
+func AttributeSpans(spans []Span, consumers int) Attribution {
+	var in AttributionInput
+	in.Consumers = consumers
+	var first, last time.Duration
+	seen := false
+	var ipcClient, ipcServe time.Duration
+	for _, s := range spans {
+		if !seen || s.At < first {
+			first = s.At
+		}
+		if end := s.End(); !seen || end > last {
+			last = end
+		}
+		seen = true
+		switch s.Stage {
+		case StageConsumerWait:
+			in.ConsumerWait += s.Latency
+			in.StorageWait += s.StorageWait
+			in.BufferWait += s.BufferWait
+		case StageStorageRead:
+			in.StorageBusy += s.Latency
+		case StageBufferPark:
+			in.ProducerPark += s.Latency
+		case StageIPC:
+			ipcClient += s.Latency
+		case StageIPCServe:
+			ipcServe += s.Latency
+		}
+	}
+	if seen {
+		in.Window = last - first
+	}
+	if over := ipcClient - ipcServe; over > 0 {
+		in.IPCOverhead = over
+	}
+	return Attribute(in)
+}

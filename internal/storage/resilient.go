@@ -170,6 +170,25 @@ type ResilienceReporter interface {
 	ResilienceStats() ResilienceStats
 }
 
+// ReadDetail is the per-read resilience annotation a DetailedReader returns
+// alongside the data: how many attempts the read cost and the breaker state
+// observed at completion. The tracing subsystem attaches it to storage-read
+// spans.
+type ReadDetail struct {
+	// Attempts is the number of backend attempts issued for this read
+	// (0 when the breaker shed the read without touching the backend).
+	Attempts int
+	// Breaker is the breaker state at completion ("" when no breaker is
+	// configured).
+	Breaker string
+}
+
+// DetailedReader is implemented by backends that can report per-read
+// resilience detail (ResilientBackend).
+type DetailedReader interface {
+	ReadFileDetailed(name string) (Data, ReadDetail, error)
+}
+
 // ResilientBackend wraps a Backend (and its RangeReader extension, when
 // present) with per-read deadlines, bounded retries with exponential
 // backoff and deterministic jitter, and a circuit breaker that sheds load
@@ -237,6 +256,13 @@ func (b *ResilientBackend) Config() ResilienceConfig { return b.cfg }
 
 // ReadFile reads name through the retry/breaker machinery.
 func (b *ResilientBackend) ReadFile(name string) (Data, error) {
+	d, _, err := b.do(func() (Data, error) { return b.inner.ReadFile(name) })
+	return d, err
+}
+
+// ReadFileDetailed implements DetailedReader: ReadFile plus the per-read
+// attempt count and breaker state, for span annotation.
+func (b *ResilientBackend) ReadFileDetailed(name string) (Data, ReadDetail, error) {
 	return b.do(func() (Data, error) { return b.inner.ReadFile(name) })
 }
 
@@ -246,7 +272,8 @@ func (b *ResilientBackend) ReadRange(name string, off, n int64) (Data, error) {
 	if b.rr == nil {
 		return Data{}, fmt.Errorf("storage: resilient: %T does not support range reads", b.inner)
 	}
-	return b.do(func() (Data, error) { return b.rr.ReadRange(name, off, n) })
+	d, _, err := b.do(func() (Data, error) { return b.rr.ReadRange(name, off, n) })
+	return d, err
 }
 
 // Size delegates to the wrapped backend. Metadata lookups are cheap and
@@ -255,29 +282,33 @@ func (b *ResilientBackend) ReadRange(name string, off, n int64) (Data, error) {
 func (b *ResilientBackend) Size(name string) (int64, error) { return b.inner.Size(name) }
 
 // do runs op under the full resilience policy: breaker admission, per-
-// attempt deadline, bounded retries with jittered exponential backoff.
-func (b *ResilientBackend) do(op func() (Data, error)) (Data, error) {
+// attempt deadline, bounded retries with jittered exponential backoff. The
+// returned detail reports the attempts actually issued and the breaker
+// state at completion.
+func (b *ResilientBackend) do(op func() (Data, error)) (Data, ReadDetail, error) {
 	var lastErr error
+	issued := 0
 	for attempt := 1; ; attempt++ {
 		if err := b.admit(); err != nil {
 			b.fastFails.Inc()
 			if lastErr != nil {
-				return Data{}, fmt.Errorf("%w (last failure: %v)", ErrCircuitOpen, lastErr)
+				return Data{}, b.detail(issued), fmt.Errorf("%w (last failure: %v)", ErrCircuitOpen, lastErr)
 			}
-			return Data{}, err
+			return Data{}, b.detail(issued), err
 		}
 		b.attempts.Inc()
+		issued++
 		d, err := b.attemptOnce(op)
 		if err == nil {
 			b.onSuccess()
-			return d, nil
+			return d, b.detail(issued), nil
 		}
 		var ne *NotExistError
 		if errors.As(err, &ne) {
 			// A missing file is a correct answer from a healthy backend,
 			// not a device fault: no retry, no breaker penalty.
 			b.onSuccess()
-			return Data{}, err
+			return Data{}, b.detail(issued), err
 		}
 		b.failures.Inc()
 		if errors.Is(err, ErrReadDeadline) {
@@ -287,11 +318,20 @@ func (b *ResilientBackend) do(op func() (Data, error)) (Data, error) {
 		lastErr = err
 		if attempt >= b.cfg.MaxAttempts {
 			b.exhausted.Inc()
-			return Data{}, fmt.Errorf("storage: resilient: %d attempts failed: %w", attempt, err)
+			return Data{}, b.detail(issued), fmt.Errorf("storage: resilient: %d attempts failed: %w", attempt, err)
 		}
 		b.retries.Inc()
 		b.env.Sleep(b.backoff(attempt))
 	}
+}
+
+// detail builds the per-read annotation.
+func (b *ResilientBackend) detail(issued int) ReadDetail {
+	d := ReadDetail{Attempts: issued}
+	if b.cfg.BreakerThreshold > 0 {
+		d.Breaker = b.State().String()
+	}
+	return d
 }
 
 // attemptOnce runs op, bounded by the configured per-attempt deadline. With

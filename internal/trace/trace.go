@@ -25,24 +25,41 @@ type Event struct {
 	At time.Duration `json:"at"`
 	// Name is the file read.
 	Name string `json:"name"`
-	// Size is the bytes transferred (0 on error).
+	// Size is the bytes transferred (0 on error; the reported length for
+	// op "size").
 	Size int64 `json:"size"`
 	// Latency is the request's service duration.
 	Latency time.Duration `json:"latency"`
+	// Op distinguishes request kinds: "" (whole-file read), "size"
+	// (metadata lookup), or "range" (byte-range read).
+	Op string `json:"op,omitempty"`
+	// Off and N are the byte-range parameters for op "range".
+	Off int64 `json:"off,omitempty"`
+	N   int64 `json:"n,omitempty"`
 	// Error is the failure message, empty on success.
 	Error string `json:"error,omitempty"`
 }
+
+// Event op tags.
+const (
+	OpSize  = "size"
+	OpRange = "range"
+)
 
 // Trace is an ordered sequence of events.
 type Trace struct {
 	Events []Event
 }
 
-// Recorder wraps a backend and appends an Event per ReadFile call. It is
-// safe for concurrent use; events are kept in completion order.
+// Recorder wraps a backend and appends an Event per request — whole-file
+// reads, metadata lookups, and byte-range reads alike (the latter two were
+// historically a recording blind spot, which skewed replayed workloads
+// toward bulk reads). It is safe for concurrent use; events are kept in
+// completion order.
 type Recorder struct {
 	env   conc.Env
 	inner storage.Backend
+	rr    storage.RangeReader // inner's range extension, nil when unsupported
 
 	mu     conc.Mutex
 	events []Event
@@ -50,7 +67,14 @@ type Recorder struct {
 
 // NewRecorder wraps inner.
 func NewRecorder(env conc.Env, inner storage.Backend) *Recorder {
-	return &Recorder{env: env, inner: inner, mu: env.NewMutex()}
+	rr, _ := inner.(storage.RangeReader)
+	return &Recorder{env: env, inner: inner, rr: rr, mu: env.NewMutex()}
+}
+
+func (r *Recorder) record(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
 }
 
 // ReadFile implements storage.Backend.
@@ -62,14 +86,46 @@ func (r *Recorder) ReadFile(name string) (storage.Data, error) {
 		ev.Error = err.Error()
 		ev.Size = 0
 	}
-	r.mu.Lock()
-	r.events = append(r.events, ev)
-	r.mu.Unlock()
+	r.record(ev)
 	return data, err
 }
 
-// Size implements storage.Backend (metadata lookups are not traced).
-func (r *Recorder) Size(name string) (int64, error) { return r.inner.Size(name) }
+// Size implements storage.Backend, recording the lookup with op "size"
+// (Size holds the reported length; no bytes move).
+func (r *Recorder) Size(name string) (int64, error) {
+	start := r.env.Now()
+	n, err := r.inner.Size(name)
+	ev := Event{At: start, Name: name, Size: n, Latency: r.env.Now() - start, Op: OpSize}
+	if err != nil {
+		ev.Error = err.Error()
+		ev.Size = 0
+	}
+	r.record(ev)
+	return n, err
+}
+
+// ReadRange implements storage.RangeReader when the wrapped backend does,
+// recording the request with op "range" and its offset/length. Without the
+// extension it records the refusal and returns an error.
+func (r *Recorder) ReadRange(name string, off, n int64) (storage.Data, error) {
+	start := r.env.Now()
+	var (
+		data storage.Data
+		err  error
+	)
+	if r.rr == nil {
+		err = fmt.Errorf("trace: backend %T does not support range reads", r.inner)
+	} else {
+		data, err = r.rr.ReadRange(name, off, n)
+	}
+	ev := Event{At: start, Name: name, Size: data.Size, Latency: r.env.Now() - start, Op: OpRange, Off: off, N: n}
+	if err != nil {
+		ev.Error = err.Error()
+		ev.Size = 0
+	}
+	r.record(ev)
+	return data, err
+}
 
 // Trace snapshots the recorded events.
 func (r *Recorder) Trace() *Trace {
@@ -140,7 +196,9 @@ func (t *Trace) Summarize() Summary {
 		if ev.Error != "" {
 			s.Errors++
 		}
-		s.Bytes += ev.Size
+		if ev.Op != OpSize { // size lookups move no bytes
+			s.Bytes += ev.Size
+		}
 		lat = append(lat, ev.Latency)
 		sum += ev.Latency
 		if ev.At < first {
@@ -220,7 +278,14 @@ func (t *Trace) Replay(env conc.Env, backend storage.Backend, speedup float64) (
 			if delay := due - env.Now(); delay > 0 {
 				env.Sleep(delay)
 			}
-			_, _ = rec.ReadFile(ev.Name)
+			switch ev.Op {
+			case OpSize:
+				_, _ = rec.Size(ev.Name)
+			case OpRange:
+				_, _ = rec.ReadRange(ev.Name, ev.Off, ev.N)
+			default:
+				_, _ = rec.ReadFile(ev.Name)
+			}
 		})
 	}
 	wg.Wait()

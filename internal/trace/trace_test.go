@@ -74,7 +74,10 @@ func TestRecorderCapturesErrors(t *testing.T) {
 	})
 }
 
-func TestRecorderSizePassthrough(t *testing.T) {
+func TestRecorderSizeTraced(t *testing.T) {
+	// Size used to be a recording blind spot (passthrough, no event); it
+	// must now land in the trace tagged op "size" so replays reproduce
+	// metadata traffic too.
 	runSim(t, func(env conc.Env) {
 		backend, names := backendFixture(env, 1, time.Millisecond, 1)
 		rec := NewRecorder(env, backend)
@@ -82,8 +85,36 @@ func TestRecorderSizePassthrough(t *testing.T) {
 		if err != nil || n != 1000 {
 			t.Fatalf("Size = %d, %v", n, err)
 		}
-		if rec.Len() != 0 {
-			t.Fatal("Size was traced")
+		tr := rec.Trace()
+		if len(tr.Events) != 1 {
+			t.Fatalf("events = %d, want 1", len(tr.Events))
+		}
+		ev := tr.Events[0]
+		if ev.Op != OpSize || ev.Name != names[0] || ev.Size != 1000 {
+			t.Fatalf("size event = %+v", ev)
+		}
+		// Metadata lookups move no bytes: the summary must not count them.
+		if got := tr.Summarize().Bytes; got != 0 {
+			t.Fatalf("Summarize().Bytes = %d, want 0 for size-only trace", got)
+		}
+	})
+}
+
+func TestRecorderRangeTraced(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, names := backendFixture(env, 1, time.Millisecond, 1)
+		rec := NewRecorder(env, backend)
+		d, err := rec.ReadRange(names[0], 100, 200)
+		if err != nil || d.Size != 200 {
+			t.Fatalf("ReadRange = %+v, %v", d, err)
+		}
+		tr := rec.Trace()
+		if len(tr.Events) != 1 {
+			t.Fatalf("events = %d, want 1", len(tr.Events))
+		}
+		ev := tr.Events[0]
+		if ev.Op != OpRange || ev.Off != 100 || ev.N != 200 || ev.Size != 200 {
+			t.Fatalf("range event = %+v", ev)
 		}
 	})
 }

@@ -1,0 +1,146 @@
+package prisma
+
+// The tracing subsystem's hot-path contract: with sampling off, the
+// per-operation cost of carrying span contexts through the buffer is noise
+// next to the serialized access cost — the data plane pays for observability
+// only when it is on. TestTracingOverheadGate enforces the ≤5% budget on the
+// same contended workload BenchmarkBufferShardedContended measures;
+// BenchmarkBufferShardedContendedTraced reports the with-sampling numbers
+// for comparison.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
+)
+
+// runContendedBuffer drives the §V-B contention shape (8 producer/consumer
+// couples, serialized 5µs access cost, 8 shards) through a buffer with the
+// given tracer attached, moving perCouple samples per couple. Returns the
+// wall-clock makespan.
+func runContendedBuffer(tracer *obs.Tracer, perCouple int) time.Duration {
+	const couples = 8
+	env := conc.NewReal()
+	buf := core.NewShardedBuffer(env, couples*4, 5*time.Microsecond, 8)
+	buf.SetTracer(tracer)
+	defer buf.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < couples; c++ {
+		c := c
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCouple; i++ {
+				name := fmt.Sprintf("c%d/s%d", c, i)
+				if err := buf.Put(core.Item{Name: name, Size: 1, Ctx: tracer.StartTrace()}); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCouple; i++ {
+				name := fmt.Sprintf("c%d/s%d", c, i)
+				if _, ok := buf.TakeCtx(name, tracer.StartTrace()); !ok {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// TestTracingOverheadGate: a tracer attached with sampling 0 must stay
+// within 5% of the tracer-free makespan on the contended buffer workload
+// (best of 5 runs each, the workload dominated by the serialized access
+// cost). This is the CI gate for the sampled-off hot path.
+func TestTracingOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate: skipped with -short")
+	}
+	const (
+		perCouple = 600
+		rounds    = 5
+	)
+	best := func(tracer *obs.Tracer) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			if d := runContendedBuffer(tracer, perCouple); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	// Warm up both paths once (scheduler, allocator).
+	runContendedBuffer(nil, 100)
+
+	plain := best(nil)
+	off := obs.NewTracer(conc.NewReal(), obs.TracerOptions{Sampling: 0})
+	traced := best(off)
+
+	ratio := float64(traced) / float64(plain)
+	t.Logf("plain %v, sampling-off %v, ratio %.4f", plain, traced, ratio)
+	if ratio > 1.05 {
+		t.Errorf("sampling-off tracing costs %.1f%% on the contended buffer (budget 5%%): plain %v, traced %v",
+			(ratio-1)*100, plain, traced)
+	}
+}
+
+// BenchmarkBufferShardedContendedTraced is BenchmarkBufferShardedContended
+// with a tracer attached, at sampling 0 (hot path carries dead contexts) and
+// 0.1 (1-in-10 lifecycles recorded) — the published overhead numbers.
+func BenchmarkBufferShardedContendedTraced(b *testing.B) {
+	const couples = 8
+	for _, sampling := range []float64{0, 0.1} {
+		b.Run(fmt.Sprintf("sampling%g", sampling), func(b *testing.B) {
+			tracer := obs.NewTracer(conc.NewReal(), obs.TracerOptions{Sampling: sampling})
+			per := b.N/couples + 1
+			b.ResetTimer()
+			runContendedBufferN(b, tracer, per)
+		})
+	}
+}
+
+// runContendedBufferN is the benchmark body: like runContendedBuffer but
+// reporting ops/s through testing.B.
+func runContendedBufferN(b *testing.B, tracer *obs.Tracer, perCouple int) {
+	const couples = 8
+	env := conc.NewReal()
+	buf := core.NewShardedBuffer(env, couples*4, 5*time.Microsecond, 8)
+	buf.SetTracer(tracer)
+	defer buf.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < couples; c++ {
+		c := c
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCouple; i++ {
+				name := fmt.Sprintf("c%d/s%d", c, i)
+				if err := buf.Put(core.Item{Name: name, Size: 1, Ctx: tracer.StartTrace()}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCouple; i++ {
+				name := fmt.Sprintf("c%d/s%d", c, i)
+				if _, ok := buf.TakeCtx(name, tracer.StartTrace()); !ok {
+					b.Error("take failed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(2*couples*perCouple)/b.Elapsed().Seconds(), "ops/s")
+}

@@ -42,6 +42,19 @@ type Options struct {
 	// on Close — input for offline analysis and replay (prisma-trace).
 	TraceFile string
 
+	// TraceSampling is the probability in [0, 1] that one sample's
+	// lifecycle (FIFO pop, storage read, buffer park, consumer wait, IPC)
+	// is traced end to end. 0 disables span tracing; the always-on wait
+	// counters behind /attribution work regardless.
+	TraceSampling float64
+	// SpanFile, when set, writes the collected lifecycle spans as JSON
+	// lines to this path on Close (prisma-trace attribute reads them).
+	// Setting SpanFile without TraceSampling implies sampling 1.0.
+	SpanFile string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the admin
+	// handler. Off by default: profiling endpoints expose heap contents.
+	EnablePprof bool
+
 	// DisableResilience turns off the retrying/breaker storage wrapper
 	// entirely (default on: transient backend faults are retried and a
 	// failing backend sheds load through a circuit breaker).
@@ -98,6 +111,9 @@ func (o Options) withDefaults() Options {
 	if o.BreakerCooldown == 0 {
 		o.BreakerCooldown = 250 * time.Millisecond
 	}
+	if o.SpanFile != "" && o.TraceSampling == 0 {
+		o.TraceSampling = 1
+	}
 	return o
 }
 
@@ -129,6 +145,9 @@ func (o Options) validate() error {
 	}
 	if o.BreakerCooldown < 0 {
 		return fmt.Errorf("prisma: negative breaker cooldown")
+	}
+	if o.TraceSampling < 0 || o.TraceSampling > 1 {
+		return fmt.Errorf("prisma: TraceSampling %v outside [0, 1]", o.TraceSampling)
 	}
 	return nil
 }

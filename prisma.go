@@ -1,8 +1,10 @@
 package prisma
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
 	"github.com/dsrhaslab/prisma-go/internal/httpadmin"
 	"github.com/dsrhaslab/prisma-go/internal/ipc"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 	"github.com/dsrhaslab/prisma-go/internal/trace"
 )
@@ -20,14 +23,17 @@ import (
 // Prisma is one data-plane stage plus its control plane, serving a local
 // dataset directory. It is safe for concurrent use.
 type Prisma struct {
-	env      *conc.Real
-	manifest *dataset.Manifest
-	stage    *core.Stage
-	ctl      *control.Controller
-	server   *ipc.Server
-	recorder *trace.Recorder
-	traceTo  string
-	closed   bool
+	env         *conc.Real
+	manifest    *dataset.Manifest
+	stage       *core.Stage
+	ctl         *control.Controller
+	server      *ipc.Server
+	recorder    *trace.Recorder
+	tracer      *obs.Tracer
+	traceTo     string
+	spanTo      string
+	enablePprof bool
+	closed      bool
 }
 
 // Stats is the public monitoring snapshot (the stage's control-interface
@@ -47,11 +53,47 @@ type Stats struct {
 	ConsumerWait    time.Duration
 	ProducerWait    time.Duration
 
+	// Attribution inputs: how the consumer wait splits by cause, plus the
+	// producers' cumulative storage time and the trace-sampling knob.
+	ConsumerWaitStorage    time.Duration
+	ConsumerWaitBufferFull time.Duration
+	StorageBusy            time.Duration
+	TraceSampling          float64
+
 	// Resilience telemetry (zero-valued when DisableResilience is set).
 	Retries      int64  // backend read attempts beyond the first
 	BreakerOpens int64  // times the circuit breaker tripped open
 	BreakerState string // "closed", "open", or "half-open" ("" when off)
 	Degraded     bool   // breaker not closed: the backend is shedding load
+}
+
+// Attribution is the critical-path latency breakdown: how consumer time
+// divides between waiting on storage, waiting on buffer capacity, IPC
+// overhead, and actually consuming. The shares sum to 1.
+type Attribution struct {
+	Window          time.Duration
+	Consumers       int
+	StorageShare    float64
+	BufferFullShare float64
+	IPCShare        float64
+	ConsumerShare   float64
+	ConsumerWait    time.Duration
+	StorageWait     time.Duration
+	BufferWait      time.Duration
+}
+
+func attributionFrom(a obs.Attribution) Attribution {
+	return Attribution{
+		Window:          a.Window,
+		Consumers:       a.Consumers,
+		StorageShare:    a.StorageShare,
+		BufferFullShare: a.BufferFullShare,
+		IPCShare:        a.IPCShare,
+		ConsumerShare:   a.ConsumerShare,
+		ConsumerWait:    a.ConsumerWait,
+		StorageWait:     a.StorageWait,
+		BufferWait:      a.BufferWait,
+	}
 }
 
 // statsFrom maps the internal stage snapshot to the public view.
@@ -70,10 +112,16 @@ func statsFrom(s core.StageStats) Stats {
 		BufferShards:    s.Buffer.Shards,
 		ConsumerWait:    s.Buffer.ConsumerWait,
 		ProducerWait:    s.Buffer.ProducerWait,
-		Retries:         s.Resilience.Retries,
-		BreakerOpens:    s.Resilience.BreakerOpens,
-		BreakerState:    s.Resilience.State,
-		Degraded:        s.Resilience.Degraded,
+
+		ConsumerWaitStorage:    s.Buffer.ConsumerWaitStorage,
+		ConsumerWaitBufferFull: s.Buffer.ConsumerWaitBufferFull,
+		StorageBusy:            s.StorageBusy,
+		TraceSampling:          s.TraceSampling,
+
+		Retries:      s.Resilience.Retries,
+		BreakerOpens: s.Resilience.BreakerOpens,
+		BreakerState: s.Resilience.State,
+		Degraded:     s.Resilience.Degraded,
 	}
 }
 
@@ -129,9 +177,24 @@ func Open(opts Options) (*Prisma, error) {
 		return nil, fmt.Errorf("prisma: %w", err)
 	}
 	stage := core.NewStage(env, backend, core.NewPrefetchObject(pf))
+	// The tracer exists even at sampling 0 so the runtime knob
+	// (SetTraceSampling, prisma-ctl set-sampling, /tuning?sampling=) can
+	// turn tracing on without a restart. It must attach before Start so
+	// producers never race a nil-to-set transition.
+	tracer := obs.NewTracer(env, obs.TracerOptions{Sampling: opts.TraceSampling})
+	stage.SetTracer(tracer)
 	pf.Start()
 
-	p := &Prisma{env: env, manifest: manifest, stage: stage, recorder: recorder, traceTo: opts.TraceFile}
+	p := &Prisma{
+		env:         env,
+		manifest:    manifest,
+		stage:       stage,
+		recorder:    recorder,
+		tracer:      tracer,
+		traceTo:     opts.TraceFile,
+		spanTo:      opts.SpanFile,
+		enablePprof: opts.EnablePprof,
+	}
 	if !opts.DisableAutoTune {
 		pol := control.DefaultPolicy()
 		pol.MinProducers = 1
@@ -199,10 +262,43 @@ func (p *Prisma) SetBufferCapacity(n int) { p.stage.SetBufferCapacity(n) }
 // SetBufferShards adjusts the buffer shard count K.
 func (p *Prisma) SetBufferShards(k int) { p.stage.SetBufferShards(k) }
 
+// SetTraceSampling adjusts the lifecycle-trace head-sampling probability
+// at runtime (clamped to [0, 1]).
+func (p *Prisma) SetTraceSampling(prob float64) { p.stage.SetTraceSampling(prob) }
+
+// Attribution reports the critical-path latency breakdown accumulated
+// since Open: the share of consumer time lost to storage waits, buffer
+// capacity, and IPC, with the remainder meaning the data plane kept up.
+// consumers is the number of consumer threads/processes (minimum 1).
+func (p *Prisma) Attribution(consumers int) Attribution {
+	s := p.stage.Stats()
+	return attributionFrom(obs.Attribute(obs.AttributionInput{
+		Window:       s.Now,
+		Consumers:    consumers,
+		ConsumerWait: s.Buffer.ConsumerWait,
+		StorageWait:  s.Buffer.ConsumerWaitStorage,
+		BufferWait:   s.Buffer.ConsumerWaitBufferFull,
+		StorageBusy:  s.StorageBusy,
+		ProducerPark: s.Buffer.ProducerWait,
+	}))
+}
+
+// DumpSpans writes the lifecycle spans collected so far as JSON lines
+// (the prisma-trace attribute input format).
+func (p *Prisma) DumpSpans(w io.Writer) error { return p.tracer.Export(w) }
+
 // AdminHandler returns an http.Handler exposing the stage's control
 // interface for dashboards and scrapers: GET /healthz, GET /stats (JSON),
-// GET /metrics (Prometheus text format), POST /tuning?producers=N&buffer=M.
-func (p *Prisma) AdminHandler() http.Handler { return httpadmin.New(p.stage) }
+// GET /metrics (Prometheus text format), GET /attribution, GET /decisions,
+// POST /tuning?producers=N&buffer=M&shards=K&sampling=P, and (when
+// Options.EnablePprof is set) /debug/pprof/.
+func (p *Prisma) AdminHandler() http.Handler {
+	cfg := httpadmin.Config{EnablePprof: p.enablePprof}
+	if p.ctl != nil {
+		cfg.Decisions = func() []control.DecisionRecord { return p.ctl.Decisions("stage") }
+	}
+	return httpadmin.NewWithConfig(p.stage, cfg)
+}
 
 // ServeUnix exposes this stage to other processes over a UNIX domain
 // socket — the integration path for multi-process data loaders (§IV's
@@ -214,6 +310,16 @@ func (p *Prisma) ServeUnix(socketPath string) error {
 	srv, err := ipc.Serve(socketPath, p.stage)
 	if err != nil {
 		return err
+	}
+	if p.ctl != nil {
+		ctl := p.ctl
+		srv.SetDecisionSource(func() ([]byte, error) {
+			recs := ctl.Decisions("stage")
+			if recs == nil {
+				recs = []control.DecisionRecord{}
+			}
+			return json.Marshal(recs)
+		})
 	}
 	p.server = srv
 	return nil
@@ -239,7 +345,25 @@ func (p *Prisma) Close() error {
 			err = werr
 		}
 	}
+	if p.spanTo != "" {
+		if werr := p.dumpSpans(); err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// dumpSpans writes the collected lifecycle spans to Options.SpanFile.
+func (p *Prisma) dumpSpans() error {
+	f, err := os.Create(p.spanTo)
+	if err != nil {
+		return fmt.Errorf("prisma: spans: %w", err)
+	}
+	if err := p.tracer.Export(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prisma: spans: %w", err)
+	}
+	return f.Close()
 }
 
 // dumpTrace writes the recorded backend I/O trace to Options.TraceFile.
@@ -297,6 +421,13 @@ func (c *Client) SetBufferCapacity(n int) error { return c.c.SetBufferCapacity(n
 
 // SetBufferShards adjusts the remote stage's buffer shard count K.
 func (c *Client) SetBufferShards(k int) error { return c.c.SetBufferShards(k) }
+
+// SetTraceSampling adjusts the remote stage's trace head-sampling
+// probability.
+func (c *Client) SetTraceSampling(p float64) error { return c.c.SetTraceSampling(p) }
+
+// Decisions fetches the remote autotuner's decision audit log as raw JSON.
+func (c *Client) Decisions() ([]byte, error) { return c.c.Decisions() }
 
 // Ping probes server liveness.
 func (c *Client) Ping() error { return c.c.Ping() }
