@@ -1,0 +1,107 @@
+package prisma
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/prisma-go/internal/experiments"
+)
+
+// BenchmarkHotPathAllocs measures allocations per delivered sample on the
+// contended read path (4 IPC consumers over a UNIX socket, full pipeline:
+// storage read → prefetch buffer → evict-on-read → IPC frame → client
+// decode), with and without the buffer pool. `prisma-bench alloc` runs the
+// same cells from a plain binary; results_alloc.txt records the sweep.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	b.Run("unpooled", experiments.AllocBenchmark(experiments.AllocConfig{Pool: false}))
+	b.Run("pooled", experiments.AllocBenchmark(experiments.AllocConfig{Pool: true}))
+}
+
+// allocBudget is the committed allocation budget (alloc_budget.txt) the CI
+// gate enforces. See CONTRIBUTING.md for how to re-baseline it.
+type allocBudget struct {
+	PooledAllocsPerOp int64   // hard ceiling for the pooled variant
+	MinReductionPct   float64 // required pooled-vs-unpooled drop
+}
+
+func readAllocBudget(t *testing.T, path string) allocBudget {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("alloc budget: %v", err)
+	}
+	defer f.Close()
+	var b allocBudget
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("alloc budget: malformed line %q", line)
+		}
+		switch fields[0] {
+		case "pooled_allocs_per_op":
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("alloc budget: %q: %v", line, err)
+			}
+			b.PooledAllocsPerOp = v
+		case "min_reduction_percent":
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("alloc budget: %q: %v", line, err)
+			}
+			b.MinReductionPct = v
+		default:
+			t.Fatalf("alloc budget: unknown key %q", fields[0])
+		}
+		seen[fields[0]] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !seen["pooled_allocs_per_op"] || !seen["min_reduction_percent"] {
+		t.Fatal("alloc budget: missing pooled_allocs_per_op or min_reduction_percent")
+	}
+	return b
+}
+
+// TestAllocRegressionGate is the CI allocation gate: it benchmarks the
+// pooled and unpooled hot paths and fails if the pooled variant exceeds
+// the committed budget (alloc_budget.txt) or the reduction falls below
+// the required floor. Skipped in -short runs (it benchmarks for several
+// seconds) and under -race (instrumentation allocates).
+func TestAllocRegressionGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate benchmarks for several seconds; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations the budget does not model")
+	}
+	budget := readAllocBudget(t, "alloc_budget.txt")
+
+	unpooled := experiments.RunAllocCell(experiments.AllocConfig{Pool: false})
+	pooled := experiments.RunAllocCell(experiments.AllocConfig{Pool: true})
+	reduction := experiments.AllocReduction(unpooled.AllocsPerOp, pooled.AllocsPerOp)
+	t.Logf("unpooled: %d allocs/op (%d ops); pooled: %d allocs/op (%d ops); reduction %.1f%%",
+		unpooled.AllocsPerOp, unpooled.Ops, pooled.AllocsPerOp, pooled.Ops, reduction)
+
+	if pooled.AllocsPerOp > budget.PooledAllocsPerOp {
+		t.Errorf("pooled hot path allocates %d/op, budget is %d/op (see CONTRIBUTING.md to re-baseline)",
+			pooled.AllocsPerOp, budget.PooledAllocsPerOp)
+	}
+	if reduction < budget.MinReductionPct {
+		t.Errorf("pooling reduces allocs/op by %.1f%%, budget requires >= %.1f%%",
+			reduction, budget.MinReductionPct)
+	}
+	if unpooled.AllocsPerOp == 0 {
+		t.Error("unpooled variant reported zero allocs/op: the benchmark is not measuring the hot path")
+	}
+}

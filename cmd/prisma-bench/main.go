@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|all
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|all
 //
 // Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
 // default 1/128 preserves every shape in a fraction of the event count.
@@ -46,7 +46,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|all")
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -177,8 +177,11 @@ func main() {
 	if what == "attribution" || what == "all" {
 		runAttribution(*spansOut, report)
 	}
+	if what == "alloc" {
+		runAlloc(*shardCs, report)
+	}
 	switch what {
-	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "attribution", "all":
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "attribution", "alloc", "all":
 	default:
 		log.Fatalf("prisma-bench: unknown target %q", what)
 	}
@@ -240,6 +243,24 @@ func runAttribution(spansOut string, report func(string)) {
 		}
 		log.Printf("prisma-bench: wrote %d spans of cell %q to %s", len(cells[0].Spans), cells[0].Label, spansOut)
 	}
+}
+
+// runAlloc measures the hot-path allocation sweep (real time, not sim:
+// allocations are a property of the real runtime) — pooled vs unpooled at
+// each consumer count. results_alloc.txt records this target's output; the
+// CI gate (TestAllocRegressionGate) enforces the pooled budget.
+func runAlloc(consumerCSV string, report func(string)) {
+	consumers, err := parseIntCSV(consumerCSV)
+	if err != nil {
+		log.Fatalf("prisma-bench: -consumers: %v", err)
+	}
+	rows := experiments.RunAllocSweep(consumers, report)
+	fmt.Println()
+	if err := experiments.RenderAllocSweep(os.Stdout,
+		"Hot-path allocations — full pipeline per delivered 64 KiB sample, pooled vs unpooled", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
 }
 
 // parseIntCSV parses a comma-separated list of positive integers.

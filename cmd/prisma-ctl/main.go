@@ -79,6 +79,11 @@ func main() {
 			fmt.Printf("breaker:          %s (%d opens)\n", s.BreakerState, s.BreakerOpens)
 			fmt.Printf("degraded:         %v\n", s.Degraded)
 		}
+		if s.PoolEnabled {
+			fmt.Printf("buffer pool:      %d leases, %.0f%% recycled, %d outstanding, %d free (%.1f MiB)\n",
+				s.PoolGets, s.PoolHitRate*100, s.PoolOutstanding,
+				s.PoolFreeBuffers, float64(s.PoolFreeBytes)/(1<<20))
+		}
 
 	case "ping":
 		if err := client.Ping(); err != nil {

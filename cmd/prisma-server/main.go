@@ -36,6 +36,10 @@ func main() {
 		sampling     = flag.Float64("sampling", 0, "sample-lifecycle trace probability in [0, 1] (0 = off)")
 		spanFile     = flag.String("span-file", "", "write lifecycle spans to this JSON-lines file on shutdown (prisma-trace attribute; implies -sampling 1 when unset)")
 		enablePprof  = flag.Bool("pprof", false, "mount /debug/pprof/ on the admin API (requires -http)")
+		noPool       = flag.Bool("no-pool", false, "disable the pooled sample buffers (every hop allocates)")
+		poolMin      = flag.Int("pool-min", 0, "smallest pool size class in bytes (0 = default 4KiB)")
+		poolMax      = flag.Int("pool-max", 0, "largest pool size class in bytes (0 = default 4MiB)")
+		poolCap      = flag.Int("pool-cap", 0, "free buffers retained per size class (0 = default 64)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -56,6 +60,12 @@ func main() {
 		TraceSampling:    *sampling,
 		SpanFile:         *spanFile,
 		EnablePprof:      *enablePprof,
+		BufferPool: prisma.BufferPoolOptions{
+			Disable:     *noPool,
+			MinSize:     *poolMin,
+			MaxSize:     *poolMax,
+			PerClassCap: *poolCap,
+		},
 	})
 	if err != nil {
 		log.Fatalf("prisma-server: %v", err)

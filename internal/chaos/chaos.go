@@ -19,6 +19,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/control"
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/sim"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -53,6 +54,11 @@ type Config struct {
 	MaxBurst int
 	// Latency is the slow-read delay the injector toggles on and off.
 	Latency time.Duration
+	// UsePool threads a debug-mode buffer pool (leak ledger + poison on
+	// release) through the whole stack, so a chaos run doubles as a
+	// pooled-buffer leak audit: every retried, abandoned, or errored read
+	// path must still return its lease.
+	UsePool bool
 }
 
 // DefaultConfig returns a schedule that reliably exercises retries,
@@ -136,6 +142,12 @@ type Result struct {
 	RecoveryRatio float64
 	// Drained reports the queue and buffer were empty at end of run.
 	Drained bool
+	// Pool audit (UsePool runs only): pool telemetry at end of run, the
+	// number of buffer leases never released, and the ledger naming the
+	// Get call-sites that leaked them.
+	Pool            mempool.Stats
+	PoolOutstanding int64
+	PoolLeaks       map[string]int
 }
 
 // Run executes one seeded chaos schedule in sim mode. The returned error
@@ -193,6 +205,15 @@ func drive(env conc.Env, cfg Config) (Result, error) {
 		return res, err
 	}
 	st := core.NewStage(env, resilient, core.NewPrefetchObject(pf))
+	var pool *mempool.Pool
+	if cfg.UsePool {
+		// Debug mode: the ledger names any Get call-site whose lease the
+		// faulted pipeline fails to release, and released buffers are
+		// poisoned so aliasing bugs corrupt visibly.
+		pool = mempool.New(mempool.Config{Debug: true})
+		resilient.SetBufferPool(pool)
+		st.SetBufferPool(pool)
+	}
 	pf.Start()
 	defer st.Close()
 
@@ -235,7 +256,8 @@ func drive(env conc.Env, cfg Config) (Result, error) {
 		}
 		start := env.Now()
 		for i, n := range names {
-			_, err := st.Read(n)
+			d, err := st.Read(n)
+			d.Release() // consumer is done with the sample immediately
 			if err != nil {
 				res.ConsumerErrors++
 				if epoch == cfg.Epochs-1 {
@@ -278,6 +300,12 @@ func drive(env conc.Env, cfg Config) (Result, error) {
 	res.BreakerOpens = stats.Resilience.BreakerOpens
 	res.FastFails = stats.Resilience.FastFails
 	res.Drained = stats.QueueLen == 0 && stats.Buffer.Len == 0
+	if pool != nil {
+		ps := pool.Stats()
+		res.Pool = ps
+		res.PoolOutstanding = ps.Outstanding
+		res.PoolLeaks = pool.Leaks()
+	}
 	if res.EpochTimes[0] > 0 {
 		res.RecoveryRatio = float64(res.EpochTimes[cfg.Epochs-1]) / float64(res.EpochTimes[0])
 	}
@@ -299,7 +327,8 @@ func awaitRecovery(env conc.Env, st *core.Stage, rb *storage.ResilientBackend, c
 		env.Sleep(cooldown)
 		// An unplanned read bypasses the buffer and lands on the backend:
 		// in half-open state it is the probe that closes the breaker.
-		_, _ = st.Read(probe)
+		d, _ := st.Read(probe)
+		d.Release()
 	}
 	return errors.New("chaos: breaker did not close after heal")
 }

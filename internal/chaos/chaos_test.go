@@ -164,3 +164,68 @@ func TestConfigValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosPoolLeakAudit is the chaos half of the pooled leak audit: full
+// fault-injected epochs with a debug pool threaded through backend and
+// stage. Faults abort reads on every layer — retry give-ups, breaker fast
+// fails, producer-side errors — and every abort path must still release its
+// lease. After the run, zero leases may remain and the ledger must be empty.
+func TestChaosPoolLeakAudit(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	var totalGets, totalInjected int64
+	for seed := 0; seed < seeds; seed++ {
+		cfg := DefaultConfig(int64(seed))
+		cfg.UsePool = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := int64(cfg.Files * cfg.Epochs)
+		if res.Delivered+res.ConsumerErrors != want {
+			t.Fatalf("seed %d: delivered %d + errors %d != planned %d",
+				seed, res.Delivered, res.ConsumerErrors, want)
+		}
+		if res.PoolOutstanding != 0 {
+			t.Fatalf("seed %d: %d pool leases outstanding after chaos run (leaks: %v)",
+				seed, res.PoolOutstanding, res.PoolLeaks)
+		}
+		if len(res.PoolLeaks) != 0 {
+			t.Fatalf("seed %d: leak ledger not empty: %v", seed, res.PoolLeaks)
+		}
+		if res.Pool.Gets == 0 {
+			t.Fatalf("seed %d: pool never used — chaos audit vacuous", seed)
+		}
+		totalGets += res.Pool.Gets
+		totalInjected += res.Injected
+	}
+	// The audit only means something if faults actually fired while pooled
+	// buffers were in flight.
+	if totalInjected == 0 {
+		t.Fatal("no faults injected across pooled chaos schedules")
+	}
+	t.Logf("seeds=%d poolGets=%d injected=%d", seeds, totalGets, totalInjected)
+}
+
+// TestChaosPooledMatchesUnpooled: pooling must not change chaos semantics —
+// the same seed delivers the same counts with and without the pool.
+func TestChaosPooledMatchesUnpooled(t *testing.T) {
+	cfg := DefaultConfig(23)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UsePool = true
+	pooled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Delivered != pooled.Delivered || plain.ConsumerErrors != pooled.ConsumerErrors ||
+		plain.Injected != pooled.Injected {
+		t.Fatalf("pooling changed chaos outcome:\n  plain  = delivered %d errors %d injected %d\n  pooled = delivered %d errors %d injected %d",
+			plain.Delivered, plain.ConsumerErrors, plain.Injected,
+			pooled.Delivered, pooled.ConsumerErrors, pooled.Injected)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
@@ -30,6 +31,12 @@ type Item struct {
 	Bytes []byte // nil under modeled backends
 	Err   error  // non-nil when the producer's read failed
 
+	// Ref is the pooled lease backing Bytes (nil when pooling is off). The
+	// item's holder owns one reference: Put transfers it into the buffer,
+	// the evicting Take transfers it to the consumer, and any path that
+	// discards the item instead must call Release (DESIGN.md §11).
+	Ref *mempool.Ref
+
 	// Ctx is the sample-lifecycle trace context assigned at plan
 	// submission (zero when unsampled or when the item did not come
 	// through the prefetcher).
@@ -43,6 +50,16 @@ type Item struct {
 	ReadStart time.Duration
 	ReadEnd   time.Duration
 	PopDelay  time.Duration
+}
+
+// Release drops the item's pooled payload lease, if any. Safe (no-op) on
+// unpooled or error items; idempotent on the same Item value.
+func (it *Item) Release() {
+	if it.Ref != nil {
+		it.Ref.Release()
+		it.Ref = nil
+		it.Bytes = nil
+	}
 }
 
 // Buffer is the bounded in-memory sample buffer. Semantics follow the
@@ -258,6 +275,11 @@ func (b *Buffer) PutTimed(it Item) (time.Duration, error) {
 		}
 		if b.accessCost > 0 {
 			b.env.Sleep(b.accessCost) // serialized within the shard: cost paid under its lock
+		}
+		if old, present := s.items[it.Name]; present {
+			// Duplicate plan entry: the overwritten sample's lease would
+			// otherwise be unreachable.
+			old.Release()
 		}
 		s.items[it.Name] = it
 		s.occupancy.Set(len(s.items))
@@ -530,6 +552,9 @@ func (b *Buffer) Close() {
 	for _, s := range b.shards {
 		s.mu.Lock()
 		s.closed = true
+		for _, it := range s.items {
+			it.Release() // discarded, never evicted by a Take
+		}
 		s.items = make(map[string]Item)
 		s.occupancy.Set(0)
 		s.notFull.Broadcast()

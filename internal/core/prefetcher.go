@@ -292,6 +292,7 @@ func (pf *Prefetcher) producerLoop() {
 			Name:      e.name,
 			Size:      data.Size,
 			Bytes:     data.Bytes,
+			Ref:       data.Ref,
 			Err:       err,
 			Ctx:       e.ctx,
 			ReadStart: readStart,
@@ -305,7 +306,9 @@ func (pf *Prefetcher) producerLoop() {
 		}
 		parked, perr := pf.buffer.PutTimed(it)
 		if perr != nil {
-			// Buffer closed: shutting down.
+			// Buffer closed: shutting down. The item never entered the
+			// buffer, so its pooled lease is still this thread's to drop.
+			it.Release()
 			pf.mu.Lock()
 			pf.running--
 			pf.mu.Unlock()

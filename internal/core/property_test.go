@@ -9,17 +9,19 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/sim"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
 // TestPrefetcherDeliveryProperty drives the full stage with randomized
 // shapes — file counts, producer counts, buffer capacities, consumer
-// pacing, epoch counts, and mid-run retuning — and checks the core
-// invariant: every planned sample is delivered exactly once per plan
-// entry, in consumption order, with no losses, duplicates, or leaks.
+// pacing, epoch counts, mid-run retuning, and pooling on/off — and checks
+// the core invariant: every planned sample is delivered exactly once per
+// plan entry, in consumption order, with no losses, duplicates, or leaks
+// (buffer items and, when pooling is on, buffer-pool leases alike).
 func TestPrefetcherDeliveryProperty(t *testing.T) {
-	prop := func(seed int64, filesRaw, producersRaw, bufRaw, epochsRaw uint8) bool {
+	prop := func(seed int64, filesRaw, producersRaw, bufRaw, epochsRaw uint8, usePool bool) bool {
 		nFiles := int(filesRaw)%50 + 1
 		producers := int(producersRaw)%6 + 1
 		bufCap := int(bufRaw)%8 + 1
@@ -45,6 +47,11 @@ func TestPrefetcherDeliveryProperty(t *testing.T) {
 				return
 			}
 			backend := storage.NewModeledBackend(man, dev, nil)
+			var pool *mempool.Pool
+			if usePool {
+				pool = mempool.New(mempool.Config{Debug: true})
+				backend.SetBufferPool(pool)
+			}
 			pf, err := NewPrefetcher(env, backend, PrefetcherConfig{
 				InitialProducers:      producers,
 				MaxProducers:          8,
@@ -83,6 +90,11 @@ func TestPrefetcherDeliveryProperty(t *testing.T) {
 						ok = false
 						return
 					}
+					if usePool && len(data.Bytes) == 0 {
+						ok = false // pooled run must carry real payloads
+						return
+					}
+					data.Release()
 					delivered[name]++
 				}
 			}
@@ -109,6 +121,20 @@ func TestPrefetcherDeliveryProperty(t *testing.T) {
 			if stats.Buffer.Puts != stats.Buffer.Takes || stats.Buffer.Puts != total {
 				ok = false
 				return
+			}
+			// Pooling: with every delivery released and the pipeline
+			// drained, no lease may remain outstanding — mid-run retunes
+			// (capacity shrinks, reshards) must have released evicted
+			// buffers too.
+			if pool != nil {
+				if pool.Stats().Outstanding != 0 || len(pool.Leaks()) != 0 {
+					ok = false
+					return
+				}
+				if pool.Stats().Gets < total {
+					ok = false // audit must cover at least every delivery
+					return
+				}
 			}
 		})
 		if err := s.Run(); err != nil {

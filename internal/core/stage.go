@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
@@ -66,7 +67,9 @@ func (o *PrefetchObject) ReadCtx(name string, ctx obs.Ctx) (storage.Data, bool, 
 	if it.Err != nil {
 		return storage.Data{}, true, it.Err
 	}
-	return storage.Data{Name: it.Name, Size: it.Size, Bytes: it.Bytes}, true, nil
+	// Evict-on-read: the Take transferred the buffer's reference to us, and
+	// returning the Data passes it on to the consumer.
+	return storage.Data{Name: it.Name, Size: it.Size, Bytes: it.Bytes, Ref: it.Ref}, true, nil
 }
 
 // Close shuts down the prefetcher.
@@ -102,6 +105,11 @@ type StageStats struct {
 
 	Buffer BufferStats
 
+	// Pool reflects the sample buffer pool (zero-valued when pooling is
+	// off). PoolEnabled disambiguates "disabled" from "enabled but idle".
+	Pool        mempool.Stats
+	PoolEnabled bool
+
 	// Resilience reflects the backend's retry/breaker state (zero-valued
 	// when the backend is not a storage.ResilienceReporter). Degraded is
 	// the signal the autotuner watches to back off producers while the
@@ -116,8 +124,9 @@ type Stage struct {
 	env     conc.Env
 	backend storage.Backend
 	objects []OptimizationObject
-	pf      *Prefetcher // non-nil when a PrefetchObject is attached
-	tracer  *obs.Tracer // nil-safe; set once via SetTracer before traffic
+	pf      *Prefetcher   // non-nil when a PrefetchObject is attached
+	tracer  *obs.Tracer   // nil-safe; set once via SetTracer before traffic
+	pool    *mempool.Pool // nil when pooling is off; stats only
 
 	reads    *metrics.Counter
 	hits     *metrics.Counter
@@ -156,6 +165,15 @@ func (s *Stage) SetTracer(t *obs.Tracer) {
 
 // Tracer exposes the attached tracer (nil when tracing is off).
 func (s *Stage) Tracer() *obs.Tracer { return s.tracer }
+
+// SetBufferPool registers the sample buffer pool so its occupancy and
+// hit-rate ride the stage's monitoring snapshot. The pool itself is
+// attached to the storage backend (storage.PoolAttacher); the stage only
+// reports it.
+func (s *Stage) SetBufferPool(p *mempool.Pool) { s.pool = p }
+
+// BufferPool exposes the registered pool (nil when pooling is off).
+func (s *Stage) BufferPool() *mempool.Pool { return s.pool }
 
 // SetTraceSampling adjusts the tracer's head-sampling probability at
 // runtime (control interface). No-op without a tracer.
@@ -242,6 +260,10 @@ func (s *Stage) Stats() StageStats {
 		st.StorageReadLatency = s.pf.ReadLatency()
 	}
 	st.TraceSampling = s.tracer.Sampling()
+	if s.pool != nil {
+		st.Pool = s.pool.Stats()
+		st.PoolEnabled = true
+	}
 	if rr, ok := s.backend.(storage.ResilienceReporter); ok {
 		st.Resilience = rr.ResilienceStats()
 	}

@@ -130,6 +130,23 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		degraded = 1
 	}
 	write("prisma_backend_degraded", "1 while the circuit breaker is open or half-open.", "gauge", degraded)
+	poolEnabled := 0.0
+	if s.PoolEnabled {
+		poolEnabled = 1
+	}
+	write("prisma_pool_enabled", "1 when the sample buffer pool is attached.", "gauge", poolEnabled)
+	if s.PoolEnabled {
+		write("prisma_pool_gets_total", "Buffer leases handed out by the pool.", "counter", float64(s.Pool.Gets))
+		write("prisma_pool_hits_total", "Leases served from a recycled buffer.", "counter", float64(s.Pool.Hits))
+		write("prisma_pool_misses_total", "Leases that had to allocate a fresh buffer.", "counter", float64(s.Pool.Misses))
+		write("prisma_pool_oversize_total", "Leases above the largest size class (unpooled).", "counter", float64(s.Pool.Oversize))
+		write("prisma_pool_recycled_total", "Buffers returned to a free list on release.", "counter", float64(s.Pool.Recycled))
+		write("prisma_pool_discarded_total", "Buffers dropped on release because their class was full.", "counter", float64(s.Pool.Discarded))
+		write("prisma_pool_hit_rate", "Fraction of leases served from recycled buffers.", "gauge", s.Pool.HitRate)
+		write("prisma_pool_outstanding_refs", "Buffer leases currently held somewhere in the pipeline.", "gauge", float64(s.Pool.Outstanding))
+		write("prisma_pool_free_buffers", "Idle buffers parked on the pool's free lists.", "gauge", float64(s.Pool.FreeBuffers))
+		write("prisma_pool_free_bytes", "Bytes held idle by the pool's free lists.", "gauge", float64(s.Pool.FreeBytes))
+	}
 	writeHistogram(w, "prisma_storage_read_latency_seconds", "Producer-observed backend read latency.", s.StorageReadLatency)
 	writeHistogram(w, "prisma_consumer_wait_latency_seconds", "Per-Take consumer blocking time.", s.Buffer.WaitHist)
 }

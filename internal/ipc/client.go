@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -60,7 +62,12 @@ type Client struct {
 	broken     bool
 	closed     bool
 	reconnects int64
-	tracer     *obs.Tracer // nil-safe; client-side spans of intercepted reads
+	tracer     *obs.Tracer   // nil-safe; client-side spans of intercepted reads
+	pool       *mempool.Pool // non-nil: Read returns pooled Data (caller releases)
+	req        []byte        // request-payload scratch for the pooled read path
+	wire       []byte        // outgoing-frame scratch (header + payload, one Write)
+	hdr        []byte        // response frame-header scratch (13 bytes)
+	pre        []byte        // response head scratch (status + two uvarints)
 }
 
 // Dial connects to the PRISMA server socket with the zero DialConfig.
@@ -90,6 +97,16 @@ func dialConn(path string, timeout time.Duration) (net.Conn, error) {
 func (c *Client) SetTracer(t *obs.Tracer) {
 	c.mu.Lock()
 	c.tracer = t
+	c.mu.Unlock()
+}
+
+// SetBufferPool switches Read to pooled responses: the payload is read off
+// the socket directly into a pool buffer and returned with Data.Ref set —
+// the caller owns that reference and must Release it when done with the
+// bytes. Pass nil to revert to plain allocated responses.
+func (c *Client) SetBufferPool(p *mempool.Pool) {
+	c.mu.Lock()
+	c.pool = p
 	c.mu.Unlock()
 }
 
@@ -220,10 +237,19 @@ func (c *Client) redialLocked(attempt int) error {
 func (c *Client) Read(name string) (storage.Data, error) {
 	c.mu.Lock()
 	tracer := c.tracer
+	pooled := c.pool != nil
 	c.mu.Unlock()
 	ctx := tracer.StartTrace()
 	start := tracer.Now()
-	resp, err := c.roundTripTrace(OpRead, ctx.Trace, appendString(nil, name), false)
+	var (
+		data storage.Data
+		err  error
+	)
+	if pooled {
+		data, err = c.readPooled(name, ctx.Trace)
+	} else {
+		data, err = c.readAlloc(name, ctx.Trace)
+	}
 	if ctx.Sampled {
 		sp := obs.Span{
 			Trace:   ctx.Trace,
@@ -237,6 +263,15 @@ func (c *Client) Read(name string) (storage.Data, error) {
 		}
 		tracer.Record(sp)
 	}
+	return data, err
+}
+
+// readAlloc is the plain read path: the response frame is decoded from a
+// per-call buffer. The payload sub-slice is handed to the caller without a
+// defensive copy — the frame buffer was allocated for exactly this
+// response, so aliasing it is safe and saves one full payload copy.
+func (c *Client) readAlloc(name string, trace uint64) (storage.Data, error) {
+	resp, err := c.roundTripTrace(OpRead, trace, appendString(nil, name), false)
 	if err != nil {
 		return storage.Data{}, err
 	}
@@ -244,7 +279,7 @@ func (c *Client) Read(name string) (storage.Data, error) {
 	if k <= 0 {
 		return storage.Data{}, fmt.Errorf("ipc: malformed read response")
 	}
-	bytes, _, err := readBytes(resp[k:])
+	bytes, _, err := readBytesNoCopy(resp[k:])
 	if err != nil {
 		return storage.Data{}, err
 	}
@@ -252,6 +287,141 @@ func (c *Client) Read(name string) (storage.Data, error) {
 		bytes = nil
 	}
 	return storage.Data{Name: name, Size: int64(size), Bytes: bytes}, nil
+}
+
+// readPooled performs one read round trip, landing the payload directly in
+// a pool buffer: frame header and response head are parsed from small
+// stack buffers, then the payload bytes are received straight into the
+// lease returned to the caller. Mirrors roundTripTrace's non-resendable
+// discipline: redial a poisoned connection before the send, never resend
+// after it, and poison on any transport or framing failure.
+func (c *Client) readPooled(name string, trace uint64) (storage.Data, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return storage.Data{}, net.ErrClosed
+	}
+	if c.broken {
+		if err := c.redialLocked(0); err != nil {
+			return storage.Data{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
+		}
+	}
+	data, err := c.exchangePooledLocked(name, trace)
+	if err != nil {
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return storage.Data{}, err // clean server error: stream intact
+		}
+		c.poisonLocked()
+		return storage.Data{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
+	}
+	return data, nil
+}
+
+// exchangePooledLocked is the pooled wire exchange. Caller holds c.mu.
+func (c *Client) exchangePooledLocked(name string, trace uint64) (storage.Data, error) {
+	c.req = appendString(c.req[:0], name)
+	if c.cfg.WriteTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
+	// The request is tiny (one name), so header + payload are assembled in
+	// one reused scratch and sent with a single Write — no per-call frame
+	// buffer (writeFrame's stack header escapes through conn.Write).
+	if len(c.req)+9 > MaxFrame {
+		return storage.Data{}, ErrFrameTooLarge
+	}
+	c.wire = appendFrameHeader(c.wire[:0], OpRead, trace, len(c.req))
+	c.wire = append(c.wire, c.req...)
+	if _, err := c.conn.Write(c.wire); err != nil {
+		return storage.Data{}, err
+	}
+	if c.cfg.ReadTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	// Reused header/head scratch: a stack array would escape to the heap
+	// through the conn.Read interface call, costing an allocation per read.
+	if cap(c.hdr) < 13 {
+		c.hdr = make([]byte, 13)
+	}
+	hdr := c.hdr[:13]
+	if _, err := io.ReadFull(c.conn, hdr); err != nil {
+		return storage.Data{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 9 {
+		return storage.Data{}, fmt.Errorf("ipc: short frame (%d bytes)", n)
+	}
+	if n > MaxFrame {
+		return storage.Data{}, ErrFrameTooLarge
+	}
+	if op := hdr[4]; op != OpRead {
+		return storage.Data{}, fmt.Errorf("ipc: response opcode %d for request %d", op, OpRead)
+	}
+	if got := binary.BigEndian.Uint64(hdr[5:13]); got != trace {
+		return storage.Data{}, fmt.Errorf("ipc: response trace %#x for request %#x", got, trace)
+	}
+	// The response head (status + size + payload length) is at most
+	// 1 + 2*MaxVarintLen64 bytes; read just enough to parse it, then land
+	// the payload straight in the pool buffer.
+	payloadLen := int(n) - 9
+	const preMax = 1 + 2*binary.MaxVarintLen64
+	if cap(c.pre) < preMax {
+		c.pre = make([]byte, preMax)
+	}
+	pre := c.pre[:preMax]
+	pn := payloadLen
+	if pn > len(pre) {
+		pn = len(pre)
+	}
+	if _, err := io.ReadFull(c.conn, pre[:pn]); err != nil {
+		return storage.Data{}, err
+	}
+	if pn < 1 {
+		return storage.Data{}, fmt.Errorf("ipc: empty response")
+	}
+	switch pre[0] {
+	case statusOK:
+	case statusErr:
+		// Error path (cold): drain the rest of the frame and decode the
+		// message; the stream stays synchronized.
+		rest := make([]byte, payloadLen-pn)
+		if _, err := io.ReadFull(c.conn, rest); err != nil {
+			return storage.Data{}, err
+		}
+		full := append(append([]byte(nil), pre[1:pn]...), rest...)
+		msg, _, err := readString(full)
+		if err != nil {
+			return storage.Data{}, fmt.Errorf("ipc: malformed error response: %v", err)
+		}
+		return storage.Data{}, &RemoteError{Msg: msg}
+	default:
+		return storage.Data{}, fmt.Errorf("ipc: unknown response status %d", pre[0])
+	}
+	size, k1 := binary.Uvarint(pre[1:pn])
+	if k1 <= 0 {
+		return storage.Data{}, fmt.Errorf("ipc: malformed read response")
+	}
+	blen, k2 := binary.Uvarint(pre[1+k1 : pn])
+	if k2 <= 0 {
+		return storage.Data{}, fmt.Errorf("ipc: malformed bytes length")
+	}
+	consumed := 1 + k1 + k2
+	if consumed+int(blen) != payloadLen {
+		return storage.Data{}, fmt.Errorf("ipc: read response length mismatch (head %d + payload %d != frame %d)", consumed, blen, payloadLen)
+	}
+	if blen == 0 {
+		return storage.Data{Name: name, Size: int64(size)}, nil
+	}
+	ref := c.pool.Get(int(blen))
+	buf := ref.Bytes()
+	copied := copy(buf, pre[consumed:pn])
+	if _, err := io.ReadFull(c.conn, buf[copied:]); err != nil {
+		ref.Release()
+		return storage.Data{}, err
+	}
+	return storage.Data{Name: name, Size: int64(size), Bytes: buf, Ref: ref}, nil
 }
 
 // SubmitPlan forwards an epoch's shuffled filename list. A plan mutates

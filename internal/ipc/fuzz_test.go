@@ -2,6 +2,7 @@ package ipc
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -22,6 +24,22 @@ func FuzzFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	// A read response whose payload is the pool's largest size class
+	// (mempool's default MaxSize): the shape the vectored server write and
+	// the pooled client decode exchange at full size.
+	{
+		pooledMax := mempool.New(mempool.Config{}).Get(4 << 20)
+		body := pooledMax.Bytes()
+		for i := range body {
+			body[i] = byte(i)
+		}
+		head := append([]byte{statusOK}, binary.AppendUvarint(nil, uint64(len(body)))...)
+		head = binary.AppendUvarint(head, uint64(len(body)))
+		var maxFrame bytes.Buffer
+		_ = writeFrame(&maxFrame, OpRead, 0x99, append(head, body...))
+		f.Add(maxFrame.Bytes())
+		pooledMax.Release()
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		opcode, trace, payload, err := readFrame(bytes.NewReader(data))
@@ -37,6 +55,24 @@ func FuzzFrame(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
 			t.Fatal("re-encode mismatch")
+		}
+		// The zero-copy decoders must agree byte-for-byte with the copying
+		// ones on every accepted payload.
+		cb, crest, cerr := readBytes(payload)
+		nb, nrest, nerr := readBytesNoCopy(payload)
+		if (cerr == nil) != (nerr == nil) {
+			t.Fatalf("readBytes err=%v, readBytesNoCopy err=%v", cerr, nerr)
+		}
+		if cerr == nil && (!bytes.Equal(cb, nb) || !bytes.Equal(crest, nrest)) {
+			t.Fatal("readBytesNoCopy disagrees with readBytes")
+		}
+		cs, srest, serr := readString(payload)
+		sb, brest, berr := readStringBytes(payload)
+		if (serr == nil) != (berr == nil) {
+			t.Fatalf("readString err=%v, readStringBytes err=%v", serr, berr)
+		}
+		if serr == nil && (cs != string(sb) || !bytes.Equal(srest, brest)) {
+			t.Fatal("readStringBytes disagrees with readString")
 		}
 	})
 }
@@ -57,11 +93,16 @@ func FuzzServerHandle(f *testing.F) {
 	f.Add(uint8(OpSetProducers), []byte{0xFF})
 	f.Add(uint8(99), []byte{1, 2, 3})
 
+	cs := newConnState()
 	f.Fuzz(func(t *testing.T, opcode uint8, payload []byte) {
 		if opcode == OpPlan {
 			opcode = OpPing
 		}
-		resp := srv.safeHandle(opcode, 0, payload)
+		r := srv.safeHandle(cs, opcode, 0, payload)
+		resp := append(append([]byte(nil), r.head...), r.body...)
+		if r.ref != nil {
+			r.ref.Release()
+		}
 		if len(resp) < 1 {
 			t.Fatal("empty response")
 		}

@@ -68,18 +68,36 @@ func writeFrame(w io.Writer, opcode byte, trace uint64, payload []byte) error {
 
 // readFrame receives one frame.
 func readFrame(r io.Reader) (opcode byte, trace uint64, payload []byte, err error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto is readFrame reusing scratch for the frame body when its
+// capacity suffices (the returned payload aliases scratch in that case).
+// The server's per-connection request loop threads its scratch buffer
+// through here so steady-state request decoding allocates nothing.
+func readFrameInto(r io.Reader, scratch []byte) (opcode byte, trace uint64, payload []byte, err error) {
+	// The length prefix lands in scratch too: a stack array here would
+	// escape through the io.Reader interface call and cost one heap
+	// allocation per frame.
+	if cap(scratch) < 4 {
+		scratch = make([]byte, 0, 64)
+	}
+	lenBuf := scratch[:4]
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
 		return 0, 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf)
 	if n < 9 {
 		return 0, 0, nil, fmt.Errorf("ipc: short frame (%d bytes)", n)
 	}
 	if n > MaxFrame {
 		return 0, 0, nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
+	body := scratch
+	if cap(body) < int(n) {
+		body = make([]byte, n)
+	}
+	body = body[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, 0, nil, err
 	}
@@ -105,6 +123,20 @@ func readString(src []byte) (string, []byte, error) {
 	return string(src[:n]), src[n:], nil
 }
 
+// readStringBytes decodes a uvarint-prefixed string as a sub-slice of src
+// (no string allocation — callers intern or copy as needed).
+func readStringBytes(src []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("ipc: malformed string length")
+	}
+	src = src[k:]
+	if uint64(len(src)) < n {
+		return nil, nil, fmt.Errorf("ipc: truncated string (want %d bytes, have %d)", n, len(src))
+	}
+	return src[:n], src[n:], nil
+}
+
 // appendBytes encodes a uvarint-prefixed byte slice.
 func appendBytes(dst, b []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(b)))
@@ -124,6 +156,33 @@ func readBytes(src []byte) ([]byte, []byte, error) {
 	out := make([]byte, n)
 	copy(out, src[:n])
 	return out, src[n:], nil
+}
+
+// readBytesNoCopy is readBytes without the defensive copy: the returned
+// slice aliases src. Safe only when src is a freshly read frame body that
+// no other decoder will touch — the client's read-response path, where the
+// frame buffer was allocated for exactly this response and handing the
+// sub-slice to the caller saves one full payload copy per read.
+func readBytesNoCopy(src []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("ipc: malformed bytes length")
+	}
+	src = src[k:]
+	if uint64(len(src)) < n {
+		return nil, nil, fmt.Errorf("ipc: truncated bytes (want %d, have %d)", n, len(src))
+	}
+	return src[:n:n], src[n:], nil
+}
+
+// appendFrameHeader appends the 13-byte frame header for a frame whose body
+// (opcode+trace+payload) totals 9+payloadLen bytes.
+func appendFrameHeader(dst []byte, opcode byte, trace uint64, payloadLen int) []byte {
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(payloadLen+9))
+	hdr[4] = opcode
+	binary.BigEndian.PutUint64(hdr[5:13], trace)
+	return append(dst, hdr[:]...)
 }
 
 // okResponse prefixes a payload with the OK status byte.

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 )
 
 // countingServer records how many frames of each opcode it receives. Its
@@ -143,5 +145,51 @@ func TestClientReadRedialsBeforeSend(t *testing.T) {
 	}
 	if got := c.Reconnects(); got != 1 {
 		t.Fatalf("Reconnects = %d, want 1", got)
+	}
+}
+
+// TestPooledClientReadNeverResent re-proves the exactly-once invariant on
+// the pooled decode path: with a buffer pool attached, a read that dies
+// mid-exchange must still surface ErrConnBroken with exactly one OpRead on
+// the wire — and must not leak the lease it acquired for the response.
+func TestPooledClientReadNeverResent(t *testing.T) {
+	cs, sock := startCountingServer(t, 1)
+	c, err := DialWithConfig(sock, DialConfig{
+		MaxReconnects:    2,
+		ReconnectBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pool := mempool.New(mempool.Config{Debug: true})
+	c.SetBufferPool(pool)
+
+	_, err = c.Read("train/img_000001.jpg")
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("pooled Read over broken stream = %v, want ErrConnBroken", err)
+	}
+	if got := cs.reads.Load(); got != 1 {
+		t.Fatalf("server received %d OpRead frames, want exactly 1 (no silent resend)", got)
+	}
+	if got := pool.Stats().Outstanding; got != 0 {
+		t.Fatalf("broken pooled read leaked %d leases:\n%s", got, mempool.FormatLeaks(pool.Leaks()))
+	}
+
+	// The redialed pooled read succeeds, delivers a lease, and still sends
+	// the request exactly once.
+	d, err := c.Read("train/img_000002.jpg")
+	if err != nil {
+		t.Fatalf("pooled Read after redial: %v", err)
+	}
+	if d.Ref == nil {
+		t.Fatal("pooled read after redial returned no lease")
+	}
+	d.Release()
+	if got := cs.reads.Load(); got != 2 {
+		t.Fatalf("server received %d OpRead frames, want 2", got)
+	}
+	if got := pool.Stats().Outstanding; got != 0 {
+		t.Fatalf("%d leases outstanding after release", got)
 	}
 }

@@ -177,7 +177,8 @@ func TestServerPanicIsolated(t *testing.T) {
 	// A nil stage makes every dispatch panic; safeHandle must convert that
 	// into an error response instead of crashing the server.
 	srv := &Server{}
-	resp := srv.safeHandle(OpStats, 0, nil)
+	r := srv.safeHandle(newConnState(), OpStats, 0, nil)
+	resp := append(append([]byte(nil), r.head...), r.body...)
 	if _, err := parseResponse(resp); err == nil {
 		t.Fatal("panicking handler produced a success response")
 	} else if _, ok := err.(*RemoteError); !ok {

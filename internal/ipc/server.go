@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
 
@@ -97,6 +98,50 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connState is one connection's reusable scratch: the request-frame body
+// buffer, the response head builder, the vectored-write segment list, and
+// the interning table for repeated file names. A training epoch re-reads
+// the same name set, so after the first epoch the request loop's
+// steady-state allocation count is zero.
+type connState struct {
+	req   []byte      // request frame scratch (oversized requests fall back to alloc)
+	head  []byte      // response head builder (status + fixed fields)
+	wbuf  []byte      // frame header + head, the vectored write's first segment
+	segs  [2][]byte   // backing array for the vectored-write segment list
+	bufs  net.Buffers // rebuilt from segs per write: WriteTo consumes the slice
+	names map[string]string
+}
+
+func newConnState() *connState {
+	return &connState{
+		req:   make([]byte, 0, 4096),
+		head:  make([]byte, 0, 64),
+		wbuf:  make([]byte, 0, 128),
+		names: make(map[string]string),
+	}
+}
+
+// internName converts the wire bytes of a file name to a string, reusing
+// the allocation made the first time this connection saw the name.
+func (cs *connState) internName(b []byte) string {
+	if s, ok := cs.names[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	s := string(b)
+	cs.names[s] = s
+	return s
+}
+
+// response couples a response head with an optional zero-copy payload: body
+// is appended on the wire after head without being copied into it, and ref
+// (when non-nil) is the pooled lease backing body, released once the frame
+// is written.
+type response struct {
+	head []byte
+	body []byte
+	ref  *mempool.Ref
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -105,45 +150,79 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	cs := newConnState()
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		opcode, trace, payload, err := readFrame(conn)
+		opcode, trace, payload, err := readFrameInto(conn, cs.req[:0])
 		if err != nil {
 			return // EOF, idle timeout, or broken peer: drop the connection
 		}
-		resp := s.safeHandle(opcode, trace, payload)
+		resp := s.safeHandle(cs, opcode, trace, payload)
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		if err := writeFrame(conn, opcode, trace, resp); err != nil {
+		err = s.writeResponse(conn, cs, opcode, trace, resp)
+		if resp.ref != nil {
+			// The payload crossed the socket (or failed to); either way the
+			// server's reference — inherited from the evicting Take — ends
+			// here.
+			resp.ref.Release()
+		}
+		if err != nil {
 			return
 		}
 	}
 }
 
+// writeResponse frames head+body with a vectored write, so a pooled
+// payload goes from the buffer pool to the socket without an intermediate
+// copy. Caller releases resp.ref.
+func (s *Server) writeResponse(conn net.Conn, cs *connState, opcode byte, trace uint64, r response) error {
+	payloadLen := len(r.head) + len(r.body)
+	if payloadLen+9 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	// One segment carries frame header + head; the payload rides as the
+	// second segment (writev on UNIX sockets), untouched.
+	cs.wbuf = appendFrameHeader(cs.wbuf[:0], opcode, trace, payloadLen)
+	cs.wbuf = append(cs.wbuf, r.head...)
+	if len(r.body) == 0 {
+		_, err := conn.Write(cs.wbuf)
+		return err
+	}
+	// net.Buffers.WriteTo consumes the slice it is called on (advancing it
+	// and dropping capacity), so the segment list is rebuilt from the fixed
+	// backing array each time rather than re-appended in place.
+	cs.segs[0], cs.segs[1] = cs.wbuf, r.body
+	cs.bufs = net.Buffers(cs.segs[:])
+	_, err := cs.bufs.WriteTo(conn)
+	return err
+}
+
 // safeHandle isolates a panicking handler to an error response: one bad
 // request (or a bug in one opcode path) must not take down the stage every
 // other consumer is reading through.
-func (s *Server) safeHandle(opcode byte, trace uint64, payload []byte) (resp []byte) {
+func (s *Server) safeHandle(cs *connState, opcode byte, trace uint64, payload []byte) (resp response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			resp = errResponse(fmt.Errorf("handler panic on opcode %d: %v", opcode, r))
+			resp = response{head: errResponse(fmt.Errorf("handler panic on opcode %d: %v", opcode, r))}
 		}
 	}()
-	return s.handle(opcode, trace, payload)
+	return s.handle(cs, opcode, trace, payload)
 }
 
-// handle dispatches one request and builds the response payload.
-func (s *Server) handle(opcode byte, trace uint64, payload []byte) []byte {
+// handle dispatches one request and builds the response.
+func (s *Server) handle(cs *connState, opcode byte, trace uint64, payload []byte) response {
 	switch opcode {
 	case OpRead:
-		name, _, err := readString(payload)
+		nameBytes, _, err := readStringBytes(payload)
 		if err != nil {
-			return errResponse(err)
+			return response{head: errResponse(err)}
 		}
+		name := cs.internName(nameBytes)
 		// A non-zero trace continues the client's sampled span; the
 		// server-side handling span shares its id so client and server
 		// views of one read join into a single trace.
@@ -166,12 +245,24 @@ func (s *Server) handle(opcode byte, trace uint64, payload []byte) []byte {
 			tracer.Record(sp)
 		}
 		if err != nil {
-			return errResponse(err)
+			return response{head: errResponse(err)}
 		}
-		out := binary.AppendUvarint(nil, uint64(data.Size))
-		out = appendBytes(out, data.Bytes)
-		return okResponse(out)
+		// Head: status + size + payload length; the payload itself is
+		// written vectored, straight from the (pooled) read buffer.
+		head := append(cs.head[:0], statusOK)
+		head = binary.AppendUvarint(head, uint64(data.Size))
+		head = binary.AppendUvarint(head, uint64(len(data.Bytes)))
+		return response{head: head, body: data.Bytes, ref: data.Ref}
 
+	default:
+		return response{head: s.handleControl(opcode, payload)}
+	}
+}
+
+// handleControl dispatches the non-read opcodes, whose responses are small
+// head-only frames.
+func (s *Server) handleControl(opcode byte, payload []byte) []byte {
+	switch opcode {
 	case OpPlan:
 		count, k := binary.Uvarint(payload)
 		if k <= 0 {

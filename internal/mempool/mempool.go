@@ -1,0 +1,372 @@
+// Package mempool provides size-classed, reference-counted sample buffers
+// for the PRISMA data plane. The hot path moves one payload per sample from
+// the storage backend through the prefetch buffer and out an IPC frame; a
+// fresh []byte per hop makes the Go GC, not the storage device, the
+// throughput ceiling at scale. The pool recycles payload buffers across
+// samples so the steady-state allocation rate on the read path is ~zero.
+//
+// Ownership model (DESIGN.md §11): a Ref is created with one reference held
+// by the caller of Get. Passing a Ref to another stage transfers that
+// reference; the receiver must eventually Release it (or Retain first if it
+// wants to keep the bytes alive past the hand-off). Because the prefetch
+// buffer evicts on read, single ownership moves producer → buffer →
+// consumer without any Retain in the steady state.
+//
+// The package is deliberately environment-free: it uses plain sync.Mutex
+// and atomics rather than conc.Env primitives. Under the deterministic
+// simulator only one process runs at a time, so uncontended mutexes and
+// atomics introduce no scheduling nondeterminism, and the same pool code
+// serves both real and simulated runs.
+package mempool
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// poisonByte overwrites released buffers in debug mode so use-after-release
+// reads surface as corrupted data instead of silent aliasing.
+const poisonByte = 0xDB
+
+// Config sizes the pool. Zero values select defaults.
+type Config struct {
+	// MinSize is the smallest size class in bytes (default 4 KiB). Gets
+	// smaller than MinSize are served from the MinSize class.
+	MinSize int
+	// MaxSize is the largest size class in bytes (default 4 MiB). Gets
+	// larger than MaxSize fall back to plain allocation (still tracked).
+	MaxSize int
+	// PerClassCap bounds how many free buffers each size class retains
+	// (default 64). Releases beyond the cap discard the buffer to the GC.
+	PerClassCap int
+	// Debug enables leak tracking by Get call-site, poison-on-release, and
+	// panics on double-release / retain-after-free. Test builds turn this
+	// on; production keeps it off to avoid the bookkeeping.
+	Debug bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSize <= 0 {
+		c.MinSize = 4 << 10
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 4 << 20
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = c.MinSize
+	}
+	if c.PerClassCap <= 0 {
+		c.PerClassCap = 64
+	}
+	// Round both bounds up to powers of two so class index math is shifts.
+	c.MinSize = ceilPow2(c.MinSize)
+	c.MaxSize = ceilPow2(c.MaxSize)
+	return c
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// class is one power-of-two size bucket with its own free list. Ref structs
+// are recycled along with their buffers so a pool hit allocates nothing.
+type class struct {
+	size int
+	mu   sync.Mutex
+	free []*Ref
+}
+
+// Pool hands out reference-counted buffers bucketed into power-of-two size
+// classes. The zero value is not usable; construct with New.
+type Pool struct {
+	cfg     Config
+	classes []*class
+	minBits int
+
+	gets        atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	oversize    atomic.Int64
+	recycled    atomic.Int64
+	discarded   atomic.Int64
+	outstanding atomic.Int64
+
+	// Debug-mode leak ledger: Get call-site → refs not yet fully released.
+	siteMu sync.Mutex
+	sites  map[string]int
+}
+
+// New constructs a pool from cfg (zero Config means defaults).
+func New(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, minBits: bits.TrailingZeros(uint(cfg.MinSize))}
+	for sz := cfg.MinSize; sz <= cfg.MaxSize; sz <<= 1 {
+		p.classes = append(p.classes, &class{size: sz})
+	}
+	if cfg.Debug {
+		p.sites = make(map[string]int)
+	}
+	return p
+}
+
+// Debug reports whether the pool was built with leak tracking enabled.
+func (p *Pool) Debug() bool { return p.cfg.Debug }
+
+// classFor maps a requested length to its size class, or nil when the
+// request exceeds MaxSize (oversize requests are plain allocations).
+func (p *Pool) classFor(n int) *class {
+	if n > p.cfg.MaxSize {
+		return nil
+	}
+	idx := 0
+	if n > p.cfg.MinSize {
+		idx = bits.Len(uint(n-1)) - p.minBits
+	}
+	return p.classes[idx]
+}
+
+// Get returns a Ref whose Bytes() slice has length n, with one reference
+// held by the caller. The backing array may be recycled from an earlier
+// Release and contains arbitrary bytes; callers overwrite it in full.
+func (p *Pool) Get(n int) *Ref {
+	if n < 0 {
+		panic("mempool: Get with negative length")
+	}
+	p.gets.Add(1)
+	p.outstanding.Add(1)
+	cls := p.classFor(n)
+	var r *Ref
+	if cls == nil {
+		p.oversize.Add(1)
+		r = &Ref{pool: p, buf: make([]byte, n)}
+	} else {
+		cls.mu.Lock()
+		if l := len(cls.free); l > 0 {
+			r = cls.free[l-1]
+			cls.free[l-1] = nil
+			cls.free = cls.free[:l-1]
+			cls.mu.Unlock()
+			p.hits.Add(1)
+		} else {
+			cls.mu.Unlock()
+			p.misses.Add(1)
+			r = &Ref{pool: p, cls: cls, buf: make([]byte, cls.size)}
+		}
+	}
+	r.n = n
+	r.refs.Store(1)
+	if p.cfg.Debug {
+		r.site = callSite(2)
+		p.siteMu.Lock()
+		p.sites[r.site]++
+		p.siteMu.Unlock()
+	}
+	return r
+}
+
+// External wraps an existing byte slice in a Ref without pooling it. The
+// final Release drops the slice for the GC. It lets code paths that
+// sometimes produce unpooled bytes (oversize reads, pool-disabled A/B runs,
+// legacy backends) share the same ownership discipline.
+func (p *Pool) External(b []byte) *Ref {
+	p.outstanding.Add(1)
+	r := &Ref{pool: p, buf: b, n: len(b), external: true}
+	r.refs.Store(1)
+	if p.cfg.Debug {
+		r.site = callSite(2)
+		p.siteMu.Lock()
+		p.sites[r.site]++
+		p.siteMu.Unlock()
+	}
+	return r
+}
+
+// release is called by Ref.Release on the final reference.
+func (p *Pool) release(r *Ref) {
+	p.outstanding.Add(-1)
+	if p.cfg.Debug {
+		p.siteMu.Lock()
+		p.sites[r.site]--
+		if p.sites[r.site] <= 0 {
+			delete(p.sites, r.site)
+		}
+		p.siteMu.Unlock()
+		// Poison the full backing array, not just [:n], so stale aliases
+		// into recycled capacity are caught too.
+		for i := range r.buf {
+			r.buf[i] = poisonByte
+		}
+	}
+	cls := r.cls
+	if cls == nil || r.external {
+		p.discarded.Add(1)
+		return
+	}
+	cls.mu.Lock()
+	if len(cls.free) < p.cfg.PerClassCap {
+		cls.free = append(cls.free, r)
+		cls.mu.Unlock()
+		p.recycled.Add(1)
+		return
+	}
+	cls.mu.Unlock()
+	p.discarded.Add(1)
+}
+
+// Outstanding reports how many refs are currently live (created and not yet
+// fully released).
+func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }
+
+// Leaks returns the debug-mode ledger of Get call-sites with refs still
+// outstanding, mapping "file.go:123" to the live count. Nil when Debug is
+// off. An end-of-epoch audit asserts the map is empty.
+func (p *Pool) Leaks() map[string]int {
+	if !p.cfg.Debug {
+		return nil
+	}
+	p.siteMu.Lock()
+	defer p.siteMu.Unlock()
+	out := make(map[string]int, len(p.sites))
+	for k, v := range p.sites {
+		out[k] = v
+	}
+	return out
+}
+
+// ClassStats describes one size class's free list.
+type ClassStats struct {
+	Size int `json:"size"`
+	Free int `json:"free"`
+}
+
+// Stats is a point-in-time snapshot of pool behaviour.
+type Stats struct {
+	Gets        int64        `json:"gets"`
+	Hits        int64        `json:"hits"`
+	Misses      int64        `json:"misses"`
+	Oversize    int64        `json:"oversize"`
+	Recycled    int64        `json:"recycled"`
+	Discarded   int64        `json:"discarded"`
+	Outstanding int64        `json:"outstanding"`
+	FreeBuffers int          `json:"free_buffers"`
+	FreeBytes   int64        `json:"free_bytes"`
+	HitRate     float64      `json:"hit_rate"`
+	Classes     []ClassStats `json:"classes,omitempty"`
+}
+
+// Stats snapshots the pool counters and per-class free lists.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Gets:        p.gets.Load(),
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Oversize:    p.oversize.Load(),
+		Recycled:    p.recycled.Load(),
+		Discarded:   p.discarded.Load(),
+		Outstanding: p.outstanding.Load(),
+	}
+	for _, cls := range p.classes {
+		cls.mu.Lock()
+		n := len(cls.free)
+		cls.mu.Unlock()
+		s.FreeBuffers += n
+		s.FreeBytes += int64(n) * int64(cls.size)
+		s.Classes = append(s.Classes, ClassStats{Size: cls.size, Free: n})
+	}
+	if pooled := s.Gets - s.Oversize; pooled > 0 {
+		s.HitRate = float64(s.Hits) / float64(pooled)
+	}
+	return s
+}
+
+// Ref is one reference-counted buffer lease. Bytes() is valid until the
+// holder's reference is Released; after the final Release the backing array
+// may be handed to another sample at any moment (and is poisoned first in
+// debug builds).
+type Ref struct {
+	pool     *Pool
+	cls      *class
+	buf      []byte
+	n        int
+	external bool
+	refs     atomic.Int32
+	site     string
+}
+
+// Bytes returns the leased payload slice (length = the Get request).
+func (r *Ref) Bytes() []byte { return r.buf[:r.n] }
+
+// Len reports the payload length without materialising the slice header.
+func (r *Ref) Len() int { return r.n }
+
+// Retain adds a reference. It panics if the buffer has already been fully
+// released — retaining a recycled buffer is always a lifecycle bug.
+func (r *Ref) Retain() {
+	for {
+		old := r.refs.Load()
+		if old <= 0 {
+			panic(fmt.Sprintf("mempool: Retain of released buffer (from %s)", r.site))
+		}
+		if r.refs.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+// Release drops one reference; the final release poisons (debug) and
+// recycles the buffer. Releasing more times than retained panics: the
+// extra release would free a buffer some other holder still trusts.
+func (r *Ref) Release() {
+	n := r.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("mempool: double release (from %s)", r.site))
+	}
+	r.pool.release(r)
+}
+
+// Refs reports the current reference count (for tests and diagnostics).
+func (r *Ref) Refs() int32 { return r.refs.Load() }
+
+// callSite formats the caller's file:line for the leak ledger.
+func callSite(skip int) string {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+1, pcs[:]) == 0 {
+		return "unknown"
+	}
+	frame, _ := runtime.CallersFrames(pcs[:]).Next()
+	file := frame.File
+	for i := len(file) - 1; i >= 0; i-- {
+		if file[i] == '/' {
+			file = file[i+1:]
+			break
+		}
+	}
+	return fmt.Sprintf("%s:%d", file, frame.Line)
+}
+
+// FormatLeaks renders a leak ledger deterministically for test failures.
+func FormatLeaks(leaks map[string]int) string {
+	if len(leaks) == 0 {
+		return "no leaks"
+	}
+	keys := make([]string, 0, len(leaks))
+	for k := range leaks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("  %s: %d outstanding\n", k, leaks[k])
+	}
+	return out
+}

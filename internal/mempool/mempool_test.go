@@ -1,0 +1,200 @@
+package mempool
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSizeClassRouting(t *testing.T) {
+	p := New(Config{MinSize: 1 << 10, MaxSize: 1 << 14, PerClassCap: 4})
+	cases := []struct {
+		n    int
+		want int // backing array size
+	}{
+		{1, 1 << 10},
+		{1 << 10, 1 << 10},
+		{(1 << 10) + 1, 1 << 11},
+		{1 << 12, 1 << 12},
+		{1 << 14, 1 << 14},
+	}
+	for _, c := range cases {
+		r := p.Get(c.n)
+		if len(r.Bytes()) != c.n {
+			t.Fatalf("Get(%d): len=%d", c.n, len(r.Bytes()))
+		}
+		if cap(r.buf) != c.want {
+			t.Errorf("Get(%d): backing size %d, want %d", c.n, cap(r.buf), c.want)
+		}
+		r.Release()
+	}
+	// Oversize falls back to exact allocation, never recycled.
+	r := p.Get((1 << 14) + 1)
+	if r.cls != nil {
+		t.Fatal("oversize Get was assigned a size class")
+	}
+	r.Release()
+	if s := p.Stats(); s.Oversize != 1 {
+		t.Fatalf("oversize count = %d, want 1", s.Oversize)
+	}
+}
+
+func TestRecycleHitAndPoison(t *testing.T) {
+	p := New(Config{MinSize: 64, MaxSize: 64, Debug: true})
+	a := p.Get(40)
+	buf := a.Bytes()
+	for i := range buf {
+		buf[i] = 7
+	}
+	a.Release()
+	for i, b := range buf[:40] {
+		if b != poisonByte {
+			t.Fatalf("byte %d not poisoned after release: %#x", i, b)
+		}
+	}
+	b2 := p.Get(40)
+	if &b2.buf[0] != &buf[0] {
+		t.Fatal("expected recycled backing array")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+	b2.Release()
+}
+
+func TestPerClassCapDiscards(t *testing.T) {
+	p := New(Config{MinSize: 64, MaxSize: 64, PerClassCap: 2})
+	refs := []*Ref{p.Get(10), p.Get(10), p.Get(10)}
+	for _, r := range refs {
+		r.Release()
+	}
+	s := p.Stats()
+	if s.FreeBuffers != 2 {
+		t.Fatalf("free buffers = %d, want cap 2", s.FreeBuffers)
+	}
+	if s.Recycled != 2 || s.Discarded != 1 {
+		t.Fatalf("recycled=%d discarded=%d, want 2/1", s.Recycled, s.Discarded)
+	}
+}
+
+func TestRetainReleaseCounting(t *testing.T) {
+	p := New(Config{Debug: true})
+	r := p.Get(100)
+	r.Retain()
+	r.Release()
+	if p.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d after partial release, want 1", p.Outstanding())
+	}
+	r.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d, want 0", p.Outstanding())
+	}
+	if leaks := p.Leaks(); len(leaks) != 0 {
+		t.Fatalf("unexpected leaks: %v", leaks)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := New(Config{Debug: true})
+	r := p.Get(10)
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	p := New(Config{Debug: true})
+	r := p.Get(10)
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain-after-free did not panic")
+		}
+	}()
+	r.Retain()
+}
+
+func TestLeakLedgerNamesCallSite(t *testing.T) {
+	p := New(Config{Debug: true})
+	r := p.Get(10) // this line is the leak site
+	leaks := p.Leaks()
+	if len(leaks) != 1 {
+		t.Fatalf("leak ledger = %v, want one site", leaks)
+	}
+	for site := range leaks {
+		if !strings.HasPrefix(site, "mempool_test.go:") {
+			t.Fatalf("leak site %q does not point at the Get caller", site)
+		}
+	}
+	if msg := FormatLeaks(leaks); !strings.Contains(msg, "1 outstanding") {
+		t.Fatalf("FormatLeaks = %q", msg)
+	}
+	r.Release()
+	if len(p.Leaks()) != 0 {
+		t.Fatal("ledger not cleared after release")
+	}
+}
+
+func TestExternalRefNotRecycled(t *testing.T) {
+	p := New(Config{Debug: true})
+	b := []byte{1, 2, 3}
+	r := p.External(b)
+	if &r.Bytes()[0] != &b[0] {
+		t.Fatal("External did not alias the given slice")
+	}
+	r.Release()
+	if s := p.Stats(); s.FreeBuffers != 0 {
+		t.Fatal("external buffer entered the free list")
+	}
+	if p.Outstanding() != 0 {
+		t.Fatal("external ref still outstanding")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	p := New(Config{MinSize: 64, MaxSize: 64})
+	p.Get(10).Release()
+	p.Get(10).Release()
+	s := p.Stats()
+	if s.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", s.HitRate)
+	}
+	if len(s.Classes) != 1 || s.Classes[0].Size != 64 {
+		t.Fatalf("class stats = %+v", s.Classes)
+	}
+}
+
+// TestConcurrentGetRelease is the -race smoke: many goroutines churning one
+// class must never corrupt the free list or the counters.
+func TestConcurrentGetRelease(t *testing.T) {
+	p := New(Config{MinSize: 1 << 10, MaxSize: 1 << 12, PerClassCap: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r := p.Get(1 + (g*131+i*17)%(1<<12))
+				r.Bytes()[0] = byte(i)
+				if i%3 == 0 {
+					r.Retain()
+					r.Release()
+				}
+				r.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after churn", p.Outstanding())
+	}
+	s := p.Stats()
+	if s.Gets != 4000 {
+		t.Fatalf("gets = %d, want 4000", s.Gets)
+	}
+}

@@ -169,8 +169,13 @@ func (fs *FS) fetch(f *openFile) error {
 	fs.mu.Lock()
 	if f.data == nil {
 		f.data = &data
+		fs.mu.Unlock()
+		return nil
 	}
 	fs.mu.Unlock()
+	// A concurrent fetch won the race; this read's (possibly pooled)
+	// payload is surplus and must be returned to the pool.
+	data.Release()
 	return nil
 }
 
@@ -252,7 +257,9 @@ func (fs *FS) Stat(path string) (int64, error) {
 }
 
 // ReadWhole opens, fully reads, and closes path in one call — the shape of
-// access DL data loaders actually perform per sample.
+// access DL data loaders actually perform per sample. When the mount's
+// stage runs with buffer pooling, the returned Data carries a pooled lease
+// the caller must Release.
 func (fs *FS) ReadWhole(path string) (storage.Data, error) {
 	reader, rel, err := fs.resolve(path)
 	if err != nil {
@@ -261,12 +268,17 @@ func (fs *FS) ReadWhole(path string) (storage.Data, error) {
 	return reader.Read(rel)
 }
 
-// Close releases the descriptor.
+// Close releases the descriptor and, with it, any pooled payload the
+// descriptor cached — the close(2) of the sample lifecycle.
 func (fs *FS) Close(fd int) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, ok := fs.fds[fd]; !ok {
+	f, ok := fs.fds[fd]
+	if !ok {
 		return fmt.Errorf("posixfs: bad file descriptor %d", fd)
+	}
+	if f.data != nil {
+		f.data.Release()
 	}
 	delete(fs.fds, fd)
 	return nil

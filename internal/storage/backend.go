@@ -7,14 +7,40 @@ import (
 	"path/filepath"
 
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 )
 
 // Data is the result of reading a file through a Backend. Modeled backends
 // carry no payload (Bytes is nil); real backends return the file contents.
+//
+// When Ref is non-nil, Bytes aliases a pooled buffer and the holder of the
+// Data owns exactly one reference: passing the Data on transfers that
+// reference, and whoever drops the Data without passing it on must call
+// Release (DESIGN.md §11). Wrapper backends (faults, retries, tracing)
+// forward Data unchanged, so the reference flows through them untouched.
 type Data struct {
 	Name  string
 	Size  int64
 	Bytes []byte
+	Ref   *mempool.Ref
+}
+
+// Release drops the pooled reference, if any. Safe on payloadless or
+// unpooled Data (no-op).
+func (d *Data) Release() {
+	if d.Ref != nil {
+		d.Ref.Release()
+		d.Ref = nil
+		d.Bytes = nil
+	}
+}
+
+// PoolAttacher is implemented by backends (and backend wrappers) that can
+// serve reads from a mempool.Pool. Wrappers delegate to the innermost
+// backend, so attaching the pool at the top of the stack reaches the
+// backend that actually allocates payloads.
+type PoolAttacher interface {
+	SetBufferPool(p *mempool.Pool)
 }
 
 // Backend serves whole-file reads, blocking the calling thread for the
@@ -49,6 +75,27 @@ type ModeledBackend struct {
 	manifest *dataset.Manifest
 	device   *Device
 	cache    *PageCache // nil = no caching (cold-cache experiments)
+	// pool, when attached, makes reads carry synthetic pooled payloads of
+	// the modeled size so sim and chaos epochs exercise the full buffer
+	// ownership machinery (leak audits would be vacuous on payloadless
+	// Data).
+	pool *mempool.Pool
+}
+
+// SetBufferPool attaches a pool; subsequent reads return pooled synthetic
+// payloads (deterministic bytes derived from the file name).
+func (b *ModeledBackend) SetBufferPool(p *mempool.Pool) { b.pool = p }
+
+// fillSynthetic writes a cheap deterministic pattern derived from name, so
+// pooled sim reads have verifiable content despite carrying no real bytes.
+func fillSynthetic(buf []byte, name string) {
+	var h byte
+	for i := 0; i < len(name); i++ {
+		h = h*31 + name[i]
+	}
+	for i := range buf {
+		buf[i] = h + byte(i)
+	}
 }
 
 // NewModeledBackend builds a backend over manifest and device. cache may be
@@ -69,13 +116,23 @@ func (b *ModeledBackend) ReadFile(name string) (Data, error) {
 	if b.cache != nil && b.cache.Touch(name) {
 		// Page-cache hit: memory-speed, modeled as free relative to the
 		// microsecond-scale device costs.
-		return Data{Name: name, Size: s.Size}, nil
+		return b.payload(name, s.Size), nil
 	}
 	b.device.Read(s.Size)
 	if b.cache != nil {
 		b.cache.Insert(name, s.Size)
 	}
-	return Data{Name: name, Size: s.Size}, nil
+	return b.payload(name, s.Size), nil
+}
+
+// payload builds the Data record, pooled when a pool is attached.
+func (b *ModeledBackend) payload(name string, size int64) Data {
+	if b.pool == nil {
+		return Data{Name: name, Size: size}
+	}
+	ref := b.pool.Get(int(size))
+	fillSynthetic(ref.Bytes(), name)
+	return Data{Name: name, Size: size, Bytes: ref.Bytes(), Ref: ref}
 }
 
 // ReadRange implements RangeReader: the device is charged for the bytes
@@ -117,14 +174,23 @@ func (b *ModeledBackend) Device() *Device { return b.device }
 // forward slashes relative to the root, matching dataset.FromDir.
 type DirBackend struct {
 	root string
+	pool *mempool.Pool
 }
 
 // NewDirBackend returns a backend rooted at dir.
 func NewDirBackend(dir string) *DirBackend { return &DirBackend{root: dir} }
 
-// ReadFile reads the file from disk.
+// SetBufferPool attaches a pool; subsequent whole-file reads land in pooled
+// buffers instead of fresh os.ReadFile allocations.
+func (b *DirBackend) SetBufferPool(p *mempool.Pool) { b.pool = p }
+
+// ReadFile reads the file from disk. With a pool attached the payload is
+// read directly into a pooled buffer sized from the file's metadata.
 func (b *DirBackend) ReadFile(name string) (Data, error) {
 	path := filepath.Join(b.root, filepath.FromSlash(name))
+	if b.pool != nil {
+		return readFilePooled(b.pool, name, path)
+	}
 	bytes, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -133,6 +199,32 @@ func (b *DirBackend) ReadFile(name string) (Data, error) {
 		return Data{}, err
 	}
 	return Data{Name: name, Size: int64(len(bytes)), Bytes: bytes}, nil
+}
+
+// readFilePooled reads path into a pool buffer sized by fstat. A file that
+// grows between stat and read is truncated to the stat size (training
+// datasets are immutable during an epoch); one that shrinks yields an
+// error. Every error path releases the lease.
+func readFilePooled(pool *mempool.Pool, name, path string) (Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Data{}, &NotExistError{Name: name}
+		}
+		return Data{}, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return Data{}, err
+	}
+	size := info.Size()
+	ref := pool.Get(int(size))
+	if _, err := io.ReadFull(f, ref.Bytes()); err != nil {
+		ref.Release()
+		return Data{}, fmt.Errorf("storage: short read of %q: %w", name, err)
+	}
+	return Data{Name: name, Size: size, Bytes: ref.Bytes(), Ref: ref}, nil
 }
 
 // ReadRange implements RangeReader via pread on the underlying file.

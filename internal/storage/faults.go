@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 )
 
 // ErrInjected is the base error wrapped by FaultyBackend failures.
@@ -198,3 +199,11 @@ func (f *FaultyBackend) ReadRange(name string, off, n int64) (Data, error) {
 
 // Size delegates to the wrapped backend (metadata is assumed healthy).
 func (f *FaultyBackend) Size(name string) (int64, error) { return f.inner.Size(name) }
+
+// SetBufferPool forwards the pool to the wrapped backend (injected faults
+// fire before the inner read, so a fired fault never strands a lease).
+func (f *FaultyBackend) SetBufferPool(p *mempool.Pool) {
+	if pa, ok := f.inner.(PoolAttacher); ok {
+		pa.SetBufferPool(p)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 )
 
@@ -251,6 +252,14 @@ func NewResilientBackend(env conc.Env, inner Backend, cfg ResilienceConfig) (*Re
 // Inner exposes the wrapped backend.
 func (b *ResilientBackend) Inner() Backend { return b.inner }
 
+// SetBufferPool forwards the pool to the wrapped backend (the resilience
+// layer allocates no payloads of its own).
+func (b *ResilientBackend) SetBufferPool(p *mempool.Pool) {
+	if pa, ok := b.inner.(PoolAttacher); ok {
+		pa.SetBufferPool(p)
+	}
+}
+
 // Config returns the effective (default-filled) configuration.
 func (b *ResilientBackend) Config() ResilienceConfig { return b.cfg }
 
@@ -353,6 +362,14 @@ func (b *ResilientBackend) attemptOnce(op func() (Data, error)) (Data, error) {
 	b.env.Go("resilient-read", func() {
 		rd, rerr := op()
 		mu.Lock()
+		if expired {
+			// The caller already returned ErrReadDeadline; nobody will ever
+			// see this result, so a pooled payload must be released here or
+			// its buffer leaks for the life of the process.
+			mu.Unlock()
+			rd.Release()
+			return
+		}
 		d, err, finished = rd, rerr, true
 		done.Broadcast()
 		mu.Unlock()

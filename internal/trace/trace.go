@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -69,6 +70,14 @@ type Recorder struct {
 func NewRecorder(env conc.Env, inner storage.Backend) *Recorder {
 	rr, _ := inner.(storage.RangeReader)
 	return &Recorder{env: env, inner: inner, rr: rr, mu: env.NewMutex()}
+}
+
+// SetBufferPool forwards the pool to the wrapped backend (the recorder
+// observes reads; payload ownership flows through it untouched).
+func (r *Recorder) SetBufferPool(p *mempool.Pool) {
+	if pa, ok := r.inner.(storage.PoolAttacher); ok {
+		pa.SetBufferPool(p)
+	}
 }
 
 func (r *Recorder) record(ev Event) {
@@ -282,9 +291,13 @@ func (t *Trace) Replay(env conc.Env, backend storage.Backend, speedup float64) (
 			case OpSize:
 				_, _ = rec.Size(ev.Name)
 			case OpRange:
-				_, _ = rec.ReadRange(ev.Name, ev.Off, ev.N)
+				d, _ := rec.ReadRange(ev.Name, ev.Off, ev.N)
+				d.Release()
 			default:
-				_, _ = rec.ReadFile(ev.Name)
+				// Replay discards payloads; release any pooled lease so a
+				// pooled backend can be replayed against without leaking.
+				d, _ := rec.ReadFile(ev.Name)
+				d.Release()
 			}
 		})
 	}

@@ -55,6 +55,12 @@ type Options struct {
 	// handler. Off by default: profiling endpoints expose heap contents.
 	EnablePprof bool
 
+	// BufferPool configures the pooled, reference-counted sample buffers
+	// that carry payloads from the storage read to the IPC frame without
+	// per-hop allocation. Pooling is on by default; the zero value selects
+	// the pool's defaults.
+	BufferPool BufferPoolOptions
+
 	// DisableResilience turns off the retrying/breaker storage wrapper
 	// entirely (default on: transient backend faults are retried and a
 	// failing backend sheds load through a circuit breaker).
@@ -74,6 +80,23 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker sheds load before
 	// probing the backend again (default 250ms).
 	BreakerCooldown time.Duration
+}
+
+// BufferPoolOptions tunes the sample buffer pool (internal/mempool).
+type BufferPoolOptions struct {
+	// Disable turns pooling off for A/B comparison: every hop allocates
+	// fresh slices, as before the pool existed. Delivered bytes are
+	// bit-for-bit identical either way (proven by the aliasing tests).
+	Disable bool
+	// MinSize is the smallest size class in bytes (default 4 KiB).
+	MinSize int
+	// MaxSize is the largest size class in bytes (default 4 MiB); larger
+	// samples fall back to plain allocation.
+	MaxSize int
+	// PerClassCap bounds the free buffers retained per size class
+	// (default 64). The pool's worst-case idle footprint is roughly the
+	// sum over classes of PerClassCap x class size.
+	PerClassCap int
 }
 
 // withDefaults fills zero values.
@@ -148,6 +171,12 @@ func (o Options) validate() error {
 	}
 	if o.TraceSampling < 0 || o.TraceSampling > 1 {
 		return fmt.Errorf("prisma: TraceSampling %v outside [0, 1]", o.TraceSampling)
+	}
+	if o.BufferPool.MinSize < 0 || o.BufferPool.MaxSize < 0 || o.BufferPool.PerClassCap < 0 {
+		return fmt.Errorf("prisma: negative BufferPool sizing")
+	}
+	if o.BufferPool.MaxSize > 0 && o.BufferPool.MinSize > o.BufferPool.MaxSize {
+		return fmt.Errorf("prisma: BufferPool.MinSize %d > MaxSize %d", o.BufferPool.MinSize, o.BufferPool.MaxSize)
 	}
 	return nil
 }

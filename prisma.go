@@ -15,6 +15,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
 	"github.com/dsrhaslab/prisma-go/internal/httpadmin"
 	"github.com/dsrhaslab/prisma-go/internal/ipc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 	"github.com/dsrhaslab/prisma-go/internal/trace"
@@ -65,6 +66,14 @@ type Stats struct {
 	BreakerOpens int64  // times the circuit breaker tripped open
 	BreakerState string // "closed", "open", or "half-open" ("" when off)
 	Degraded     bool   // breaker not closed: the backend is shedding load
+
+	// Buffer-pool telemetry (zero-valued when BufferPool.Disable is set).
+	PoolEnabled     bool
+	PoolGets        int64   // buffers leased since Open
+	PoolHitRate     float64 // fraction of leases served by recycling
+	PoolOutstanding int64   // leases currently live (leak indicator)
+	PoolFreeBuffers int     // recycled buffers parked in the pool
+	PoolFreeBytes   int64   // bytes parked in the pool
 }
 
 // Attribution is the critical-path latency breakdown: how consumer time
@@ -122,6 +131,13 @@ func statsFrom(s core.StageStats) Stats {
 		BreakerOpens: s.Resilience.BreakerOpens,
 		BreakerState: s.Resilience.State,
 		Degraded:     s.Resilience.Degraded,
+
+		PoolEnabled:     s.PoolEnabled,
+		PoolGets:        s.Pool.Gets,
+		PoolHitRate:     s.Pool.HitRate,
+		PoolOutstanding: s.Pool.Outstanding,
+		PoolFreeBuffers: s.Pool.FreeBuffers,
+		PoolFreeBytes:   s.Pool.FreeBytes,
 	}
 }
 
@@ -141,6 +157,14 @@ func Open(opts Options) (*Prisma, error) {
 		return nil, fmt.Errorf("prisma: no files under %s", opts.Dir)
 	}
 	env := conc.NewReal()
+	var pool *mempool.Pool
+	if !opts.BufferPool.Disable {
+		pool = mempool.New(mempool.Config{
+			MinSize:     opts.BufferPool.MinSize,
+			MaxSize:     opts.BufferPool.MaxSize,
+			PerClassCap: opts.BufferPool.PerClassCap,
+		})
+	}
 	var backend storage.Backend = storage.NewDirBackend(opts.Dir)
 	var recorder *trace.Recorder
 	if opts.TraceFile != "" {
@@ -166,6 +190,13 @@ func Open(opts Options) (*Prisma, error) {
 		}
 		backend = rb
 	}
+	if pool != nil {
+		// Attach at the top of the wrapper chain; each wrapper delegates
+		// down to the DirBackend that allocates payloads.
+		if pa, ok := backend.(storage.PoolAttacher); ok {
+			pa.SetBufferPool(pool)
+		}
+	}
 	pf, err := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
 		InitialProducers:      opts.InitialProducers,
 		MaxProducers:          opts.MaxProducers,
@@ -183,6 +214,7 @@ func Open(opts Options) (*Prisma, error) {
 	// producers never race a nil-to-set transition.
 	tracer := obs.NewTracer(env, obs.TracerOptions{Sampling: opts.TraceSampling})
 	stage.SetTracer(tracer)
+	stage.SetBufferPool(pool)
 	pf.Start()
 
 	p := &Prisma{
@@ -215,13 +247,49 @@ func Open(opts Options) (*Prisma, error) {
 
 // Read serves one file through the data plane: planned files come from the
 // prefetch buffer (each is served exactly once per plan entry and evicted);
-// unplanned files fall through to the filesystem.
+// unplanned files fall through to the filesystem. The returned slice is the
+// caller's to keep: under pooling the pooled buffer is copied out and
+// returned to the pool here. Allocation-sensitive consumers use ReadSample
+// instead, which hands over the pooled buffer itself.
 func (p *Prisma) Read(name string) ([]byte, error) {
 	data, err := p.stage.Read(name)
 	if err != nil {
 		return nil, err
 	}
-	return data.Bytes, nil
+	if data.Ref == nil {
+		return data.Bytes, nil
+	}
+	out := make([]byte, len(data.Bytes))
+	copy(out, data.Bytes)
+	data.Release()
+	return out, nil
+}
+
+// Sample is one zero-copy read result: Bytes aliases a pooled buffer the
+// caller must Release when done (after which the bytes may be reused for
+// another sample). A Sample from a pool-disabled instance owns a plain
+// allocation and Release is a no-op.
+type Sample struct {
+	Name string
+	Size int64
+	data storage.Data
+}
+
+// Bytes returns the sample payload; valid until Release.
+func (s *Sample) Bytes() []byte { return s.data.Bytes }
+
+// Release returns the payload buffer to the pool. Idempotent.
+func (s *Sample) Release() { s.data.Release() }
+
+// ReadSample is Read without the defensive copy: the pooled read buffer is
+// handed to the caller, who must Release it after consuming the bytes —
+// the zero-allocation fast path for in-process consumers.
+func (p *Prisma) ReadSample(name string) (*Sample, error) {
+	data, err := p.stage.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Sample{Name: data.Name, Size: data.Size, data: data}, nil
 }
 
 // SubmitPlan shares one epoch's shuffled filename list with the data plane;
@@ -380,7 +448,10 @@ func (p *Prisma) dumpTrace() error {
 }
 
 // Client is a per-worker-process connection to a PRISMA socket server.
-type Client struct{ c *ipc.Client }
+type Client struct {
+	c    *ipc.Client
+	pool *mempool.Pool // non-nil after EnablePooledReads
+}
 
 // Dial connects to a PRISMA server started with ServeUnix (or the
 // prisma-server command).
@@ -392,13 +463,48 @@ func Dial(socketPath string) (*Client, error) {
 	return &Client{c: c}, nil
 }
 
-// Read requests one file through the remote stage.
+// EnablePooledReads gives the client its own buffer pool: ReadSample then
+// receives payloads straight off the socket into recycled buffers, and
+// Read copies out of them. opts zero value selects the pool defaults.
+func (c *Client) EnablePooledReads(opts BufferPoolOptions) {
+	if opts.Disable {
+		c.c.SetBufferPool(nil)
+		c.pool = nil
+		return
+	}
+	c.pool = mempool.New(mempool.Config{
+		MinSize:     opts.MinSize,
+		MaxSize:     opts.MaxSize,
+		PerClassCap: opts.PerClassCap,
+	})
+	c.c.SetBufferPool(c.pool)
+}
+
+// Read requests one file through the remote stage. The returned slice is
+// the caller's to keep (pooled payloads are copied out and released).
 func (c *Client) Read(name string) ([]byte, error) {
 	data, err := c.c.Read(name)
 	if err != nil {
 		return nil, err
 	}
-	return data.Bytes, nil
+	if data.Ref == nil {
+		return data.Bytes, nil
+	}
+	out := make([]byte, len(data.Bytes))
+	copy(out, data.Bytes)
+	data.Release()
+	return out, nil
+}
+
+// ReadSample requests one file and hands the pooled receive buffer to the
+// caller, who must Release it — the zero-allocation read path for worker
+// processes that enabled pooled reads.
+func (c *Client) ReadSample(name string) (*Sample, error) {
+	data, err := c.c.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Sample{Name: data.Name, Size: data.Size, data: data}, nil
 }
 
 // SubmitPlan forwards an epoch's shuffled filename list.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package prisma
+
+const raceEnabled = false

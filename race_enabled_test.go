@@ -1,0 +1,8 @@
+//go:build race
+
+package prisma
+
+// raceEnabled reports that this test binary was built with -race. The
+// allocation-regression gate skips itself under the race detector, whose
+// instrumentation adds allocations the budget does not model.
+const raceEnabled = true
