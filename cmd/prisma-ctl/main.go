@@ -37,6 +37,8 @@ commands:
   set-sampling P        set the lifecycle-trace sampling probability [0, 1]
   decisions             print the autotuner's decision audit log
   plan FILE             submit an epoch plan (newline-separated filenames)
+  epochs                list retained plan epochs and their lifecycle state
+  cancel-epoch ID       cancel a plan epoch (drops its queued/buffered samples)
   watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
 	os.Exit(2)
 }
@@ -151,10 +153,38 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := client.SubmitPlan(names); err != nil {
+		id, enqueued, err := client.SubmitEpoch(names)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("submitted plan with %d files\n", len(names))
+		fmt.Printf("submitted epoch %d with %d files\n", id, enqueued)
+
+	case "epochs":
+		eps, err := client.Epochs()
+		if err != nil {
+			fatal(err)
+		}
+		if len(eps) == 0 {
+			fmt.Println("no epochs submitted yet")
+			return
+		}
+		fmt.Printf("%6s %-11s %8s %8s %8s %10s %8s\n",
+			"epoch", "state", "total", "enqueued", "claimed", "delivered", "dropped")
+		for _, e := range eps {
+			fmt.Printf("%6d %-11s %8d %8d %8d %10d %8d\n",
+				e.ID, e.State, e.Total, e.Enqueued, e.Claimed, e.Delivered, e.Dropped)
+		}
+
+	case "cancel-epoch":
+		n := argInt(args, 1)
+		if n < 1 {
+			fatal(fmt.Errorf("bad epoch id %d", n))
+		}
+		removed, err := client.CancelEpoch(prisma.EpochID(n))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cancelled epoch %d (%d pending entries removed)\n", n, removed)
 
 	default:
 		usage()

@@ -65,6 +65,66 @@ func (q *Queue[T]) Get() (v T, ok bool) {
 	return v, true
 }
 
+// GetOr is Get with an interruptible wait: while the queue is empty, stop
+// is consulted (on entry and after every wakeup) and a true return
+// abandons the wait with stopped=true instead of parking until the next
+// item. Wake forces every blocked getter to re-evaluate its stop
+// condition. stop runs under the queue lock and must not call back into
+// this queue; it may acquire other locks, which fixes the lock order
+// "queue before callee" for those locks.
+func (q *Queue[T]) GetOr(stop func() bool) (v T, ok, stopped bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		if stop != nil && stop() {
+			return v, false, true
+		}
+		q.notEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return v, false, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true, false
+}
+
+// Wake wakes every blocked getter so GetOr callers re-evaluate their stop
+// condition. Plain Get callers just re-check emptiness and park again.
+func (q *Queue[T]) Wake() {
+	q.mu.Lock()
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+}
+
+// DropWhere removes every queued item matching pred, preserving the order
+// of the rest, and reports how many were removed. Freed capacity wakes
+// blocked putters. pred runs under the queue lock and must not call back
+// into the queue.
+func (q *Queue[T]) DropWhere(pred func(T) bool) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	kept := q.items[:0]
+	for _, it := range q.items {
+		if !pred(it) {
+			kept = append(kept, it)
+		}
+	}
+	n := len(q.items) - len(kept)
+	// Zero the tail so dropped items don't pin referenced memory through
+	// the backing array.
+	var zero T
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = kept
+	if n > 0 {
+		q.notFull.Broadcast()
+	}
+	return n
+}
+
 // TryGet removes the oldest item without blocking.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
 	q.mu.Lock()

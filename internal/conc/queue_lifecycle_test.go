@@ -1,0 +1,142 @@
+package conc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueGetOrStopPredicate(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				mu := env.NewMutex()
+				stop := false
+				var gotStopped bool
+				done := env.NewCond(mu)
+				finished := false
+				env.Go("waiter", func() {
+					_, ok, stopped := q.GetOr(func() bool {
+						mu.Lock()
+						defer mu.Unlock()
+						return stop
+					})
+					mu.Lock()
+					gotStopped = stopped && !ok
+					finished = true
+					done.Broadcast()
+					mu.Unlock()
+				})
+				env.Sleep(5 * time.Millisecond)
+				mu.Lock()
+				if finished {
+					mu.Unlock()
+					t.Fatal("GetOr returned before stop was requested")
+				}
+				stop = true
+				mu.Unlock()
+				q.Wake()
+				mu.Lock()
+				for !finished {
+					done.Wait()
+				}
+				mu.Unlock()
+				if !gotStopped {
+					t.Fatal("GetOr = ok, want stopped")
+				}
+			})
+		})
+	}
+}
+
+func TestQueueGetOrDeliversItems(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				if err := q.Put(7); err != nil {
+					t.Fatal(err)
+				}
+				// A true stop predicate must not eat an available item.
+				v, ok, stopped := q.GetOr(func() bool { return true })
+				if !ok || stopped || v != 7 {
+					t.Fatalf("GetOr = (%d, %v, %v), want (7, true, false)", v, ok, stopped)
+				}
+				// Nil predicate degrades to plain Get on a closed queue.
+				q.Close()
+				_, ok, stopped = q.GetOr(nil)
+				if ok || stopped {
+					t.Fatalf("GetOr on closed queue = (ok=%v, stopped=%v), want drained", ok, stopped)
+				}
+			})
+		})
+	}
+}
+
+func TestQueueDropWhere(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 0)
+				for i := 1; i <= 6; i++ {
+					if err := q.Put(i); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if n := q.DropWhere(func(v int) bool { return v%2 == 0 }); n != 3 {
+					t.Fatalf("DropWhere removed %d, want 3", n)
+				}
+				for _, want := range []int{1, 3, 5} {
+					v, ok := q.Get()
+					if !ok || v != want {
+						t.Fatalf("Get = (%d, %v), want (%d, true)", v, ok, want)
+					}
+				}
+				if q.Len() != 0 {
+					t.Fatalf("Len = %d after drain, want 0", q.Len())
+				}
+			})
+		})
+	}
+}
+
+func TestQueueDropWhereUnblocksProducer(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			h.run(t, func(env Env) {
+				q := NewQueue[int](env, 2)
+				_ = q.Put(1)
+				_ = q.Put(2)
+				mu := env.NewMutex()
+				cond := env.NewCond(mu)
+				landed := false
+				env.Go("producer", func() {
+					_ = q.Put(3) // blocks: queue full
+					mu.Lock()
+					landed = true
+					cond.Broadcast()
+					mu.Unlock()
+				})
+				env.Sleep(time.Millisecond)
+				if n := q.DropWhere(func(v int) bool { return v == 1 }); n != 1 {
+					t.Fatalf("DropWhere removed %d, want 1", n)
+				}
+				mu.Lock()
+				for !landed {
+					cond.Wait()
+				}
+				mu.Unlock()
+				for _, want := range []int{2, 3} {
+					v, ok := q.Get()
+					if !ok || v != want {
+						t.Fatalf("Get = (%d, %v), want (%d, true)", v, ok, want)
+					}
+				}
+			})
+		})
+	}
+}

@@ -37,6 +37,11 @@ type Item struct {
 	// discards the item instead must call Release (DESIGN.md §11).
 	Ref *mempool.Ref
 
+	// Epoch is the plan epoch this sample belongs to (zero when the item
+	// did not come through the plan queue). A cancelled epoch's items are
+	// rejected at Put and dropped from the buffer (DESIGN.md §12).
+	Epoch EpochID
+
 	// Ctx is the sample-lifecycle trace context assigned at plan
 	// submission (zero when unsampled or when the item did not come
 	// through the prefetcher).
@@ -90,6 +95,12 @@ type Buffer struct {
 	created    time.Duration
 	tracer     *obs.Tracer                // set before traffic via SetTracer; nil-safe
 	waitHist   *metrics.BucketedHistogram // distribution of consumer Take waits
+
+	// epochCancelled reports whether a plan epoch was cancelled. Set once
+	// before traffic (SetEpochCancelled); nil means no epoch awareness.
+	// Called under a shard lock, so the callee must be a leaf lock — the
+	// plan manager is.
+	epochCancelled func(EpochID) bool
 
 	// cfgMu guards the shard set, the capacity budget, and the carryover
 	// counters of retired shards. Lock order is cfgMu before shard.mu;
@@ -242,6 +253,24 @@ func (b *Buffer) route(name string) *bufShard {
 // for callers driving a bare buffer, e.g. the contention benchmarks).
 func (b *Buffer) SetTracer(t *obs.Tracer) { b.tracer = t }
 
+// SetEpochCancelled installs the epoch-cancellation predicate consulted by
+// Put (reject items of cancelled epochs) and TakeOpts (wake consumers
+// blocked on them). Call before the buffer sees traffic; the prefetcher
+// wires its plan manager here.
+func (b *Buffer) SetEpochCancelled(f func(EpochID) bool) { b.epochCancelled = f }
+
+// rejects reports whether the put filter refuses it — an item of a
+// cancelled plan epoch. Called under the item's shard lock.
+func (b *Buffer) rejects(it Item) bool {
+	return it.Epoch != 0 && b.epochCancelled != nil && b.epochCancelled(it.Epoch)
+}
+
+// takeCancelled reports whether a consumer wait on the given epoch should
+// abort. Called under the consumer's shard lock.
+func (b *Buffer) takeCancelled(id EpochID) bool {
+	return id != 0 && b.epochCancelled != nil && b.epochCancelled(id)
+}
+
 // Put stores a sample, blocking while its shard is full (unless a consumer
 // is already waiting for this sample). It returns ErrClosed after Close.
 func (b *Buffer) Put(it Item) error {
@@ -258,7 +287,7 @@ func (b *Buffer) PutTimed(it Item) (time.Duration, error) {
 	for {
 		s := b.route(it.Name)
 		s.mu.Lock()
-		for len(s.items) >= s.capacity && s.waiting[it.Name] == 0 && !s.closed && !s.retired {
+		for len(s.items) >= s.capacity && s.waiting[it.Name] == 0 && !s.closed && !s.retired && !b.rejects(it) {
 			s.notFull.Wait()
 		}
 		if waited := b.env.Now() - start - credited; waited > 0 {
@@ -272,6 +301,13 @@ func (b *Buffer) PutTimed(it Item) (time.Duration, error) {
 		if s.closed {
 			s.mu.Unlock()
 			return credited, ErrClosed
+		}
+		if b.rejects(it) {
+			// The item's epoch was cancelled (possibly while this producer
+			// was parked): refuse it. The caller keeps ownership of the
+			// pooled lease and must Release it.
+			s.mu.Unlock()
+			return credited, ErrEpochCancelled
 		}
 		if b.accessCost > 0 {
 			b.env.Sleep(b.accessCost) // serialized within the shard: cost paid under its lock
@@ -304,14 +340,46 @@ func (b *Buffer) Take(name string) (Item, bool) {
 }
 
 // TakeCtx is Take carrying the consumer's trace context (propagated from
-// the IPC frame or assigned by the stage). Every successful Take splits the
-// consumer's blocked time into its storage-caused portion (waiting while —
-// or before — the sample's backend read ran) and its buffer-capacity-caused
-// portion (the read started late because the sample's producer was parked),
-// feeding the shard's cumulative attribution counters; when sampled, a
-// consumer-wait span carries the same split.
+// the IPC frame or assigned by the stage). ok is false if the buffer closes
+// while waiting.
 func (b *Buffer) TakeCtx(name string, ctx obs.Ctx) (Item, bool) {
+	it, err := b.TakeOpts(name, TakeOptions{Ctx: ctx})
+	return it, err == nil
+}
+
+// TakeOptions parameterizes one TakeOpts wait.
+type TakeOptions struct {
+	// Ctx is the consumer's trace context (see TakeCtx).
+	Ctx obs.Ctx
+	// Epoch, when non-zero, aborts the wait with ErrEpochCancelled once the
+	// buffer's epoch-cancellation predicate reports the epoch cancelled —
+	// the typed wake-up that keeps consumers from blocking until Close on a
+	// sample that will never arrive.
+	Epoch EpochID
+	// Deadline, when positive, bounds the wait: if the sample has not
+	// arrived within this duration the take fails with ErrTakeDeadline
+	// (and the caller returns the claim to its epoch).
+	Deadline time.Duration
+}
+
+// TakeOpts is the full-featured take: it blocks until the named sample is
+// present, removes it (evict-on-read) and returns it — unless the buffer
+// closes (ErrClosed), the claim's epoch is cancelled (ErrEpochCancelled),
+// or the optional deadline expires (ErrTakeDeadline). Every successful
+// take splits the consumer's blocked time into its storage-caused portion
+// (waiting while — or before — the sample's backend read ran) and its
+// buffer-capacity-caused portion (the read started late because the
+// sample's producer was parked), feeding the shard's cumulative
+// attribution counters; when sampled, a consumer-wait span carries the
+// same split.
+func (b *Buffer) TakeOpts(name string, opts TakeOptions) (Item, error) {
 	start := b.env.Now()
+	ctx := opts.Ctx
+	deadlineAt := time.Duration(-1)
+	if opts.Deadline > 0 {
+		deadlineAt = start + opts.Deadline
+		b.spawnDeadlineWake(name, opts.Deadline)
+	}
 	var credited time.Duration
 	for {
 		s := b.route(name)
@@ -320,6 +388,7 @@ func (b *Buffer) TakeCtx(name string, ctx obs.Ctx) (Item, bool) {
 			s.mu.Unlock()
 			continue
 		}
+		var cancelled, expired bool
 		if _, present := s.items[name]; !present {
 			s.waiting[name]++
 			// A producer may be blocked on a full shard while holding exactly
@@ -327,6 +396,12 @@ func (b *Buffer) TakeCtx(name string, ctx obs.Ctx) (Item, bool) {
 			s.notFull.Broadcast()
 			for {
 				if _, present := s.items[name]; present || s.closed || s.retired {
+					break
+				}
+				if cancelled = b.takeCancelled(opts.Epoch); cancelled {
+					break
+				}
+				if expired = deadlineAt >= 0 && b.env.Now() >= deadlineAt; expired {
 					break
 				}
 				s.arrived.Wait()
@@ -345,9 +420,18 @@ func (b *Buffer) TakeCtx(name string, ctx obs.Ctx) (Item, bool) {
 			continue // resharded while blocked: the sample moved shards
 		}
 		it, present := s.items[name]
-		if !present { // closed while waiting
+		if !present {
+			// An arrived sample wins over a simultaneous cancel/deadline;
+			// with none present, report why the wait ended.
 			s.mu.Unlock()
-			return Item{}, false
+			switch {
+			case cancelled:
+				return Item{}, ErrEpochCancelled
+			case expired:
+				return Item{}, ErrTakeDeadline
+			default: // closed while waiting
+				return Item{}, ErrClosed
+			}
 		}
 		storageW, bufferW := attributeWait(credited, waitEnd, it)
 		s.waitStorageNS += int64(storageW)
@@ -382,8 +466,54 @@ func (b *Buffer) TakeCtx(name string, ctx obs.Ctx) (Item, bool) {
 			}
 			b.tracer.Record(span)
 		}
-		return it, true
+		return it, nil
 	}
+}
+
+// spawnDeadlineWake arms a one-shot timer that wakes the waiters of name's
+// shard when a take deadline elapses, so the blocked consumer re-checks its
+// deadline. Harmless if the take already finished; routes at fire time so
+// resharding cannot strand the wake-up.
+func (b *Buffer) spawnDeadlineWake(name string, d time.Duration) {
+	b.env.Go("take-deadline", func() {
+		b.env.Sleep(d)
+		s := b.route(name)
+		s.mu.Lock()
+		s.arrived.Broadcast()
+		s.mu.Unlock()
+	})
+}
+
+// DropWhere removes every buffered item matching pred, releasing its
+// pooled lease (the drop path owns the buffer's reference, DESIGN.md §11),
+// and wakes all producers and consumers so epoch-cancel predicates and
+// admission conditions re-evaluate. Returns how many items were dropped.
+// Names are processed in sorted order so the simulator stays deterministic.
+func (b *Buffer) DropWhere(pred func(Item) bool) int {
+	b.cfgMu.Lock()
+	defer b.cfgMu.Unlock()
+	dropped := 0
+	for _, s := range b.shards {
+		s.mu.Lock()
+		var doomed []string
+		for name, it := range s.items {
+			if pred(it) {
+				doomed = append(doomed, name)
+			}
+		}
+		sort.Strings(doomed)
+		for _, name := range doomed {
+			it := s.items[name]
+			it.Release()
+			delete(s.items, name)
+			dropped++
+		}
+		s.occupancy.Set(len(s.items))
+		s.notFull.Broadcast()
+		s.arrived.Broadcast()
+		s.mu.Unlock()
+	}
+	return dropped
 }
 
 // attributeWait splits one consumer wait into the portion storage is to

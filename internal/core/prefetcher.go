@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,15 @@ type PrefetcherConfig struct {
 	// (the paper's shared-buffer behavior); values are clamped as in
 	// NewShardedBuffer.
 	BufferShards int
+	// PlanQueueCapacity bounds the plan FIFO (0 = unbounded, the default).
+	// With a bound, SubmitEpoch blocks once producers fall behind by that
+	// many entries — backpressure for jobs that submit far ahead.
+	PlanQueueCapacity int
+	// TakeDeadline bounds each consumer's wait for a claimed sample
+	// (0 = wait until arrival, cancellation, or Close). On expiry the read
+	// fails with ErrTakeDeadline and the plan entry is returned to its
+	// epoch. Adjustable at runtime via SetTakeDeadline.
+	TakeDeadline time.Duration
 }
 
 // DefaultPrefetcherConfig mirrors the prototype's conservative starting
@@ -63,15 +73,22 @@ func (c PrefetcherConfig) Validate() error {
 	if c.BufferShards < 0 {
 		return fmt.Errorf("core: negative BufferShards")
 	}
+	if c.PlanQueueCapacity < 0 {
+		return fmt.Errorf("core: negative PlanQueueCapacity")
+	}
+	if c.TakeDeadline < 0 {
+		return fmt.Errorf("core: negative TakeDeadline")
+	}
 	return nil
 }
 
-// planEntry is one queued plan position: the file to read, the submission
-// time (FIFO dwell measurement), and the sample's trace context.
+// planEntry is one queued plan position: the file to read, its epoch, the
+// submission time (FIFO dwell measurement), and the sample's trace context.
 type planEntry struct {
-	name string
-	at   time.Duration
-	ctx  obs.Ctx
+	name  string
+	epoch EpochID
+	at    time.Duration
+	ctx   obs.Ctx
 }
 
 // Prefetcher reads planned files from backend storage ahead of consumption
@@ -86,11 +103,13 @@ type Prefetcher struct {
 	queue   *conc.Queue[planEntry]
 	tracer  *obs.Tracer // set before Start via setTracer; nil-safe
 
+	plans *planManager // epoch/claim lifecycle (DESIGN.md §12)
+
 	mu      conc.Mutex
 	target  int // desired t
 	running int // producers currently alive
 	nextID  int
-	planned map[string]int // outstanding plan multiplicity per name
+	takeDL  time.Duration // consumer take deadline (0 = none)
 	closed  bool
 
 	activeReaders *metrics.TimeInState       // threads inside backend.ReadFile (Fig. 3 signal)
@@ -113,14 +132,18 @@ func NewPrefetcher(env conc.Env, backend storage.Backend, cfg PrefetcherConfig) 
 		backend:       backend,
 		cfg:           cfg,
 		buffer:        NewShardedBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost, shards),
-		queue:         conc.NewQueue[planEntry](env, 0),
-		planned:       make(map[string]int),
+		queue:         conc.NewQueue[planEntry](env, cfg.PlanQueueCapacity),
+		plans:         newPlanManager(env),
+		takeDL:        cfg.TakeDeadline,
 		activeReaders: metrics.NewTimeInState(env, 0),
 		readLat:       metrics.NewBucketedHistogram(env, nil),
 		prefetched:    metrics.NewCounter(env),
 		readErrors:    metrics.NewCounter(env),
 	}
 	pf.mu = env.NewMutex()
+	// Epoch-cancellation awareness: rejected puts and woken consumers both
+	// resolve through the plan manager (a leaf lock, safe under shard locks).
+	pf.buffer.SetEpochCancelled(pf.plans.cancelledEpoch)
 	return pf, nil
 }
 
@@ -143,49 +166,131 @@ func (pf *Prefetcher) setTracer(t *obs.Tracer) {
 }
 
 // SubmitPlan appends the shuffled filename list of one epoch to the
-// prefetch queue. Names are read in exactly this order. Each plan entry is
-// the head of one sample-lifecycle trace (head sampling decides here).
+// prefetch queue. Names are read in exactly this order. Kept for callers
+// that don't track epoch ids; SubmitEpoch is the full interface.
 func (pf *Prefetcher) SubmitPlan(names []string) error {
+	_, err := pf.SubmitEpoch(names)
+	return err
+}
+
+// SubmitEpoch registers one epoch's shuffled filename list and enqueues it
+// for the producers, returning the epoch id. Registration is all-or-
+// nothing: entries become claimable only after every name was enqueued; a
+// mid-loop queue failure aborts the whole epoch (its partial queue/buffer
+// residue is dropped and its pooled leases released), so a partial
+// submission can never strand a consumer waiting on a sample that was
+// never enqueued. The result reports how many entries were actually
+// enqueued either way. Each plan entry is the head of one sample-lifecycle
+// trace (head sampling decides here).
+func (pf *Prefetcher) SubmitEpoch(names []string) (PlanResult, error) {
 	pf.mu.Lock()
 	if pf.closed {
 		pf.mu.Unlock()
-		return ErrClosed
-	}
-	for _, n := range names {
-		pf.planned[n]++
+		return PlanResult{}, ErrClosed
 	}
 	pf.mu.Unlock()
+	id := pf.plans.begin(len(names))
 	at := pf.env.Now()
+	enqueued := 0
 	for _, n := range names {
-		if err := pf.queue.Put(planEntry{name: n, at: at, ctx: pf.tracer.StartTrace()}); err != nil {
-			return err
+		if err := pf.queue.Put(planEntry{name: n, epoch: id, at: at, ctx: pf.tracer.StartTrace()}); err != nil {
+			pf.plans.abort(id, enqueued)
+			pf.dropEpochResidue(id)
+			return PlanResult{Epoch: id, Enqueued: enqueued}, err
 		}
+		enqueued++
 	}
-	return nil
+	if !pf.plans.activate(id, names) {
+		// Cancelled while submitting: nothing was registered.
+		pf.plans.abandon(id, enqueued)
+		pf.dropEpochResidue(id)
+		return PlanResult{Epoch: id, Enqueued: enqueued}, ErrEpochCancelled
+	}
+	pf.recordPlanSpan(obs.StagePlanSubmit, id, at, int64(len(names)))
+	return PlanResult{Epoch: id, Enqueued: enqueued}, nil
 }
 
-// Planned reports whether name has an outstanding plan entry; unplanned
-// reads bypass the buffer (the prototype does not prefetch validation
-// files, paper §V-A).
-func (pf *Prefetcher) Planned(name string) bool {
+// CancelEpoch cancels a submitted epoch: unclaimed entries stop being
+// claimable, its queued entries are dropped, its buffered samples are
+// released back to the pool, in-flight producer reads are refused at Put,
+// and consumers blocked on its samples wake with ErrEpochCancelled.
+// Cancelling a terminal epoch is a no-op; an unknown id is ErrUnknownEpoch.
+// It reports how many registered plan entries the cancellation removed.
+func (pf *Prefetcher) CancelEpoch(id EpochID) (int, error) {
+	at := pf.env.Now()
+	removed, err := pf.plans.cancel(id)
+	if err != nil {
+		return 0, err
+	}
+	pf.dropEpochResidue(id)
+	pf.recordPlanSpan(obs.StageEpochCancel, id, at, int64(removed))
+	return removed, nil
+}
+
+// dropEpochResidue removes a cancelled epoch's entries from the plan queue
+// and its samples from the buffer (releasing their pooled leases). This is
+// physical cleanup: the entries these items carry were already charged as
+// dropped by the cancel sweep or abort/abandon, so only residue of pruned
+// (unknown) epochs still needs accounting, which noteDropped handles. The
+// buffer drop also wakes blocked consumers so their cancel predicates
+// re-evaluate.
+func (pf *Prefetcher) dropEpochResidue(id EpochID) int {
+	n := pf.queue.DropWhere(func(e planEntry) bool { return e.epoch == id })
+	n += pf.buffer.DropWhere(func(it Item) bool { return it.Epoch == id })
+	pf.plans.noteDropped(id, n)
+	return n
+}
+
+// recordPlanSpan emits a control-plane lifecycle span for an epoch submit
+// or cancel, subject to head sampling like any sample trace.
+func (pf *Prefetcher) recordPlanSpan(stage string, id EpochID, at time.Duration, size int64) {
+	ctx := pf.tracer.StartTrace()
+	if !ctx.Sampled {
+		return
+	}
+	pf.tracer.Record(obs.Span{
+		Trace:   ctx.Trace,
+		Stage:   stage,
+		Name:    fmt.Sprintf("epoch-%d", id),
+		At:      at,
+		Latency: pf.env.Now() - at,
+		Size:    size,
+	})
+}
+
+// Planned reports whether name has a claimable plan entry; unplanned reads
+// bypass the buffer (the prototype does not prefetch validation files,
+// paper §V-A).
+func (pf *Prefetcher) Planned(name string) bool { return pf.plans.hasEntry(name) }
+
+// Epochs lists the retained epochs' statuses in submission order.
+func (pf *Prefetcher) Epochs() []EpochStatus { return pf.plans.statuses() }
+
+// PlanStats snapshots aggregate plan-lifecycle activity.
+func (pf *Prefetcher) PlanStats() PlanStats { return pf.plans.stats() }
+
+// SetTakeDeadline adjusts the consumer take deadline at runtime (0 = none).
+func (pf *Prefetcher) SetTakeDeadline(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	pf.mu.Lock()
+	pf.takeDL = d
+	pf.mu.Unlock()
+}
+
+// TakeDeadline reports the current consumer take deadline.
+func (pf *Prefetcher) TakeDeadline() time.Duration {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
-	return pf.planned[name] > 0
-}
-
-// consumed decrements the plan multiplicity after a successful Take.
-func (pf *Prefetcher) consumed(name string) {
-	pf.mu.Lock()
-	if pf.planned[name]--; pf.planned[name] <= 0 {
-		delete(pf.planned, name)
-	}
-	pf.mu.Unlock()
+	return pf.takeDL
 }
 
 // SetProducers adjusts the target number of producer threads t, spawning
-// new producers immediately and retiring surplus ones as they finish their
-// current file. The value is clamped to [1, MaxProducers]; 0 is allowed
-// and stops all producers (used at shutdown).
+// new producers immediately and retiring surplus ones even while they are
+// parked waiting for plan entries (the queue wake below interrupts their
+// wait). The value is clamped to [0, MaxProducers]; 0 stops all producers
+// (used at shutdown).
 func (pf *Prefetcher) SetProducers(n int) {
 	if n < 0 {
 		n = 0
@@ -199,6 +304,7 @@ func (pf *Prefetcher) SetProducers(n int) {
 		return
 	}
 	pf.target = n
+	shrunk := pf.running > pf.target
 	var spawn []int
 	for pf.running < pf.target {
 		pf.running++
@@ -210,6 +316,11 @@ func (pf *Prefetcher) SetProducers(n int) {
 		id := id
 		pf.env.Go(fmt.Sprintf("prisma-producer-%d", id), func() { pf.producerLoop() })
 	}
+	if shrunk {
+		// Outside pf.mu: the queue lock is always taken before pf.mu
+		// (GetOr's stop predicate), never after.
+		pf.queue.Wake()
+	}
 }
 
 // Producers reports (target, running) producer counts.
@@ -217,6 +328,16 @@ func (pf *Prefetcher) Producers() (target, running int) {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	return pf.target, pf.running
+}
+
+// surplus reports whether this producer should retire instead of parking
+// for the next plan entry. It is the GetOr stop predicate, called under
+// the queue lock; pf.mu nests inside the queue lock (and never the other
+// way around — SetProducers wakes the queue only after releasing pf.mu).
+func (pf *Prefetcher) surplus() bool {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.closed || pf.running > pf.target
 }
 
 // producerLoop is the body of one producer thread.
@@ -235,12 +356,26 @@ func (pf *Prefetcher) producerLoop() {
 		}
 		pf.mu.Unlock()
 
-		e, ok := pf.queue.Get()
+		e, ok, stopped := pf.queue.GetOr(pf.surplus)
+		if stopped {
+			// Woken while surplus (SetProducers shrank t on an idle queue):
+			// loop to the top, where the retire check decrements running
+			// under pf.mu — serializing concurrent retirees so the count
+			// never undershoots the new target.
+			continue
+		}
 		if !ok { // queue closed and drained
 			pf.mu.Lock()
 			pf.running--
 			pf.mu.Unlock()
 			return
+		}
+		if pf.plans.cancelledEpoch(e.epoch) {
+			// The entry's epoch was cancelled while it sat in the FIFO
+			// (or popped concurrently with the cancel's DropWhere): skip
+			// the read entirely.
+			pf.plans.noteDropped(e.epoch, 1)
+			continue
 		}
 
 		readStart := pf.env.Now()
@@ -295,6 +430,7 @@ func (pf *Prefetcher) producerLoop() {
 			Ref:       data.Ref,
 			Err:       err,
 			Ctx:       e.ctx,
+			Epoch:     e.epoch,
 			ReadStart: readStart,
 			ReadEnd:   readEnd,
 			PopDelay:  prevPark,
@@ -305,16 +441,24 @@ func (pf *Prefetcher) producerLoop() {
 			pf.prefetched.Inc()
 		}
 		parked, perr := pf.buffer.PutTimed(it)
-		if perr != nil {
-			// Buffer closed: shutting down. The item never entered the
-			// buffer, so its pooled lease is still this thread's to drop.
+		switch {
+		case perr == nil:
+			prevPark = parked
+		case errors.Is(perr, ErrEpochCancelled):
+			// The sample's epoch was cancelled mid-read or while parked:
+			// the item never entered the buffer, so its pooled lease is
+			// still this thread's to drop. The producer itself lives on.
+			it.Release()
+			pf.plans.noteDropped(e.epoch, 1)
+			prevPark = 0
+		default:
+			// Buffer closed: shutting down. Same ownership rule.
 			it.Release()
 			pf.mu.Lock()
 			pf.running--
 			pf.mu.Unlock()
 			return
 		}
-		prevPark = parked
 	}
 }
 

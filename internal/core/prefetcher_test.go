@@ -34,6 +34,22 @@ func testBackend(env conc.Env, n int, size int64, lat time.Duration, channels in
 	return storage.NewModeledBackend(m, dev, nil), names
 }
 
+// take is the test-side mirror of the Stage read path: claim the plan
+// entry, wait for the sample, resolve the claim.
+func take(pf *Prefetcher, name string) (Item, bool) {
+	claim, ok := pf.plans.claim(name)
+	if !ok {
+		return Item{}, false
+	}
+	it, err := pf.buffer.TakeOpts(name, TakeOptions{Epoch: claim.Epoch, Deadline: pf.TakeDeadline()})
+	if err != nil {
+		pf.plans.unclaim(claim)
+		return Item{}, false
+	}
+	pf.plans.deliver(claim)
+	return it, true
+}
+
 func pfConfig(t, n int) PrefetcherConfig {
 	return PrefetcherConfig{
 		InitialProducers:      t,
@@ -73,11 +89,10 @@ func TestPrefetcherDeliversPlannedFiles(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, n := range names {
-			it, ok := pf.Buffer().Take(n)
+			it, ok := take(pf, n)
 			if !ok || it.Err != nil || it.Name != n {
 				t.Fatalf("Take(%s) = %+v, %v", n, it, ok)
 			}
-			pf.consumed(n)
 		}
 		if pf.PrefetchedFiles() != 20 {
 			t.Errorf("PrefetchedFiles = %d, want 20", pf.PrefetchedFiles())
@@ -98,11 +113,10 @@ func TestPrefetcherRespectsProducerLimit(t *testing.T) {
 		pf.Start()
 		_ = pf.SubmitPlan(names)
 		for _, n := range names {
-			it, ok := pf.Buffer().Take(n)
+			it, ok := take(pf, n)
 			if !ok || it.Err != nil {
 				t.Errorf("Take(%s) failed", n)
 			}
-			pf.consumed(n)
 		}
 		dist = pf.ActiveReaderDistribution()
 		pf.Close()
@@ -127,8 +141,7 @@ func TestPrefetcherReadsInPlanOrder(t *testing.T) {
 		pf.Start()
 		_ = pf.SubmitPlan([]string{"b", "c", "a"})
 		for _, n := range []string{"b", "c", "a"} {
-			_, _ = pf.Buffer().Take(n)
-			pf.consumed(n)
+			_, _ = take(pf, n)
 		}
 		pf.Close()
 		want := "b,c,a"
@@ -167,8 +180,7 @@ func TestPrefetcherSetProducersScalesUp(t *testing.T) {
 		}
 		_ = pf.SubmitPlan(names)
 		for _, n := range names {
-			_, _ = pf.Buffer().Take(n)
-			pf.consumed(n)
+			_, _ = take(pf, n)
 		}
 		if max := metrics.MaxValue(pf.ActiveReaderDistribution()); max != 6 {
 			t.Errorf("max concurrent readers = %d, want 6", max)
@@ -184,16 +196,14 @@ func TestPrefetcherSetProducersScalesDown(t *testing.T) {
 		pf.Start()
 		_ = pf.SubmitPlan(names[:5])
 		for _, n := range names[:5] {
-			_, _ = pf.Buffer().Take(n)
-			pf.consumed(n)
+			_, _ = take(pf, n)
 		}
 		pf.SetProducers(1)
 		// Surplus producers retire after their next dequeue attempt; feed
 		// the queue so blocked producers cycle.
 		_ = pf.SubmitPlan(names[5:])
 		for _, n := range names[5:] {
-			_, _ = pf.Buffer().Take(n)
-			pf.consumed(n)
+			_, _ = take(pf, n)
 		}
 		env.Sleep(10 * time.Millisecond)
 		if target, _ := pf.Producers(); target != 1 {
@@ -227,11 +237,10 @@ func TestPrefetcherErrorReachesConsumer(t *testing.T) {
 		pf.Start()
 		_ = pf.SubmitPlan(names)
 		for _, n := range names {
-			it, ok := pf.Buffer().Take(n)
+			it, ok := take(pf, n)
 			if !ok {
 				t.Fatalf("Take(%s) closed", n)
 			}
-			pf.consumed(n)
 			if n == "f0001" {
 				if !errors.Is(it.Err, storage.ErrInjected) {
 					t.Errorf("Take(f0001).Err = %v, want injected fault", it.Err)
@@ -259,8 +268,7 @@ func TestPrefetcherPlannedBookkeeping(t *testing.T) {
 		if !pf.Planned("f0000") || pf.Planned("f0003") {
 			t.Error("planned set wrong after SubmitPlan")
 		}
-		_, _ = pf.Buffer().Take("f0000")
-		pf.consumed("f0000")
+		_, _ = take(pf, "f0000")
 		if pf.Planned("f0000") {
 			t.Error("file still planned after consumption")
 		}
@@ -278,11 +286,10 @@ func TestPrefetcherMultiEpochPlan(t *testing.T) {
 		_ = pf.SubmitPlan([]string{"f0000", "f0001"})
 		_ = pf.SubmitPlan([]string{"f0001", "f0000"})
 		for _, n := range []string{"f0000", "f0001", "f0001", "f0000"} {
-			it, ok := pf.Buffer().Take(n)
+			it, ok := take(pf, n)
 			if !ok || it.Err != nil {
 				t.Fatalf("Take(%s) = %+v, %v", n, it, ok)
 			}
-			pf.consumed(n)
 		}
 		if pf.PrefetchedFiles() != 4 {
 			t.Errorf("PrefetchedFiles = %d, want 4", pf.PrefetchedFiles())
@@ -346,22 +353,20 @@ func TestPrefetcherFaultDoesNotStallOthers(t *testing.T) {
 			if n == "f0001" {
 				continue
 			}
-			it, ok := pf.Buffer().Take(n)
+			it, ok := take(pf, n)
 			if !ok || it.Err != nil {
 				t.Fatalf("Take(%s) = %+v, %v while fault in flight", n, it, ok)
 			}
-			pf.consumed(n)
 		}
 		// All healthy samples arrived while f0001 was still retrying (its
 		// two backoff sleeps alone span >= 30ms of virtual time).
 		if now := env.Now(); now >= 30*time.Millisecond {
 			t.Errorf("healthy samples took %v, stalled behind the faulted read", now)
 		}
-		it, ok := pf.Buffer().Take("f0001")
+		it, ok := take(pf, "f0001")
 		if !ok {
 			t.Fatal("Take(f0001) closed")
 		}
-		pf.consumed("f0001")
 		if !errors.Is(it.Err, storage.ErrInjected) {
 			t.Errorf("Take(f0001).Err = %v, want injected fault", it.Err)
 		}
@@ -393,11 +398,10 @@ func TestPrefetcherTransientFaultRetriedToSuccess(t *testing.T) {
 		pf.Start()
 		_ = pf.SubmitPlan(names)
 		for _, n := range names {
-			it, ok := pf.Buffer().Take(n)
+			it, ok := take(pf, n)
 			if !ok || it.Err != nil {
 				t.Fatalf("Take(%s) = %+v, %v", n, it, ok)
 			}
-			pf.consumed(n)
 		}
 		if pf.ReadErrors() != 0 {
 			t.Errorf("ReadErrors = %d, want 0 (fault healed within retries)", pf.ReadErrors())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
@@ -55,15 +56,35 @@ func (o *PrefetchObject) Read(name string) (storage.Data, bool, error) {
 
 // ReadCtx implements ctxReader: the consumer's trace context flows into the
 // buffer so the Take wait is recorded against the right trace.
+//
+// Claim-or-bypass: the existence check and the exclusive hold on a plan
+// entry happen in one plan-manager critical section, so two consumers
+// racing one multiplicity-1 entry can never both commit to waiting — the
+// loser's claim fails and it bypasses to the backend like any unplanned
+// read (the Planned→Take TOCTOU hang is structurally impossible).
 func (o *PrefetchObject) ReadCtx(name string, ctx obs.Ctx) (storage.Data, bool, error) {
-	if !o.pf.Planned(name) {
+	pf := o.pf
+	claim, ok := pf.plans.claim(name)
+	if !ok {
 		return storage.Data{}, false, nil
 	}
-	it, ok := o.pf.buffer.TakeCtx(name, ctx)
-	if !ok {
-		return storage.Data{}, true, ErrClosed
+	it, err := pf.buffer.TakeOpts(name, TakeOptions{
+		Ctx:      ctx,
+		Epoch:    claim.Epoch,
+		Deadline: pf.TakeDeadline(),
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrEpochCancelled):
+			pf.plans.claimDropped(claim)
+		default:
+			// Deadline or shutdown: the sample may still arrive, so the
+			// entry goes back to its epoch for a later read to claim.
+			pf.plans.unclaim(claim)
+		}
+		return storage.Data{}, true, err
 	}
-	o.pf.consumed(name)
+	pf.plans.deliver(claim)
 	if it.Err != nil {
 		return storage.Data{}, true, it.Err
 	}
@@ -104,6 +125,10 @@ type StageStats struct {
 	StorageReadLatency metrics.HistogramSnapshot
 
 	Buffer BufferStats
+
+	// Plan reflects the plan manager: epoch lifecycle and claim activity
+	// (zero-valued when no prefetch object is attached).
+	Plan PlanStats
 
 	// Pool reflects the sample buffer pool (zero-valued when pooling is
 	// off). PoolEnabled disambiguates "disabled" from "enabled but idle".
@@ -230,12 +255,46 @@ func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 func (s *Stage) Size(name string) (int64, error) { return s.backend.Size(name) }
 
 // SubmitPlan forwards an epoch's shuffled filename list to the prefetcher.
-// It is a no-op error when the stage has no prefetch object.
+// It returns ErrNoPrefetcher when the stage has no prefetch object.
 func (s *Stage) SubmitPlan(names []string) error {
+	_, err := s.SubmitEpoch(names)
+	return err
+}
+
+// SubmitEpoch is SubmitPlan returning the issued epoch id and the number
+// of entries actually enqueued (see Prefetcher.SubmitEpoch).
+func (s *Stage) SubmitEpoch(names []string) (PlanResult, error) {
 	if s.pf == nil {
-		return ErrClosed
+		return PlanResult{}, ErrNoPrefetcher
 	}
-	return s.pf.SubmitPlan(names)
+	return s.pf.SubmitEpoch(names)
+}
+
+// CancelEpoch cancels a submitted plan epoch (control interface): queued
+// entries are dropped, buffered samples released, and blocked consumers
+// woken with ErrEpochCancelled. Reports how many plan entries it removed.
+func (s *Stage) CancelEpoch(id EpochID) (int, error) {
+	if s.pf == nil {
+		return 0, ErrNoPrefetcher
+	}
+	return s.pf.CancelEpoch(id)
+}
+
+// Epochs lists the retained plan epochs' statuses (control interface).
+// Empty without a prefetch object.
+func (s *Stage) Epochs() []EpochStatus {
+	if s.pf == nil {
+		return nil
+	}
+	return s.pf.Epochs()
+}
+
+// SetTakeDeadline adjusts the consumer take deadline (control interface).
+// No-op without a prefetch object.
+func (s *Stage) SetTakeDeadline(d time.Duration) {
+	if s.pf != nil {
+		s.pf.SetTakeDeadline(d)
+	}
 }
 
 // Prefetcher exposes the attached prefetcher, or nil.
@@ -256,6 +315,7 @@ func (s *Stage) Stats() StageStats {
 		st.PrefetchedFiles = s.pf.PrefetchedFiles()
 		st.ReadErrors = s.pf.ReadErrors()
 		st.Buffer = s.pf.Buffer().Stats()
+		st.Plan = s.pf.PlanStats()
 		st.StorageBusy = s.pf.StorageBusy()
 		st.StorageReadLatency = s.pf.ReadLatency()
 	}

@@ -87,8 +87,17 @@ func TestStageWithoutPrefetcher(t *testing.T) {
 	runSim(t, func(env conc.Env) {
 		backend, names := testBackend(env, 2, 1000, time.Millisecond, 1)
 		st := NewStage(env, backend)
-		if err := st.SubmitPlan(names); err != ErrClosed {
-			t.Fatalf("SubmitPlan = %v, want ErrClosed (no prefetch object)", err)
+		if err := st.SubmitPlan(names); !errors.Is(err, ErrNoPrefetcher) {
+			t.Fatalf("SubmitPlan = %v, want ErrNoPrefetcher", err)
+		}
+		if _, err := st.SubmitEpoch(names); !errors.Is(err, ErrNoPrefetcher) {
+			t.Fatalf("SubmitEpoch = %v, want ErrNoPrefetcher", err)
+		}
+		if _, err := st.CancelEpoch(1); !errors.Is(err, ErrNoPrefetcher) {
+			t.Fatalf("CancelEpoch = %v, want ErrNoPrefetcher", err)
+		}
+		if eps := st.Epochs(); eps != nil {
+			t.Fatalf("Epochs = %v, want nil for plain stage", eps)
 		}
 		if st.Prefetcher() != nil {
 			t.Fatal("Prefetcher() != nil for plain stage")

@@ -7,12 +7,14 @@ package httpadmin
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 
 	"github.com/dsrhaslab/prisma-go/internal/control"
+	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
@@ -51,6 +53,7 @@ func NewWithConfig(dp control.DataPlane, cfg Config) *Handler {
 	h.mux.HandleFunc("/tuning", h.tuning)
 	h.mux.HandleFunc("/attribution", h.attribution)
 	h.mux.HandleFunc("/decisions", h.decisions)
+	h.mux.HandleFunc("/epochs", h.epochs)
 	if cfg.EnablePprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -121,6 +124,13 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	write("prisma_consumer_wait_bufferfull_seconds_total", "Consumer blocking time attributed to buffer capacity.", "counter", s.Buffer.ConsumerWaitBufferFull.Seconds())
 	write("prisma_storage_busy_seconds_total", "Cumulative producer time inside backend reads.", "counter", s.StorageBusy.Seconds())
 	write("prisma_trace_sampling", "Trace head-sampling probability.", "gauge", s.TraceSampling)
+	write("prisma_plan_epochs_submitted_total", "Plan epochs submitted.", "counter", float64(s.Plan.EpochsSubmitted))
+	write("prisma_plan_epochs_cancelled_total", "Plan epochs cancelled (including aborted submissions).", "counter", float64(s.Plan.EpochsCancelled))
+	write("prisma_plan_epochs_live", "Epochs currently submitting or active.", "gauge", float64(s.Plan.EpochsLive))
+	write("prisma_plan_entries_pending", "Registered plan entries not yet claimed by a consumer.", "gauge", float64(s.Plan.EntriesPending))
+	write("prisma_plan_claims_in_flight", "Consumer claims awaiting a buffered sample.", "gauge", float64(s.Plan.ClaimsInFlight))
+	write("prisma_plan_delivered_total", "Plan entries delivered to consumers.", "counter", float64(s.Plan.Delivered))
+	write("prisma_plan_dropped_total", "Plan entries dropped by cancellation or abort.", "counter", float64(s.Plan.Dropped))
 	write("prisma_backend_retries_total", "Backend read attempts beyond the first.", "counter", float64(s.Resilience.Retries))
 	write("prisma_backend_exhausted_total", "Backend reads that failed after all retry attempts.", "counter", float64(s.Resilience.Exhausted))
 	write("prisma_breaker_opens_total", "Circuit breaker trips to the open state.", "counter", float64(s.Resilience.BreakerOpens))
@@ -201,6 +211,60 @@ func (h *Handler) decisions(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(recs); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// epochManager is the optional extension for data planes with an
+// epoch-aware plan manager (core.Stage has one when a prefetcher is
+// attached; its methods degrade gracefully without one).
+type epochManager interface {
+	Epochs() []core.EpochStatus
+	CancelEpoch(id core.EpochID) (int, error)
+}
+
+// epochs serves the plan-epoch lifecycle: GET /epochs lists the retained
+// epoch statuses; POST /epochs?cancel=ID cancels one epoch and reports how
+// many plan entries were removed.
+func (h *Handler) epochs(w http.ResponseWriter, r *http.Request) {
+	em, ok := h.dp.(epochManager)
+	if !ok {
+		http.Error(w, "data plane does not support plan epochs", http.StatusNotImplemented)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		eps := em.Epochs()
+		if eps == nil {
+			eps = []core.EpochStatus{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(eps); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case http.MethodPost:
+		v := r.URL.Query().Get("cancel")
+		if v == "" {
+			http.Error(w, "nothing to apply (use ?cancel=ID)", http.StatusBadRequest)
+			return
+		}
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "bad epoch id", http.StatusBadRequest)
+			return
+		}
+		removed, err := em.CancelEpoch(core.EpochID(id))
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, core.ErrUnknownEpoch) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]uint64{"cancelled": id, "removed": uint64(removed)})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
 	}
 }
 

@@ -428,12 +428,58 @@ func (c *Client) exchangePooledLocked(name string, trace uint64) (storage.Data, 
 // stage state, so it is never retried in-call: on a transport failure the
 // caller decides whether resubmitting is safe.
 func (c *Client) SubmitPlan(names []string) error {
+	_, err := c.SubmitEpoch(names)
+	return err
+}
+
+// SubmitEpoch is SubmitPlan returning the issued epoch id and how many
+// entries the server enqueued. Non-resendable like SubmitPlan: a resend
+// would register a second epoch.
+func (c *Client) SubmitEpoch(names []string) (core.PlanResult, error) {
 	payload := binary.AppendUvarint(nil, uint64(len(names)))
 	for _, n := range names {
 		payload = appendString(payload, n)
 	}
-	_, err := c.roundTrip(OpPlan, payload, false)
-	return err
+	resp, err := c.roundTrip(OpPlan, payload, false)
+	if err != nil {
+		return core.PlanResult{}, err
+	}
+	id, k1 := binary.Uvarint(resp)
+	if k1 <= 0 {
+		return core.PlanResult{}, fmt.Errorf("ipc: malformed plan response")
+	}
+	enq, k2 := binary.Uvarint(resp[k1:])
+	if k2 <= 0 {
+		return core.PlanResult{}, fmt.Errorf("ipc: malformed plan response")
+	}
+	return core.PlanResult{Epoch: core.EpochID(id), Enqueued: int(enq)}, nil
+}
+
+// CancelEpoch cancels a plan epoch remotely, reporting how many plan
+// entries the server removed. Resendable: cancellation is idempotent.
+func (c *Client) CancelEpoch(id core.EpochID) (int, error) {
+	resp, err := c.roundTrip(OpCancelEpoch, binary.AppendUvarint(nil, uint64(id)), true)
+	if err != nil {
+		return 0, err
+	}
+	removed, k := binary.Uvarint(resp)
+	if k <= 0 {
+		return 0, fmt.Errorf("ipc: malformed cancel response")
+	}
+	return int(removed), nil
+}
+
+// Epochs fetches the server's retained plan-epoch statuses.
+func (c *Client) Epochs() ([]core.EpochStatus, error) {
+	resp, err := c.roundTrip(OpEpochs, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.EpochStatus
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil, fmt.Errorf("ipc: decode epochs: %w", err)
+	}
+	return out, nil
 }
 
 // Stats fetches the stage's monitoring snapshot.

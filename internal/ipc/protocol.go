@@ -35,6 +35,9 @@ const (
 
 	OpSetTraceSampling = 8 // control: set trace head-sampling probability
 	OpDecisions        = 9 // fetch the autotuner decision audit log (JSON)
+
+	OpCancelEpoch = 10 // control: cancel a plan epoch by id
+	OpEpochs      = 11 // fetch plan-epoch statuses (JSON)
 )
 
 // Response status bytes.

@@ -285,10 +285,32 @@ func (s *Server) handleControl(opcode byte, payload []byte) []byte {
 			}
 			names = append(names, name)
 		}
-		if err := s.stage.SubmitPlan(names); err != nil {
+		res, err := s.stage.SubmitEpoch(names)
+		if err != nil {
 			return errResponse(err)
 		}
-		return okResponse(nil)
+		// Epoch id + enqueued count; pre-epoch clients ignore the payload.
+		blob := binary.AppendUvarint(nil, uint64(res.Epoch))
+		blob = binary.AppendUvarint(blob, uint64(res.Enqueued))
+		return okResponse(blob)
+
+	case OpCancelEpoch:
+		id, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errResponse(errors.New("malformed epoch id"))
+		}
+		dropped, err := s.stage.CancelEpoch(core.EpochID(id))
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(binary.AppendUvarint(nil, uint64(dropped)))
+
+	case OpEpochs:
+		blob, err := json.Marshal(s.stage.Epochs())
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(blob)
 
 	case OpStats:
 		stats := s.stage.Stats()

@@ -33,6 +33,10 @@ const (
 	StageConsumerWait = "consumer-wait" // consumer blocked in Take
 	StageIPC          = "ipc"           // client-side socket round trip
 	StageIPCServe     = "ipc-serve"     // server-side request handling
+
+	// Control-plane plan-lifecycle spans (name is "epoch-<id>").
+	StagePlanSubmit  = "plan-submit"  // one epoch submission (Size = plan length)
+	StageEpochCancel = "epoch-cancel" // one epoch cancellation (Size = entries dropped)
 )
 
 // Span is one timed step of a sample's (or a read's) lifecycle. The JSON

@@ -61,6 +61,13 @@ type Options struct {
 	// the pool's defaults.
 	BufferPool BufferPoolOptions
 
+	// ConsumerDeadline bounds how long one Read blocks waiting for a
+	// planned sample to arrive in the buffer (default 0 = wait forever,
+	// the historical behaviour). On expiry the read fails with a deadline
+	// error and its plan entry is returned to the epoch, so a retried read
+	// of the same name can still claim it.
+	ConsumerDeadline time.Duration
+
 	// DisableResilience turns off the retrying/breaker storage wrapper
 	// entirely (default on: transient backend faults are retried and a
 	// failing backend sheds load through a circuit breaker).
@@ -168,6 +175,9 @@ func (o Options) validate() error {
 	}
 	if o.BreakerCooldown < 0 {
 		return fmt.Errorf("prisma: negative breaker cooldown")
+	}
+	if o.ConsumerDeadline < 0 {
+		return fmt.Errorf("prisma: negative ConsumerDeadline")
 	}
 	if o.TraceSampling < 0 || o.TraceSampling > 1 {
 		return fmt.Errorf("prisma: TraceSampling %v outside [0, 1]", o.TraceSampling)

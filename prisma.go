@@ -74,6 +74,15 @@ type Stats struct {
 	PoolOutstanding int64   // leases currently live (leak indicator)
 	PoolFreeBuffers int     // recycled buffers parked in the pool
 	PoolFreeBytes   int64   // bytes parked in the pool
+
+	// Plan-lifecycle telemetry (the epoch-aware plan manager).
+	EpochsSubmitted int64 // plan epochs submitted since Open
+	EpochsCancelled int64 // plan epochs cancelled (including aborted submissions)
+	EpochsLive      int   // epochs currently submitting or active
+	PlanPending     int   // registered plan entries not yet claimed
+	PlanClaims      int   // consumer claims awaiting a buffered sample
+	PlanDelivered   int64 // plan entries delivered to consumers
+	PlanDropped     int64 // plan entries dropped by cancellation or abort
 }
 
 // Attribution is the critical-path latency breakdown: how consumer time
@@ -138,6 +147,14 @@ func statsFrom(s core.StageStats) Stats {
 		PoolOutstanding: s.Pool.Outstanding,
 		PoolFreeBuffers: s.Pool.FreeBuffers,
 		PoolFreeBytes:   s.Pool.FreeBytes,
+
+		EpochsSubmitted: s.Plan.EpochsSubmitted,
+		EpochsCancelled: s.Plan.EpochsCancelled,
+		EpochsLive:      s.Plan.EpochsLive,
+		PlanPending:     s.Plan.EntriesPending,
+		PlanClaims:      s.Plan.ClaimsInFlight,
+		PlanDelivered:   s.Plan.Delivered,
+		PlanDropped:     s.Plan.Dropped,
 	}
 }
 
@@ -203,6 +220,7 @@ func Open(opts Options) (*Prisma, error) {
 		InitialBufferCapacity: opts.InitialBuffer,
 		MaxBufferCapacity:     opts.MaxBuffer,
 		BufferShards:          opts.BufferShards,
+		TakeDeadline:          opts.ConsumerDeadline,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("prisma: %w", err)
@@ -295,13 +313,83 @@ func (p *Prisma) ReadSample(name string) (*Sample, error) {
 // SubmitPlan shares one epoch's shuffled filename list with the data plane;
 // producers read files in exactly this order, ahead of consumption.
 func (p *Prisma) SubmitPlan(names []string) error {
-	for _, n := range names {
-		if _, ok := p.manifest.Lookup(n); !ok {
-			return fmt.Errorf("prisma: plan references unknown file %q", n)
+	_, _, err := p.SubmitEpoch(names)
+	return err
+}
+
+// EpochID identifies one submitted plan epoch (ids start at 1).
+type EpochID uint64
+
+// Plan-lifecycle errors, matchable with errors.Is.
+var (
+	// ErrEpochCancelled is returned to readers blocked on a sample whose
+	// plan epoch was cancelled while they waited.
+	ErrEpochCancelled = core.ErrEpochCancelled
+	// ErrConsumerDeadline is returned when a read waited longer than
+	// Options.ConsumerDeadline for its planned sample.
+	ErrConsumerDeadline = core.ErrTakeDeadline
+	// ErrUnknownEpoch is returned by CancelEpoch for an id that was never
+	// issued or already aged out of the retained history.
+	ErrUnknownEpoch = core.ErrUnknownEpoch
+)
+
+// EpochStatus is the monitoring view of one plan epoch.
+type EpochStatus struct {
+	ID        EpochID
+	State     string // "submitting", "active", "cancelled", or "done"
+	Submitted time.Duration
+	Total     int   // plan length
+	Enqueued  int   // entries that reached the prefetch queue
+	Claimed   int64 // claims taken by consumers (cumulative)
+	Delivered int64
+	Dropped   int64 // entries dropped by cancellation or abort
+}
+
+func epochsFrom(eps []core.EpochStatus) []EpochStatus {
+	out := make([]EpochStatus, len(eps))
+	for i, e := range eps {
+		out[i] = EpochStatus{
+			ID:        EpochID(e.ID),
+			State:     e.State,
+			Submitted: e.Submitted,
+			Total:     e.Total,
+			Enqueued:  e.Enqueued,
+			Claimed:   e.Claimed,
+			Delivered: e.Delivered,
+			Dropped:   e.Dropped,
 		}
 	}
-	return p.stage.SubmitPlan(names)
+	return out
 }
+
+// SubmitEpoch is SubmitPlan returning the issued epoch id and how many
+// entries were enqueued. Registration is all-or-nothing: on error no entry
+// of this plan is claimable and its residue has been dropped, so a reader
+// can never block on a sample from a failed submission.
+func (p *Prisma) SubmitEpoch(names []string) (EpochID, int, error) {
+	for _, n := range names {
+		if _, ok := p.manifest.Lookup(n); !ok {
+			return 0, 0, fmt.Errorf("prisma: plan references unknown file %q", n)
+		}
+	}
+	res, err := p.stage.SubmitEpoch(names)
+	return EpochID(res.Epoch), res.Enqueued, err
+}
+
+// CancelEpoch cancels a submitted plan epoch: its queued entries are
+// dropped, buffered samples are released back to the pool, and readers
+// blocked on its samples wake with ErrEpochCancelled. Idempotent on
+// already-finished epochs; reports how many plan entries were removed.
+func (p *Prisma) CancelEpoch(id EpochID) (int, error) {
+	return p.stage.CancelEpoch(core.EpochID(id))
+}
+
+// Epochs lists the retained plan epochs' statuses in submission order.
+func (p *Prisma) Epochs() []EpochStatus { return epochsFrom(p.stage.Epochs()) }
+
+// SetConsumerDeadline adjusts Options.ConsumerDeadline at runtime
+// (0 = wait forever).
+func (p *Prisma) SetConsumerDeadline(d time.Duration) { p.stage.SetTakeDeadline(d) }
 
 // ShuffledFileList produces the deterministic per-epoch shuffled filename
 // list — the artifact the paper's job-script module shares between the
@@ -509,6 +597,28 @@ func (c *Client) ReadSample(name string) (*Sample, error) {
 
 // SubmitPlan forwards an epoch's shuffled filename list.
 func (c *Client) SubmitPlan(names []string) error { return c.c.SubmitPlan(names) }
+
+// SubmitEpoch forwards an epoch's plan and returns the server-issued epoch
+// id plus how many entries were enqueued.
+func (c *Client) SubmitEpoch(names []string) (EpochID, int, error) {
+	res, err := c.c.SubmitEpoch(names)
+	return EpochID(res.Epoch), res.Enqueued, err
+}
+
+// CancelEpoch cancels a plan epoch on the server, reporting how many plan
+// entries were removed.
+func (c *Client) CancelEpoch(id EpochID) (int, error) {
+	return c.c.CancelEpoch(core.EpochID(id))
+}
+
+// Epochs fetches the server's retained plan-epoch statuses.
+func (c *Client) Epochs() ([]EpochStatus, error) {
+	eps, err := c.c.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	return epochsFrom(eps), nil
+}
 
 // Stats fetches the remote stage's snapshot.
 func (c *Client) Stats() (Stats, error) {
