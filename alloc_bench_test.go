@@ -25,6 +25,7 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 type allocBudget struct {
 	PooledAllocsPerOp int64   // hard ceiling for the pooled variant
 	MinReductionPct   float64 // required pooled-vs-unpooled drop
+	CachedAllocsPerOp int64   // hard ceiling for pooled + shared cache
 }
 
 func readAllocBudget(t *testing.T, path string) allocBudget {
@@ -59,6 +60,12 @@ func readAllocBudget(t *testing.T, path string) allocBudget {
 				t.Fatalf("alloc budget: %q: %v", line, err)
 			}
 			b.MinReductionPct = v
+		case "cached_allocs_per_op":
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("alloc budget: %q: %v", line, err)
+			}
+			b.CachedAllocsPerOp = v
 		default:
 			t.Fatalf("alloc budget: unknown key %q", fields[0])
 		}
@@ -67,8 +74,8 @@ func readAllocBudget(t *testing.T, path string) allocBudget {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if !seen["pooled_allocs_per_op"] || !seen["min_reduction_percent"] {
-		t.Fatal("alloc budget: missing pooled_allocs_per_op or min_reduction_percent")
+	if !seen["pooled_allocs_per_op"] || !seen["min_reduction_percent"] || !seen["cached_allocs_per_op"] {
+		t.Fatal("alloc budget: missing pooled_allocs_per_op, min_reduction_percent, or cached_allocs_per_op")
 	}
 	return b
 }
@@ -100,6 +107,16 @@ func TestAllocRegressionGate(t *testing.T) {
 	if reduction < budget.MinReductionPct {
 		t.Errorf("pooling reduces allocs/op by %.1f%%, budget requires >= %.1f%%",
 			reduction, budget.MinReductionPct)
+	}
+
+	// Cache-on cell: the shared cache tier (sized to hold the whole
+	// dataset, so steady state is all hits) must stay within its own
+	// per-sample budget on top of the pool.
+	cached := experiments.RunAllocCell(experiments.AllocConfig{Pool: true, SharedCache: 8 << 20})
+	t.Logf("pooled+cache: %d allocs/op (%d ops)", cached.AllocsPerOp, cached.Ops)
+	if cached.AllocsPerOp > budget.CachedAllocsPerOp {
+		t.Errorf("pooled hot path with the shared cache allocates %d/op, budget is %d/op (see CONTRIBUTING.md to re-baseline)",
+			cached.AllocsPerOp, budget.CachedAllocsPerOp)
 	}
 	if unpooled.AllocsPerOp == 0 {
 		t.Error("unpooled variant reported zero allocs/op: the benchmark is not measuring the hot path")

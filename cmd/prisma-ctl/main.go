@@ -39,6 +39,9 @@ commands:
   plan FILE             submit an epoch plan (newline-separated filenames)
   epochs                list retained plan epochs and their lifecycle state
   cancel-epoch ID       cancel a plan epoch (drops its queued/buffered samples)
+  tenants               print per-tenant QoS statistics (tenancy-enabled servers)
+  set-tenant NAME W B   set a tenant's arbitration weight W and/or byte budget
+                        B in bytes/s (0 leaves the respective knob unchanged)
   watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
 	os.Exit(2)
 }
@@ -174,6 +177,50 @@ func main() {
 			fmt.Printf("%6d %-11s %8d %8d %8d %10d %8d\n",
 				e.ID, e.State, e.Total, e.Enqueued, e.Claimed, e.Delivered, e.Dropped)
 		}
+
+	case "tenants":
+		snap, err := client.Tenants()
+		if err != nil {
+			fatal(err)
+		}
+		state := "ok"
+		if snap.Overloaded {
+			state = "OVERLOADED (shedding)"
+		}
+		fmt.Printf("capacity: %.0f reads/s, state: %s\n", snap.Capacity, state)
+		fmt.Printf("%-16s %6s %10s %10s %10s %8s %12s %7s %12s %5s\n",
+			"tenant", "weight", "grant/s", "demand/s", "admitted", "shed", "bytes", "errors", "budget B/s", "debt")
+		for _, ts := range snap.Tenants {
+			budget := "-"
+			if ts.ByteBudget > 0 {
+				budget = strconv.FormatFloat(ts.ByteBudget, 'f', 0, 64)
+			}
+			debt := ""
+			if ts.InDebt {
+				debt = "yes"
+			}
+			fmt.Printf("%-16s %6.1f %10.1f %10.1f %10d %8d %12d %7d %12s %5s\n",
+				ts.Name, ts.Weight, ts.GrantedRate, ts.MeasuredRate,
+				ts.Admitted, ts.Shed, ts.BytesRead, ts.Errors, budget, debt)
+		}
+
+	case "set-tenant":
+		if len(args) < 4 {
+			usage()
+		}
+		weight, err := strconv.ParseFloat(args[2], 64)
+		if err != nil || weight < 0 {
+			fatal(fmt.Errorf("bad weight %q", args[2]))
+		}
+		bytesPerSec, err := strconv.ParseFloat(args[3], 64)
+		if err != nil || bytesPerSec < 0 {
+			fatal(fmt.Errorf("bad byte budget %q", args[3]))
+		}
+		if err := client.SetTenant(args[1], weight, bytesPerSec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tenant %s updated (weight %g, byte budget %g B/s; 0 = unchanged)\n",
+			args[1], weight, bytesPerSec)
 
 	case "cancel-epoch":
 		n := argInt(args, 1)

@@ -14,11 +14,48 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	prisma "github.com/dsrhaslab/prisma-go"
 )
+
+// parseTenantSpecs decodes the -tenants flag:
+// NAME[:WEIGHT[:BYTES_PER_SEC[:SECRET]]] entries separated by commas.
+func parseTenantSpecs(s string) ([]prisma.TenantSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []prisma.TenantSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), ":", 4)
+		if parts[0] == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q: empty name", entry)
+		}
+		spec := prisma.TenantSpec{Name: parts[0]}
+		if len(parts) > 1 && parts[1] != "" {
+			w, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad -tenants entry %q: weight %q", entry, parts[1])
+			}
+			spec.Weight = w
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			b, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || b < 0 {
+				return nil, fmt.Errorf("bad -tenants entry %q: byte budget %q", entry, parts[2])
+			}
+			spec.BytesPerSecond = b
+		}
+		if len(parts) > 3 {
+			spec.Secret = parts[3]
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
 
 func main() {
 	var (
@@ -40,12 +77,28 @@ func main() {
 		poolMin      = flag.Int("pool-min", 0, "smallest pool size class in bytes (0 = default 4KiB)")
 		poolMax      = flag.Int("pool-max", 0, "largest pool size class in bytes (0 = default 4MiB)")
 		poolCap      = flag.Int("pool-cap", 0, "free buffers retained per size class (0 = default 64)")
+
+		tenancy        = flag.Bool("tenancy", false, "enable multi-tenant admission control (per-tenant QoS and overload shedding)")
+		tenantCapacity = flag.Float64("tenant-capacity", 0, "total read rate (reads/s) shared by tenants (0 = default 10000)")
+		tenantBurst    = flag.Float64("tenant-burst", 0, "per-tenant burst allowance (0 = capacity/4)")
+		maxQueueDepth  = flag.Int("max-queue-depth", 0, "queue-depth saturation threshold for load shedding (0 = default 4096, -1 = off)")
+		maxPooledBytes = flag.Int64("max-pooled-bytes", 0, "outstanding pooled-byte saturation threshold (0 = off)")
+		degradedFactor = flag.Float64("degraded-factor", 0, "capacity scale while the backend breaker is open (0 = default 0.5)")
+		sharedCache    = flag.Int64("shared-cache", 0, "shared read cache capacity in bytes so co-located tenants don't multiply backend load (0 = off)")
+		tenantSpecs    = flag.String("tenants", "", "pre-registered tenants as NAME[:WEIGHT[:BYTES_PER_SEC[:SECRET]]],... (requires -tenancy)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "prisma-server: -dir is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	tenants, err := parseTenantSpecs(*tenantSpecs)
+	if err != nil {
+		log.Fatalf("prisma-server: %v", err)
+	}
+	if len(tenants) > 0 && !*tenancy {
+		log.Fatalf("prisma-server: -tenants requires -tenancy")
 	}
 
 	p, err := prisma.Open(prisma.Options{
@@ -65,6 +118,16 @@ func main() {
 			MinSize:     *poolMin,
 			MaxSize:     *poolMax,
 			PerClassCap: *poolCap,
+		},
+		Tenancy: prisma.TenancyOptions{
+			Enable:           *tenancy,
+			Capacity:         *tenantCapacity,
+			Burst:            *tenantBurst,
+			MaxQueueDepth:    *maxQueueDepth,
+			MaxPooledBytes:   *maxPooledBytes,
+			DegradedFactor:   *degradedFactor,
+			SharedCacheBytes: *sharedCache,
+			Tenants:          tenants,
 		},
 	})
 	if err != nil {

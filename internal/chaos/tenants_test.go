@@ -1,0 +1,127 @@
+package chaos
+
+import "testing"
+
+// TestChaosTenantOverload runs the multi-tenant overload schedule across
+// seeds and asserts the robustness invariants on every run:
+//
+//   - fairness: the polite tenant keeps its (below-fair-share) rate while
+//     the greedy tenant is throttled to the remaining capacity — weighted
+//     max-min, no starvation in either direction;
+//   - overload: past the saturation threshold every rejection the clients
+//     observe is a typed, retryable OverloadError (zero untyped errors,
+//     and the client-side accounting balances to the attempt count, so
+//     nothing hung or vanished), while the well-behaved tenant keeps
+//     being admitted through the shedding;
+//   - recovery: once the load clears, shedding stops completely and both
+//     tenants are admitted again;
+//   - degraded mode: capacity scales by DegradedFactor and grants shrink
+//     proportionally — throttling, not shedding.
+func TestChaosTenantOverload(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := DefaultTenantConfig(int64(seed))
+		res, err := RunTenants(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Accounting must balance in every window: each attempt ended as
+		// exactly one of admitted / typed shed / untyped error.
+		for phase, p := range map[string]TenantPhase{
+			"fairness": res.Fairness, "overload": res.Overload,
+			"recovery": res.Recovery, "degraded": res.Degraded, "totals": res.Totals,
+		} {
+			for tenant, c := range map[string]TenantCounts{"greedy": p.Greedy, "polite": p.Polite} {
+				if c.Attempts != c.Admitted+c.Shed+c.Untyped {
+					t.Errorf("seed %d: %s/%s accounting does not balance: %+v", seed, phase, tenant, c)
+				}
+				if c.Untyped != 0 {
+					t.Errorf("seed %d: %s/%s saw %d untyped errors (sheds must be typed)", seed, phase, tenant, c.Untyped)
+				}
+			}
+		}
+
+		// Fairness: the polite tenant achieves at least half its nominal
+		// rate (per-read admission overhead within one think interval, i.e.
+		// well inside 2x fair share), and the greedy tenant soaks up the
+		// slack without exceeding the arbitrated capacity.
+		if res.PoliteRate < 0.5*res.PoliteDemand {
+			t.Errorf("seed %d: polite rate %.0f/s under greedy pressure, want >= %.0f/s (demand %.0f/s)",
+				seed, res.PoliteRate, 0.5*res.PoliteDemand, res.PoliteDemand)
+		}
+		if res.GreedyRate > 1.2*cfg.Capacity {
+			t.Errorf("seed %d: greedy rate %.0f/s exceeds capacity %.0f/s — not throttled",
+				seed, res.GreedyRate, cfg.Capacity)
+		}
+		if res.GreedyRate < res.PoliteRate {
+			t.Errorf("seed %d: greedy rate %.0f/s below polite %.0f/s — slack not redistributed",
+				seed, res.GreedyRate, res.PoliteRate)
+		}
+
+		// Overload: the gate trips, the greedy tenant is shed with typed
+		// errors, and the polite tenant keeps being admitted throughout.
+		if !res.OverloadedObserved {
+			t.Errorf("seed %d: gate never reported overloaded during the saturation window", seed)
+		}
+		if res.Overload.Greedy.Shed == 0 {
+			t.Errorf("seed %d: greedy tenant was never shed under overload: %+v", seed, res.Overload.Greedy)
+		}
+		if res.Overload.Polite.Admitted == 0 {
+			t.Errorf("seed %d: polite tenant starved during overload: %+v", seed, res.Overload.Polite)
+		}
+
+		// Recovery: shedding stops entirely and both tenants flow again.
+		if !res.RecoveredClear {
+			t.Errorf("seed %d: gate still overloaded after the load cleared", seed)
+		}
+		if s := res.Recovery.Greedy.Shed + res.Recovery.Polite.Shed; s != 0 {
+			t.Errorf("seed %d: %d sheds after recovery", seed, s)
+		}
+		if res.Recovery.Greedy.Admitted == 0 || res.Recovery.Polite.Admitted == 0 {
+			t.Errorf("seed %d: admissions did not resume after recovery: %+v", seed, res.Recovery)
+		}
+
+		// Degraded mode throttles — capacity scales, nothing is shed.
+		if want := cfg.Capacity * cfg.DegradedFactor; res.DegradedCapacity != want {
+			t.Errorf("seed %d: degraded capacity %.0f, want %.0f", seed, res.DegradedCapacity, want)
+		}
+		if res.RestoredCapacity != cfg.Capacity {
+			t.Errorf("seed %d: capacity %.0f after degradation cleared, want %.0f", seed, res.RestoredCapacity, cfg.Capacity)
+		}
+		if s := res.Degraded.Greedy.Shed + res.Degraded.Polite.Shed; s != 0 {
+			t.Errorf("seed %d: degraded mode shed %d reads (should throttle, not shed)", seed, s)
+		}
+		if res.GreedyDegradedRate >= res.GreedyRate {
+			t.Errorf("seed %d: greedy rate %.0f/s under degraded capacity, want below the normal %.0f/s",
+				seed, res.GreedyDegradedRate, res.GreedyRate)
+		}
+
+		// Cross-check the client-side ledger against the control plane: the
+		// manager and the stage counted exactly the sheds the clients saw as
+		// typed errors — no silent drops anywhere in the path.
+		var mgrShed, mgrAdmitted int64
+		for _, ts := range res.Snapshot.Tenants {
+			mgrShed += ts.Shed
+			mgrAdmitted += ts.Admitted
+			if ts.Errors != 0 {
+				t.Errorf("seed %d: tenant %s recorded %d backend errors", seed, ts.Name, ts.Errors)
+			}
+		}
+		wantShed := res.Totals.Greedy.Shed + res.Totals.Polite.Shed
+		wantAdmitted := res.Totals.Greedy.Admitted + res.Totals.Polite.Admitted
+		if mgrShed != wantShed || res.StageShed != wantShed {
+			t.Errorf("seed %d: shed ledgers disagree: clients %d, manager %d, stage %d",
+				seed, wantShed, mgrShed, res.StageShed)
+		}
+		if mgrAdmitted != wantAdmitted {
+			t.Errorf("seed %d: admitted ledgers disagree: clients %d, manager %d", seed, wantAdmitted, mgrAdmitted)
+		}
+		if res.Snapshot.Overloaded {
+			t.Errorf("seed %d: final snapshot still overloaded", seed)
+		}
+	}
+}

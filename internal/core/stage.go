@@ -96,6 +96,17 @@ func (o *PrefetchObject) ReadCtx(name string, ctx obs.Ctx) (storage.Data, bool, 
 // Close shuts down the prefetcher.
 func (o *PrefetchObject) Close() { o.pf.Close() }
 
+// TenantGate is the per-request admission hook the serving path consults
+// when multi-tenant QoS is enabled (internal/tenancy implements it; the
+// interface lives here so core does not depend on the policy package).
+// Admit throttles (may block) or sheds (typed retryable error) before the
+// read executes; ObserveRead reports the outcome so byte budgets can be
+// charged once the payload size is known.
+type TenantGate interface {
+	Admit(tenant string) error
+	ObserveRead(tenant string, bytes int64, err error)
+}
+
 // StageStats is the monitoring snapshot exported through the stage's
 // control interface (paper §III-A module three).
 type StageStats struct {
@@ -106,6 +117,7 @@ type StageStats struct {
 	Hits     int64 // served by an optimization object
 	Bypasses int64 // fell through to backend storage
 	Errors   int64 // reads that returned an error
+	Shed     int64 // reads rejected at admission by the tenant gate
 
 	// Prefetcher state (zero-valued when no prefetch object is attached).
 	QueueLen         int
@@ -152,11 +164,13 @@ type Stage struct {
 	pf      *Prefetcher   // non-nil when a PrefetchObject is attached
 	tracer  *obs.Tracer   // nil-safe; set once via SetTracer before traffic
 	pool    *mempool.Pool // nil when pooling is off; stats only
+	gate    TenantGate    // nil when multi-tenant QoS is off
 
 	reads    *metrics.Counter
 	hits     *metrics.Counter
 	bypasses *metrics.Counter
 	errors   *metrics.Counter
+	shed     *metrics.Counter
 }
 
 // NewStage assembles a stage over backend with the given optimization
@@ -170,6 +184,7 @@ func NewStage(env conc.Env, backend storage.Backend, objects ...OptimizationObje
 		hits:     metrics.NewCounter(env),
 		bypasses: metrics.NewCounter(env),
 		errors:   metrics.NewCounter(env),
+		shed:     metrics.NewCounter(env),
 	}
 	for _, o := range objects {
 		if po, ok := o.(*PrefetchObject); ok {
@@ -250,6 +265,35 @@ func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 	return data, nil
 }
 
+// SetTenantGate attaches the multi-tenant admission gate. Call before
+// traffic starts; a nil gate (the default) makes ReadTenantCtx behave
+// exactly like ReadCtx.
+func (s *Stage) SetTenantGate(g TenantGate) { s.gate = g }
+
+// ReadTenant is ReadTenantCtx without a trace context.
+func (s *Stage) ReadTenant(tenant, name string) (storage.Data, error) {
+	return s.ReadTenantCtx(tenant, name, obs.Ctx{})
+}
+
+// ReadTenantCtx is the tenant-attributed interception point the IPC server
+// uses: admission first (throttle or typed shed — before any stage or plan
+// state changes, so a shed read is safely retryable), then the ordinary
+// read path, then the outcome report that charges the tenant's byte
+// budget.
+func (s *Stage) ReadTenantCtx(tenant, name string, ctx obs.Ctx) (storage.Data, error) {
+	if s.gate != nil {
+		if err := s.gate.Admit(tenant); err != nil {
+			s.shed.Inc()
+			return storage.Data{}, err
+		}
+	}
+	data, err := s.ReadCtx(name, ctx)
+	if s.gate != nil {
+		s.gate.ObserveRead(tenant, data.Size, err)
+	}
+	return data, err
+}
+
 // Size reports a file's size from backend metadata (stat-style call: no
 // data moves and the buffer is not consulted).
 func (s *Stage) Size(name string) (int64, error) { return s.backend.Size(name) }
@@ -308,6 +352,7 @@ func (s *Stage) Stats() StageStats {
 		Hits:     s.hits.Value(),
 		Bypasses: s.bypasses.Value(),
 		Errors:   s.errors.Value(),
+		Shed:     s.shed.Value(),
 	}
 	if s.pf != nil {
 		st.QueueLen = s.pf.QueueLen()

@@ -192,3 +192,83 @@ func TestStageObjectChainOrder(t *testing.T) {
 		st.Close()
 	})
 }
+
+// fakeGate is a scripted TenantGate: sheds when told, records observations.
+type fakeGate struct {
+	shedNext bool
+	admits   []string
+	observed []string
+	bytes    int64
+	errs     int
+}
+
+var errGateShed = errors.New("gate: shed")
+
+func (g *fakeGate) Admit(tenant string) error {
+	if g.shedNext {
+		return errGateShed
+	}
+	g.admits = append(g.admits, tenant)
+	return nil
+}
+
+func (g *fakeGate) ObserveRead(tenant string, bytes int64, err error) {
+	g.observed = append(g.observed, tenant)
+	g.bytes += bytes
+	if err != nil {
+		g.errs++
+	}
+}
+
+func TestStageTenantGate(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		st, names := newTestStage(env, 4, 2)
+		defer st.Close()
+		gate := &fakeGate{}
+		st.SetTenantGate(gate)
+
+		// Admitted read: gate sees the tenant on both sides of the read.
+		d, err := st.ReadTenant("job-a", names[0])
+		if err != nil || d.Size != 1000 {
+			t.Fatalf("ReadTenant = %+v, %v", d, err)
+		}
+		if len(gate.admits) != 1 || gate.admits[0] != "job-a" {
+			t.Fatalf("admits = %v", gate.admits)
+		}
+		if len(gate.observed) != 1 || gate.bytes != 1000 {
+			t.Fatalf("observed = %v, bytes = %d", gate.observed, gate.bytes)
+		}
+
+		// Shed read: typed error surfaces, nothing executes, Shed counts.
+		gate.shedNext = true
+		if _, err := st.ReadTenant("job-a", names[1]); !errors.Is(err, errGateShed) {
+			t.Fatalf("shed read = %v, want gate error", err)
+		}
+		stats := st.Stats()
+		if stats.Shed != 1 {
+			t.Fatalf("Shed = %d, want 1", stats.Shed)
+		}
+		if stats.Reads != 1 {
+			t.Fatalf("Reads = %d, want 1 (shed read must not reach the stage)", stats.Reads)
+		}
+		if len(gate.observed) != 1 {
+			t.Fatal("shed read reached ObserveRead")
+		}
+
+		// Failed read still reports to ObserveRead (error attribution).
+		gate.shedNext = false
+		if _, err := st.ReadTenant("job-a", "no-such-file"); err == nil {
+			t.Fatal("read of missing file succeeded")
+		}
+		if gate.errs != 1 {
+			t.Fatalf("gate errs = %d, want 1", gate.errs)
+		}
+
+		// Without a gate, ReadTenant degrades to a plain read.
+		st2, names2 := newTestStage(env, 1, 1)
+		defer st2.Close()
+		if _, err := st2.ReadTenant("anyone", names2[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/ipc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
+	"github.com/dsrhaslab/prisma-go/internal/sharedcache"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -38,6 +39,11 @@ type AllocConfig struct {
 	BufferCap int
 	// Pool selects the pooled (true) or allocate-per-hop (false) variant.
 	Pool bool
+	// SharedCache, when positive, interposes a shared cache of that many
+	// bytes between the pipeline and the backend — the multi-tenant
+	// co-location tier. Sized above the dataset it converges to all-hits,
+	// so the cell measures the cache's own contribution to the hot path.
+	SharedCache int64
 }
 
 func (c AllocConfig) withDefaults() AllocConfig {
@@ -73,10 +79,20 @@ func AllocBenchmark(cfg AllocConfig) func(b *testing.B) {
 			names[i] = fmt.Sprintf("alloc%04d.bin", i)
 			mem.AddSeeded(names[i], cfg.FileSize, int64(i)+1)
 		}
-		if cfg.Pool {
-			mem.SetBufferPool(mempool.New(mempool.Config{}))
+		var backend storage.Backend = mem
+		if cfg.SharedCache > 0 {
+			cache, err := sharedcache.New(env, mem, cfg.SharedCache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cache.Close()
+			backend = cache
 		}
-		pf, err := core.NewPrefetcher(env, mem, core.PrefetcherConfig{
+		if cfg.Pool {
+			// Attach at the top of the chain; wrappers delegate downwards.
+			backend.(storage.PoolAttacher).SetBufferPool(mempool.New(mempool.Config{}))
+		}
+		pf, err := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
 			InitialProducers:      cfg.Producers,
 			MaxProducers:          cfg.Producers,
 			InitialBufferCapacity: cfg.BufferCap,
@@ -85,7 +101,7 @@ func AllocBenchmark(cfg AllocConfig) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		stage := core.NewStage(env, mem, core.NewPrefetchObject(pf))
+		stage := core.NewStage(env, backend, core.NewPrefetchObject(pf))
 		pf.Start()
 		defer stage.Close()
 

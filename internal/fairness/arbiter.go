@@ -71,6 +71,22 @@ func (a *Arbiter) Register(id string, weight float64, bucket *TokenBucket, deman
 	return nil
 }
 
+// SetWeight adjusts a registered tenant's weight; the new split takes
+// effect at the next Tick.
+func (a *Arbiter) SetWeight(id string, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("fairness: non-positive weight %v for %q", weight, id)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tenants[id]
+	if !ok {
+		return fmt.Errorf("fairness: tenant %q not registered", id)
+	}
+	t.weight = weight
+	return nil
+}
+
 // Unregister removes a tenant; its bucket is opened wide (no policy).
 func (a *Arbiter) Unregister(id string) {
 	a.mu.Lock()
@@ -98,6 +114,46 @@ func (a *Arbiter) Allocation(id string) (float64, bool) {
 		return 0, false
 	}
 	return t.bucket.Rate(), true
+}
+
+// SetCapacity adjusts the total request rate the arbiter distributes — the
+// graceful-degradation knob: while the backend is degraded the control
+// plane scales the capacity down and every tenant's grant shrinks
+// proportionally at the next Tick, instead of the pipeline collapsing.
+func (a *Arbiter) SetCapacity(capacity float64) {
+	if capacity <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.capacity = capacity
+	a.mu.Unlock()
+}
+
+// Capacity reports the rate currently being distributed.
+func (a *Arbiter) Capacity() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity
+}
+
+// Grant is the monitoring view of one tenant's arbitration state.
+type Grant struct {
+	ID       string
+	Weight   float64
+	Granted  float64 // rate currently set on the tenant's bucket
+	Measured float64 // demand estimate from the last Tick (requests/s)
+}
+
+// Grants snapshots every registered tenant's grant in registration order.
+func (a *Arbiter) Grants() []Grant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Grant, 0, len(a.order))
+	for _, id := range a.order {
+		t := a.tenants[id]
+		out = append(out, Grant{ID: id, Weight: t.weight, Granted: t.bucket.Rate(), Measured: t.lastRate})
+	}
+	return out
 }
 
 // Tick measures per-tenant demand over the elapsed interval and applies a

@@ -77,6 +77,91 @@ func (b *TokenBucket) Acquire(n float64) {
 	}
 }
 
+// TryAcquire consumes n tokens if they are available right now, without
+// blocking. When they are not, it reports how long the caller would have to
+// wait for the deficit to refill at the current rate — the retry-after hint
+// admission control hands back to a shed client. The bucket is not charged
+// on failure.
+func (b *TokenBucket) TryAcquire(n float64) (ok bool, wait time.Duration) {
+	if n <= 0 {
+		return true, 0
+	}
+	now := b.env.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	wait = time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Microsecond {
+		wait = time.Microsecond
+	}
+	return false, wait
+}
+
+// Charge deducts n tokens immediately, allowing the balance to go negative
+// (debt). It never blocks: byte budgets are charged after a read completes,
+// when the size is finally known, and the debt throttles subsequent
+// acquisitions until the refill pays it off.
+func (b *TokenBucket) Charge(n float64) {
+	if n <= 0 {
+		return
+	}
+	now := b.env.Now()
+	b.mu.Lock()
+	b.refill(now)
+	b.tokens -= n
+	b.mu.Unlock()
+}
+
+// AwaitNonNegative blocks until the bucket's balance is non-negative — the
+// debt-settlement wait paired with Charge.
+func (b *TokenBucket) AwaitNonNegative() {
+	for {
+		now := b.env.Now()
+		b.mu.Lock()
+		b.refill(now)
+		debt := -b.tokens
+		rate := b.rate
+		b.mu.Unlock()
+		if debt <= 0 {
+			return
+		}
+		wait := time.Duration(debt / rate * float64(time.Second))
+		if wait < time.Microsecond {
+			wait = time.Microsecond
+		}
+		b.env.Sleep(wait)
+	}
+}
+
+// DebtWait reports how long until the balance refills to non-negative —
+// zero when not in debt. It is the retry-after hint for a request shed on
+// an exhausted byte budget.
+func (b *TokenBucket) DebtWait() time.Duration {
+	now := b.env.Now()
+	b.mu.Lock()
+	b.refill(now)
+	debt := -b.tokens
+	rate := b.rate
+	b.mu.Unlock()
+	if debt <= 0 {
+		return 0
+	}
+	return time.Duration(debt / rate * float64(time.Second))
+}
+
+// InDebt reports a negative balance (bytes consumed ahead of the budget).
+func (b *TokenBucket) InDebt() bool {
+	now := b.env.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return b.tokens < 0
+}
+
 // SetRate adjusts the refill rate (control-plane knob).
 func (b *TokenBucket) SetRate(rate float64) {
 	if rate <= 0 {
@@ -130,3 +215,17 @@ func (t ThrottledBackend) ReadFile(name string) (storage.Data, error) {
 
 // Size implements storage.Backend.
 func (t ThrottledBackend) Size(name string) (int64, error) { return t.Inner.Size(name) }
+
+// ReadRange implements storage.RangeReader when the wrapped backend does,
+// so throttling a range-capable backend (recordio packed shards) keeps the
+// extension instead of silently dropping it. A range read pays one token,
+// like a whole-file read. Wrapping a backend without range support yields
+// an error, not a panic (the repo-wide wrapper convention).
+func (t ThrottledBackend) ReadRange(name string, off, n int64) (storage.Data, error) {
+	rr, ok := t.Inner.(storage.RangeReader)
+	if !ok {
+		return storage.Data{}, fmt.Errorf("fairness: %T does not support range reads", t.Inner)
+	}
+	t.Bucket.Acquire(1)
+	return rr.ReadRange(name, off, n)
+}

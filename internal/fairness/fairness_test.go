@@ -300,6 +300,252 @@ func TestArbiterUnregisterOpensBucket(t *testing.T) {
 	})
 }
 
+func TestTokenBucketTryAcquire(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := NewTokenBucket(env, 10, 2)
+		if ok, _ := b.TryAcquire(2); !ok {
+			t.Fatal("full burst refused")
+		}
+		ok, wait := b.TryAcquire(1)
+		if ok {
+			t.Fatal("empty bucket granted a token")
+		}
+		// 1 token at 10/s refills in 100ms; the hint must say so.
+		if wait < 50*time.Millisecond || wait > 150*time.Millisecond {
+			t.Fatalf("retry-after hint %v, want ≈100ms", wait)
+		}
+		// A failed TryAcquire must not charge the bucket: after the hinted
+		// wait the token really is there.
+		env.Sleep(wait)
+		if ok, _ := b.TryAcquire(1); !ok {
+			t.Fatal("token not available after hinted wait")
+		}
+		if ok, _ := b.TryAcquire(0); !ok {
+			t.Fatal("zero acquire should always succeed")
+		}
+	})
+}
+
+func TestTokenBucketChargeDebt(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, _ := NewTokenBucket(env, 1000, 1)
+		b.Charge(500) // byte-style post-hoc charge: 0.5s of debt
+		if !b.InDebt() {
+			t.Fatal("bucket not in debt after Charge")
+		}
+		start := env.Now()
+		b.AwaitNonNegative()
+		elapsed := env.Now() - start
+		if elapsed < 400*time.Millisecond || elapsed > 600*time.Millisecond {
+			t.Fatalf("debt settled in %v, want ≈0.5s", elapsed)
+		}
+		if b.InDebt() {
+			t.Fatal("still in debt after AwaitNonNegative")
+		}
+		b.AwaitNonNegative() // settled bucket: immediate
+	})
+}
+
+func TestThrottledBackendForwardsReadRange(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		dev, _ := storage.NewDevice(env, storage.DeviceSpec{BaseLatency: time.Microsecond, BytesPerSecond: 1e12, Channels: 8})
+		samples := []dataset.Sample{{Name: "shard", Size: 1000}}
+		inner := storage.NewModeledBackend(dataset.MustNew(samples), dev, nil)
+		bucket, _ := NewTokenBucket(env, 10, 1)
+		tb := ThrottledBackend{Bucket: bucket, Inner: inner}
+		// The wrapper must forward the RangeReader extension...
+		var backend storage.Backend = tb
+		rr, ok := backend.(storage.RangeReader)
+		if !ok {
+			t.Fatal("ThrottledBackend dropped the RangeReader extension")
+		}
+		d, err := rr.ReadRange("shard", 100, 50)
+		if err != nil || d.Size != 50 {
+			t.Fatalf("ReadRange = %d, %v; want 50, nil", d.Size, err)
+		}
+		// ...and charge the bucket for range reads too.
+		start := env.Now()
+		for i := 0; i < 10; i++ {
+			if _, err := rr.ReadRange("shard", 0, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if env.Now()-start < 900*time.Millisecond {
+			t.Fatalf("10 range reads in %v, want ≈1s at 10 reads/s", env.Now()-start)
+		}
+	})
+}
+
+func TestThrottledBackendRangeUnsupported(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		bucket, _ := NewTokenBucket(env, 10, 1)
+		tb := ThrottledBackend{Bucket: bucket, Inner: rangelessBackend{}}
+		if _, err := tb.ReadRange("x", 0, 1); err == nil {
+			t.Fatal("range read over a rangeless backend must error")
+		}
+	})
+}
+
+// rangelessBackend is a storage.Backend without the RangeReader extension.
+type rangelessBackend struct{}
+
+func (rangelessBackend) ReadFile(name string) (storage.Data, error) {
+	return storage.Data{Name: name}, nil
+}
+func (rangelessBackend) Size(string) (int64, error) { return 0, nil }
+
+func TestArbiterSetCapacityRescalesGrants(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		b1, _ := NewTokenBucket(env, 1000, 1)
+		b2, _ := NewTokenBucket(env, 1000, 1)
+		cnt1, cnt2 := metrics.NewCounter(env), metrics.NewCounter(env)
+		_ = a.Register("one", 1, b1, cnt1.Value)
+		_ = a.Register("two", 1, b2, cnt2.Value)
+		cnt1.Add(5000)
+		cnt2.Add(5000)
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		// Degraded mode: the control plane halves the distributable rate;
+		// both saturated tenants shrink proportionally at the next tick.
+		a.SetCapacity(500)
+		if a.Capacity() != 500 {
+			t.Fatalf("Capacity = %v, want 500", a.Capacity())
+		}
+		cnt1.Add(5000)
+		cnt2.Add(5000)
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		r1, _ := a.Allocation("one")
+		r2, _ := a.Allocation("two")
+		if math.Abs(r1-250) > 30 || math.Abs(r2-250) > 30 {
+			t.Fatalf("degraded allocations %v/%v, want ≈250/250", r1, r2)
+		}
+	})
+}
+
+// TestArbiterChurnMidTick races Register/Unregister against a running
+// arbitration loop in the deterministic sim: the arbiter must neither wedge
+// nor allocate to departed tenants, and late joiners must receive a grant.
+func TestArbiterChurnMidTick(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		a.Start(50 * time.Millisecond)
+		stable, _ := NewTokenBucket(env, 1000, 1)
+		stableCnt := metrics.NewCounter(env)
+		_ = a.Register("stable", 1, stable, stableCnt.Value)
+		env.Go("stable-load", func() {
+			for env.Now() < 2*time.Second {
+				stableCnt.Add(50)
+				env.Sleep(25 * time.Millisecond)
+			}
+		})
+		// Churner: a tenant that registers and unregisters every 70ms,
+		// deliberately out of phase with the 50ms tick.
+		env.Go("churner", func() {
+			for i := 0; env.Now() < 2*time.Second; i++ {
+				b, _ := NewTokenBucket(env, 1000, 1)
+				cnt := metrics.NewCounter(env)
+				id := fmt.Sprintf("churn-%d", i)
+				if err := a.Register(id, 1, b, cnt.Value); err != nil {
+					t.Errorf("register %s: %v", id, err)
+					return
+				}
+				cnt.Add(100)
+				env.Sleep(70 * time.Millisecond)
+				a.Unregister(id)
+			}
+		})
+		env.Sleep(2200 * time.Millisecond)
+		a.Stop()
+		grants := a.Grants()
+		for _, g := range grants {
+			if g.ID != "stable" && g.Granted > 0 && env.Now() > 2200*time.Millisecond {
+				// Only the stable tenant (and at most one mid-flight churner)
+				// may remain registered.
+				continue
+			}
+		}
+		r, ok := a.Allocation("stable")
+		if !ok || r < 1 {
+			t.Fatalf("stable tenant allocation %v (ok=%v), want >= 1 after churn", r, ok)
+		}
+	})
+}
+
+// TestArbiterReclaimAfterUnregister proves a departed tenant's share flows
+// back: with two saturated tenants splitting 1000, removing one must let
+// the survivor's grant grow to ≈ the full capacity at the next tick.
+func TestArbiterReclaimAfterUnregister(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		b1, _ := NewTokenBucket(env, 1000, 1)
+		b2, _ := NewTokenBucket(env, 1000, 1)
+		cnt1, cnt2 := metrics.NewCounter(env), metrics.NewCounter(env)
+		_ = a.Register("stay", 1, b1, cnt1.Value)
+		_ = a.Register("leave", 1, b2, cnt2.Value)
+		cnt1.Add(5000)
+		cnt2.Add(5000)
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		r, _ := a.Allocation("stay")
+		if math.Abs(r-500) > 50 {
+			t.Fatalf("pre-departure allocation %v, want ≈500", r)
+		}
+		a.Unregister("leave")
+		cnt1.Add(5000)
+		env.Sleep(time.Second)
+		a.Tick(time.Second)
+		r, _ = a.Allocation("stay")
+		if r < 900 {
+			t.Fatalf("post-departure allocation %v, want ≈1000 (reclaimed share)", r)
+		}
+		if len(a.Grants()) != 1 {
+			t.Fatalf("Grants() has %d entries after unregister, want 1", len(a.Grants()))
+		}
+	})
+}
+
+// TestArbiterZeroDemandAndZeroWeight covers the churn edge cases: a
+// zero-weight registration is rejected outright, and a zero-demand tenant
+// retains the no-starvation floor while its share flows to active tenants.
+func TestArbiterZeroDemandAndZeroWeight(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		a, _ := NewArbiter(env, 1000)
+		bIdle, _ := NewTokenBucket(env, 1000, 1)
+		bBusy, _ := NewTokenBucket(env, 1000, 1)
+		idleCnt, busyCnt := metrics.NewCounter(env), metrics.NewCounter(env)
+		if err := a.Register("bad", 0, bIdle, idleCnt.Value); err == nil {
+			t.Fatal("zero-weight registration accepted")
+		}
+		if err := a.Register("bad", -1, bIdle, idleCnt.Value); err == nil {
+			t.Fatal("negative-weight registration accepted")
+		}
+		if err := a.SetWeight("ghost", 2); err == nil {
+			t.Fatal("SetWeight on unknown tenant accepted")
+		}
+		_ = a.Register("idle", 1, bIdle, idleCnt.Value)
+		_ = a.Register("busy", 1, bBusy, busyCnt.Value)
+		for i := 0; i < 5; i++ {
+			busyCnt.Add(2000)
+			env.Sleep(time.Second)
+			a.Tick(time.Second)
+		}
+		rIdle, _ := a.Allocation("idle")
+		rBusy, _ := a.Allocation("busy")
+		if rIdle < 1 {
+			t.Fatalf("zero-demand tenant granted %v, want >= 1", rIdle)
+		}
+		if rBusy < 900 {
+			t.Fatalf("busy tenant granted %v, want the idle tenant's slack (≈999)", rBusy)
+		}
+		// Weight changes apply on the next tick.
+		if err := a.SetWeight("idle", 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 func TestEndToEndFairSharing(t *testing.T) {
 	// Two greedy jobs share one device through throttled backends; the
 	// arbiter loop converges them to an even split — the coordinated

@@ -17,6 +17,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
+	"github.com/dsrhaslab/prisma-go/internal/tenancy"
 )
 
 // Config selects the handler's optional surfaces.
@@ -31,6 +32,12 @@ type Config struct {
 	// Consumers is the default attribution denominator for /attribution
 	// (overridable per request with ?consumers=N). Zero means one.
 	Consumers int
+	// Tenants, when set, backs GET /tenants and the prisma_tenant_*
+	// Prometheus metrics with the tenancy manager's QoS snapshot.
+	Tenants func() tenancy.Snapshot
+	// SetTenant, when set, backs POST /tenants?name=X&weight=W&bytes=B
+	// (zero leaves the respective knob unchanged).
+	SetTenant func(name string, weight, bytesPerSecond float64) error
 }
 
 // Handler serves the admin API for one data-plane stage.
@@ -54,6 +61,7 @@ func NewWithConfig(dp control.DataPlane, cfg Config) *Handler {
 	h.mux.HandleFunc("/attribution", h.attribution)
 	h.mux.HandleFunc("/decisions", h.decisions)
 	h.mux.HandleFunc("/epochs", h.epochs)
+	h.mux.HandleFunc("/tenants", h.tenants)
 	if cfg.EnablePprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -159,6 +167,105 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeHistogram(w, "prisma_storage_read_latency_seconds", "Producer-observed backend read latency.", s.StorageReadLatency)
 	writeHistogram(w, "prisma_consumer_wait_latency_seconds", "Per-Take consumer blocking time.", s.Buffer.WaitHist)
+	if h.cfg.Tenants != nil {
+		writeTenantMetrics(w, h.cfg.Tenants())
+	}
+}
+
+// writeTenantMetrics renders the per-tenant QoS series, one labeled
+// sample per tenant under each family.
+func writeTenantMetrics(w http.ResponseWriter, snap tenancy.Snapshot) {
+	overloaded := 0.0
+	if snap.Overloaded {
+		overloaded = 1
+	}
+	fmt.Fprintf(w, "# HELP prisma_tenant_overloaded 1 while the admission gate sheds instead of queueing.\n# TYPE prisma_tenant_overloaded gauge\nprisma_tenant_overloaded %g\n", overloaded)
+	fmt.Fprintf(w, "# HELP prisma_tenant_capacity Total read rate distributed across tenants.\n# TYPE prisma_tenant_capacity gauge\nprisma_tenant_capacity %g\n", snap.Capacity)
+	series := func(name, help, typ string, value func(tenancy.TenantStats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, ts := range snap.Tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, ts.Name, value(ts))
+		}
+	}
+	series("prisma_tenant_weight", "Arbitration weight.", "gauge",
+		func(ts tenancy.TenantStats) float64 { return ts.Weight })
+	series("prisma_tenant_granted_rate", "Reads per second granted by the max-min arbiter.", "gauge",
+		func(ts tenancy.TenantStats) float64 { return ts.GrantedRate })
+	series("prisma_tenant_measured_rate", "Demand estimate from the last arbitration tick.", "gauge",
+		func(ts tenancy.TenantStats) float64 { return ts.MeasuredRate })
+	series("prisma_tenant_admitted_total", "Reads admitted through the tenant gate.", "counter",
+		func(ts tenancy.TenantStats) float64 { return float64(ts.Admitted) })
+	series("prisma_tenant_shed_total", "Reads refused at admission with a typed overload error.", "counter",
+		func(ts tenancy.TenantStats) float64 { return float64(ts.Shed) })
+	series("prisma_tenant_bytes_read_total", "Payload bytes attributed to the tenant.", "counter",
+		func(ts tenancy.TenantStats) float64 { return float64(ts.BytesRead) })
+	series("prisma_tenant_errors_total", "Failed reads attributed to the tenant.", "counter",
+		func(ts tenancy.TenantStats) float64 { return float64(ts.Errors) })
+	series("prisma_tenant_byte_budget", "Byte budget in bytes per second (0 = unmetered).", "gauge",
+		func(ts tenancy.TenantStats) float64 { return ts.ByteBudget })
+	series("prisma_tenant_in_debt", "1 while the tenant's byte budget is in debt.", "gauge",
+		func(ts tenancy.TenantStats) float64 {
+			if ts.InDebt {
+				return 1
+			}
+			return 0
+		})
+}
+
+// tenants serves per-tenant QoS: GET /tenants returns the snapshot as
+// JSON; POST /tenants?name=X&weight=W&bytes=B adjusts one tenant's knobs.
+func (h *Handler) tenants(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Tenants == nil {
+		http.Error(w, "tenancy not enabled on this instance", http.StatusNotImplemented)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(h.cfg.Tenants()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case http.MethodPost:
+		if h.cfg.SetTenant == nil {
+			http.Error(w, "tenant adjustment unavailable", http.StatusNotImplemented)
+			return
+		}
+		q := r.URL.Query()
+		name := q.Get("name")
+		if name == "" {
+			http.Error(w, "missing ?name=", http.StatusBadRequest)
+			return
+		}
+		var weight, bytesPerSec float64
+		if v := q.Get("weight"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				http.Error(w, "bad weight value", http.StatusBadRequest)
+				return
+			}
+			weight = f
+		}
+		if v := q.Get("bytes"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				http.Error(w, "bad bytes value", http.StatusBadRequest)
+				return
+			}
+			bytesPerSec = f
+		}
+		if weight == 0 && bytesPerSec == 0 {
+			http.Error(w, "nothing to apply (use ?weight=W and/or ?bytes=B)", http.StatusBadRequest)
+			return
+		}
+		if err := h.cfg.SetTenant(name, weight, bytesPerSec); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"tenant": name, "weight": weight, "bytes_per_second": bytesPerSec})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
 }
 
 // attribution renders the cumulative critical-path breakdown since stage

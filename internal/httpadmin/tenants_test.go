@@ -1,0 +1,140 @@
+package httpadmin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/prisma-go/internal/tenancy"
+)
+
+// tenantServer wires a scriptable tenancy snapshot (and optional SetTenant
+// recorder) into the handler.
+func tenantServer(t *testing.T, snap *tenancy.Snapshot, set func(string, float64, float64) error) *httptest.Server {
+	t.Helper()
+	cfg := Config{
+		Tenants:   func() tenancy.Snapshot { return *snap },
+		SetTenant: set,
+	}
+	srv := httptest.NewServer(NewWithConfig(&fakeDP{}, cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func sampleSnapshot() tenancy.Snapshot {
+	return tenancy.Snapshot{
+		Overloaded: true,
+		Capacity:   500,
+		Tenants: []tenancy.TenantStats{
+			{Name: "default", Weight: 1, GrantedRate: 100, Admitted: 10},
+			{Name: "job-a", Weight: 4, GrantedRate: 400, Admitted: 90, Shed: 7, BytesRead: 1 << 20, ByteBudget: 2048, InDebt: true},
+		},
+	}
+}
+
+func TestTenantsJSON(t *testing.T) {
+	snap := sampleSnapshot()
+	srv := tenantServer(t, &snap, nil)
+	resp, err := http.Get(srv.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got tenancy.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Overloaded || got.Capacity != 500 || len(got.Tenants) != 2 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if got.Tenants[1].Name != "job-a" || got.Tenants[1].Shed != 7 {
+		t.Fatalf("job-a = %+v", got.Tenants[1])
+	}
+}
+
+func TestTenantsNotEnabled(t *testing.T) {
+	srv := httptest.NewServer(New(&fakeDP{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestTenantsPostSetsKnobs(t *testing.T) {
+	snap := sampleSnapshot()
+	var gotName string
+	var gotWeight, gotBytes float64
+	srv := tenantServer(t, &snap, func(name string, w, b float64) error {
+		gotName, gotWeight, gotBytes = name, w, b
+		if name == "ghost" {
+			return fmt.Errorf("tenant %q not registered", name)
+		}
+		return nil
+	})
+	resp, err := http.Post(srv.URL+"/tenants?name=job-a&weight=2&bytes=4096", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if gotName != "job-a" || gotWeight != 2 || gotBytes != 4096 {
+		t.Fatalf("SetTenant called with (%q, %g, %g)", gotName, gotWeight, gotBytes)
+	}
+
+	for query, want := range map[string]int{
+		"?name=ghost&weight=2": http.StatusNotFound,
+		"?weight=2":            http.StatusBadRequest, // missing name
+		"?name=job-a":          http.StatusBadRequest, // nothing to apply
+		"?name=job-a&weight=x": http.StatusBadRequest,
+		"?name=job-a&bytes=-1": http.StatusBadRequest,
+	} {
+		resp, err := http.Post(srv.URL+"/tenants"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s status = %d, want %d", query, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestTenantMetricsExposition(t *testing.T) {
+	snap := sampleSnapshot()
+	srv := tenantServer(t, &snap, nil)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"prisma_tenant_overloaded 1",
+		"prisma_tenant_capacity 500",
+		`prisma_tenant_granted_rate{tenant="job-a"} 400`,
+		`prisma_tenant_admitted_total{tenant="job-a"} 90`,
+		`prisma_tenant_shed_total{tenant="job-a"} 7`,
+		`prisma_tenant_bytes_read_total{tenant="job-a"} 1.048576e+06`,
+		`prisma_tenant_in_debt{tenant="job-a"} 1`,
+		`prisma_tenant_in_debt{tenant="default"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

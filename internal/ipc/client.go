@@ -15,6 +15,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
+	"github.com/dsrhaslab/prisma-go/internal/tenancy"
 )
 
 // ErrConnBroken reports a round trip that failed at the transport layer:
@@ -46,6 +47,12 @@ type DialConfig struct {
 	// ReconnectBackoff is the sleep before the first redial, doubled each
 	// further redial within one call (default 10ms when redialing).
 	ReconnectBackoff time.Duration
+	// OverloadRetries is how many times one Read waits out a server-issued
+	// retry-after hint and resends after a typed overload rejection
+	// (0 = surface the OverloadError to the caller immediately). Sheds
+	// happen at admission, before the read executes, so the resend is safe
+	// even though reads are otherwise non-resendable.
+	OverloadRetries int
 }
 
 // Client is one consumer process's connection to the PRISMA server. A
@@ -68,6 +75,12 @@ type Client struct {
 	wire       []byte        // outgoing-frame scratch (header + payload, one Write)
 	hdr        []byte        // response frame-header scratch (13 bytes)
 	pre        []byte        // response head scratch (status + two uvarints)
+
+	// Hello credentials, replayed after every redial so the connection's
+	// tenant identity survives reconnects.
+	helloName   string
+	helloSecret string
+	helloSent   bool
 }
 
 // Dial connects to the PRISMA server socket with the zero DialConfig.
@@ -161,9 +174,9 @@ func (c *Client) roundTripTrace(opcode byte, trace uint64, payload []byte, resen
 		if err == nil {
 			return resp, nil
 		}
-		var remote *RemoteError
-		if errors.As(err, &remote) {
-			// A clean server-reported error: the stream is intact.
+		if isCleanError(err) {
+			// A server-reported error (including a typed load shed): the
+			// stream is intact.
 			return nil, err
 		}
 		// Transport or framing failure: the stream state is unknown.
@@ -171,6 +184,19 @@ func (c *Client) roundTripTrace(opcode byte, trace uint64, payload []byte, resen
 		lastErr = err
 	}
 	return nil, fmt.Errorf("%w: %v", ErrConnBroken, lastErr)
+}
+
+// isCleanError reports an error the server sent as a well-framed response:
+// the stream is synchronized and the connection stays usable. Overload
+// rejections are clean by design — shedding must not cost the client its
+// connection.
+func isCleanError(err error) bool {
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return true
+	}
+	var oe *tenancy.OverloadError
+	return errors.As(err, &oe)
 }
 
 // exchangeLocked performs one framed request/response on the live
@@ -226,7 +252,39 @@ func (c *Client) redialLocked(attempt int) error {
 	c.conn = conn
 	c.broken = false
 	c.reconnects++
+	// A fresh connection is anonymous: replay the hello so the tenant
+	// identity — and the budgets attached to it — survive the reconnect.
+	if c.helloSent {
+		if _, err := c.exchangeLocked(OpHello, 0, helloPayload(c.helloName, c.helloSecret)); err != nil {
+			c.poisonLocked()
+			return fmt.Errorf("ipc: hello replay on reconnect: %w", err)
+		}
+	}
 	return nil
+}
+
+// helloPayload encodes an OpHello request.
+func helloPayload(name, secret string) []byte {
+	return appendString(appendString(nil, name), secret)
+}
+
+// Hello establishes the connection's tenant identity and returns the
+// server-resolved tenant name (the default tenant for an empty name). The
+// credentials are remembered and replayed after every redial. Resendable:
+// hello is idempotent.
+func (c *Client) Hello(name, secret string) (string, error) {
+	resp, err := c.roundTrip(OpHello, helloPayload(name, secret), true)
+	if err != nil {
+		return "", err
+	}
+	resolved, _, err := readString(resp)
+	if err != nil {
+		return "", fmt.Errorf("ipc: malformed hello response: %v", err)
+	}
+	c.mu.Lock()
+	c.helloName, c.helloSecret, c.helloSent = name, secret, true
+	c.mu.Unlock()
+	return resolved, nil
 }
 
 // Read requests a file through the server's stage — the intercepted read
@@ -245,10 +303,25 @@ func (c *Client) Read(name string) (storage.Data, error) {
 		data storage.Data
 		err  error
 	)
-	if pooled {
-		data, err = c.readPooled(name, ctx.Trace)
-	} else {
-		data, err = c.readAlloc(name, ctx.Trace)
+	for attempt := 0; ; attempt++ {
+		if pooled {
+			data, err = c.readPooled(name, ctx.Trace)
+		} else {
+			data, err = c.readAlloc(name, ctx.Trace)
+		}
+		// A typed load shed happened before the read executed, so waiting
+		// out the server's retry-after hint and resending is safe — the one
+		// exception to the read path's never-resend rule. The shed check
+		// lives behind the error branch so the success path never pays the
+		// errors.As target's heap escape.
+		if err == nil {
+			break
+		}
+		var oe *tenancy.OverloadError
+		if !errors.As(err, &oe) || attempt >= c.cfg.OverloadRetries {
+			break
+		}
+		time.Sleep(clampRetryAfter(oe.RetryAfter))
 	}
 	if ctx.Sampled {
 		sp := obs.Span{
@@ -308,14 +381,25 @@ func (c *Client) readPooled(name string, trace uint64) (storage.Data, error) {
 	}
 	data, err := c.exchangePooledLocked(name, trace)
 	if err != nil {
-		var remote *RemoteError
-		if errors.As(err, &remote) {
-			return storage.Data{}, err // clean server error: stream intact
+		if isCleanError(err) {
+			return storage.Data{}, err // well-framed server response: stream intact
 		}
 		c.poisonLocked()
 		return storage.Data{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
 	}
 	return data, nil
+}
+
+// clampRetryAfter bounds a server-issued retry hint to something sane even
+// against a buggy or hostile server.
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Millisecond
+	}
+	if d > 10*time.Second {
+		return 10 * time.Second
+	}
+	return d
 }
 
 // exchangePooledLocked is the pooled wire exchange. Caller holds c.mu.
@@ -383,14 +467,21 @@ func (c *Client) exchangePooledLocked(name string, trace uint64) (storage.Data, 
 	}
 	switch pre[0] {
 	case statusOK:
-	case statusErr:
-		// Error path (cold): drain the rest of the frame and decode the
-		// message; the stream stays synchronized.
+	case statusErr, statusOverloaded:
+		// Error paths (cold): drain the rest of the frame and decode;
+		// the stream stays synchronized either way.
 		rest := make([]byte, payloadLen-pn)
 		if _, err := io.ReadFull(c.conn, rest); err != nil {
 			return storage.Data{}, err
 		}
 		full := append(append([]byte(nil), pre[1:pn]...), rest...)
+		if pre[0] == statusOverloaded {
+			oe, err := parseOverload(full)
+			if err != nil {
+				return storage.Data{}, err
+			}
+			return storage.Data{}, oe
+		}
 		msg, _, err := readString(full)
 		if err != nil {
 			return storage.Data{}, fmt.Errorf("ipc: malformed error response: %v", err)
@@ -536,6 +627,32 @@ func (c *Client) SetTraceSampling(p float64) error {
 // (an array of control.DecisionRecord).
 func (c *Client) Decisions() ([]byte, error) {
 	return c.roundTrip(OpDecisions, nil, true)
+}
+
+// Tenants fetches the server's per-tenant QoS snapshot.
+func (c *Client) Tenants() (tenancy.Snapshot, error) {
+	resp, err := c.roundTrip(OpTenants, nil, true)
+	if err != nil {
+		return tenancy.Snapshot{}, err
+	}
+	var snap tenancy.Snapshot
+	if err := json.Unmarshal(resp, &snap); err != nil {
+		return tenancy.Snapshot{}, fmt.Errorf("ipc: decode tenants: %w", err)
+	}
+	return snap, nil
+}
+
+// SetTenant adjusts a tenant's weight and/or byte budget remotely (zero
+// leaves the respective knob unchanged). Resendable: the knobs are
+// absolute values.
+func (c *Client) SetTenant(name string, weight, bytesPerSecond float64) error {
+	payload := appendString(nil, name)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], math.Float64bits(weight))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(bytesPerSecond))
+	payload = append(payload, buf[:]...)
+	_, err := c.roundTrip(OpSetTenant, payload, true)
+	return err
 }
 
 // Ping checks server liveness.

@@ -21,6 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/tenancy"
 )
 
 // Opcodes.
@@ -38,12 +41,20 @@ const (
 
 	OpCancelEpoch = 10 // control: cancel a plan epoch by id
 	OpEpochs      = 11 // fetch plan-epoch statuses (JSON)
+
+	OpHello     = 12 // establish the connection's tenant identity
+	OpTenants   = 13 // fetch per-tenant QoS statistics (JSON)
+	OpSetTenant = 14 // control: adjust a tenant's weight / byte budget
 )
 
 // Response status bytes.
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusOverloaded is the typed load-shed rejection: the request was
+	// refused at admission (before executing, so resending is safe) and the
+	// payload carries a retry-after hint plus the throttled tenant.
+	statusOverloaded = 2
 )
 
 // MaxFrame bounds a frame payload; larger frames indicate a corrupt or
@@ -198,6 +209,26 @@ func errResponse(err error) []byte {
 	return appendString([]byte{statusErr}, err.Error())
 }
 
+// overloadResponse encodes a typed load-shed rejection: retry-after in
+// nanoseconds, then the throttled tenant's name.
+func overloadResponse(oe *tenancy.OverloadError) []byte {
+	out := binary.AppendUvarint([]byte{statusOverloaded}, uint64(oe.RetryAfter))
+	return appendString(out, oe.Tenant)
+}
+
+// parseOverload decodes a statusOverloaded payload (sans status byte).
+func parseOverload(payload []byte) (*tenancy.OverloadError, error) {
+	retry, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("ipc: malformed overload response")
+	}
+	tenant, _, err := readString(payload[k:])
+	if err != nil {
+		return nil, fmt.Errorf("ipc: malformed overload response: %v", err)
+	}
+	return &tenancy.OverloadError{Tenant: tenant, RetryAfter: time.Duration(retry)}, nil
+}
+
 // parseResponse splits status from payload, converting remote errors.
 func parseResponse(payload []byte) ([]byte, error) {
 	if len(payload) < 1 {
@@ -212,6 +243,12 @@ func parseResponse(payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("ipc: malformed error response: %v", err)
 		}
 		return nil, &RemoteError{Msg: msg}
+	case statusOverloaded:
+		oe, err := parseOverload(payload[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nil, oe
 	default:
 		return nil, fmt.Errorf("ipc: unknown response status %d", payload[0])
 	}

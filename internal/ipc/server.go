@@ -14,6 +14,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
+	"github.com/dsrhaslab/prisma-go/internal/tenancy"
 )
 
 // ServeConfig tunes server-side resilience. The zero value preserves the
@@ -42,6 +43,7 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 	decisions func() ([]byte, error) // OpDecisions source (pre-marshaled JSON)
+	tenancy   *tenancy.Manager       // nil = single-tenant (hello still accepted)
 	wg        sync.WaitGroup
 }
 
@@ -70,6 +72,23 @@ func (s *Server) SetDecisionSource(f func() ([]byte, error)) {
 	s.mu.Lock()
 	s.decisions = f
 	s.mu.Unlock()
+}
+
+// SetTenantManager wires multi-tenant QoS: hello frames authenticate
+// against the manager, OpTenants/OpSetTenant expose its registry, and
+// admission decisions (made by the stage's tenant gate, which shares this
+// manager) surface as typed overload responses. Call before clients
+// connect.
+func (s *Server) SetTenantManager(m *tenancy.Manager) {
+	s.mu.Lock()
+	s.tenancy = m
+	s.mu.Unlock()
+}
+
+func (s *Server) tenantManager() *tenancy.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenancy
 }
 
 // Panics reports how many request handlers panicked and were isolated.
@@ -110,6 +129,11 @@ type connState struct {
 	segs  [2][]byte   // backing array for the vectored-write segment list
 	bufs  net.Buffers // rebuilt from segs per write: WriteTo consumes the slice
 	names map[string]string
+
+	// tenant is the connection's identity, set by the hello frame; empty
+	// resolves to the default tenant at the gate. It lives on the
+	// connection, not the request: one consumer process = one identity.
+	tenant string
 }
 
 func newConnState() *connState {
@@ -229,7 +253,7 @@ func (s *Server) handle(cs *connState, opcode byte, trace uint64, payload []byte
 		ctx := obs.Ctx{Trace: trace, Sampled: trace != 0}
 		tracer := s.stage.Tracer()
 		start := tracer.Now()
-		data, err := s.stage.ReadCtx(name, ctx)
+		data, err := s.stage.ReadTenantCtx(cs.tenant, name, ctx)
 		if ctx.Sampled {
 			sp := obs.Span{
 				Trace:   ctx.Trace,
@@ -245,6 +269,12 @@ func (s *Server) handle(cs *connState, opcode byte, trace uint64, payload []byte
 			tracer.Record(sp)
 		}
 		if err != nil {
+			// A load shed is typed end to end: the client's backoff reads
+			// the retry-after hint instead of treating it as a read failure.
+			var oe *tenancy.OverloadError
+			if errors.As(err, &oe) {
+				return response{head: overloadResponse(oe)}
+			}
 			return response{head: errResponse(err)}
 		}
 		// Head: status + size + payload length; the payload itself is
@@ -253,6 +283,29 @@ func (s *Server) handle(cs *connState, opcode byte, trace uint64, payload []byte
 		head = binary.AppendUvarint(head, uint64(data.Size))
 		head = binary.AppendUvarint(head, uint64(len(data.Bytes)))
 		return response{head: head, body: data.Bytes, ref: data.Ref}
+
+	case OpHello:
+		name, rest, err := readString(payload)
+		if err != nil {
+			return response{head: errResponse(err)}
+		}
+		secret, _, err := readString(rest)
+		if err != nil {
+			return response{head: errResponse(err)}
+		}
+		resolved := name
+		if m := s.tenantManager(); m != nil {
+			resolved, err = m.Authenticate(name, secret)
+			if err != nil {
+				return response{head: errResponse(err)}
+			}
+		} else if resolved == "" {
+			// Single-tenant server: accept the hello so clients can be
+			// written tenancy-first; identity is recorded but unenforced.
+			resolved = tenancy.DefaultTenant
+		}
+		cs.tenant = resolved
+		return response{head: okResponse(appendString(nil, resolved))}
 
 	default:
 		return response{head: s.handleControl(opcode, payload)}
@@ -367,6 +420,39 @@ func (s *Server) handleControl(opcode byte, payload []byte) []byte {
 			return errResponse(err)
 		}
 		return okResponse(blob)
+
+	case OpTenants:
+		m := s.tenantManager()
+		if m == nil {
+			return errResponse(errors.New("tenant stats unavailable: no tenancy manager attached"))
+		}
+		blob, err := json.Marshal(m.Stats())
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(blob)
+
+	case OpSetTenant:
+		m := s.tenantManager()
+		if m == nil {
+			return errResponse(errors.New("tenant control unavailable: no tenancy manager attached"))
+		}
+		name, rest, err := readString(payload)
+		if err != nil {
+			return errResponse(err)
+		}
+		if len(rest) != 16 {
+			return errResponse(errors.New("malformed set-tenant payload"))
+		}
+		weight := math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))
+		bytesPerSec := math.Float64frombits(binary.BigEndian.Uint64(rest[8:16]))
+		if math.IsNaN(weight) || math.IsNaN(bytesPerSec) || weight < 0 || bytesPerSec < 0 {
+			return errResponse(fmt.Errorf("invalid tenant knobs (weight %v, bytes/s %v)", weight, bytesPerSec))
+		}
+		if err := m.SetTenant(name, weight, bytesPerSec); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
 
 	case OpPing:
 		return okResponse(nil)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -39,6 +40,7 @@ type Stats struct {
 type Cache struct {
 	env      conc.Env
 	inner    storage.Backend
+	ranger   storage.RangeReader // inner's range extension, nil if unsupported
 	capacity int64
 
 	mu        conc.Mutex
@@ -55,10 +57,17 @@ type Cache struct {
 	devReads  *metrics.Counter
 }
 
+// entry is one resident sample. When the backend serves pooled payloads,
+// the cache retains its own reference for as long as the entry is resident
+// (ref non-nil): recycling the buffer while it sits in the cache would
+// hand later hits a poisoned or reused backing array. Each hit retains one
+// more reference on the caller's behalf; eviction and invalidation release
+// the cache's.
 type entry struct {
 	name  string
 	size  int64
 	bytes []byte // nil under modeled backends
+	ref   *mempool.Ref
 }
 
 // New builds a cache of capacity bytes over inner.
@@ -66,9 +75,11 @@ func New(env conc.Env, inner storage.Backend, capacity int64) (*Cache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("sharedcache: capacity %d < 1", capacity)
 	}
+	rr, _ := inner.(storage.RangeReader)
 	c := &Cache{
 		env:       env,
 		inner:     inner,
+		ranger:    rr,
 		capacity:  capacity,
 		mu:        env.NewMutex(),
 		resident:  make(map[string]*list.Element),
@@ -91,9 +102,14 @@ func (c *Cache) ReadFile(name string) (storage.Data, error) {
 		if el, ok := c.resident[name]; ok {
 			c.order.MoveToFront(el)
 			e := el.Value.(*entry)
+			if e.ref != nil {
+				// Hand the caller its own reference while the cache's keeps
+				// the entry alive; the caller releases as usual (§11).
+				e.ref.Retain()
+			}
 			c.mu.Unlock()
 			c.hits.Inc()
-			return storage.Data{Name: name, Size: e.size, Bytes: e.bytes}, nil
+			return storage.Data{Name: name, Size: e.size, Bytes: e.bytes, Ref: e.ref}, nil
 		}
 		if !c.inflight[name] {
 			break
@@ -120,8 +136,9 @@ func (c *Cache) ReadFile(name string) (storage.Data, error) {
 	return data, err
 }
 
-// admit inserts the fetched sample, evicting LRU residents. Caller holds
-// c.mu.
+// admit inserts the fetched sample, evicting LRU residents. The cache
+// retains its own pooled reference (the fetcher's stays with the fetcher).
+// Caller holds c.mu.
 func (c *Cache) admit(name string, data storage.Data) {
 	if _, dup := c.resident[name]; dup {
 		return
@@ -131,18 +148,53 @@ func (c *Cache) admit(name string, data storage.Data) {
 		if back == nil {
 			return
 		}
-		victim := back.Value.(*entry)
-		c.order.Remove(back)
-		delete(c.resident, victim.name)
-		c.used -= victim.size
+		c.evictLocked(back)
 		c.evictions.Inc()
 	}
-	c.resident[name] = c.order.PushFront(&entry{name: name, size: data.Size, bytes: data.Bytes})
+	if data.Ref != nil {
+		data.Ref.Retain()
+	}
+	c.resident[name] = c.order.PushFront(&entry{name: name, size: data.Size, bytes: data.Bytes, ref: data.Ref})
 	c.used += data.Size
+}
+
+// evictLocked removes one resident entry and drops the cache's pooled
+// reference. Caller holds c.mu.
+func (c *Cache) evictLocked(el *list.Element) {
+	victim := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.resident, victim.name)
+	c.used -= victim.size
+	if victim.ref != nil {
+		victim.ref.Release()
+		victim.ref = nil
+		victim.bytes = nil
+	}
 }
 
 // Size implements storage.Backend.
 func (c *Cache) Size(name string) (int64, error) { return c.inner.Size(name) }
+
+// ReadRange implements storage.RangeReader when the inner backend does.
+// Range reads are slices of large packed shards; caching them whole-file
+// would blow the byte budget on mostly-unwanted bytes, so ranges pass
+// through uncached. Wrapping a rangeless backend yields an error at call
+// time, not a dropped extension (the repo-wide wrapper convention).
+func (c *Cache) ReadRange(name string, off, n int64) (storage.Data, error) {
+	if c.ranger == nil {
+		return storage.Data{}, fmt.Errorf("sharedcache: %T does not support range reads", c.inner)
+	}
+	return c.ranger.ReadRange(name, off, n)
+}
+
+// SetBufferPool implements storage.PoolAttacher by delegating to the inner
+// backend, so attaching a pool above the cache reaches the backend that
+// allocates payloads. Cached entries then carry pooled refs (see entry).
+func (c *Cache) SetBufferPool(p *mempool.Pool) {
+	if pa, ok := c.inner.(storage.PoolAttacher); ok {
+		pa.SetBufferPool(p)
+	}
+}
 
 // Resident reports whether name is cached.
 func (c *Cache) Resident(name string) bool {
@@ -152,15 +204,23 @@ func (c *Cache) Resident(name string) bool {
 	return ok
 }
 
-// Invalidate drops one cached sample (for dataset updates).
+// Invalidate drops one cached sample (for dataset updates), releasing the
+// cache's pooled reference.
 func (c *Cache) Invalidate(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.resident[name]; ok {
-		victim := el.Value.(*entry)
-		c.order.Remove(el)
-		delete(c.resident, name)
-		c.used -= victim.size
+		c.evictLocked(el)
+	}
+}
+
+// Close drops every resident entry, releasing the cache's pooled
+// references so end-of-run leak audits see a clean pool.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Back(); el != nil; el = c.order.Back() {
+		c.evictLocked(el)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/sim"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -174,6 +175,97 @@ func TestSizePassthrough(t *testing.T) {
 		n, err := c.Size(names[0])
 		if err != nil || n != 1234 {
 			t.Fatalf("Size = %d, %v", n, err)
+		}
+	})
+}
+
+func TestReadRangeForwarding(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, dev, names := fixture(env, 1, 10_000, time.Millisecond, 1)
+		c, _ := New(env, backend, 1<<20)
+		var b storage.Backend = c
+		rr, ok := b.(storage.RangeReader)
+		if !ok {
+			t.Fatal("Cache dropped the RangeReader extension")
+		}
+		d, err := rr.ReadRange(names[0], 100, 200)
+		if err != nil || d.Size != 200 {
+			t.Fatalf("ReadRange = %d, %v; want 200, nil", d.Size, err)
+		}
+		if dev.Stats().Reads != 1 {
+			t.Fatalf("device reads = %d, want 1 (ranges pass through)", dev.Stats().Reads)
+		}
+		if c.Resident(names[0]) {
+			t.Fatal("range read admitted a whole-file entry")
+		}
+	})
+}
+
+func TestReadRangeUnsupportedInner(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		c, _ := New(env, rangelessBackend{}, 1<<20)
+		if _, err := c.ReadRange("x", 0, 1); err == nil {
+			t.Fatal("range read over a rangeless backend must error")
+		}
+	})
+}
+
+// rangelessBackend is a storage.Backend without the RangeReader extension.
+type rangelessBackend struct{}
+
+func (rangelessBackend) ReadFile(name string) (storage.Data, error) {
+	return storage.Data{Name: name}, nil
+}
+func (rangelessBackend) Size(string) (int64, error) { return 0, nil }
+
+// TestPooledLifecycle proves the cache's ownership discipline over pooled
+// payloads: admit retains a cache-held reference, every hit hands the
+// caller one of its own, eviction/invalidation/Close release the cache's,
+// and the debug pool's leak ledger ends empty.
+func TestPooledLifecycle(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, _, names := fixture(env, 3, 1000, time.Millisecond, 2)
+		pool := mempool.New(mempool.Config{Debug: true})
+		c, _ := New(env, backend, 2000) // room for two entries
+		c.SetBufferPool(pool)           // delegates through to the modeled backend
+
+		d0, err := c.ReadFile(names[0]) // miss: fetcher owns one ref, cache one
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d0.Ref == nil {
+			t.Fatal("pooled backend returned unpooled data through the cache")
+		}
+		if got := d0.Ref.Refs(); got != 2 {
+			t.Fatalf("refs after miss = %d, want 2 (caller + cache)", got)
+		}
+		d0.Release()
+
+		h0, _ := c.ReadFile(names[0]) // hit: caller gets its own ref
+		if h0.Ref == nil || h0.Ref.Refs() != 2 {
+			t.Fatalf("hit ref state = %+v, want cache + caller", h0.Ref)
+		}
+		// The hit's bytes must stay valid even while other traffic evicts
+		// the entry out from under the cache.
+		d1, _ := c.ReadFile(names[1])
+		d2, _ := c.ReadFile(names[2]) // evicts names[0] (LRU)
+		d1.Release()
+		d2.Release()
+		if c.Resident(names[0]) {
+			t.Fatal("names[0] should have been evicted")
+		}
+		if got := h0.Ref.Refs(); got != 1 {
+			t.Fatalf("refs after eviction = %d, want 1 (caller only)", got)
+		}
+		h0.Release()
+
+		c.Invalidate(names[1])
+		c.Close() // drops names[2]
+		if leaks := pool.Leaks(); len(leaks) != 0 {
+			t.Fatalf("pool leaks after Close:\n%s", mempool.FormatLeaks(leaks))
+		}
+		if n := pool.Outstanding(); n != 0 {
+			t.Fatalf("outstanding refs = %d, want 0", n)
 		}
 	})
 }

@@ -1,0 +1,294 @@
+package tenancy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/sim"
+)
+
+func runSim(t *testing.T, body func(env conc.Env)) {
+	t.Helper()
+	s := sim.New()
+	env := conc.NewSimEnv(s)
+	s.Spawn("test-body", func(*sim.Process) { body(env) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		if _, err := New(env, Config{}); err == nil {
+			t.Fatal("zero capacity accepted")
+		}
+		m, err := New(env, Config{Capacity: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(Spec{Name: ""}); err == nil {
+			t.Fatal("empty tenant name accepted")
+		}
+		if err := m.Register(Spec{Name: DefaultTenant}); err == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+		if err := m.Register(Spec{Name: "bad", Weight: -1}); err == nil {
+			t.Fatal("negative weight accepted")
+		}
+		if err := m.Unregister(DefaultTenant); err == nil {
+			t.Fatal("default tenant unregistered")
+		}
+		if err := m.Unregister("ghost"); err == nil {
+			t.Fatal("unknown tenant unregistered")
+		}
+		if err := m.SetTenant("ghost", 2, 0); err == nil {
+			t.Fatal("SetTenant on unknown tenant accepted")
+		}
+	})
+}
+
+func TestAuthenticate(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m, _ := New(env, Config{Capacity: 100})
+		if id, err := m.Authenticate("", ""); err != nil || id != DefaultTenant {
+			t.Fatalf("untagged hello = %q, %v; want default", id, err)
+		}
+		_ = m.Register(Spec{Name: "secure", Secret: "s3cret"})
+		if _, err := m.Authenticate("secure", "wrong"); err == nil {
+			t.Fatal("bad secret accepted")
+		}
+		if id, err := m.Authenticate("secure", "s3cret"); err != nil || id != "secure" {
+			t.Fatalf("good secret = %q, %v", id, err)
+		}
+		// Unknown tenants self-register with defaults.
+		if id, err := m.Authenticate("newcomer", ""); err != nil || id != "newcomer" {
+			t.Fatalf("auto-register = %q, %v", id, err)
+		}
+		if len(m.Stats().Tenants) != 3 {
+			t.Fatalf("tenants = %d, want 3", len(m.Stats().Tenants))
+		}
+	})
+}
+
+// TestGreedyTenantCannotStarve is the ISSUE acceptance experiment: one
+// greedy tenant (8 workers reading as fast as admitted) and one
+// well-behaved tenant (steady 300 reads/s offered load) share a 1000
+// reads/s gate. Max-min arbitration must keep the well-behaved tenant's
+// admitted throughput within 2x of its fair share (here: at its full
+// offered load, which is below the 500/s fair share) while the greedy
+// tenant absorbs only the slack.
+func TestGreedyTenantCannotStarve(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m, err := New(env, Config{Capacity: 1000, TickInterval: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(Spec{Name: "greedy"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(Spec{Name: "polite"}); err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		defer m.Stop()
+
+		const warmup, run = 2 * time.Second, 3 * time.Second
+		greedyN := metrics.NewCounter(env)
+		politeN := metrics.NewCounter(env)
+		wg := env.NewWaitGroup()
+		wg.Add(9)
+		for i := 0; i < 8; i++ {
+			env.Go("greedy-worker", func() {
+				defer wg.Done()
+				for env.Now() < warmup+run {
+					if err := m.Admit("greedy"); err == nil && env.Now() >= warmup {
+						greedyN.Inc()
+					}
+				}
+			})
+		}
+		env.Go("polite-worker", func() {
+			defer wg.Done()
+			for env.Now() < warmup+run {
+				if err := m.Admit("polite"); err == nil && env.Now() >= warmup {
+					politeN.Inc()
+				}
+				env.Sleep(3333 * time.Microsecond) // ~300 reads/s offered
+			}
+		})
+		wg.Wait()
+
+		politeRate := float64(politeN.Value()) / run.Seconds()
+		greedyRate := float64(greedyN.Value()) / run.Seconds()
+		// The polite tenant's fair share is 500/s; it offers only ~300/s, and
+		// the gate must admit essentially all of it (and never less than half
+		// the fair share — the ISSUE's 2x bound).
+		if politeRate < 250 {
+			t.Fatalf("polite tenant throttled to %.0f reads/s (fair share 500, offered 300)", politeRate)
+		}
+		// The greedy tenant gets the slack but not the polite tenant's share.
+		if greedyRate > 900 {
+			t.Fatalf("greedy tenant admitted %.0f reads/s, want bounded by capacity minus polite traffic", greedyRate)
+		}
+		if total := politeRate + greedyRate; total > 1200 {
+			t.Fatalf("total admitted %.0f reads/s exceeds 1000 capacity (+burst tolerance)", total)
+		}
+	})
+}
+
+// TestOverloadShedsAndRecovers drives the gate across an overload episode:
+// saturated load makes over-budget admits fail fast with a typed
+// retryable OverloadError (never a hang), and when load subsides the gate
+// admits again.
+func TestOverloadShedsAndRecovers(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		depth := 0 // mutable load injected into the gate (same sim process)
+		m, err := New(env, Config{
+			Capacity:      100,
+			Burst:         10,
+			MaxQueueDepth: 50,
+			MaxRetryAfter: 2 * time.Second,
+			Load:          func() Load { return Load{QueueDepth: depth} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normal load: admits (blocking throttle), never sheds.
+		m.Tick(100 * time.Millisecond)
+		if m.Overloaded() {
+			t.Fatal("overloaded at zero load")
+		}
+		if err := m.Admit(DefaultTenant); err != nil {
+			t.Fatal(err)
+		}
+
+		// Saturate. Burst is 10: the 11th rapid-fire admit must shed.
+		depth = 100
+		m.Tick(100 * time.Millisecond)
+		if !m.Overloaded() {
+			t.Fatal("not overloaded past MaxQueueDepth")
+		}
+		var shed error
+		for i := 0; i < 30; i++ {
+			if err := m.Admit(DefaultTenant); err != nil {
+				shed = err
+				break
+			}
+		}
+		if shed == nil {
+			t.Fatal("over-budget tenant never shed under overload")
+		}
+		if !errors.Is(shed, ErrOverloaded) {
+			t.Fatalf("shed error %v does not match ErrOverloaded", shed)
+		}
+		var oe *OverloadError
+		if !errors.As(shed, &oe) {
+			t.Fatalf("shed error %T is not *OverloadError", shed)
+		}
+		if oe.RetryAfter <= 0 || oe.RetryAfter > 2*time.Second {
+			t.Fatalf("retry-after %v outside (0, MaxRetryAfter]", oe.RetryAfter)
+		}
+		if m.Stats().Tenants[0].Shed == 0 {
+			t.Fatal("shed not counted in stats")
+		}
+
+		// Recovery: load subsides, the same tenant is admitted again.
+		depth = 0
+		m.Tick(100 * time.Millisecond)
+		if m.Overloaded() {
+			t.Fatal("still overloaded after load subsided")
+		}
+		if err := m.Admit(DefaultTenant); err != nil {
+			t.Fatalf("admit after recovery: %v", err)
+		}
+	})
+}
+
+func TestDegradedScalesCapacity(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		degraded := false
+		m, _ := New(env, Config{
+			Capacity:       1000,
+			DegradedFactor: 0.5,
+			Load:           func() Load { return Load{Degraded: degraded} },
+		})
+		m.Tick(100 * time.Millisecond)
+		if got := m.Stats().Capacity; got != 1000 {
+			t.Fatalf("healthy capacity = %v, want 1000", got)
+		}
+		degraded = true
+		m.Tick(100 * time.Millisecond)
+		if got := m.Stats().Capacity; got != 500 {
+			t.Fatalf("degraded capacity = %v, want 500", got)
+		}
+		degraded = false
+		m.Tick(100 * time.Millisecond)
+		if got := m.Stats().Capacity; got != 1000 {
+			t.Fatalf("restored capacity = %v, want 1000", got)
+		}
+	})
+}
+
+// TestByteBudgetDebt: bytes are charged after the read; the debt throttles
+// the next admit in normal mode and sheds it under overload.
+func TestByteBudgetDebt(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		over := 0
+		m, _ := New(env, Config{
+			Capacity:      1000,
+			MaxQueueDepth: 1,
+			Load:          func() Load { return Load{QueueDepth: over} },
+		})
+		_ = m.Register(Spec{Name: "metered", BytesPerSecond: 1000})
+		if err := m.Admit("metered"); err != nil {
+			t.Fatal(err)
+		}
+		m.ObserveRead("metered", 3000, nil) // 1s of budget + 2s of debt
+		st := m.Stats()
+		for _, ts := range st.Tenants {
+			if ts.Name == "metered" && !ts.InDebt {
+				t.Fatal("metered tenant not in debt after 3000-byte read")
+			}
+		}
+		// Normal mode: the debt throttles (blocks ~2s), never errors.
+		start := env.Now()
+		if err := m.Admit("metered"); err != nil {
+			t.Fatal(err)
+		}
+		if waited := env.Now() - start; waited < 1500*time.Millisecond || waited > 3*time.Second {
+			t.Fatalf("debt throttle waited %v, want ≈2s", waited)
+		}
+		// Overload + fresh debt: shed with a debt-derived retry hint.
+		m.ObserveRead("metered", 2000, nil)
+		over = 1
+		m.Tick(100 * time.Millisecond)
+		err := m.Admit("metered")
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("in-debt admit under overload = %v, want ErrOverloaded", err)
+		}
+		// Errors count against the tenant but do not charge bytes.
+		m.ObserveRead("metered", 0, errors.New("boom"))
+		for _, ts := range m.Stats().Tenants {
+			if ts.Name == "metered" && ts.Errors != 1 {
+				t.Fatalf("errors = %d, want 1", ts.Errors)
+			}
+		}
+	})
+}
+
+func TestUnknownTenantFallsBackToDefault(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m, _ := New(env, Config{Capacity: 100})
+		if err := m.Admit("never-registered"); err != nil {
+			t.Fatal(err)
+		}
+		for _, ts := range m.Stats().Tenants {
+			if ts.Name == DefaultTenant && ts.Admitted != 1 {
+				t.Fatalf("default tenant admitted = %d, want 1 (fallback)", ts.Admitted)
+			}
+		}
+	})
+}

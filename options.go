@@ -87,6 +87,68 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker sheds load before
 	// probing the backend again (default 250ms).
 	BreakerCooldown time.Duration
+
+	// Tenancy configures multi-tenant admission control: per-tenant rate
+	// and byte budgets, overload shedding, and the shared read cache. Off
+	// by default (single-tenant instances pay nothing).
+	Tenancy TenancyOptions
+}
+
+// TenantSpec declares one tenant for TenancyOptions.Tenants or
+// Prisma.RegisterTenant.
+type TenantSpec struct {
+	// Name identifies the tenant (required, unique). Clients assume it
+	// with Client.Hello.
+	Name string
+	// Weight is the tenant's share weight for weighted max-min
+	// arbitration (default 1).
+	Weight float64
+	// BytesPerSecond is the tenant's byte budget; 0 means unmetered.
+	BytesPerSecond float64
+	// Secret, when non-empty, must be presented at hello time for a
+	// connection to assume this identity.
+	Secret string
+}
+
+// TenancyOptions tunes the tenant-aware robustness layer: admission
+// control, per-tenant QoS, and graceful degradation on the serving path.
+type TenancyOptions struct {
+	// Enable turns the tenancy layer on. Every read is then attributed to
+	// a tenant (connections that never send a hello land on "default"),
+	// throttled to its arbiter-granted share, and — past the saturation
+	// thresholds below — shed with a typed, retryable ErrOverloaded
+	// instead of queueing without bound.
+	Enable bool
+	// Capacity is the total read rate (reads/s) distributed across
+	// tenants by weighted max-min fairness (default 10000).
+	Capacity float64
+	// Burst bounds how far a tenant may briefly exceed its granted rate
+	// (default Capacity/4).
+	Burst float64
+	// TickInterval is the arbitration/overload evaluation period
+	// (default 100ms).
+	TickInterval time.Duration
+	// DegradedFactor scales Capacity while the storage backend is
+	// degraded (circuit breaker open), shrinking every tenant's grant
+	// proportionally (default 0.5).
+	DegradedFactor float64
+	// MaxQueueDepth is the saturation threshold on the prefetch queue
+	// depth past which over-budget tenants are shed (default 4096;
+	// -1 disables the check).
+	MaxQueueDepth int
+	// MaxPooledBytes is the saturation threshold on the estimated
+	// outstanding pooled-buffer footprint (default 0 = disabled).
+	MaxPooledBytes int64
+	// MaxRetryAfter clamps the retry-after hint handed to shed clients
+	// (default 5s).
+	MaxRetryAfter time.Duration
+	// SharedCacheBytes, when positive, inserts a byte-bounded single-
+	// flight LRU cache above the storage backend so co-located tenants
+	// reading the same files don't multiply backend load.
+	SharedCacheBytes int64
+	// Tenants pre-registers tenants at Open (more can be added at
+	// runtime via RegisterTenant or self-service hello).
+	Tenants []TenantSpec
 }
 
 // BufferPoolOptions tunes the sample buffer pool (internal/mempool).
@@ -144,6 +206,14 @@ func (o Options) withDefaults() Options {
 	if o.SpanFile != "" && o.TraceSampling == 0 {
 		o.TraceSampling = 1
 	}
+	if o.Tenancy.Enable {
+		if o.Tenancy.Capacity == 0 {
+			o.Tenancy.Capacity = 10_000
+		}
+		if o.Tenancy.MaxQueueDepth == 0 {
+			o.Tenancy.MaxQueueDepth = 4096
+		}
+	}
 	return o
 }
 
@@ -187,6 +257,28 @@ func (o Options) validate() error {
 	}
 	if o.BufferPool.MaxSize > 0 && o.BufferPool.MinSize > o.BufferPool.MaxSize {
 		return fmt.Errorf("prisma: BufferPool.MinSize %d > MaxSize %d", o.BufferPool.MinSize, o.BufferPool.MaxSize)
+	}
+	if o.Tenancy.Enable {
+		if o.Tenancy.Capacity <= 0 {
+			return fmt.Errorf("prisma: Tenancy.Capacity %v <= 0", o.Tenancy.Capacity)
+		}
+		if o.Tenancy.Burst < 0 || o.Tenancy.MaxPooledBytes < 0 || o.Tenancy.SharedCacheBytes < 0 {
+			return fmt.Errorf("prisma: negative Tenancy sizing")
+		}
+		if o.Tenancy.MaxQueueDepth < -1 {
+			return fmt.Errorf("prisma: Tenancy.MaxQueueDepth %d < -1", o.Tenancy.MaxQueueDepth)
+		}
+		if o.Tenancy.TickInterval < 0 || o.Tenancy.MaxRetryAfter < 0 {
+			return fmt.Errorf("prisma: negative Tenancy interval")
+		}
+		if o.Tenancy.DegradedFactor < 0 || o.Tenancy.DegradedFactor > 1 {
+			return fmt.Errorf("prisma: Tenancy.DegradedFactor %v outside [0, 1]", o.Tenancy.DegradedFactor)
+		}
+		for _, ts := range o.Tenancy.Tenants {
+			if ts.Name == "" {
+				return fmt.Errorf("prisma: Tenancy.Tenants entry with empty name")
+			}
+		}
 	}
 	return nil
 }

@@ -17,7 +17,9 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/ipc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
+	"github.com/dsrhaslab/prisma-go/internal/sharedcache"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
+	"github.com/dsrhaslab/prisma-go/internal/tenancy"
 	"github.com/dsrhaslab/prisma-go/internal/trace"
 )
 
@@ -31,6 +33,8 @@ type Prisma struct {
 	server      *ipc.Server
 	recorder    *trace.Recorder
 	tracer      *obs.Tracer
+	tenants     *tenancy.Manager   // nil unless Options.Tenancy.Enable
+	cache       *sharedcache.Cache // nil unless SharedCacheBytes > 0
 	traceTo     string
 	spanTo      string
 	enablePprof bool
@@ -74,6 +78,20 @@ type Stats struct {
 	PoolOutstanding int64   // leases currently live (leak indicator)
 	PoolFreeBuffers int     // recycled buffers parked in the pool
 	PoolFreeBytes   int64   // bytes parked in the pool
+
+	// Shared-cache telemetry (zero-valued unless Tenancy.SharedCacheBytes
+	// is set; filled locally only — remote Client.Stats reports zeros).
+	CacheEnabled     bool
+	CacheHits        int64
+	CacheMisses      int64
+	CacheWaits       int64 // misses collapsed onto another tenant's in-flight read
+	CacheEvictions   int64
+	CacheDeviceReads int64 // misses that actually hit the backend
+	CacheUsedBytes   int64
+	CacheResidents   int
+
+	// Tenancy telemetry (zero-valued unless Tenancy.Enable).
+	TenantsShed int64 // reads refused at admission with ErrOverloaded
 
 	// Plan-lifecycle telemetry (the epoch-aware plan manager).
 	EpochsSubmitted int64 // plan epochs submitted since Open
@@ -148,6 +166,8 @@ func statsFrom(s core.StageStats) Stats {
 		PoolFreeBuffers: s.Pool.FreeBuffers,
 		PoolFreeBytes:   s.Pool.FreeBytes,
 
+		TenantsShed: s.Shed,
+
 		EpochsSubmitted: s.Plan.EpochsSubmitted,
 		EpochsCancelled: s.Plan.EpochsCancelled,
 		EpochsLive:      s.Plan.EpochsLive,
@@ -187,6 +207,19 @@ func Open(opts Options) (*Prisma, error) {
 	if opts.TraceFile != "" {
 		recorder = trace.NewRecorder(env, backend)
 		backend = recorder
+	}
+	var cache *sharedcache.Cache
+	if opts.Tenancy.Enable && opts.Tenancy.SharedCacheBytes > 0 {
+		// The cache sits above the recorder (so the I/O trace keeps seeing
+		// only actual device reads) and below the resilient wrapper (so a
+		// degraded backend still serves cached samples while the breaker
+		// sheds misses).
+		sc, err := sharedcache.New(env, backend, opts.Tenancy.SharedCacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("prisma: %w", err)
+		}
+		backend = sc
+		cache = sc
 	}
 	if !opts.DisableResilience {
 		rcfg := storage.DefaultResilienceConfig()
@@ -241,9 +274,64 @@ func Open(opts Options) (*Prisma, error) {
 		stage:       stage,
 		recorder:    recorder,
 		tracer:      tracer,
+		cache:       cache,
 		traceTo:     opts.TraceFile,
 		spanTo:      opts.SpanFile,
 		enablePprof: opts.EnablePprof,
+	}
+	if opts.Tenancy.Enable {
+		mqd := opts.Tenancy.MaxQueueDepth
+		if mqd < 0 {
+			mqd = 0 // -1 in the public options disables the check
+		}
+		// The pooled-byte pressure probe estimates the outstanding buffer
+		// footprint as live leases times the mean sample size (the pool
+		// tracks lease counts, not bytes).
+		avgSample := int64(1)
+		if n := manifest.Len(); n > 0 {
+			if avgSample = manifest.TotalBytes() / int64(n); avgSample < 1 {
+				avgSample = 1
+			}
+		}
+		mgr, err := tenancy.New(env, tenancy.Config{
+			Capacity:       opts.Tenancy.Capacity,
+			Burst:          opts.Tenancy.Burst,
+			TickInterval:   opts.Tenancy.TickInterval,
+			DegradedFactor: opts.Tenancy.DegradedFactor,
+			MaxQueueDepth:  mqd,
+			MaxPooledBytes: opts.Tenancy.MaxPooledBytes,
+			MaxRetryAfter:  opts.Tenancy.MaxRetryAfter,
+			Load: func() tenancy.Load {
+				s := stage.Stats()
+				var pooled int64
+				if pool != nil {
+					pooled = pool.Outstanding() * avgSample
+				}
+				return tenancy.Load{
+					QueueDepth:  s.QueueLen,
+					PooledBytes: pooled,
+					Degraded:    s.Resilience.Degraded,
+				}
+			},
+		})
+		if err != nil {
+			stage.Close()
+			return nil, fmt.Errorf("prisma: %w", err)
+		}
+		for _, ts := range opts.Tenancy.Tenants {
+			if err := mgr.Register(tenancy.Spec{
+				Name:           ts.Name,
+				Weight:         ts.Weight,
+				BytesPerSecond: ts.BytesPerSecond,
+				Secret:         ts.Secret,
+			}); err != nil {
+				stage.Close()
+				return nil, fmt.Errorf("prisma: %w", err)
+			}
+		}
+		stage.SetTenantGate(mgr)
+		mgr.Start()
+		p.tenants = mgr
 	}
 	if !opts.DisableAutoTune {
 		pol := control.DefaultPolicy()
@@ -270,7 +358,10 @@ func Open(opts Options) (*Prisma, error) {
 // returned to the pool here. Allocation-sensitive consumers use ReadSample
 // instead, which hands over the pooled buffer itself.
 func (p *Prisma) Read(name string) ([]byte, error) {
-	data, err := p.stage.Read(name)
+	// The empty tenant resolves to the default tenant under tenancy (the
+	// in-process analogue of an untagged connection) and is a free no-op
+	// without it.
+	data, err := p.stage.ReadTenant("", name)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +394,7 @@ func (s *Sample) Release() { s.data.Release() }
 // handed to the caller, who must Release it after consuming the bytes —
 // the zero-allocation fast path for in-process consumers.
 func (p *Prisma) ReadSample(name string) (*Sample, error) {
-	data, err := p.stage.Read(name)
+	data, err := p.stage.ReadTenant("", name)
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +498,21 @@ func (p *Prisma) Files() int { return p.manifest.Len() }
 func (p *Prisma) TotalBytes() int64 { return p.manifest.TotalBytes() }
 
 // Stats snapshots the data plane.
-func (p *Prisma) Stats() Stats { return statsFrom(p.stage.Stats()) }
+func (p *Prisma) Stats() Stats {
+	s := statsFrom(p.stage.Stats())
+	if p.cache != nil {
+		cs := p.cache.Stats()
+		s.CacheEnabled = true
+		s.CacheHits = cs.Hits
+		s.CacheMisses = cs.Misses
+		s.CacheWaits = cs.Waits
+		s.CacheEvictions = cs.Evictions
+		s.CacheDeviceReads = cs.DeviceReads
+		s.CacheUsedBytes = cs.UsedBytes
+		s.CacheResidents = cs.Residents
+	}
+	return s
+}
 
 // SetProducers pins the producer count t (disable AutoTune to keep it).
 func (p *Prisma) SetProducers(n int) { p.stage.SetProducers(n) }
@@ -443,15 +548,137 @@ func (p *Prisma) Attribution(consumers int) Attribution {
 // (the prisma-trace attribute input format).
 func (p *Prisma) DumpSpans(w io.Writer) error { return p.tracer.Export(w) }
 
+// ErrOverloaded matches (with errors.Is) the typed, retryable rejection a
+// read receives when the server sheds it at admission: the read provably
+// did not execute, and the error unwraps to a retry-after hint the client
+// backoff honors. Returned only from tenancy-enabled instances.
+var ErrOverloaded = tenancy.ErrOverloaded
+
+// TenantStats is one tenant's QoS snapshot.
+type TenantStats struct {
+	Name         string
+	Weight       float64
+	GrantedRate  float64 // reads/s granted by the max-min arbiter
+	MeasuredRate float64 // demand estimate from the last tick
+	Admitted     int64
+	Shed         int64
+	BytesRead    int64
+	Errors       int64
+	ByteBudget   float64 // bytes/s, 0 = unmetered
+	InDebt       bool
+}
+
+// TenantsSnapshot is the control-plane view of every tenant, sorted by
+// name.
+type TenantsSnapshot struct {
+	Overloaded bool
+	Capacity   float64
+	Tenants    []TenantStats
+}
+
+func tenantsFrom(s tenancy.Snapshot) TenantsSnapshot {
+	out := TenantsSnapshot{Overloaded: s.Overloaded, Capacity: s.Capacity}
+	for _, ts := range s.Tenants {
+		out.Tenants = append(out.Tenants, TenantStats{
+			Name:         ts.Name,
+			Weight:       ts.Weight,
+			GrantedRate:  ts.GrantedRate,
+			MeasuredRate: ts.MeasuredRate,
+			Admitted:     ts.Admitted,
+			Shed:         ts.Shed,
+			BytesRead:    ts.BytesRead,
+			Errors:       ts.Errors,
+			ByteBudget:   ts.ByteBudget,
+			InDebt:       ts.InDebt,
+		})
+	}
+	return out
+}
+
+// errTenancyDisabled reports tenancy API use on a non-tenant instance.
+var errTenancyDisabled = errors.New("prisma: tenancy not enabled (set Options.Tenancy.Enable)")
+
+// RegisterTenant adds a tenant at runtime.
+func (p *Prisma) RegisterTenant(spec TenantSpec) error {
+	if p.tenants == nil {
+		return errTenancyDisabled
+	}
+	return p.tenants.Register(tenancy.Spec{
+		Name:           spec.Name,
+		Weight:         spec.Weight,
+		BytesPerSecond: spec.BytesPerSecond,
+		Secret:         spec.Secret,
+	})
+}
+
+// UnregisterTenant removes a tenant; its share flows back to the rest at
+// the next arbitration tick. The default tenant cannot be removed.
+func (p *Prisma) UnregisterTenant(name string) error {
+	if p.tenants == nil {
+		return errTenancyDisabled
+	}
+	return p.tenants.Unregister(name)
+}
+
+// SetTenant adjusts a tenant's arbitration weight and/or byte budget at
+// runtime (zero leaves the respective knob unchanged).
+func (p *Prisma) SetTenant(name string, weight, bytesPerSecond float64) error {
+	if p.tenants == nil {
+		return errTenancyDisabled
+	}
+	return p.tenants.SetTenant(name, weight, bytesPerSecond)
+}
+
+// Tenants snapshots per-tenant QoS statistics.
+func (p *Prisma) Tenants() (TenantsSnapshot, error) {
+	if p.tenants == nil {
+		return TenantsSnapshot{}, errTenancyDisabled
+	}
+	return tenantsFrom(p.tenants.Stats()), nil
+}
+
+// ReadAs is Read attributed to (and admission-controlled for) the named
+// tenant — the in-process equivalent of a socket client that said Hello.
+// Under overload an over-budget tenant gets ErrOverloaded instead of
+// queueing.
+func (p *Prisma) ReadAs(tenant, name string) ([]byte, error) {
+	data, err := p.stage.ReadTenant(tenant, name)
+	if err != nil {
+		return nil, err
+	}
+	if data.Ref == nil {
+		return data.Bytes, nil
+	}
+	out := make([]byte, len(data.Bytes))
+	copy(out, data.Bytes)
+	data.Release()
+	return out, nil
+}
+
+// ReadSampleAs is ReadSample attributed to the named tenant.
+func (p *Prisma) ReadSampleAs(tenant, name string) (*Sample, error) {
+	data, err := p.stage.ReadTenant(tenant, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Sample{Name: data.Name, Size: data.Size, data: data}, nil
+}
+
 // AdminHandler returns an http.Handler exposing the stage's control
 // interface for dashboards and scrapers: GET /healthz, GET /stats (JSON),
 // GET /metrics (Prometheus text format), GET /attribution, GET /decisions,
-// POST /tuning?producers=N&buffer=M&shards=K&sampling=P, and (when
-// Options.EnablePprof is set) /debug/pprof/.
+// GET /tenants (and POST /tenants?name=X&weight=W&bytes=B on tenancy-
+// enabled instances), POST /tuning?producers=N&buffer=M&shards=K&sampling=P,
+// and (when Options.EnablePprof is set) /debug/pprof/.
 func (p *Prisma) AdminHandler() http.Handler {
 	cfg := httpadmin.Config{EnablePprof: p.enablePprof}
 	if p.ctl != nil {
 		cfg.Decisions = func() []control.DecisionRecord { return p.ctl.Decisions("stage") }
+	}
+	if p.tenants != nil {
+		mgr := p.tenants
+		cfg.Tenants = func() tenancy.Snapshot { return mgr.Stats() }
+		cfg.SetTenant = mgr.SetTenant
 	}
 	return httpadmin.NewWithConfig(p.stage, cfg)
 }
@@ -466,6 +693,9 @@ func (p *Prisma) ServeUnix(socketPath string) error {
 	srv, err := ipc.Serve(socketPath, p.stage)
 	if err != nil {
 		return err
+	}
+	if p.tenants != nil {
+		srv.SetTenantManager(p.tenants)
 	}
 	if p.ctl != nil {
 		ctl := p.ctl
@@ -491,11 +721,17 @@ func (p *Prisma) Close() error {
 	if p.ctl != nil {
 		p.ctl.Stop()
 	}
+	if p.tenants != nil {
+		p.tenants.Stop()
+	}
 	var err error
 	if p.server != nil {
 		err = p.server.Close()
 	}
 	p.stage.Close()
+	if p.cache != nil {
+		p.cache.Close()
+	}
 	if p.recorder != nil {
 		if werr := p.dumpTrace(); err == nil {
 			err = werr
@@ -544,9 +780,34 @@ type Client struct {
 // Dial connects to a PRISMA server started with ServeUnix (or the
 // prisma-server command).
 func Dial(socketPath string) (*Client, error) {
-	c, err := ipc.Dial(socketPath)
+	return DialWithOptions(socketPath, DialOptions{})
+}
+
+// DialOptions tunes a client connection.
+type DialOptions struct {
+	// Tenant, when non-empty, is the identity this connection assumes at
+	// dial time (equivalent to calling Hello right after Dial). The
+	// identity survives transparent reconnects.
+	Tenant string
+	// Secret authenticates Tenant when the server requires one.
+	Secret string
+	// OverloadRetries is how many times a shed read is waited out (per
+	// the server's retry-after hint) and resent before ErrOverloaded
+	// surfaces to the caller (default 0 = surface immediately).
+	OverloadRetries int
+}
+
+// DialWithOptions is Dial with explicit connection options.
+func DialWithOptions(socketPath string, opts DialOptions) (*Client, error) {
+	c, err := ipc.DialWithConfig(socketPath, ipc.DialConfig{OverloadRetries: opts.OverloadRetries})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Tenant != "" {
+		if _, err := c.Hello(opts.Tenant, opts.Secret); err != nil {
+			c.Close()
+			return nil, err
+		}
 	}
 	return &Client{c: c}, nil
 }
@@ -641,6 +902,27 @@ func (c *Client) SetBufferShards(k int) error { return c.c.SetBufferShards(k) }
 // SetTraceSampling adjusts the remote stage's trace head-sampling
 // probability.
 func (c *Client) SetTraceSampling(p float64) error { return c.c.SetTraceSampling(p) }
+
+// Hello establishes this connection's tenant identity: every later read
+// is attributed to (and admission-controlled for) the named tenant, and
+// the identity is replayed transparently after a reconnect. Returns the
+// resolved tenant name ("" maps to the default tenant).
+func (c *Client) Hello(tenant, secret string) (string, error) { return c.c.Hello(tenant, secret) }
+
+// Tenants fetches the server's per-tenant QoS snapshot.
+func (c *Client) Tenants() (TenantsSnapshot, error) {
+	snap, err := c.c.Tenants()
+	if err != nil {
+		return TenantsSnapshot{}, err
+	}
+	return tenantsFrom(snap), nil
+}
+
+// SetTenant adjusts a tenant's arbitration weight and/or byte budget on
+// the server (zero leaves the respective knob unchanged).
+func (c *Client) SetTenant(name string, weight, bytesPerSecond float64) error {
+	return c.c.SetTenant(name, weight, bytesPerSecond)
+}
 
 // Decisions fetches the remote autotuner's decision audit log as raw JSON.
 func (c *Client) Decisions() ([]byte, error) { return c.c.Decisions() }
