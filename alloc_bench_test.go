@@ -18,14 +18,16 @@ import (
 func BenchmarkHotPathAllocs(b *testing.B) {
 	b.Run("unpooled", experiments.AllocBenchmark(experiments.AllocConfig{Pool: false}))
 	b.Run("pooled", experiments.AllocBenchmark(experiments.AllocConfig{Pool: true}))
+	b.Run("pooled-compressed", experiments.AllocBenchmark(experiments.AllocConfig{Pool: true, Compressed: true}))
 }
 
 // allocBudget is the committed allocation budget (alloc_budget.txt) the CI
 // gate enforces. See CONTRIBUTING.md for how to re-baseline it.
 type allocBudget struct {
-	PooledAllocsPerOp int64   // hard ceiling for the pooled variant
-	MinReductionPct   float64 // required pooled-vs-unpooled drop
-	CachedAllocsPerOp int64   // hard ceiling for pooled + shared cache
+	PooledAllocsPerOp     int64   // hard ceiling for the pooled variant
+	MinReductionPct       float64 // required pooled-vs-unpooled drop
+	CachedAllocsPerOp     int64   // hard ceiling for pooled + shared cache
+	CompressedAllocsPerOp int64   // hard ceiling for pooled + compressed shards
 }
 
 func readAllocBudget(t *testing.T, path string) allocBudget {
@@ -66,6 +68,12 @@ func readAllocBudget(t *testing.T, path string) allocBudget {
 				t.Fatalf("alloc budget: %q: %v", line, err)
 			}
 			b.CachedAllocsPerOp = v
+		case "compressed_allocs_per_op":
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("alloc budget: %q: %v", line, err)
+			}
+			b.CompressedAllocsPerOp = v
 		default:
 			t.Fatalf("alloc budget: unknown key %q", fields[0])
 		}
@@ -74,8 +82,10 @@ func readAllocBudget(t *testing.T, path string) allocBudget {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if !seen["pooled_allocs_per_op"] || !seen["min_reduction_percent"] || !seen["cached_allocs_per_op"] {
-		t.Fatal("alloc budget: missing pooled_allocs_per_op, min_reduction_percent, or cached_allocs_per_op")
+	for _, key := range []string{"pooled_allocs_per_op", "min_reduction_percent", "cached_allocs_per_op", "compressed_allocs_per_op"} {
+		if !seen[key] {
+			t.Fatalf("alloc budget: missing %s", key)
+		}
 	}
 	return b
 }
@@ -117,6 +127,16 @@ func TestAllocRegressionGate(t *testing.T) {
 	if cached.AllocsPerOp > budget.CachedAllocsPerOp {
 		t.Errorf("pooled hot path with the shared cache allocates %d/op, budget is %d/op (see CONTRIBUTING.md to re-baseline)",
 			cached.AllocsPerOp, budget.CachedAllocsPerOp)
+	}
+	// Compressed cell: LZ-packed shards decoded in place into pooled
+	// buffers must stay within the same per-sample budget — transparent
+	// compression is not allowed to cost the hot path its zero-alloc
+	// property.
+	compressed := experiments.RunAllocCell(experiments.AllocConfig{Pool: true, Compressed: true})
+	t.Logf("pooled+compressed: %d allocs/op (%d ops)", compressed.AllocsPerOp, compressed.Ops)
+	if compressed.AllocsPerOp > budget.CompressedAllocsPerOp {
+		t.Errorf("pooled hot path over compressed shards allocates %d/op, budget is %d/op (see CONTRIBUTING.md to re-baseline)",
+			compressed.AllocsPerOp, budget.CompressedAllocsPerOp)
 	}
 	if unpooled.AllocsPerOp == 0 {
 		t.Error("unpooled variant reported zero allocs/op: the benchmark is not measuring the hot path")

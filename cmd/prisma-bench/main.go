@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|all
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|tiering|all
 //
 // Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
 // default 1/128 preserves every shape in a fraction of the event count.
@@ -46,7 +46,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|all")
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|tiering|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -180,8 +180,11 @@ func main() {
 	if what == "alloc" {
 		runAlloc(*shardCs, report)
 	}
+	if what == "tiering" || what == "all" {
+		runTiering(report)
+	}
 	switch what {
-	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "attribution", "alloc", "all":
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "attribution", "alloc", "tiering", "all":
 	default:
 		log.Fatalf("prisma-bench: unknown target %q", what)
 	}
@@ -258,6 +261,44 @@ func runAlloc(consumerCSV string, report func(string)) {
 	fmt.Println()
 	if err := experiments.RenderAllocSweep(os.Stdout,
 		"Hot-path allocations — full pipeline per delivered 64 KiB sample, pooled vs unpooled", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// runTiering runs the storage-tiering crossover cells (dataset far larger
+// than the fast tier, skewed popularity, next-epoch warming) whose tables
+// EXPERIMENTS.md records.
+func runTiering(report func(string)) {
+	rows, err := experiments.RunTieringCrossover(report)
+	if err != nil {
+		log.Fatalf("prisma-bench: tiering: %v", err)
+	}
+	fmt.Println()
+	if err := experiments.RenderTiering(os.Stdout,
+		"Tiering — 6 MiB dataset cycled 3 epochs over a 2 MiB fast tier (NFS slow tier, NVMe fast tier)", rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	skewBase, skewTier, err := experiments.RunTieringSkew(report)
+	if err != nil {
+		log.Fatalf("prisma-bench: tiering skew: %v", err)
+	}
+	if err := experiments.RenderTiering(os.Stdout,
+		"Tiering — skewed popularity (10 hot of 100 samples, tier holds ~16)",
+		[]experiments.TieringRow{skewBase, skewTier}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	noPref, pref, err := experiments.RunTieringPrefetch(report)
+	if err != nil {
+		log.Fatalf("prisma-bench: tiering prefetch: %v", err)
+	}
+	if err := experiments.RenderTiering(os.Stdout,
+		"Tiering — next-epoch warming (epoch-2 plan submitted while epoch 1 trains)",
+		[]experiments.TieringRow{noPref, pref}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()

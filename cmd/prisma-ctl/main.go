@@ -40,6 +40,7 @@ commands:
   epochs                list retained plan epochs and their lifecycle state
   cancel-epoch ID       cancel a plan epoch (drops its queued/buffered samples)
   tenants               print per-tenant QoS statistics (tenancy-enabled servers)
+  tiering               print fast-tier statistics (tiering-enabled servers)
   set-tenant NAME W B   set a tenant's arbitration weight W and/or byte budget
                         B in bytes/s (0 leaves the respective knob unchanged)
   watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
@@ -88,6 +89,11 @@ func main() {
 			fmt.Printf("buffer pool:      %d leases, %.0f%% recycled, %d outstanding, %d free (%.1f MiB)\n",
 				s.PoolGets, s.PoolHitRate*100, s.PoolOutstanding,
 				s.PoolFreeBuffers, float64(s.PoolFreeBytes)/(1<<20))
+		}
+		if s.TierEnabled {
+			fmt.Printf("fast tier:        %d hits / %d slow reads, %d residents (%.1f/%.1f MiB)\n",
+				s.TierFastHits, s.TierSlowReads, s.TierResidents,
+				float64(s.TierUsedBytes)/(1<<20), float64(s.TierCapacityBytes)/(1<<20))
 		}
 
 	case "ping":
@@ -203,6 +209,29 @@ func main() {
 				ts.Name, ts.Weight, ts.GrantedRate, ts.MeasuredRate,
 				ts.Admitted, ts.Shed, ts.BytesRead, ts.Errors, budget, debt)
 		}
+
+	case "tiering":
+		s, err := client.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		if !s.TierEnabled {
+			fatal(fmt.Errorf("tiering not enabled on this server"))
+		}
+		fmt.Printf("capacity:            %.1f MiB\n", float64(s.TierCapacityBytes)/(1<<20))
+		fmt.Printf("used (physical):     %.1f MiB\n", float64(s.TierUsedBytes)/(1<<20))
+		fmt.Printf("held (logical):      %.1f MiB\n", float64(s.TierLogicalBytes)/(1<<20))
+		fmt.Printf("residents:           %d\n", s.TierResidents)
+		fmt.Printf("fast hits:           %d\n", s.TierFastHits)
+		fmt.Printf("slow reads:          %d\n", s.TierSlowReads)
+		if total := s.TierFastHits + s.TierSlowReads; total > 0 {
+			fmt.Printf("hit rate:            %.1f%%\n", 100*float64(s.TierFastHits)/float64(total))
+		}
+		fmt.Printf("promotions:          %d\n", s.TierPromotions)
+		fmt.Printf("evictions:           %d\n", s.TierEvictions)
+		fmt.Printf("prefetch promotions: %d\n", s.TierPrefetchPromotions)
+		fmt.Printf("prefetch skips:      %d\n", s.TierPrefetchSkips)
+		fmt.Printf("tracked names:       %d (%d decay sweeps)\n", s.TierTrackedNames, s.TierAccessDecays)
 
 	case "set-tenant":
 		if len(args) < 4 {

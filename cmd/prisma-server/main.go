@@ -86,6 +86,13 @@ func main() {
 		degradedFactor = flag.Float64("degraded-factor", 0, "capacity scale while the backend breaker is open (0 = default 0.5)")
 		sharedCache    = flag.Int64("shared-cache", 0, "shared read cache capacity in bytes so co-located tenants don't multiply backend load (0 = off)")
 		tenantSpecs    = flag.String("tenants", "", "pre-registered tenants as NAME[:WEIGHT[:BYTES_PER_SEC[:SECRET]]],... (requires -tenancy)")
+
+		tieringOn      = flag.Bool("tiering", false, "enable the fast-tier backend stage (promote hot samples into a byte-budgeted tier)")
+		tieringCap     = flag.Int64("tiering-capacity", 0, "fast-tier byte budget (0 = default 256MiB; requires -tiering)")
+		tieringAfter   = flag.Int("tiering-promote-after", 0, "slow-tier reads of a sample before promotion (0 = default 1)")
+		tieringComp    = flag.Bool("tiering-compress", false, "store fast-tier residents compressed, decoded in place on hits")
+		tieringPref    = flag.Bool("tiering-prefetch-next", false, "warm next-epoch cold samples into free fast-tier space when a plan is submitted")
+		tieringTracked = flag.Int("tiering-max-tracked", 0, "promotion-counter map bound before decay sweeps (0 = default 65536)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -128,6 +135,14 @@ func main() {
 			DegradedFactor:   *degradedFactor,
 			SharedCacheBytes: *sharedCache,
 			Tenants:          tenants,
+		},
+		Tiering: prisma.TieringOptions{
+			Enable:            *tieringOn,
+			CapacityBytes:     *tieringCap,
+			PromoteAfter:      *tieringAfter,
+			MaxTrackedNames:   *tieringTracked,
+			Compress:          *tieringComp,
+			PrefetchNextEpoch: *tieringPref,
 		},
 	})
 	if err != nil {

@@ -152,19 +152,46 @@ type StageStats struct {
 	// the signal the autotuner watches to back off producers while the
 	// circuit breaker sheds load.
 	Resilience storage.ResilienceStats
+
+	// Tiering reflects the fast-tier backend stage when one is wired in
+	// (SetTieringSource); TieringEnabled disambiguates "off" from "idle".
+	// Riding StageStats means the snapshot crosses the IPC Stats call
+	// unchanged, so remote clients see tier state too.
+	Tiering        TieringStats
+	TieringEnabled bool
+}
+
+// TieringStats is the fast-tier snapshot carried by StageStats (the
+// internal/tiering stats, restated here so core does not depend on the
+// policy package).
+type TieringStats struct {
+	FastHits           int64
+	SlowReads          int64
+	Promotions         int64
+	Evictions          int64
+	PrefetchPromotions int64
+	PrefetchSkips      int64
+	FastUsed           int64 // physical bytes resident
+	FastLogical        int64 // decoded bytes those residents represent
+	Capacity           int64
+	Residents          int
+	TrackedNames       int
+	AccessDecays       int64
 }
 
 // Stage is one PRISMA data-plane stage: a chain of optimization objects in
 // front of backend storage, a POSIX-style Read interception point, and the
 // control interface (Stats / SetProducers / SetBufferCapacity).
 type Stage struct {
-	env     conc.Env
-	backend storage.Backend
-	objects []OptimizationObject
-	pf      *Prefetcher   // non-nil when a PrefetchObject is attached
-	tracer  *obs.Tracer   // nil-safe; set once via SetTracer before traffic
-	pool    *mempool.Pool // nil when pooling is off; stats only
-	gate    TenantGate    // nil when multi-tenant QoS is off
+	env       conc.Env
+	backend   storage.Backend
+	objects   []OptimizationObject
+	pf        *Prefetcher          // non-nil when a PrefetchObject is attached
+	tracer    *obs.Tracer          // nil-safe; set once via SetTracer before traffic
+	pool      *mempool.Pool        // nil when pooling is off; stats only
+	gate      TenantGate           // nil when multi-tenant QoS is off
+	tiering   func() TieringStats  // nil when no fast tier is wired in
+	epochHook func(names []string) // nil unless a plan observer (tier warmer) is attached
 
 	reads    *metrics.Counter
 	hits     *metrics.Counter
@@ -270,6 +297,19 @@ func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 // exactly like ReadCtx.
 func (s *Stage) SetTenantGate(g TenantGate) { s.gate = g }
 
+// SetTieringSource registers the fast-tier snapshot provider so tier
+// state rides the stage's monitoring snapshot (and hence the IPC Stats
+// round trip). Call before traffic starts; nil (the default) leaves
+// StageStats.TieringEnabled false.
+func (s *Stage) SetTieringSource(f func() TieringStats) { s.tiering = f }
+
+// SetEpochPlanHook registers a callback invoked with every successfully
+// submitted epoch plan. The stage is the one chokepoint both the
+// in-process (Prisma.SubmitEpoch) and IPC (OpSubmitEpoch) submission
+// paths share, so hooking here is what lets the tier warmer see plans
+// from remote data loaders too. Call before traffic starts.
+func (s *Stage) SetEpochPlanHook(f func(names []string)) { s.epochHook = f }
+
 // ReadTenant is ReadTenantCtx without a trace context.
 func (s *Stage) ReadTenant(tenant, name string) (storage.Data, error) {
 	return s.ReadTenantCtx(tenant, name, obs.Ctx{})
@@ -311,7 +351,11 @@ func (s *Stage) SubmitEpoch(names []string) (PlanResult, error) {
 	if s.pf == nil {
 		return PlanResult{}, ErrNoPrefetcher
 	}
-	return s.pf.SubmitEpoch(names)
+	res, err := s.pf.SubmitEpoch(names)
+	if err == nil && s.epochHook != nil {
+		s.epochHook(names)
+	}
+	return res, err
 }
 
 // CancelEpoch cancels a submitted plan epoch (control interface): queued
@@ -371,6 +415,10 @@ func (s *Stage) Stats() StageStats {
 	}
 	if rr, ok := s.backend.(storage.ResilienceReporter); ok {
 		st.Resilience = rr.ResilienceStats()
+	}
+	if s.tiering != nil {
+		st.Tiering = s.tiering()
+		st.TieringEnabled = true
 	}
 	return st
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/ipc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
+	"github.com/dsrhaslab/prisma-go/internal/recordio"
 	"github.com/dsrhaslab/prisma-go/internal/sharedcache"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -44,6 +46,12 @@ type AllocConfig struct {
 	// co-location tier. Sized above the dataset it converges to all-hits,
 	// so the cell measures the cache's own contribution to the hot path.
 	SharedCache int64
+	// Compressed packs the dataset (compressible patterned payloads) into
+	// LZ-compressed recordio shards held in memory and serves them through
+	// an IndexedBackend, so the cell measures the transparent-decompression
+	// read path: ranged shard read, CRC check, in-place decode into a
+	// pooled buffer.
+	Compressed bool
 }
 
 func (c AllocConfig) withDefaults() AllocConfig {
@@ -77,11 +85,42 @@ func AllocBenchmark(cfg AllocConfig) func(b *testing.B) {
 		names := make([]string, cfg.Files)
 		for i := range names {
 			names[i] = fmt.Sprintf("alloc%04d.bin", i)
-			mem.AddSeeded(names[i], cfg.FileSize, int64(i)+1)
 		}
 		var backend storage.Backend = mem
+		if cfg.Compressed {
+			// Pack compressible payloads (AddSeeded's pseudo-random content
+			// would defeat the codec) into one in-memory shard.
+			var shard bytes.Buffer
+			w := recordio.NewWriter(&shard)
+			ix := recordio.NewIndex()
+			const shardName = "alloc/shard-00000.rec"
+			for i, name := range names {
+				content := compressibleSample(i, cfg.FileSize, 0.25)
+				comp, ok := recordio.Compress(content)
+				if !ok {
+					b.Fatal("alloc: patterned payload did not compress")
+				}
+				off, length, err := w.WriteRecord(comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = ix.Add(name, recordio.Entry{
+					Shard: shardName, Offset: off, Length: length,
+					Codec: recordio.CodecLZ, Raw: int64(len(content)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			mem.Add(shardName, shard.Bytes())
+			backend = recordio.NewIndexedBackend(ix, mem)
+		} else {
+			for i, name := range names {
+				mem.AddSeeded(name, cfg.FileSize, int64(i)+1)
+			}
+		}
 		if cfg.SharedCache > 0 {
-			cache, err := sharedcache.New(env, mem, cfg.SharedCache)
+			cache, err := sharedcache.New(env, backend, cfg.SharedCache)
 			if err != nil {
 				b.Fatal(err)
 			}

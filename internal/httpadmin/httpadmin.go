@@ -62,6 +62,7 @@ func NewWithConfig(dp control.DataPlane, cfg Config) *Handler {
 	h.mux.HandleFunc("/decisions", h.decisions)
 	h.mux.HandleFunc("/epochs", h.epochs)
 	h.mux.HandleFunc("/tenants", h.tenants)
+	h.mux.HandleFunc("/tiering", h.tiering)
 	if cfg.EnablePprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -165,10 +166,49 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		write("prisma_pool_free_buffers", "Idle buffers parked on the pool's free lists.", "gauge", float64(s.Pool.FreeBuffers))
 		write("prisma_pool_free_bytes", "Bytes held idle by the pool's free lists.", "gauge", float64(s.Pool.FreeBytes))
 	}
+	tierEnabled := 0.0
+	if s.TieringEnabled {
+		tierEnabled = 1
+	}
+	write("prisma_tiering_enabled", "1 when the fast-tier backend stage is wired in.", "gauge", tierEnabled)
+	if s.TieringEnabled {
+		t := s.Tiering
+		write("prisma_tiering_fast_hits_total", "Reads served from the fast tier.", "counter", float64(t.FastHits))
+		write("prisma_tiering_slow_reads_total", "Demand misses served by the slow tier.", "counter", float64(t.SlowReads))
+		write("prisma_tiering_promotions_total", "Samples copied into the fast tier on the demand path.", "counter", float64(t.Promotions))
+		write("prisma_tiering_evictions_total", "Fast-tier residents evicted to make room.", "counter", float64(t.Evictions))
+		write("prisma_tiering_prefetch_promotions_total", "Samples warmed in by next-epoch plan prefetch.", "counter", float64(t.PrefetchPromotions))
+		write("prisma_tiering_prefetch_skips_total", "Warm-plan entries declined (resident, full tier, or error).", "counter", float64(t.PrefetchSkips))
+		write("prisma_tiering_used_bytes", "Physical fast-tier occupancy (compressed where applicable).", "gauge", float64(t.FastUsed))
+		write("prisma_tiering_logical_bytes", "Decoded sample volume the fast tier holds.", "gauge", float64(t.FastLogical))
+		write("prisma_tiering_capacity_bytes", "Fast-tier byte budget.", "gauge", float64(t.Capacity))
+		write("prisma_tiering_residents", "Samples resident on the fast tier.", "gauge", float64(t.Residents))
+		write("prisma_tiering_tracked_names", "Names in the promotion-counter map.", "gauge", float64(t.TrackedNames))
+		write("prisma_tiering_access_decays_total", "Promotion-counter decay sweeps.", "counter", float64(t.AccessDecays))
+	}
 	writeHistogram(w, "prisma_storage_read_latency_seconds", "Producer-observed backend read latency.", s.StorageReadLatency)
 	writeHistogram(w, "prisma_consumer_wait_latency_seconds", "Per-Take consumer blocking time.", s.Buffer.WaitHist)
 	if h.cfg.Tenants != nil {
 		writeTenantMetrics(w, h.cfg.Tenants())
+	}
+}
+
+// tiering serves the fast-tier snapshot: GET /tiering returns the
+// TieringStats carried by the stage snapshot as JSON, 501 when no fast
+// tier is wired in.
+func (h *Handler) tiering(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s := h.dp.Stats()
+	if !s.TieringEnabled {
+		http.Error(w, "tiering not enabled on this instance", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Tiering); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

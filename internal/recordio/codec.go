@@ -1,0 +1,170 @@
+// Transparent per-sample compression for packed shards. The codec is a
+// small byte-oriented LZ77 in the snappy family: greedy hash-table
+// matching on the encode side, and a decode loop that writes straight
+// into a caller-provided buffer of the known uncompressed size. The
+// decoder allocates nothing — unlike stdlib flate, whose dynamic-Huffman
+// table construction allocates per block and would break the hot path's
+// 0 allocs/op gate — which is what lets compressed records decode in
+// place into pooled buffers.
+//
+// Compressed stream format (raw size is carried by the index, not the
+// stream):
+//
+//	literal run: 0x00 | uvarint(n) | n bytes
+//	back copy:   0x01 | uvarint(offset) | uvarint(length)
+//
+// A copy references the last `offset` bytes of the output produced so
+// far; overlapping copies (offset < length) replicate runs, RLE-style.
+package recordio
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Codec identifies a record payload's encoding in the index.
+type Codec uint8
+
+const (
+	// CodecNone marks a plain payload stored verbatim.
+	CodecNone Codec = 0
+	// CodecLZ marks a payload compressed with the package's LZ codec.
+	CodecLZ Codec = 1
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecLZ:
+		return "lz"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+const (
+	lzTagLiteral = 0x00
+	lzTagCopy    = 0x01
+
+	lzMinMatch  = 4
+	lzTableBits = 13
+)
+
+// lzHash maps a 4-byte window to a table slot (Knuth multiplicative).
+func lzHash(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - lzTableBits)
+}
+
+// appendLiterals emits src as one literal run (no-op when empty).
+func appendLiterals(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	dst = append(dst, lzTagLiteral)
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	return append(dst, src...)
+}
+
+// Compress encodes src with the LZ codec. It returns (compressed, true)
+// only when the encoding is strictly smaller than src; incompressible
+// payloads return (nil, false) and should be stored as CodecNone —
+// transparent compression must never inflate a shard.
+func Compress(src []byte) ([]byte, bool) {
+	if len(src) < lzMinMatch+2 {
+		return nil, false
+	}
+	var table [1 << lzTableBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	dst := make([]byte, 0, len(src))
+	litStart := 0
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		h := lzHash(src[i:])
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand < 0 || binary.LittleEndian.Uint32(src[cand:]) != binary.LittleEndian.Uint32(src[i:]) {
+			i++
+			continue
+		}
+		n := lzMinMatch
+		for i+n < len(src) && src[cand+n] == src[i+n] {
+			n++
+		}
+		dst = appendLiterals(dst, src[litStart:i])
+		dst = append(dst, lzTagCopy)
+		dst = binary.AppendUvarint(dst, uint64(i-cand))
+		dst = binary.AppendUvarint(dst, uint64(n))
+		i += n
+		litStart = i
+	}
+	dst = appendLiterals(dst, src[litStart:])
+	if len(dst) >= len(src) {
+		return nil, false
+	}
+	return dst, true
+}
+
+// DecompressInto decodes src into dst, which must be exactly the
+// record's uncompressed size (from the index entry). It performs no
+// allocations: both buffers are caller-owned, so pooled buffers flow
+// through untouched. Any framing violation — including a decoded size
+// that does not fill dst exactly — reports ErrCorrupt.
+func DecompressInto(dst, src []byte) error {
+	di, si := 0, 0
+	for si < len(src) {
+		tag := src[si]
+		si++
+		switch tag {
+		case lzTagLiteral:
+			n, k := binary.Uvarint(src[si:])
+			if k <= 0 {
+				return fmt.Errorf("%w: bad literal length", ErrCorrupt)
+			}
+			si += k
+			if n == 0 || n > uint64(len(src)-si) || n > uint64(len(dst)-di) {
+				return fmt.Errorf("%w: literal run overruns buffer", ErrCorrupt)
+			}
+			copy(dst[di:], src[si:si+int(n)])
+			si += int(n)
+			di += int(n)
+		case lzTagCopy:
+			off, k := binary.Uvarint(src[si:])
+			if k <= 0 {
+				return fmt.Errorf("%w: bad copy offset", ErrCorrupt)
+			}
+			si += k
+			n, k := binary.Uvarint(src[si:])
+			if k <= 0 {
+				return fmt.Errorf("%w: bad copy length", ErrCorrupt)
+			}
+			si += k
+			if off == 0 || off > uint64(di) || n == 0 || n > uint64(len(dst)-di) {
+				return fmt.Errorf("%w: copy out of range", ErrCorrupt)
+			}
+			// Byte-at-a-time on purpose: overlapping copies (offset <
+			// length) must observe bytes written earlier in this same copy.
+			from := di - int(off)
+			for j := 0; j < int(n); j++ {
+				dst[di+j] = dst[from+j]
+			}
+			di += int(n)
+		default:
+			return fmt.Errorf("%w: unknown tag %#02x", ErrCorrupt, tag)
+		}
+	}
+	if di != len(dst) {
+		return fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, di, len(dst))
+	}
+	return nil
+}
+
+// ContentKey is a payload's dedup identity: packing two samples with the
+// same key stores the bytes once and indexes both names at that record.
+func ContentKey(payload []byte) [sha256.Size]byte {
+	return sha256.Sum256(payload)
+}

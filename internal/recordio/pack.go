@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -14,6 +15,31 @@ import (
 // plan for modeled (sim-mode) backends. It returns the index plus a shard
 // manifest usable with storage.NewModeledBackend.
 func PackManifest(man *dataset.Manifest, prefix string, shardBytes int64) (*Index, *dataset.Manifest, error) {
+	return packManifest(man, prefix, shardBytes, nil)
+}
+
+// PackManifestCompressed is PackManifest with modeled transparent
+// compression: each sample's stored size is its manifest size scaled by
+// ratio (clamped to [1, size]), so the modeled device is charged for
+// compressed bytes while readers observe the raw sample size — the same
+// contract the real compressed packer provides. ratio must be in (0, 1].
+func PackManifestCompressed(man *dataset.Manifest, prefix string, shardBytes int64, ratio float64) (*Index, *dataset.Manifest, error) {
+	if ratio <= 0 || ratio > 1 {
+		return nil, nil, fmt.Errorf("recordio: compression ratio %v outside (0, 1]", ratio)
+	}
+	return packManifest(man, prefix, shardBytes, func(size int64) int64 {
+		stored := int64(float64(size) * ratio)
+		if stored < 1 {
+			stored = 1
+		}
+		if stored > size {
+			stored = size
+		}
+		return stored
+	})
+}
+
+func packManifest(man *dataset.Manifest, prefix string, shardBytes int64, storedFn func(int64) int64) (*Index, *dataset.Manifest, error) {
 	if shardBytes < headerSize+1 {
 		return nil, nil, fmt.Errorf("recordio: shard size %d too small", shardBytes)
 	}
@@ -33,11 +59,21 @@ func PackManifest(man *dataset.Manifest, prefix string, shardBytes int64) (*Inde
 	newShard()
 	for i := 0; i < man.Len(); i++ {
 		s := man.Sample(i)
-		recLen := headerSize + s.Size
+		e := Entry{Shard: shardName}
+		stored := s.Size
+		if storedFn != nil {
+			stored = storedFn(s.Size)
+			if stored < s.Size {
+				e.Codec = CodecLZ
+				e.Raw = s.Size
+			}
+		}
+		recLen := headerSize + stored
 		if offset > 0 && offset+recLen > shardBytes {
 			newShard()
 		}
-		if err := ix.Add(s.Name, Entry{Shard: shardName, Offset: offset, Length: recLen}); err != nil {
+		e.Shard, e.Offset, e.Length = shardName, offset, recLen
+		if err := ix.Add(s.Name, e); err != nil {
 			return nil, nil, err
 		}
 		offset += recLen
@@ -52,9 +88,25 @@ func PackManifest(man *dataset.Manifest, prefix string, shardBytes int64) (*Inde
 	return ix, shardMan, nil
 }
 
+// PackOptions selects the transparent storage optimizations applied while
+// packing real files.
+type PackOptions struct {
+	// Compress LZ-encodes each payload, storing it compressed only when
+	// that is strictly smaller (incompressible samples stay verbatim).
+	Compress bool
+	// Dedup indexes samples with identical content (by SHA-256) at one
+	// shared record instead of writing the bytes again.
+	Dedup bool
+}
+
 // PackDir packs every file of a source directory's manifest into real
 // shard files under dstDir, returning the index.
 func PackDir(srcDir string, man *dataset.Manifest, dstDir, prefix string, shardBytes int64) (*Index, error) {
+	return PackDirOpts(srcDir, man, dstDir, prefix, shardBytes, PackOptions{})
+}
+
+// PackDirOpts is PackDir with transparent compression and content dedup.
+func PackDirOpts(srcDir string, man *dataset.Manifest, dstDir, prefix string, shardBytes int64, opts PackOptions) (*Index, error) {
 	if shardBytes < headerSize+1 {
 		return nil, fmt.Errorf("recordio: shard size %d too small", shardBytes)
 	}
@@ -93,6 +145,10 @@ func PackDir(srcDir string, man *dataset.Manifest, dstDir, prefix string, shardB
 	if err := newShard(); err != nil {
 		return nil, err
 	}
+	var seen map[[32]byte]Entry
+	if opts.Dedup {
+		seen = make(map[[32]byte]Entry)
+	}
 	for i := 0; i < man.Len(); i++ {
 		s := man.Sample(i)
 		data, err := src.ReadFile(s.Name)
@@ -100,19 +156,46 @@ func PackDir(srcDir string, man *dataset.Manifest, dstDir, prefix string, shardB
 			closeShard()
 			return nil, err
 		}
-		if w.Offset() > 0 && w.Offset()+headerSize+data.Size > shardBytes {
+		var key [32]byte
+		if opts.Dedup {
+			key = ContentKey(data.Bytes)
+			if first, dup := seen[key]; dup {
+				first.Dedup = true
+				if err := ix.Add(s.Name, first); err != nil {
+					closeShard()
+					return nil, err
+				}
+				continue
+			}
+		}
+		payload := data.Bytes
+		codec := CodecNone
+		if opts.Compress {
+			if comp, ok := Compress(data.Bytes); ok {
+				payload = comp
+				codec = CodecLZ
+			}
+		}
+		if w.Offset() > 0 && w.Offset()+headerSize+int64(len(payload)) > shardBytes {
 			if err := newShard(); err != nil {
 				return nil, err
 			}
 		}
-		off, length, err := w.WriteRecord(data.Bytes)
+		off, length, err := w.WriteRecord(payload)
 		if err != nil {
 			closeShard()
 			return nil, err
 		}
-		if err := ix.Add(s.Name, Entry{Shard: shardName, Offset: off, Length: length}); err != nil {
+		e := Entry{Shard: shardName, Offset: off, Length: length, Codec: codec}
+		if codec != CodecNone {
+			e.Raw = data.Size
+		}
+		if err := ix.Add(s.Name, e); err != nil {
 			closeShard()
 			return nil, err
+		}
+		if opts.Dedup {
+			seen[key] = e
 		}
 	}
 	return ix, closeShard()
@@ -127,6 +210,7 @@ func PackDir(srcDir string, man *dataset.Manifest, dstDir, prefix string, shardB
 type IndexedBackend struct {
 	ix      *Index
 	backend storage.RangeReader
+	pool    *mempool.Pool
 }
 
 // NewIndexedBackend wires an index to the shard store.
@@ -134,8 +218,20 @@ func NewIndexedBackend(ix *Index, backend storage.RangeReader) *IndexedBackend {
 	return &IndexedBackend{ix: ix, backend: backend}
 }
 
+// SetBufferPool attaches the sample buffer pool: compressed records then
+// decode in place into pooled buffers (and the shard store, if it pools
+// its range reads, is attached too).
+func (b *IndexedBackend) SetBufferPool(p *mempool.Pool) {
+	b.pool = p
+	if pa, ok := b.backend.(storage.PoolAttacher); ok {
+		pa.SetBufferPool(p)
+	}
+}
+
 // ReadFile implements storage.Backend: one ranged read of the record, with
-// payload verification when bytes are available.
+// payload verification — and transparent decompression — when bytes are
+// available. The CRC covers the stored (possibly compressed) payload, so
+// corruption is caught before the decoder runs.
 func (b *IndexedBackend) ReadFile(name string) (storage.Data, error) {
 	e, ok := b.ix.Lookup(name)
 	if !ok {
@@ -145,19 +241,42 @@ func (b *IndexedBackend) ReadFile(name string) (storage.Data, error) {
 	if err != nil {
 		return storage.Data{}, err
 	}
-	if data.Bytes != nil {
-		payload, _, err := Decode(data.Bytes)
-		if err != nil {
-			return storage.Data{}, fmt.Errorf("recordio: %s in %s: %w", name, e.Shard, err)
+	if data.Bytes == nil {
+		// Modeled backend: the device was charged for the stored
+		// (compressed) record; report the decoded sample size.
+		return storage.Data{Name: name, Size: e.PayloadSize()}, nil
+	}
+	payload, _, err := Decode(data.Bytes)
+	if err != nil {
+		data.Release()
+		return storage.Data{}, fmt.Errorf("recordio: %s in %s: %w", name, e.Shard, err)
+	}
+	if e.Codec == CodecNone {
+		// The payload aliases the range read's buffer, so its pool
+		// reference (if any) rides along to the consumer.
+		return storage.Data{Name: name, Size: int64(len(payload)), Bytes: payload, Ref: data.Ref}, nil
+	}
+	// Compressed record: decode in place into a pooled buffer sized for
+	// the raw sample, then drop the compressed range buffer.
+	var (
+		dst    []byte
+		dstRef *mempool.Ref
+	)
+	if b.pool != nil {
+		dstRef = b.pool.Get(int(e.Raw))
+		dst = dstRef.Bytes()
+	} else {
+		dst = make([]byte, e.Raw)
+	}
+	if err := DecompressInto(dst, payload); err != nil {
+		if dstRef != nil {
+			dstRef.Release()
 		}
-		return storage.Data{Name: name, Size: int64(len(payload)), Bytes: payload}, nil
+		data.Release()
+		return storage.Data{}, fmt.Errorf("recordio: %s in %s: %w", name, e.Shard, err)
 	}
-	// Modeled backend: report the payload size (header excluded).
-	size := e.Length - headerSize
-	if size < 0 {
-		size = 0
-	}
-	return storage.Data{Name: name, Size: size}, nil
+	data.Release()
+	return storage.Data{Name: name, Size: e.Raw, Bytes: dst, Ref: dstRef}, nil
 }
 
 // Size implements storage.Backend from the index alone (no I/O).
@@ -166,11 +285,7 @@ func (b *IndexedBackend) Size(name string) (int64, error) {
 	if !ok {
 		return 0, &storage.NotExistError{Name: name}
 	}
-	size := e.Length - headerSize
-	if size < 0 {
-		size = 0
-	}
-	return size, nil
+	return e.PayloadSize(), nil
 }
 
 // ShardIterator reads one shard sequentially through a RangeReader in

@@ -127,20 +127,50 @@ func Decode(buf []byte) (payload []byte, recordLen int64, err error) {
 type Entry struct {
 	Shard  string // shard file name
 	Offset int64  // record start (header included)
-	Length int64  // total record length (header + payload)
+	Length int64  // total record length (header + stored payload)
+	Codec  Codec  // stored-payload encoding (CodecNone = verbatim)
+	Raw    int64  // uncompressed payload size; 0 means Length-headerSize
+	Dedup  bool   // alias: points at a record indexed under another name
+}
+
+// StoredSize is the payload volume this entry occupies on disk
+// (compressed size for CodecLZ entries).
+func (e Entry) StoredSize() int64 {
+	if n := e.Length - headerSize; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// PayloadSize is the sample size the entry decodes to — what callers of
+// ReadFile/Size observe, regardless of codec.
+func (e Entry) PayloadSize() int64 {
+	if e.Raw > 0 {
+		return e.Raw
+	}
+	return e.StoredSize()
 }
 
 // Index maps sample names to their packed locations.
 type Index struct {
-	entries map[string]Entry
-	shards  []string
-	// PayloadBytes is the total payload volume indexed.
+	entries   map[string]Entry
+	shards    []string
+	shardSeen map[string]bool
+	// PayloadBytes is the total decoded sample volume indexed (what
+	// consumers receive).
 	PayloadBytes int64
+	// StoredBytes is the payload volume actually occupying shards:
+	// compression shrinks it, and dedup aliases do not recount it.
+	StoredBytes int64
+	// DedupHits counts alias entries; DedupSavedBytes is the stored
+	// volume those aliases avoided writing.
+	DedupHits       int64
+	DedupSavedBytes int64
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{entries: make(map[string]Entry)}
+	return &Index{entries: make(map[string]Entry), shardSeen: make(map[string]bool)}
 }
 
 // Add registers a sample's location. Duplicate names are rejected.
@@ -149,11 +179,16 @@ func (ix *Index) Add(name string, e Entry) error {
 		return fmt.Errorf("recordio: duplicate index entry %q", name)
 	}
 	ix.entries[name] = e
-	if len(ix.shards) == 0 || ix.shards[len(ix.shards)-1] != e.Shard {
+	if !ix.shardSeen[e.Shard] {
+		ix.shardSeen[e.Shard] = true
 		ix.shards = append(ix.shards, e.Shard)
 	}
-	if e.Length > headerSize {
-		ix.PayloadBytes += e.Length - headerSize
+	ix.PayloadBytes += e.PayloadSize()
+	if e.Dedup {
+		ix.DedupHits++
+		ix.DedupSavedBytes += e.StoredSize()
+	} else {
+		ix.StoredBytes += e.StoredSize()
 	}
 	return nil
 }

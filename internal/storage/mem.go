@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -74,6 +75,38 @@ func (b *MemBackend) ReadFile(name string) (Data, error) {
 	out := make([]byte, len(src))
 	copy(out, src)
 	return Data{Name: name, Size: int64(len(src)), Bytes: out}, nil
+}
+
+// ReadRange implements RangeReader with the same pooled-copy contract as
+// ReadFile: [off, off+n) clamped to the stored length (reads past EOF
+// truncate rather than error, matching DirBackend). This is what lets
+// recordio.IndexedBackend serve packed shards out of memory on the
+// zero-allocation hot path.
+func (b *MemBackend) ReadRange(name string, off, n int64) (Data, error) {
+	b.mu.Lock()
+	src, ok := b.files[name]
+	b.mu.Unlock()
+	if !ok {
+		return Data{}, &NotExistError{Name: name}
+	}
+	if off < 0 || n < 0 {
+		return Data{}, fmt.Errorf("storage: invalid range [%d, +%d) for %s", off, n, name)
+	}
+	if off > int64(len(src)) {
+		off = int64(len(src))
+	}
+	if off+n > int64(len(src)) {
+		n = int64(len(src)) - off
+	}
+	window := src[off : off+n]
+	if b.pool != nil {
+		ref := b.pool.Get(len(window))
+		copy(ref.Bytes(), window)
+		return Data{Name: name, Size: n, Bytes: ref.Bytes(), Ref: ref}, nil
+	}
+	out := make([]byte, len(window))
+	copy(out, window)
+	return Data{Name: name, Size: n, Bytes: out}, nil
 }
 
 // Size reports the stored length.

@@ -5,8 +5,13 @@
 // paper's sense: a Backend that fronts a slow tier (parallel file system,
 // NFS share) with a capacity-bounded fast tier (local NVMe), promoting
 // files after a configurable number of accesses and evicting LRU files
-// when the fast tier fills. An adapter exposes it as a
-// core.OptimizationObject so stages can chain it with prefetching.
+// when the fast tier fills. In live mode the fast tier retains real
+// payload bytes (pool-reference-retained, optionally LZ-compressed so the
+// same byte budget holds more samples); in sim mode an optional
+// storage.Device models the fast tier's transfer costs. An adapter
+// exposes it as a core.OptimizationObject so stages can chain it with
+// prefetching, and PrefetchPlan warms the next epoch's cold samples into
+// free fast-tier space while the current epoch trains.
 package tiering
 
 import (
@@ -14,17 +19,36 @@ import (
 	"fmt"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/recordio"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
+// DefaultMaxTracked bounds the promotion-counter map when Config leaves
+// MaxTracked zero. Large enough that decay is rare on realistic datasets,
+// small enough that never-promoted names cannot grow memory epoch over
+// epoch.
+const DefaultMaxTracked = 64 << 10
+
 // Config parameterizes the tiering policy.
 type Config struct {
-	// FastCapacity is the fast tier's byte budget.
+	// FastCapacity is the fast tier's byte budget (physical bytes: a
+	// compressed resident charges its compressed size).
 	FastCapacity int64
 	// PromoteAfter is the access count at which a file is copied to the
 	// fast tier (1 = promote on first access).
 	PromoteAfter int
+	// MaxTracked caps the promotion-counter map. When the map would
+	// exceed it, every count is halved and zeroes dropped (cheap decay),
+	// so cold never-promoted names cannot grow it without bound across
+	// epochs. Zero selects DefaultMaxTracked.
+	MaxTracked int
+	// Compress stores promoted payloads LZ-compressed (incompressible
+	// samples stay verbatim), stretching FastCapacity; hits decode in
+	// place into pooled buffers. Only effective in live mode — modeled
+	// (payloadless) reads have nothing to compress.
+	Compress bool
 }
 
 // Validate reports whether the config is usable.
@@ -35,16 +59,34 @@ func (c Config) Validate() error {
 	if c.PromoteAfter < 1 {
 		return fmt.Errorf("tiering: promote-after %d < 1", c.PromoteAfter)
 	}
+	if c.MaxTracked < 0 {
+		return fmt.Errorf("tiering: max tracked %d < 0", c.MaxTracked)
+	}
 	return nil
 }
 
 // Stats is a snapshot of tiering activity.
 type Stats struct {
 	FastHits   int64
-	SlowReads  int64
+	SlowReads  int64 // demand misses served by the slow tier
 	Promotions int64
 	Evictions  int64
-	FastUsed   int64
+	// PrefetchPromotions counts next-epoch warming admissions;
+	// PrefetchSkips counts plan entries the warmer declined (already
+	// resident, no free space — warming never evicts — or slow-tier
+	// error).
+	PrefetchPromotions int64
+	PrefetchSkips      int64
+	// FastUsed is the physical byte occupancy; FastLogical the decoded
+	// sample volume those bytes represent (equal unless Compress).
+	FastUsed    int64
+	FastLogical int64
+	Capacity    int64
+	Residents   int
+	// TrackedNames is the promotion-counter map size; AccessDecays counts
+	// the halving sweeps that bounded it.
+	TrackedNames int
+	AccessDecays int64
 }
 
 // Backend is the tiered storage backend. It is safe for concurrent use
@@ -53,66 +95,132 @@ type Backend struct {
 	env  conc.Env
 	cfg  Config
 	slow storage.Backend
-	// fastDevice models the fast tier's transfer costs; residency is
-	// tracked here (the slow backend remains the source of truth for
-	// content).
+	// fastDevice models the fast tier's transfer costs when non-nil
+	// (sim mode); residency is tracked here either way (the slow backend
+	// remains the source of truth for content).
 	fastDevice *storage.Device
+	pool       *mempool.Pool
 
 	mu       conc.Mutex
+	planCond conc.Cond
 	resident map[string]*list.Element // name -> LRU element
 	order    *list.List               // front = most recently used
-	used     int64
+	used     int64                    // physical bytes resident
+	logical  int64                    // decoded bytes resident
 	accesses map[string]int
+	decays   int64
 
-	fastHits   *metrics.Counter
-	slowReads  *metrics.Counter
-	promotions *metrics.Counter
-	evictions  *metrics.Counter
+	// Next-epoch warming: the latest submitted plan and the lazily
+	// started worker that drains it.
+	plan          []string
+	planGen       int
+	workerRunning bool
+	closed        bool
+
+	fastHits     *metrics.Counter
+	slowReads    *metrics.Counter
+	promotions   *metrics.Counter
+	evictions    *metrics.Counter
+	prefPromoted *metrics.Counter
+	prefSkipped  *metrics.Counter
 }
 
+// entry is one fast-tier resident. In live mode it owns the payload: an
+// uncompressed entry retains the backend's pooled reference (released on
+// eviction); a compressed entry owns a private compressed copy. In sim
+// mode bytes is nil and only the sizes matter.
 type entry struct {
-	name string
-	size int64
+	name       string
+	size       int64 // decoded sample size
+	stored     int64 // physical bytes charged against FastCapacity
+	bytes      []byte
+	ref        *mempool.Ref
+	compressed bool
+}
+
+// drop releases the entry's hold on its payload.
+func (e *entry) drop() {
+	if e.ref != nil {
+		e.ref.Release()
+		e.ref = nil
+	}
+	e.bytes = nil
 }
 
 // NewBackend builds a tiered backend: reads missing the fast tier go to
 // slow; promoted copies pay fastDevice write costs; hits pay fastDevice
-// read costs.
+// read costs. fastDevice may be nil (live mode: the fast tier is process
+// memory standing in for local NVMe, and hits cost only the copy/decode).
 func NewBackend(env conc.Env, cfg Config, slow storage.Backend, fastDevice *storage.Device) (*Backend, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Backend{
-		env:        env,
-		cfg:        cfg,
-		slow:       slow,
-		fastDevice: fastDevice,
-		mu:         env.NewMutex(),
-		resident:   make(map[string]*list.Element),
-		order:      list.New(),
-		accesses:   make(map[string]int),
-		fastHits:   metrics.NewCounter(env),
-		slowReads:  metrics.NewCounter(env),
-		promotions: metrics.NewCounter(env),
-		evictions:  metrics.NewCounter(env),
-	}, nil
+	if cfg.MaxTracked == 0 {
+		cfg.MaxTracked = DefaultMaxTracked
+	}
+	b := &Backend{
+		env:          env,
+		cfg:          cfg,
+		slow:         slow,
+		fastDevice:   fastDevice,
+		mu:           env.NewMutex(),
+		resident:     make(map[string]*list.Element),
+		order:        list.New(),
+		accesses:     make(map[string]int),
+		fastHits:     metrics.NewCounter(env),
+		slowReads:    metrics.NewCounter(env),
+		promotions:   metrics.NewCounter(env),
+		evictions:    metrics.NewCounter(env),
+		prefPromoted: metrics.NewCounter(env),
+		prefSkipped:  metrics.NewCounter(env),
+	}
+	b.planCond = env.NewCond(b.mu)
+	return b, nil
 }
 
 // ReadFile implements storage.Backend.
 func (b *Backend) ReadFile(name string) (storage.Data, error) {
 	b.mu.Lock()
-	el, hit := b.resident[name]
-	if hit {
+	if el, hit := b.resident[name]; hit {
 		b.order.MoveToFront(el)
+		// Snapshot the entry under the lock: a concurrent admit may evict
+		// this element the moment we release it. The retained reference
+		// keeps the payload alive past the unlock even if it does.
+		e := el.Value.(*entry)
+		size, stored, compressed := e.size, e.stored, e.compressed
+		bytes, ref := e.bytes, e.ref
+		if ref != nil {
+			ref.Retain()
+		}
+		b.mu.Unlock()
+
+		b.fastHits.Inc()
+		if b.fastDevice != nil {
+			b.fastDevice.Read(stored)
+		}
+		if bytes == nil {
+			// Modeled fast tier: sizes only.
+			return storage.Data{Name: name, Size: size}, nil
+		}
+		if !compressed {
+			// The retained reference transfers to the caller (§11
+			// single-ownership: the caller releases as usual).
+			return storage.Data{Name: name, Size: size, Bytes: bytes, Ref: ref}, nil
+		}
+		dst, dstRef := b.sampleBuf(int(size))
+		err := recordio.DecompressInto(dst, bytes)
+		if ref != nil {
+			ref.Release()
+		}
+		if err != nil {
+			if dstRef != nil {
+				dstRef.Release()
+			}
+			return storage.Data{}, fmt.Errorf("tiering: fast-tier decode of %s: %w", name, err)
+		}
+		return storage.Data{Name: name, Size: size, Bytes: dst, Ref: dstRef}, nil
 	}
 	b.mu.Unlock()
-
-	if hit {
-		b.fastHits.Inc()
-		size := el.Value.(*entry).size
-		b.fastDevice.Read(size)
-		return storage.Data{Name: name, Size: size}, nil
-	}
 
 	data, err := b.slow.ReadFile(name)
 	if err != nil {
@@ -122,44 +230,230 @@ func (b *Backend) ReadFile(name string) (storage.Data, error) {
 
 	b.mu.Lock()
 	b.accesses[name]++
+	if len(b.accesses) > b.cfg.MaxTracked {
+		b.decayAccessesLocked()
+	}
 	promote := b.accesses[name] >= b.cfg.PromoteAfter &&
 		data.Size <= b.cfg.FastCapacity
-	if promote {
-		b.admit(name, data.Size)
-	}
 	b.mu.Unlock()
+	if !promote {
+		return data, nil
+	}
 
-	if promote {
+	// Prepare the resident copy outside the lock (compression is CPU
+	// work), then race to admit: concurrent misses on the same name all
+	// reach here, but only the winner charges the fast device and the
+	// promotion counter.
+	e := b.prepareEntry(name, data)
+	b.mu.Lock()
+	admitted := b.admitLocked(e, true)
+	b.mu.Unlock()
+	if admitted {
 		b.promotions.Inc()
-		b.fastDevice.Write(data.Size) // copy-in cost
+		if b.fastDevice != nil {
+			b.fastDevice.Write(e.stored) // copy-in cost
+		}
+	} else {
+		e.drop()
 	}
 	return data, nil
 }
 
-// admit inserts name into the fast tier, evicting LRU entries as needed.
-// Caller holds b.mu.
-func (b *Backend) admit(name string, size int64) {
-	if _, dup := b.resident[name]; dup {
-		return
+// sampleBuf returns a decode destination of n bytes, pooled when a pool
+// is attached.
+func (b *Backend) sampleBuf(n int) ([]byte, *mempool.Ref) {
+	if b.pool != nil {
+		ref := b.pool.Get(n)
+		return ref.Bytes(), ref
 	}
-	for b.used+size > b.cfg.FastCapacity {
+	return make([]byte, n), nil
+}
+
+// prepareEntry builds the fast-tier resident for a slow-tier read. Live
+// uncompressed entries alias the payload and retain its pooled reference;
+// compressed entries own a private compressed copy (pool buffers are not
+// held hostage at compressed lifetimes); modeled reads carry sizes only.
+func (b *Backend) prepareEntry(name string, data storage.Data) *entry {
+	e := &entry{name: name, size: data.Size, stored: data.Size}
+	if data.Bytes == nil {
+		return e
+	}
+	if b.cfg.Compress {
+		if comp, ok := recordio.Compress(data.Bytes); ok {
+			e.bytes = comp
+			e.stored = int64(len(comp))
+			e.compressed = true
+			return e
+		}
+	}
+	if data.Ref != nil {
+		data.Ref.Retain()
+		e.ref = data.Ref
+	}
+	e.bytes = data.Bytes
+	return e
+}
+
+// admitLocked inserts the prepared entry, evicting LRU residents when
+// allowed. It reports whether the entry actually entered the tier — a
+// duplicate (another reader won the race), an entry larger than the whole
+// tier, or a full tier under evict=false all decline. Caller holds b.mu.
+func (b *Backend) admitLocked(e *entry, evict bool) bool {
+	if b.closed {
+		return false
+	}
+	if _, dup := b.resident[e.name]; dup {
+		return false
+	}
+	if e.stored > b.cfg.FastCapacity {
+		return false
+	}
+	for b.used+e.stored > b.cfg.FastCapacity {
+		if !evict {
+			return false
+		}
 		back := b.order.Back()
 		if back == nil {
-			return
+			return false
 		}
-		victim := back.Value.(*entry)
-		b.order.Remove(back)
-		delete(b.resident, victim.name)
-		b.used -= victim.size
+		b.evictLocked(back)
 		b.evictions.Inc()
 	}
-	b.resident[name] = b.order.PushFront(&entry{name: name, size: size})
-	b.used += size
-	delete(b.accesses, name) // reset the promotion counter
+	b.resident[e.name] = b.order.PushFront(e)
+	b.used += e.stored
+	b.logical += e.size
+	delete(b.accesses, e.name) // reset the promotion counter
+	return true
+}
+
+// evictLocked removes one resident and releases its payload hold. Caller
+// holds b.mu.
+func (b *Backend) evictLocked(el *list.Element) {
+	victim := el.Value.(*entry)
+	b.order.Remove(el)
+	delete(b.resident, victim.name)
+	b.used -= victim.stored
+	b.logical -= victim.size
+	victim.drop()
+}
+
+// decayAccessesLocked halves every promotion counter and drops zeroes —
+// a TinyLFU-style aging sweep that bounds the map while keeping relative
+// popularity. All count-1 names (the unbounded-growth population) vanish
+// in one sweep. Caller holds b.mu.
+func (b *Backend) decayAccessesLocked() {
+	for name, n := range b.accesses {
+		n /= 2
+		if n == 0 {
+			delete(b.accesses, name)
+		} else {
+			b.accesses[name] = n
+		}
+	}
+	b.decays++
+}
+
+// PrefetchPlan hands the warmer the next epoch's access order (PR 5's
+// plan manager knows it at SubmitEpoch time). A lazily started background
+// worker promotes the plan's cold samples into *free* fast-tier space —
+// warming never evicts the current epoch's working set — so when the next
+// epoch starts, its head of the order is already fast. A newer plan
+// supersedes an undrained older one.
+func (b *Backend) PrefetchPlan(names []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.plan = append([]string(nil), names...)
+	b.planGen++
+	if !b.workerRunning {
+		b.workerRunning = true
+		b.env.Go("tiering-prefetch", b.prefetchLoop)
+	}
+	b.planCond.Broadcast()
+}
+
+func (b *Backend) prefetchLoop() {
+	b.mu.Lock()
+	for {
+		for !b.closed && len(b.plan) == 0 {
+			b.planCond.Wait()
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		plan := b.plan
+		b.plan = nil
+		gen := b.planGen
+		b.mu.Unlock()
+
+		for _, name := range plan {
+			b.mu.Lock()
+			stale := b.closed || b.planGen != gen
+			_, res := b.resident[name]
+			free := b.cfg.FastCapacity - b.used
+			b.mu.Unlock()
+			if stale {
+				break
+			}
+			if res {
+				b.prefSkipped.Inc()
+				continue
+			}
+			size, err := b.slow.Size(name)
+			if err != nil || size > free {
+				b.prefSkipped.Inc()
+				continue
+			}
+			data, err := b.slow.ReadFile(name)
+			if err != nil {
+				b.prefSkipped.Inc()
+				continue
+			}
+			e := b.prepareEntry(name, data)
+			b.mu.Lock()
+			admitted := b.admitLocked(e, false)
+			b.mu.Unlock()
+			if admitted {
+				b.prefPromoted.Inc()
+				if b.fastDevice != nil {
+					b.fastDevice.Write(e.stored)
+				}
+			} else {
+				e.drop()
+				b.prefSkipped.Inc()
+			}
+			data.Release()
+		}
+		b.mu.Lock()
+	}
 }
 
 // Size implements storage.Backend (metadata comes from the slow tier).
 func (b *Backend) Size(name string) (int64, error) { return b.slow.Size(name) }
+
+// ReadRange implements storage.RangeReader when the slow tier does; range
+// reads bypass the fast tier (they address packed shards, not samples).
+// Wrapping a rangeless backend yields an error at call time, not a
+// dropped extension (the repo-wide wrapper convention).
+func (b *Backend) ReadRange(name string, off, n int64) (storage.Data, error) {
+	if rr, ok := b.slow.(storage.RangeReader); ok {
+		return rr.ReadRange(name, off, n)
+	}
+	return storage.Data{}, fmt.Errorf("tiering: %T does not support range reads", b.slow)
+}
+
+// SetBufferPool implements storage.PoolAttacher: the pool serves hit-path
+// decode buffers here and is delegated to the slow tier so its payloads
+// arrive pooled too.
+func (b *Backend) SetBufferPool(p *mempool.Pool) {
+	b.pool = p
+	if pa, ok := b.slow.(storage.PoolAttacher); ok {
+		pa.SetBufferPool(p)
+	}
+}
 
 // Resident reports whether name currently lives on the fast tier.
 func (b *Backend) Resident(name string) bool {
@@ -169,17 +463,41 @@ func (b *Backend) Resident(name string) bool {
 	return ok
 }
 
+// Close stops the warming worker and releases every resident payload so
+// end-of-run leak audits see a clean pool.
+func (b *Backend) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.plan = nil
+	b.planCond.Broadcast()
+	for el := b.order.Back(); el != nil; el = b.order.Back() {
+		b.evictLocked(el)
+	}
+}
+
 // Stats snapshots tiering counters.
 func (b *Backend) Stats() Stats {
 	b.mu.Lock()
-	used := b.used
+	used, logical, residents := b.used, b.logical, len(b.resident)
+	tracked, decays := len(b.accesses), b.decays
 	b.mu.Unlock()
 	return Stats{
-		FastHits:   b.fastHits.Value(),
-		SlowReads:  b.slowReads.Value(),
-		Promotions: b.promotions.Value(),
-		Evictions:  b.evictions.Value(),
-		FastUsed:   used,
+		FastHits:           b.fastHits.Value(),
+		SlowReads:          b.slowReads.Value(),
+		Promotions:         b.promotions.Value(),
+		Evictions:          b.evictions.Value(),
+		PrefetchPromotions: b.prefPromoted.Value(),
+		PrefetchSkips:      b.prefSkipped.Value(),
+		FastUsed:           used,
+		FastLogical:        logical,
+		Capacity:           b.cfg.FastCapacity,
+		Residents:          residents,
+		TrackedNames:       tracked,
+		AccessDecays:       decays,
 	}
 }
 
@@ -197,4 +515,4 @@ func (o Object) Read(name string) (storage.Data, bool, error) {
 }
 
 // Close implements core.OptimizationObject.
-func (o Object) Close() {}
+func (o Object) Close() { o.B.Close() }

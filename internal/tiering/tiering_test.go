@@ -248,6 +248,229 @@ func TestPrefetcherOverTieredBackend(t *testing.T) {
 	})
 }
 
+func TestConcurrentMissesChargeOneWinner(t *testing.T) {
+	// Eight readers miss on the same name at once. Each promotes a
+	// prepared entry, but only one may enter the tier — the losers must
+	// neither inflate the promotion counter nor charge the fast device.
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 1, 1000)
+		wg := env.NewWaitGroup()
+		wg.Add(8)
+		for w := 0; w < 8; w++ {
+			env.Go(fmt.Sprintf("reader-%d", w), func() {
+				defer wg.Done()
+				if _, err := b.ReadFile(names[0]); err != nil {
+					t.Errorf("read: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+		st := b.Stats()
+		if st.Promotions != 1 {
+			t.Fatalf("promotions = %d, want 1 (one winner per name)", st.Promotions)
+		}
+		if st.Residents != 1 || st.FastUsed != 1000 {
+			t.Fatalf("stats = %+v, want one 1000-byte resident", st)
+		}
+		if st.SlowReads+st.FastHits != 8 {
+			t.Fatalf("8 reads accounted as %d slow + %d fast", st.SlowReads, st.FastHits)
+		}
+	})
+}
+
+func TestEvictionAtExactCapacity(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		// Capacity is exactly three files: filling it must not evict,
+		// the fourth promotion must evict exactly one.
+		b, names := tieredFixture(env, Config{FastCapacity: 3000, PromoteAfter: 1}, 4, 1000)
+		for _, n := range names[:3] {
+			_, _ = b.ReadFile(n)
+		}
+		st := b.Stats()
+		if st.Evictions != 0 || st.FastUsed != 3000 {
+			t.Fatalf("filling to exact capacity: %+v, want 0 evictions and full tier", st)
+		}
+		_, _ = b.ReadFile(names[3])
+		st = b.Stats()
+		if st.Evictions != 1 || st.FastUsed != 3000 || st.Residents != 3 {
+			t.Fatalf("one past capacity: %+v, want exactly one eviction at full occupancy", st)
+		}
+	})
+}
+
+func TestItemExactlyTierSizedEvictsAll(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		// A sample exactly the tier's size is admissible but displaces
+		// every resident; one byte larger (TestOversizeNeverPromoted) is
+		// not. 3 small files then the big one.
+		samples := []dataset.Sample{
+			{Name: "small-0", Size: 1000},
+			{Name: "small-1", Size: 1000},
+			{Name: "big", Size: 3000},
+		}
+		man := dataset.MustNew(samples)
+		slowDev, err := storage.NewDevice(env, storage.DeviceSpec{
+			BaseLatency: time.Millisecond, BytesPerSecond: 1e9, Channels: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBackend(env, Config{FastCapacity: 3000, PromoteAfter: 1},
+			storage.NewModeledBackend(man, slowDev, nil), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = b.ReadFile("small-0")
+		_, _ = b.ReadFile("small-1")
+		_, _ = b.ReadFile("big")
+		st := b.Stats()
+		if !b.Resident("big") || b.Resident("small-0") || b.Resident("small-1") {
+			t.Fatalf("tier-sized item should displace all residents: %+v", st)
+		}
+		if st.Evictions != 2 || st.FastUsed != 3000 {
+			t.Fatalf("stats = %+v, want 2 evictions and a full tier", st)
+		}
+	})
+}
+
+func TestAccessMapBounded(t *testing.T) {
+	// Regression for the unbounded accesses map: names that never promote
+	// (oversize here) used to accumulate one counter each, forever. The
+	// MaxTracked decay sweep must keep the map bounded.
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 500, PromoteAfter: 1, MaxTracked: 8}, 100, 1000)
+		for _, n := range names {
+			if _, err := b.ReadFile(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := b.Stats()
+		if st.TrackedNames > 8 {
+			t.Fatalf("access map holds %d names, want <= MaxTracked 8", st.TrackedNames)
+		}
+		if st.AccessDecays == 0 {
+			t.Fatal("100 never-promoted names under MaxTracked=8 must trigger decay sweeps")
+		}
+		if st.Residents != 0 {
+			t.Fatalf("oversize files promoted: %+v", st)
+		}
+	})
+}
+
+func TestDecayKeepsPopularity(t *testing.T) {
+	// A decay sweep halves counts instead of zeroing them: a name close to
+	// the threshold keeps its standing while one-shot names vanish.
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 4, MaxTracked: 4}, 30, 1000)
+		// Six accesses of the hot name interleaved with cold singles; the
+		// cold names overflow MaxTracked and force sweeps, each halving the
+		// hot count — but repeated access still reaches the threshold.
+		hot := names[0]
+		for i := 1; i < 25; i++ {
+			_, _ = b.ReadFile(names[i])
+			_, _ = b.ReadFile(hot)
+			if b.Resident(hot) {
+				break
+			}
+		}
+		if !b.Resident(hot) {
+			t.Fatalf("hot name never promoted despite repeated access (stats %+v)", b.Stats())
+		}
+		if b.Stats().AccessDecays == 0 {
+			t.Fatal("expected decay sweeps during the cold flood")
+		}
+	})
+}
+
+func TestPrefetchPlanWarmsFreeSpace(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 4, 1000)
+		b.PrefetchPlan(names)
+		env.Sleep(time.Second) // virtual time for the warmer to drain
+		st := b.Stats()
+		if st.PrefetchPromotions != 4 {
+			t.Fatalf("warmed %d of 4 planned samples: %+v", st.PrefetchPromotions, st)
+		}
+		if st.Promotions != 0 || st.SlowReads != 0 {
+			t.Fatalf("warming must not count as demand traffic: %+v", st)
+		}
+		for _, n := range names {
+			if !b.Resident(n) {
+				t.Fatalf("%s not resident after warming", n)
+			}
+		}
+		// Warmed samples serve as fast hits.
+		if _, err := b.ReadFile(names[0]); err != nil {
+			t.Fatal(err)
+		}
+		if b.Stats().FastHits != 1 {
+			t.Fatal("warmed sample did not hit the fast tier")
+		}
+		b.Close()
+	})
+}
+
+func TestPrefetchNeverEvicts(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		// Tier fits two files; two are promoted by demand. Warming the
+		// other two must skip (no free space), not evict the working set.
+		b, names := tieredFixture(env, Config{FastCapacity: 2000, PromoteAfter: 1}, 4, 1000)
+		_, _ = b.ReadFile(names[0])
+		_, _ = b.ReadFile(names[1])
+		b.PrefetchPlan(names)
+		env.Sleep(time.Second)
+		st := b.Stats()
+		if st.PrefetchPromotions != 0 {
+			t.Fatalf("warming promoted %d into a full tier", st.PrefetchPromotions)
+		}
+		if st.Evictions != 0 {
+			t.Fatalf("warming evicted %d demand residents", st.Evictions)
+		}
+		if st.PrefetchSkips != 4 {
+			t.Fatalf("skips = %d, want 4 (2 resident + 2 no-space)", st.PrefetchSkips)
+		}
+		if !b.Resident(names[0]) || !b.Resident(names[1]) {
+			t.Fatal("working set lost during warming")
+		}
+		b.Close()
+	})
+}
+
+func TestNewerPlanSupersedesOlder(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 8, 1000)
+		b.PrefetchPlan(names[:4])
+		b.PrefetchPlan(names[4:]) // latest plan wins
+		env.Sleep(time.Second)
+		for _, n := range names[4:] {
+			if !b.Resident(n) {
+				t.Fatalf("%s from the newest plan not warmed", n)
+			}
+		}
+		b.Close()
+	})
+}
+
+func TestCloseStopsWarmerAndReleasesResidents(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 4, 1000)
+		_, _ = b.ReadFile(names[0])
+		b.PrefetchPlan(names)
+		b.Close()
+		b.Close() // idempotent (Prisma.Close and Object.Close may both run)
+		st := b.Stats()
+		if st.Residents != 0 || st.FastUsed != 0 || st.FastLogical != 0 {
+			t.Fatalf("residents survived Close: %+v", st)
+		}
+		// A plan after Close must not revive the worker.
+		b.PrefetchPlan(names)
+		env.Sleep(time.Second)
+		if b.Stats().PrefetchPromotions != 0 {
+			t.Fatal("worker ran after Close")
+		}
+	})
+}
+
 func TestTieringUnderConcurrentReaders(t *testing.T) {
 	runSim(t, func(env conc.Env) {
 		b, names := tieredFixture(env, Config{FastCapacity: 1 << 20, PromoteAfter: 1}, 40, 1000)

@@ -92,6 +92,39 @@ type Options struct {
 	// and byte budgets, overload shedding, and the shared read cache. Off
 	// by default (single-tenant instances pay nothing).
 	Tenancy TenancyOptions
+
+	// Tiering configures the fast-tier stage on the serving path: a
+	// byte-bounded local tier in front of the (slow) dataset backend, with
+	// optional transparent compression and next-epoch warming. Off by
+	// default.
+	Tiering TieringOptions
+}
+
+// TieringOptions tunes the tiered fast-store stage (internal/tiering).
+// When enabled, the backend chain becomes
+// recorder < sharedcache < tiering < resilient: hot samples are promoted
+// into a capacity-bounded fast tier and served from it on re-access.
+type TieringOptions struct {
+	// Enable turns the tiering stage on.
+	Enable bool
+	// CapacityBytes is the fast tier's byte budget (default 256 MiB).
+	// A compressed resident charges only its compressed size, so
+	// compression stretches the same budget over more samples.
+	CapacityBytes int64
+	// PromoteAfter is the access count at which a sample is copied into
+	// the fast tier (default 1 = promote on first access).
+	PromoteAfter int
+	// MaxTrackedNames caps the promotion-counter map; past it the
+	// counters decay (halve, drop zeroes) so cold names cannot grow
+	// memory without bound. Default 0 selects the package default (64Ki).
+	MaxTrackedNames int
+	// Compress stores promoted payloads LZ-compressed when that is
+	// smaller, decoding in place into pooled buffers on hits.
+	Compress bool
+	// PrefetchNextEpoch warms each submitted epoch plan's cold samples
+	// into free fast-tier space in the background, so an epoch starts
+	// against a warmed tier instead of a cold one.
+	PrefetchNextEpoch bool
 }
 
 // TenantSpec declares one tenant for TenancyOptions.Tenants or
@@ -214,6 +247,14 @@ func (o Options) withDefaults() Options {
 			o.Tenancy.MaxQueueDepth = 4096
 		}
 	}
+	if o.Tiering.Enable {
+		if o.Tiering.CapacityBytes == 0 {
+			o.Tiering.CapacityBytes = 256 << 20
+		}
+		if o.Tiering.PromoteAfter == 0 {
+			o.Tiering.PromoteAfter = 1
+		}
+	}
 	return o
 }
 
@@ -278,6 +319,17 @@ func (o Options) validate() error {
 			if ts.Name == "" {
 				return fmt.Errorf("prisma: Tenancy.Tenants entry with empty name")
 			}
+		}
+	}
+	if o.Tiering.Enable {
+		if o.Tiering.CapacityBytes < 1 {
+			return fmt.Errorf("prisma: Tiering.CapacityBytes %d < 1", o.Tiering.CapacityBytes)
+		}
+		if o.Tiering.PromoteAfter < 1 {
+			return fmt.Errorf("prisma: Tiering.PromoteAfter %d < 1", o.Tiering.PromoteAfter)
+		}
+		if o.Tiering.MaxTrackedNames < 0 {
+			return fmt.Errorf("prisma: Tiering.MaxTrackedNames %d < 0", o.Tiering.MaxTrackedNames)
 		}
 	}
 	return nil

@@ -20,6 +20,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/sharedcache"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 	"github.com/dsrhaslab/prisma-go/internal/tenancy"
+	"github.com/dsrhaslab/prisma-go/internal/tiering"
 	"github.com/dsrhaslab/prisma-go/internal/trace"
 )
 
@@ -35,6 +36,7 @@ type Prisma struct {
 	tracer      *obs.Tracer
 	tenants     *tenancy.Manager   // nil unless Options.Tenancy.Enable
 	cache       *sharedcache.Cache // nil unless SharedCacheBytes > 0
+	tiered      *tiering.Backend   // nil unless Options.Tiering.Enable
 	traceTo     string
 	spanTo      string
 	enablePprof bool
@@ -89,6 +91,23 @@ type Stats struct {
 	CacheDeviceReads int64 // misses that actually hit the backend
 	CacheUsedBytes   int64
 	CacheResidents   int
+
+	// Tiering telemetry (zero-valued unless Tiering.Enable). Unlike the
+	// cache fields this rides the stage snapshot, so remote Client.Stats
+	// sees it too.
+	TierEnabled            bool
+	TierFastHits           int64
+	TierSlowReads          int64
+	TierPromotions         int64
+	TierEvictions          int64
+	TierPrefetchPromotions int64
+	TierPrefetchSkips      int64
+	TierUsedBytes          int64 // physical (compressed) occupancy
+	TierLogicalBytes       int64 // decoded volume those bytes represent
+	TierCapacityBytes      int64
+	TierResidents          int
+	TierTrackedNames       int
+	TierAccessDecays       int64
 
 	// Tenancy telemetry (zero-valued unless Tenancy.Enable).
 	TenantsShed int64 // reads refused at admission with ErrOverloaded
@@ -166,6 +185,20 @@ func statsFrom(s core.StageStats) Stats {
 		PoolFreeBuffers: s.Pool.FreeBuffers,
 		PoolFreeBytes:   s.Pool.FreeBytes,
 
+		TierEnabled:            s.TieringEnabled,
+		TierFastHits:           s.Tiering.FastHits,
+		TierSlowReads:          s.Tiering.SlowReads,
+		TierPromotions:         s.Tiering.Promotions,
+		TierEvictions:          s.Tiering.Evictions,
+		TierPrefetchPromotions: s.Tiering.PrefetchPromotions,
+		TierPrefetchSkips:      s.Tiering.PrefetchSkips,
+		TierUsedBytes:          s.Tiering.FastUsed,
+		TierLogicalBytes:       s.Tiering.FastLogical,
+		TierCapacityBytes:      s.Tiering.Capacity,
+		TierResidents:          s.Tiering.Residents,
+		TierTrackedNames:       s.Tiering.TrackedNames,
+		TierAccessDecays:       s.Tiering.AccessDecays,
+
 		TenantsShed: s.Shed,
 
 		EpochsSubmitted: s.Plan.EpochsSubmitted,
@@ -221,6 +254,25 @@ func Open(opts Options) (*Prisma, error) {
 		backend = sc
 		cache = sc
 	}
+	var tiered *tiering.Backend
+	if opts.Tiering.Enable {
+		// The fast tier sits above the shared cache (a cache hit is
+		// already memory-resident, so tiering only sees what the cache
+		// missed) and below the resilient wrapper (so retried reads pass
+		// back through the tier and hits keep flowing while the breaker
+		// sheds slow-tier misses).
+		tb, err := tiering.NewBackend(env, tiering.Config{
+			FastCapacity: opts.Tiering.CapacityBytes,
+			PromoteAfter: opts.Tiering.PromoteAfter,
+			MaxTracked:   opts.Tiering.MaxTrackedNames,
+			Compress:     opts.Tiering.Compress,
+		}, backend, nil)
+		if err != nil {
+			return nil, fmt.Errorf("prisma: %w", err)
+		}
+		backend = tb
+		tiered = tb
+	}
 	if !opts.DisableResilience {
 		rcfg := storage.DefaultResilienceConfig()
 		rcfg.MaxAttempts = opts.ReadRetries
@@ -266,6 +318,33 @@ func Open(opts Options) (*Prisma, error) {
 	tracer := obs.NewTracer(env, obs.TracerOptions{Sampling: opts.TraceSampling})
 	stage.SetTracer(tracer)
 	stage.SetBufferPool(pool)
+	if tiered != nil {
+		tb := tiered
+		stage.SetTieringSource(func() core.TieringStats {
+			ts := tb.Stats()
+			return core.TieringStats{
+				FastHits:           ts.FastHits,
+				SlowReads:          ts.SlowReads,
+				Promotions:         ts.Promotions,
+				Evictions:          ts.Evictions,
+				PrefetchPromotions: ts.PrefetchPromotions,
+				PrefetchSkips:      ts.PrefetchSkips,
+				FastUsed:           ts.FastUsed,
+				FastLogical:        ts.FastLogical,
+				Capacity:           ts.Capacity,
+				Residents:          ts.Residents,
+				TrackedNames:       ts.TrackedNames,
+				AccessDecays:       ts.AccessDecays,
+			}
+		})
+		if opts.Tiering.PrefetchNextEpoch {
+			// Hook the stage, not Prisma.SubmitEpoch: the IPC server
+			// submits epochs straight to the stage, and remote data
+			// loaders (the multi-process serving path) must warm the
+			// tier too.
+			stage.SetEpochPlanHook(tb.PrefetchPlan)
+		}
+	}
 	pf.Start()
 
 	p := &Prisma{
@@ -275,6 +354,7 @@ func Open(opts Options) (*Prisma, error) {
 		recorder:    recorder,
 		tracer:      tracer,
 		cache:       cache,
+		tiered:      tiered,
 		traceTo:     opts.TraceFile,
 		spanTo:      opts.SpanFile,
 		enablePprof: opts.EnablePprof,
@@ -463,6 +543,9 @@ func (p *Prisma) SubmitEpoch(names []string) (EpochID, int, error) {
 			return 0, 0, fmt.Errorf("prisma: plan references unknown file %q", n)
 		}
 	}
+	// The stage's epoch-plan hook (SetEpochPlanHook, wired in Open when
+	// Tiering.PrefetchNextEpoch is set) hands the plan to the tier
+	// warmer — for this call and for epochs submitted over IPC alike.
 	res, err := p.stage.SubmitEpoch(names)
 	return EpochID(res.Epoch), res.Enqueued, err
 }
@@ -729,6 +812,9 @@ func (p *Prisma) Close() error {
 		err = p.server.Close()
 	}
 	p.stage.Close()
+	if p.tiered != nil {
+		p.tiered.Close()
+	}
 	if p.cache != nil {
 		p.cache.Close()
 	}

@@ -1,0 +1,288 @@
+package prisma
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTieringServingPath runs the full serving chain with the fast tier
+// enabled: epoch 1 promotes every sample, epoch 2 is served from the
+// tier, and the public Stats surface reports the tier's state.
+func TestTieringServingPath(t *testing.T) {
+	dir := makeDataset(t, 24)
+	p := open(t, dir, func(o *Options) {
+		o.Tiering = TieringOptions{
+			Enable:        true,
+			CapacityBytes: 1 << 20,
+			Compress:      true,
+		}
+	})
+	plan := p.ShuffledFileList(7, 0)
+	for epoch := 0; epoch < 2; epoch++ {
+		if err := p.SubmitPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range plan {
+			data, err := p.Read(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) < 2048 {
+				t.Fatalf("short read %d for %s", len(data), name)
+			}
+		}
+	}
+
+	st := p.Stats()
+	if !st.TierEnabled {
+		t.Fatal("TierEnabled false with Options.Tiering.Enable set")
+	}
+	if st.TierPromotions != int64(len(plan)) {
+		t.Fatalf("TierPromotions = %d, want %d (every epoch-1 sample promoted)", st.TierPromotions, len(plan))
+	}
+	if st.TierFastHits != int64(len(plan)) {
+		t.Fatalf("TierFastHits = %d, want %d (epoch 2 served from the tier)", st.TierFastHits, len(plan))
+	}
+	if st.TierResidents != len(plan) {
+		t.Fatalf("TierResidents = %d, want %d", st.TierResidents, len(plan))
+	}
+	if st.TierCapacityBytes != 1<<20 {
+		t.Fatalf("TierCapacityBytes = %d, want %d", st.TierCapacityBytes, 1<<20)
+	}
+	if st.TierUsedBytes <= 0 || st.TierUsedBytes > st.TierCapacityBytes {
+		t.Fatalf("TierUsedBytes = %d out of range (capacity %d)", st.TierUsedBytes, st.TierCapacityBytes)
+	}
+	if st.TierUsedBytes > st.TierLogicalBytes {
+		t.Fatalf("physical %d exceeds logical %d", st.TierUsedBytes, st.TierLogicalBytes)
+	}
+}
+
+// TestTieringDisabledStats pins the default: without Options.Tiering the
+// tier fields stay zero-valued and the admin endpoint refuses.
+func TestTieringDisabledStats(t *testing.T) {
+	dir := makeDataset(t, 2)
+	p := open(t, dir, nil)
+	if st := p.Stats(); st.TierEnabled || st.TierCapacityBytes != 0 {
+		t.Fatalf("tiering stats populated on a tiering-free instance: %+v", st)
+	}
+	srv := httptest.NewServer(p.AdminHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/tiering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/tiering on a tiering-free instance: %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestTieringAdminSurface exercises /tiering and the prisma_tiering_*
+// metric families over the admin HTTP handler.
+func TestTieringAdminSurface(t *testing.T) {
+	dir := makeDataset(t, 8)
+	p := open(t, dir, func(o *Options) {
+		o.Tiering = TieringOptions{Enable: true, CapacityBytes: 1 << 20}
+	})
+	srv := httptest.NewServer(p.AdminHandler())
+	defer srv.Close()
+
+	plan := p.ShuffledFileList(2, 0)
+	for epoch := 0; epoch < 2; epoch++ {
+		if err := p.SubmitPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range plan {
+			if _, err := p.Read(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/tiering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tiering: %d, want 200", resp.StatusCode)
+	}
+	for _, field := range []string{"FastHits", "Promotions", "Capacity"} {
+		if !strings.Contains(string(body), field) {
+			t.Fatalf("/tiering JSON missing %s:\n%s", field, body)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"prisma_tiering_enabled 1",
+		"prisma_tiering_fast_hits_total",
+		"prisma_tiering_promotions_total",
+		"prisma_tiering_capacity_bytes",
+	} {
+		if !strings.Contains(string(metrics), family) {
+			t.Fatalf("metrics missing %q:\n%s", family, metrics)
+		}
+	}
+}
+
+// TestTieringRemoteStats round-trips the tier fields over the UNIX-socket
+// control plane: a remote planner's Stats() must see the same tier
+// telemetry prisma-ctl renders.
+func TestTieringRemoteStats(t *testing.T) {
+	dir := makeDataset(t, 12)
+	p := open(t, dir, func(o *Options) {
+		o.Tiering = TieringOptions{Enable: true, CapacityBytes: 1 << 20, Compress: true}
+	})
+	sock := filepath.Join(t.TempDir(), "prisma.sock")
+	if err := p.ServeUnix(sock); err != nil {
+		t.Fatal(err)
+	}
+	planner, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer planner.Close()
+
+	plan := p.ShuffledFileList(9, 0)
+	for epoch := 0; epoch < 2; epoch++ {
+		if err := planner.SubmitPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range plan {
+			if _, err := planner.Read(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st, err := planner.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.TierEnabled {
+		t.Fatal("remote stats lost TierEnabled")
+	}
+	if st.TierFastHits != int64(len(plan)) {
+		t.Fatalf("remote TierFastHits = %d, want %d", st.TierFastHits, len(plan))
+	}
+	if st.TierResidents != len(plan) {
+		t.Fatalf("remote TierResidents = %d, want %d", st.TierResidents, len(plan))
+	}
+}
+
+// TestTieringRemoteEpochPrefetch pins the IPC warming path: epochs
+// submitted over the socket go straight to the stage, so the warmer must
+// be hooked at the stage (not in Prisma.SubmitEpoch) for remote data
+// loaders to warm the tier.
+func TestTieringRemoteEpochPrefetch(t *testing.T) {
+	dir := makeDataset(t, 10)
+	p := open(t, dir, func(o *Options) {
+		o.Tiering = TieringOptions{
+			Enable:            true,
+			CapacityBytes:     1 << 20,
+			PrefetchNextEpoch: true,
+		}
+	})
+	sock := filepath.Join(t.TempDir(), "prisma.sock")
+	if err := p.ServeUnix(sock); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	plan := p.ShuffledFileList(4, 0)
+	if _, _, err := c.SubmitEpoch(plan); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range plan {
+		if _, err := c.Read(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TierResidents != len(plan) {
+		t.Fatalf("TierResidents = %d, want %d after a remote-submitted epoch", st.TierResidents, len(plan))
+	}
+	if got := st.TierPromotions + st.TierPrefetchPromotions; got != int64(len(plan)) {
+		t.Fatalf("promotions %d + prefetch promotions %d = %d, want %d (each sample charged exactly once)",
+			st.TierPromotions, st.TierPrefetchPromotions, got, len(plan))
+	}
+	// The warmer must have seen the remote plan: every entry ends up
+	// either warmed in or skipped (already promoted by the racing demand
+	// reads). Before the stage-level hook, both counters stayed zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st = p.Stats()
+		if st.TierPrefetchPromotions+st.TierPrefetchSkips >= int64(len(plan)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warmer never drained the remote plan: %d warmed + %d skipped, want %d",
+				st.TierPrefetchPromotions, st.TierPrefetchSkips, len(plan))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTieringEpochPrefetch wires PrefetchNextEpoch through SubmitEpoch:
+// submitting a plan warms its cold samples into the tier in the
+// background, so training the epoch finds them resident.
+func TestTieringEpochPrefetch(t *testing.T) {
+	dir := makeDataset(t, 16)
+	p := open(t, dir, func(o *Options) {
+		o.Tiering = TieringOptions{
+			Enable:            true,
+			CapacityBytes:     1 << 20,
+			PrefetchNextEpoch: true,
+		}
+	})
+	plan := p.ShuffledFileList(3, 0)
+	id, n, err := p.SubmitEpoch(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(plan) {
+		t.Fatalf("SubmitEpoch accepted %d of %d", n, len(plan))
+	}
+	_ = id
+	for _, name := range plan {
+		if _, err := p.Read(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The warmer races the epoch's own reads; every sample must end up
+	// resident and each was charged exactly once (prefetch-promoted or
+	// read-promoted, never both).
+	st := p.Stats()
+	if st.TierResidents != len(plan) {
+		t.Fatalf("TierResidents = %d, want %d after a prefetched epoch", st.TierResidents, len(plan))
+	}
+	if got := st.TierPromotions + st.TierPrefetchPromotions; got != int64(len(plan)) {
+		t.Fatalf("promotions %d + prefetch promotions %d = %d, want %d",
+			st.TierPromotions, st.TierPrefetchPromotions, got, len(plan))
+	}
+}
