@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +44,9 @@ commands:
   tiering               print fast-tier statistics (tiering-enabled servers)
   set-tenant NAME W B   set a tenant's arbitration weight W and/or byte budget
                         B in bytes/s (0 leaves the respective knob unchanged)
+  bundle [FILE]         capture the one-shot diagnostic bundle (stats,
+                        attribution, tenants with SLO states, epochs, the
+                        decision log, recent spans) as JSON to FILE or stdout
   watch [INTERVAL]      poll stats and print derived rates (default 1s)`)
 	os.Exit(2)
 }
@@ -194,8 +198,8 @@ func main() {
 			state = "OVERLOADED (shedding)"
 		}
 		fmt.Printf("capacity: %.0f reads/s, state: %s\n", snap.Capacity, state)
-		fmt.Printf("%-16s %6s %10s %10s %10s %8s %12s %7s %12s %5s\n",
-			"tenant", "weight", "grant/s", "demand/s", "admitted", "shed", "bytes", "errors", "budget B/s", "debt")
+		fmt.Printf("%-16s %6s %10s %10s %10s %8s %12s %7s %12s %5s %-8s\n",
+			"tenant", "weight", "grant/s", "demand/s", "admitted", "shed", "bytes", "errors", "budget B/s", "debt", "slo")
 		for _, ts := range snap.Tenants {
 			budget := "-"
 			if ts.ByteBudget > 0 {
@@ -205,9 +209,16 @@ func main() {
 			if ts.InDebt {
 				debt = "yes"
 			}
-			fmt.Printf("%-16s %6.1f %10.1f %10.1f %10d %8d %12d %7d %12s %5s\n",
+			slo := "-"
+			if ts.HasSLO {
+				slo = ts.SLOState
+				if ts.SLOBoosted {
+					slo += "*" // breach weight boost in force
+				}
+			}
+			fmt.Printf("%-16s %6.1f %10.1f %10.1f %10d %8d %12d %7d %12s %5s %-8s\n",
 				ts.Name, ts.Weight, ts.GrantedRate, ts.MeasuredRate,
-				ts.Admitted, ts.Shed, ts.BytesRead, ts.Errors, budget, debt)
+				ts.Admitted, ts.Shed, ts.BytesRead, ts.Errors, budget, debt, slo)
 		}
 
 	case "tiering":
@@ -250,6 +261,25 @@ func main() {
 		}
 		fmt.Printf("tenant %s updated (weight %g, byte budget %g B/s; 0 = unchanged)\n",
 			args[1], weight, bytesPerSec)
+
+	case "bundle":
+		blob, err := client.Bundle()
+		if err != nil {
+			fatal(err)
+		}
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, blob, "", "  "); err != nil {
+			fatal(fmt.Errorf("decode bundle: %w", err))
+		}
+		pretty.WriteByte('\n')
+		if len(args) > 1 {
+			if err := os.WriteFile(args[1], pretty.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("bundle written to %s (%d bytes)\n", args[1], pretty.Len())
+		} else {
+			os.Stdout.Write(pretty.Bytes())
+		}
 
 	case "cancel-epoch":
 		n := argInt(args, 1)

@@ -57,6 +57,57 @@ func parseTenantSpecs(s string) ([]prisma.TenantSpec, error) {
 	return specs, nil
 }
 
+// parseSLOSpecs decodes the -slo flag:
+// TENANT:QUANTILE:THRESHOLD[:SHED_BUDGET[:WINDOW]] entries separated by
+// commas, e.g. "trainer:0.99:20ms:0.05:30s". The named tenants must also
+// appear in -tenants.
+func parseSLOSpecs(s string, tenants []prisma.TenantSpec) error {
+	if s == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 3 {
+			return fmt.Errorf("bad -slo entry %q: want TENANT:QUANTILE:THRESHOLD[:SHED_BUDGET[:WINDOW]]", entry)
+		}
+		q, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || q <= 0 || q >= 1 {
+			return fmt.Errorf("bad -slo entry %q: quantile %q", entry, parts[1])
+		}
+		threshold, err := time.ParseDuration(parts[2])
+		if err != nil || threshold <= 0 {
+			return fmt.Errorf("bad -slo entry %q: threshold %q", entry, parts[2])
+		}
+		slo := &prisma.SLOOptions{Quantile: q, Threshold: threshold}
+		if len(parts) > 3 && parts[3] != "" {
+			sb, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil || sb < 0 || sb > 1 {
+				return fmt.Errorf("bad -slo entry %q: shed budget %q", entry, parts[3])
+			}
+			slo.ShedBudget = sb
+		}
+		if len(parts) > 4 && parts[4] != "" {
+			w, err := time.ParseDuration(parts[4])
+			if err != nil || w <= 0 {
+				return fmt.Errorf("bad -slo entry %q: window %q", entry, parts[4])
+			}
+			slo.Window = w
+		}
+		found := false
+		for i := range tenants {
+			if tenants[i].Name == parts[0] {
+				tenants[i].SLO = slo
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("bad -slo entry %q: tenant %q not in -tenants", entry, parts[0])
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		dir          = flag.String("dir", "", "dataset root directory (required)")
@@ -86,6 +137,8 @@ func main() {
 		degradedFactor = flag.Float64("degraded-factor", 0, "capacity scale while the backend breaker is open (0 = default 0.5)")
 		sharedCache    = flag.Int64("shared-cache", 0, "shared read cache capacity in bytes so co-located tenants don't multiply backend load (0 = off)")
 		tenantSpecs    = flag.String("tenants", "", "pre-registered tenants as NAME[:WEIGHT[:BYTES_PER_SEC[:SECRET]]],... (requires -tenancy)")
+		sloSpecs       = flag.String("slo", "", "per-tenant latency SLOs as TENANT:QUANTILE:THRESHOLD[:SHED_BUDGET[:WINDOW]],... e.g. trainer:0.99:20ms (tenants must appear in -tenants)")
+		sloBoost       = flag.Float64("slo-boost", 0, "arbitration-weight boost factor while a tenant's SLO is breached (0 = default 2; must be > 1)")
 
 		tieringOn      = flag.Bool("tiering", false, "enable the fast-tier backend stage (promote hot samples into a byte-budgeted tier)")
 		tieringCap     = flag.Int64("tiering-capacity", 0, "fast-tier byte budget (0 = default 256MiB; requires -tiering)")
@@ -106,6 +159,9 @@ func main() {
 	}
 	if len(tenants) > 0 && !*tenancy {
 		log.Fatalf("prisma-server: -tenants requires -tenancy")
+	}
+	if err := parseSLOSpecs(*sloSpecs, tenants); err != nil {
+		log.Fatalf("prisma-server: %v", err)
 	}
 
 	p, err := prisma.Open(prisma.Options{
@@ -134,6 +190,7 @@ func main() {
 			MaxPooledBytes:   *maxPooledBytes,
 			DegradedFactor:   *degradedFactor,
 			SharedCacheBytes: *sharedCache,
+			SLOBoostFactor:   *sloBoost,
 			Tenants:          tenants,
 		},
 		Tiering: prisma.TieringOptions{

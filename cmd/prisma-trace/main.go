@@ -109,7 +109,13 @@ func attribute(path string, consumers int) {
 		byStage[s.Stage]++
 	}
 	fmt.Printf("spans:             %d", len(spans))
-	for _, st := range []string{obs.StageFIFOPop, obs.StageStorageRead, obs.StageBufferPark, obs.StageConsumerWait, obs.StageIPC, obs.StageIPCServe} {
+	for _, st := range []string{
+		obs.StageFIFOPop, obs.StageStorageRead, obs.StageBufferPark,
+		obs.StageConsumerWait, obs.StageIPC, obs.StageIPCServe,
+		obs.StageCacheHit, obs.StageCacheMiss, obs.StageCacheCoalesce,
+		obs.StageTierPromote, obs.StageTierWarm, obs.StageDecompress,
+		obs.StageTenantThrottle, obs.StageTenantShed,
+	} {
 		if n := byStage[st]; n > 0 {
 			fmt.Printf(" %s=%d", st, n)
 		}
@@ -118,10 +124,15 @@ func attribute(path string, consumers int) {
 	fmt.Printf("window:            %v x %d consumer(s)\n", a.Window.Round(time.Microsecond), a.Consumers)
 	fmt.Printf("storage share:     %5.1f%%  (consumer wait overlapping backend reads)\n", a.StorageShare*100)
 	fmt.Printf("buffer-full share: %5.1f%%  (reads started late: producer parked on full buffer)\n", a.BufferFullShare*100)
+	fmt.Printf("cache share:       %5.1f%%  (coalesced waits on another read's backend fetch)\n", a.CacheShare*100)
+	fmt.Printf("tier share:        %5.1f%%  (fast-tier promotion, warming, and decode)\n", a.TierShare*100)
+	fmt.Printf("throttle share:    %5.1f%%  (tenant admission-gate waits)\n", a.ThrottleShare*100)
 	fmt.Printf("ipc share:         %5.1f%%  (socket transport and framing)\n", a.IPCShare*100)
 	fmt.Printf("consumer share:    %5.1f%%  (data plane kept up)\n", a.ConsumerShare*100)
 	fmt.Printf("consumer wait:     %v (storage %v, buffer-full %v)\n",
 		a.ConsumerWait.Round(time.Microsecond), a.StorageWait.Round(time.Microsecond), a.BufferWait.Round(time.Microsecond))
+	fmt.Printf("cache wait:        %v, tier wait: %v, throttle wait: %v\n",
+		a.CacheWait.Round(time.Microsecond), a.TierWait.Round(time.Microsecond), a.ThrottleWait.Round(time.Microsecond))
 	fmt.Printf("storage busy:      %v, producer park: %v\n",
 		a.StorageBusy.Round(time.Microsecond), a.ProducerPark.Round(time.Microsecond))
 }

@@ -163,9 +163,11 @@ func (c *Controller) Tick() {
 				After:  next,
 			})
 		}
-		c.mu.Unlock()
+		// Applied/prev flip under the lock: RecordEvent reads ms.applied
+		// concurrently from SLO-action callbacks.
 		ms.applied = next
 		ms.prev = cur
+		c.mu.Unlock()
 	}
 }
 

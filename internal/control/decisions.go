@@ -82,6 +82,9 @@ func intervalAttribution(prev, cur core.StageStats, consumers int) obs.Attributi
 		ConsumerWait: cur.Buffer.ConsumerWait - prev.Buffer.ConsumerWait,
 		StorageWait:  cur.Buffer.ConsumerWaitStorage - prev.Buffer.ConsumerWaitStorage,
 		BufferWait:   cur.Buffer.ConsumerWaitBufferFull - prev.Buffer.ConsumerWaitBufferFull,
+		CacheWait:    cur.Cache.WaitTime - prev.Cache.WaitTime,
+		TierWait:     (cur.Tiering.PromoteTime + cur.Tiering.DecodeTime) - (prev.Tiering.PromoteTime + prev.Tiering.DecodeTime),
+		ThrottleWait: cur.ThrottleWait - prev.ThrottleWait,
 		StorageBusy:  cur.StorageBusy - prev.StorageBusy,
 		ProducerPark: cur.Buffer.ProducerWait - prev.Buffer.ProducerWait,
 	})
@@ -94,6 +97,28 @@ func (ms *managedStage) recordDecision(rec DecisionRecord) {
 	if len(ms.decisions) > decisionLogCap {
 		ms.decisions = ms.decisions[len(ms.decisions)-decisionLogCap:]
 	}
+}
+
+// RecordEvent appends an externally-originated control action — e.g. a
+// tenancy SLO breach boost — to stage id's decision audit ring, so every
+// control-plane actuation lands in one explainable trail. Before/After
+// carry the currently applied tuning (the event did not retune the stage);
+// the rule string names what happened.
+func (c *Controller) RecordEvent(id, rule string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ms, ok := c.stages[id]
+	if !ok {
+		return
+	}
+	ms.recordDecision(DecisionRecord{
+		At:     c.env.Now(),
+		Tick:   c.ticks,
+		Stage:  id,
+		Rule:   rule,
+		Before: ms.applied,
+		After:  ms.applied,
+	})
 }
 
 // Decisions returns the retained decision audit log for stage id, oldest

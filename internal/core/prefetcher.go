@@ -395,10 +395,12 @@ func (pf *Prefetcher) producerLoop() {
 			err    error
 		)
 		pf.activeReaders.Add(1)
-		if dr, okd := pf.backend.(storage.DetailedReader); okd && e.ctx.Sampled {
+		if dr, okd := pf.backend.(storage.DetailedCtxReader); okd && e.ctx.Sampled {
+			data, detail, err = dr.ReadFileDetailedCtx(e.name, e.ctx)
+		} else if dr, okd := pf.backend.(storage.DetailedReader); okd && e.ctx.Sampled {
 			data, detail, err = dr.ReadFileDetailed(e.name)
 		} else {
-			data, err = pf.backend.ReadFile(e.name)
+			data, err = storage.ReadFileCtx(pf.backend, e.name, e.ctx)
 		}
 		pf.activeReaders.Add(-1)
 		readEnd := pf.env.Now()

@@ -107,6 +107,14 @@ type TenantGate interface {
 	ObserveRead(tenant string, bytes int64, err error)
 }
 
+// latencyObserver is the optional TenantGate extension the stage reports
+// end-to-end read latency (including admission waits) and shed outcomes to
+// — the per-tenant SLO tracker's feed (internal/tenancy implements it;
+// same extension pattern as ctxReader).
+type latencyObserver interface {
+	ObserveLatency(tenant string, latency time.Duration, shed bool)
+}
+
 // StageStats is the monitoring snapshot exported through the stage's
 // control interface (paper §III-A module three).
 type StageStats struct {
@@ -118,6 +126,11 @@ type StageStats struct {
 	Bypasses int64 // fell through to backend storage
 	Errors   int64 // reads that returned an error
 	Shed     int64 // reads rejected at admission by the tenant gate
+
+	// ThrottleWait is cumulative time reads spent blocked in the tenant
+	// admission gate before executing — the gate's contribution to the
+	// attribution split (always on, zero without a gate).
+	ThrottleWait time.Duration
 
 	// Prefetcher state (zero-valued when no prefetch object is attached).
 	QueueLen         int
@@ -159,6 +172,12 @@ type StageStats struct {
 	// unchanged, so remote clients see tier state too.
 	Tiering        TieringStats
 	TieringEnabled bool
+
+	// Cache reflects the shared multi-job cache when one is wired in
+	// (SetCacheSource); CacheEnabled disambiguates "off" from "idle". Like
+	// Tiering, riding StageStats carries it across the IPC Stats call.
+	Cache        CacheStats
+	CacheEnabled bool
 }
 
 // TieringStats is the fast-tier snapshot carried by StageStats (the
@@ -177,6 +196,22 @@ type TieringStats struct {
 	Residents          int
 	TrackedNames       int
 	AccessDecays       int64
+	PromoteTime        time.Duration // cumulative read-path promote work
+	DecodeTime         time.Duration // cumulative hit-path decompression
+}
+
+// CacheStats is the shared-cache snapshot carried by StageStats (the
+// internal/sharedcache stats, restated here so core does not depend on
+// the policy package).
+type CacheStats struct {
+	Hits        int64
+	Misses      int64
+	Waits       int64
+	Evictions   int64
+	UsedBytes   int64
+	Residents   int
+	DeviceReads int64
+	WaitTime    time.Duration // cumulative single-flight follower waits
 }
 
 // Stage is one PRISMA data-plane stage: a chain of optimization objects in
@@ -190,28 +225,32 @@ type Stage struct {
 	tracer    *obs.Tracer          // nil-safe; set once via SetTracer before traffic
 	pool      *mempool.Pool        // nil when pooling is off; stats only
 	gate      TenantGate           // nil when multi-tenant QoS is off
+	gateObs   latencyObserver      // gate's latency extension, nil if unsupported
 	tiering   func() TieringStats  // nil when no fast tier is wired in
+	cache     func() CacheStats    // nil when no shared cache is wired in
 	epochHook func(names []string) // nil unless a plan observer (tier warmer) is attached
 
-	reads    *metrics.Counter
-	hits     *metrics.Counter
-	bypasses *metrics.Counter
-	errors   *metrics.Counter
-	shed     *metrics.Counter
+	reads        *metrics.Counter
+	hits         *metrics.Counter
+	bypasses     *metrics.Counter
+	errors       *metrics.Counter
+	shed         *metrics.Counter
+	throttleWait *metrics.Counter // nanoseconds blocked in gate.Admit
 }
 
 // NewStage assembles a stage over backend with the given optimization
 // objects, consulted in order.
 func NewStage(env conc.Env, backend storage.Backend, objects ...OptimizationObject) *Stage {
 	st := &Stage{
-		env:      env,
-		backend:  backend,
-		objects:  objects,
-		reads:    metrics.NewCounter(env),
-		hits:     metrics.NewCounter(env),
-		bypasses: metrics.NewCounter(env),
-		errors:   metrics.NewCounter(env),
-		shed:     metrics.NewCounter(env),
+		env:          env,
+		backend:      backend,
+		objects:      objects,
+		reads:        metrics.NewCounter(env),
+		hits:         metrics.NewCounter(env),
+		bypasses:     metrics.NewCounter(env),
+		errors:       metrics.NewCounter(env),
+		shed:         metrics.NewCounter(env),
+		throttleWait: metrics.NewCounter(env),
 	}
 	for _, o := range objects {
 		if po, ok := o.(*PrefetchObject); ok {
@@ -261,6 +300,13 @@ func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 	if !ctx.Sampled {
 		ctx = s.tracer.StartTrace()
 	}
+	return s.readCtx(name, ctx)
+}
+
+// readCtx is the object-chain walk with the head-sampling decision already
+// made (ReadTenantCtx draws before admission so throttle spans share the
+// read's trace; drawing again here would skew the sampling rate).
+func (s *Stage) readCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 	s.reads.Inc()
 	for _, o := range s.objects {
 		var (
@@ -284,7 +330,7 @@ func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 		return data, nil
 	}
 	s.bypasses.Inc()
-	data, err := s.backend.ReadFile(name)
+	data, err := storage.ReadFileCtx(s.backend, name, ctx)
 	if err != nil {
 		s.errors.Inc()
 		return storage.Data{}, err
@@ -294,8 +340,21 @@ func (s *Stage) ReadCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 
 // SetTenantGate attaches the multi-tenant admission gate. Call before
 // traffic starts; a nil gate (the default) makes ReadTenantCtx behave
-// exactly like ReadCtx.
-func (s *Stage) SetTenantGate(g TenantGate) { s.gate = g }
+// exactly like ReadCtx. A gate implementing latencyObserver additionally
+// receives every tenant read's end-to-end latency and shed outcome.
+func (s *Stage) SetTenantGate(g TenantGate) {
+	s.gate = g
+	s.gateObs = nil
+	if lo, ok := g.(latencyObserver); ok {
+		s.gateObs = lo
+	}
+}
+
+// SetCacheSource registers the shared-cache snapshot provider so cache
+// state rides the stage's monitoring snapshot (and hence the IPC Stats
+// round trip). Call before traffic starts; nil (the default) leaves
+// StageStats.CacheEnabled false.
+func (s *Stage) SetCacheSource(f func() CacheStats) { s.cache = f }
 
 // SetTieringSource registers the fast-tier snapshot provider so tier
 // state rides the stage's monitoring snapshot (and hence the IPC Stats
@@ -319,17 +378,42 @@ func (s *Stage) ReadTenant(tenant, name string) (storage.Data, error) {
 // uses: admission first (throttle or typed shed — before any stage or plan
 // state changes, so a shed read is safely retryable), then the ordinary
 // read path, then the outcome report that charges the tenant's byte
-// budget.
+// budget. The head-sampling decision is drawn before admission so the
+// throttle/shed span and the read's lifecycle spans share one trace, and
+// the gate's blocking time feeds the always-on throttle-wait counter and
+// the per-tenant SLO feed (latencyObserver).
 func (s *Stage) ReadTenantCtx(tenant, name string, ctx obs.Ctx) (storage.Data, error) {
-	if s.gate != nil {
-		if err := s.gate.Admit(tenant); err != nil {
-			s.shed.Inc()
-			return storage.Data{}, err
+	if s.gate == nil {
+		return s.ReadCtx(name, ctx)
+	}
+	if !ctx.Sampled {
+		ctx = s.tracer.StartTrace()
+	}
+	start := s.env.Now()
+	if err := s.gate.Admit(tenant); err != nil {
+		s.shed.Inc()
+		now := s.env.Now()
+		if wait := now - start; wait > 0 {
+			s.throttleWait.Add(int64(wait))
+		}
+		if ctx.Sampled {
+			s.tracer.Record(obs.Span{Trace: ctx.Trace, Stage: obs.StageTenantShed, Name: name, At: start, Latency: now - start, Error: err.Error()})
+		}
+		if s.gateObs != nil {
+			s.gateObs.ObserveLatency(tenant, now-start, true)
+		}
+		return storage.Data{}, err
+	}
+	if wait := s.env.Now() - start; wait > 0 {
+		s.throttleWait.Add(int64(wait))
+		if ctx.Sampled {
+			s.tracer.Record(obs.Span{Trace: ctx.Trace, Stage: obs.StageTenantThrottle, Name: name, At: start, Latency: wait})
 		}
 	}
-	data, err := s.ReadCtx(name, ctx)
-	if s.gate != nil {
-		s.gate.ObserveRead(tenant, data.Size, err)
+	data, err := s.readCtx(name, ctx)
+	s.gate.ObserveRead(tenant, data.Size, err)
+	if s.gateObs != nil {
+		s.gateObs.ObserveLatency(tenant, s.env.Now()-start, false)
 	}
 	return data, err
 }
@@ -420,6 +504,11 @@ func (s *Stage) Stats() StageStats {
 		st.Tiering = s.tiering()
 		st.TieringEnabled = true
 	}
+	if s.cache != nil {
+		st.Cache = s.cache()
+		st.CacheEnabled = true
+	}
+	st.ThrottleWait = time.Duration(s.throttleWait.Value())
 	return st
 }
 

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/control"
 	"github.com/dsrhaslab/prisma-go/internal/core"
@@ -38,6 +39,80 @@ type Config struct {
 	// SetTenant, when set, backs POST /tenants?name=X&weight=W&bytes=B
 	// (zero leaves the respective knob unchanged).
 	SetTenant func(name string, weight, bytesPerSecond float64) error
+	// Tracer, when set, lets GET /debug/bundle include the retained spans
+	// so one capture carries both counters and recent per-read timelines.
+	Tracer *obs.Tracer
+}
+
+// DefaultBundleSpans bounds the spans embedded in a diagnostic bundle when
+// the caller does not ask for a specific number (?spans=N).
+const DefaultBundleSpans = 1024
+
+// Bundle is the one-shot diagnostic capture served by GET /debug/bundle
+// and OpBundle over IPC: every observability surface of one stage —
+// stats (including cache, tiering, pool, and plan counters), latency
+// attribution, per-tenant QoS and SLO states, plan epochs, the decision
+// audit log, and the most recent spans — in a single JSON document.
+type Bundle struct {
+	CapturedAt  time.Duration            `json:"captured_at"`
+	Stats       core.StageStats          `json:"stats"`
+	Attribution obs.Attribution          `json:"attribution"`
+	Tenants     *tenancy.Snapshot        `json:"tenants,omitempty"`
+	Epochs      []core.EpochStatus       `json:"epochs,omitempty"`
+	Decisions   []control.DecisionRecord `json:"decisions,omitempty"`
+	Spans       []obs.Span               `json:"spans,omitempty"`
+	// SpansDropped counts retained spans omitted by the span limit.
+	SpansDropped int `json:"spans_dropped,omitempty"`
+}
+
+// BuildBundle assembles the diagnostic bundle for dp using cfg's optional
+// sources. spanLimit bounds the embedded spans (most recent kept; <= 0
+// means DefaultBundleSpans). Shared by the HTTP handler and the IPC
+// OpBundle source so both transports serve the identical document.
+func BuildBundle(dp control.DataPlane, cfg Config, spanLimit int) Bundle {
+	if spanLimit <= 0 {
+		spanLimit = DefaultBundleSpans
+	}
+	s := dp.Stats()
+	consumers := cfg.Consumers
+	if consumers < 1 {
+		consumers = 1
+	}
+	b := Bundle{
+		CapturedAt: s.Now,
+		Stats:      s,
+		Attribution: obs.Attribute(obs.AttributionInput{
+			Window:       s.Now,
+			Consumers:    consumers,
+			ConsumerWait: s.Buffer.ConsumerWait,
+			StorageWait:  s.Buffer.ConsumerWaitStorage,
+			BufferWait:   s.Buffer.ConsumerWaitBufferFull,
+			CacheWait:    s.Cache.WaitTime,
+			TierWait:     s.Tiering.PromoteTime + s.Tiering.DecodeTime,
+			ThrottleWait: s.ThrottleWait,
+			StorageBusy:  s.StorageBusy,
+			ProducerPark: s.Buffer.ProducerWait,
+		}),
+	}
+	if cfg.Tenants != nil {
+		snap := cfg.Tenants()
+		b.Tenants = &snap
+	}
+	if em, ok := dp.(epochManager); ok {
+		b.Epochs = em.Epochs()
+	}
+	if cfg.Decisions != nil {
+		b.Decisions = cfg.Decisions()
+	}
+	if cfg.Tracer != nil {
+		spans := cfg.Tracer.Spans()
+		if over := len(spans) - spanLimit; over > 0 {
+			b.SpansDropped = over
+			spans = spans[over:] // Spans() is time-ordered; keep the newest.
+		}
+		b.Spans = spans
+	}
+	return b
 }
 
 // Handler serves the admin API for one data-plane stage.
@@ -63,6 +138,7 @@ func NewWithConfig(dp control.DataPlane, cfg Config) *Handler {
 	h.mux.HandleFunc("/epochs", h.epochs)
 	h.mux.HandleFunc("/tenants", h.tenants)
 	h.mux.HandleFunc("/tiering", h.tiering)
+	h.mux.HandleFunc("/debug/bundle", h.bundle)
 	if cfg.EnablePprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -193,6 +269,34 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// bundle serves the one-shot diagnostic capture: GET /debug/bundle
+// returns a Bundle as JSON. ?spans=N bounds the embedded spans (0 omits
+// them entirely).
+func (h *Handler) bundle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	cfg := h.cfg
+	limit := 0
+	if v := r.URL.Query().Get("spans"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad spans value", http.StatusBadRequest)
+			return
+		}
+		if n == 0 {
+			cfg.Tracer = nil // explicit ?spans=0 drops the span section
+		}
+		limit = n
+	}
+	b := BuildBundle(h.dp, cfg, limit)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(b); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // tiering serves the fast-tier snapshot: GET /tiering returns the
 // TieringStats carried by the stage snapshot as JSON, 501 when no fast
 // tier is wired in.
@@ -250,6 +354,73 @@ func writeTenantMetrics(w http.ResponseWriter, snap tenancy.Snapshot) {
 			}
 			return 0
 		})
+	fmt.Fprintf(w, "# HELP prisma_tenant_read_latency_seconds End-to-end tenant read latency (admission wait included, sheds excluded).\n# TYPE prisma_tenant_read_latency_seconds histogram\n")
+	for _, ts := range snap.Tenants {
+		name := "prisma_tenant_read_latency_seconds"
+		for _, b := range ts.Latency.Buckets {
+			fmt.Fprintf(w, "%s_bucket{tenant=%q,le=%q} %d\n", name, ts.Name, strconv.FormatFloat(b.Le.Seconds(), 'g', -1, 64), b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{tenant=%q,le=\"+Inf\"} %d\n", name, ts.Name, ts.Latency.Count)
+		fmt.Fprintf(w, "%s_sum{tenant=%q} %g\n", name, ts.Name, ts.Latency.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count{tenant=%q} %d\n", name, ts.Name, ts.Latency.Count)
+	}
+	writeSLOMetrics(w, snap)
+}
+
+// sloStateValue encodes an SLO state for the prisma_slo_state gauge.
+func sloStateValue(state string) float64 {
+	switch state {
+	case obs.SLOWarn:
+		return 1
+	case obs.SLOBreach:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// writeSLOMetrics renders the per-tenant SLO series for tenants that have
+// an objective configured.
+func writeSLOMetrics(w http.ResponseWriter, snap tenancy.Snapshot) {
+	any := false
+	for _, ts := range snap.Tenants {
+		if ts.SLO != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "# HELP prisma_slo_state Tenant SLO state: 0 ok, 1 warn, 2 breach.\n# TYPE prisma_slo_state gauge\n")
+	for _, ts := range snap.Tenants {
+		if ts.SLO != nil {
+			fmt.Fprintf(w, "prisma_slo_state{tenant=%q} %g\n", ts.Name, sloStateValue(ts.SLO.State))
+		}
+	}
+	fmt.Fprintf(w, "# HELP prisma_slo_burn_rate Error-budget burn rate over the short and long windows.\n# TYPE prisma_slo_burn_rate gauge\n")
+	for _, ts := range snap.Tenants {
+		if ts.SLO != nil {
+			fmt.Fprintf(w, "prisma_slo_burn_rate{tenant=%q,window=\"short\"} %g\n", ts.Name, ts.SLO.BurnShort)
+			fmt.Fprintf(w, "prisma_slo_burn_rate{tenant=%q,window=\"long\"} %g\n", ts.Name, ts.SLO.BurnLong)
+		}
+	}
+	fmt.Fprintf(w, "# HELP prisma_slo_budget_remaining Fraction of the long-window error budget left.\n# TYPE prisma_slo_budget_remaining gauge\n")
+	for _, ts := range snap.Tenants {
+		if ts.SLO != nil {
+			fmt.Fprintf(w, "prisma_slo_budget_remaining{tenant=%q} %g\n", ts.Name, ts.SLO.BudgetRemaining)
+		}
+	}
+	fmt.Fprintf(w, "# HELP prisma_slo_boosted 1 while the tenant holds an SLO breach weight boost.\n# TYPE prisma_slo_boosted gauge\n")
+	for _, ts := range snap.Tenants {
+		if ts.SLO != nil {
+			boosted := 0.0
+			if ts.SLOBoosted {
+				boosted = 1
+			}
+			fmt.Fprintf(w, "prisma_slo_boosted{tenant=%q} %g\n", ts.Name, boosted)
+		}
+	}
 }
 
 // tenants serves per-tenant QoS: GET /tenants returns the snapshot as
@@ -332,6 +503,9 @@ func (h *Handler) attribution(w http.ResponseWriter, r *http.Request) {
 		ConsumerWait: s.Buffer.ConsumerWait,
 		StorageWait:  s.Buffer.ConsumerWaitStorage,
 		BufferWait:   s.Buffer.ConsumerWaitBufferFull,
+		CacheWait:    s.Cache.WaitTime,
+		TierWait:     s.Tiering.PromoteTime + s.Tiering.DecodeTime,
+		ThrottleWait: s.ThrottleWait,
 		StorageBusy:  s.StorageBusy,
 		ProducerPark: s.Buffer.ProducerWait,
 	})

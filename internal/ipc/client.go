@@ -629,6 +629,12 @@ func (c *Client) Decisions() ([]byte, error) {
 	return c.roundTrip(OpDecisions, nil, true)
 }
 
+// Bundle fetches the server's one-shot diagnostic bundle as raw JSON
+// (an httpadmin.Bundle document).
+func (c *Client) Bundle() ([]byte, error) {
+	return c.roundTrip(OpBundle, nil, true)
+}
+
 // Tenants fetches the server's per-tenant QoS snapshot.
 func (c *Client) Tenants() (tenancy.Snapshot, error) {
 	resp, err := c.roundTrip(OpTenants, nil, true)

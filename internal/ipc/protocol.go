@@ -45,6 +45,8 @@ const (
 	OpHello     = 12 // establish the connection's tenant identity
 	OpTenants   = 13 // fetch per-tenant QoS statistics (JSON)
 	OpSetTenant = 14 // control: adjust a tenant's weight / byte budget
+
+	OpBundle = 15 // fetch the one-shot diagnostic bundle (JSON)
 )
 
 // Response status bytes.

@@ -43,6 +43,7 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 	decisions func() ([]byte, error) // OpDecisions source (pre-marshaled JSON)
+	bundle    func() ([]byte, error) // OpBundle source (pre-marshaled JSON)
 	tenancy   *tenancy.Manager       // nil = single-tenant (hello still accepted)
 	wg        sync.WaitGroup
 }
@@ -71,6 +72,15 @@ func ServeWithConfig(socketPath string, stage *core.Stage, cfg ServeConfig) (*Se
 func (s *Server) SetDecisionSource(f func() ([]byte, error)) {
 	s.mu.Lock()
 	s.decisions = f
+	s.mu.Unlock()
+}
+
+// SetBundleSource wires the OpBundle opcode to a provider of the one-shot
+// diagnostic bundle, pre-marshaled as JSON (httpadmin.Bundle in practice).
+// The indirection keeps ipc decoupled from the bundle assembly.
+func (s *Server) SetBundleSource(f func() ([]byte, error)) {
+	s.mu.Lock()
+	s.bundle = f
 	s.mu.Unlock()
 }
 
@@ -414,6 +424,19 @@ func (s *Server) handleControl(opcode byte, payload []byte) []byte {
 		s.mu.Unlock()
 		if src == nil {
 			return errResponse(errors.New("decision log unavailable: no controller attached"))
+		}
+		blob, err := src()
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(blob)
+
+	case OpBundle:
+		s.mu.Lock()
+		src := s.bundle
+		s.mu.Unlock()
+		if src == nil {
+			return errResponse(errors.New("diagnostic bundle unavailable: no bundle source attached"))
 		}
 		blob, err := src()
 		if err != nil {

@@ -27,6 +27,17 @@ type AttributionInput struct {
 	// IPCOverhead is the socket/framing cost: client-observed round-trip
 	// time minus server-side handling time.
 	IPCOverhead time.Duration
+	// CacheWait is time lost inside the shared cache: single-flight
+	// followers blocked on another tenant's in-flight fetch of the same
+	// sample.
+	CacheWait time.Duration
+	// TierWait is time lost to tiering work on the read path: fast-tier
+	// promotion (compression) and transparent decompression of resident
+	// entries.
+	TierWait time.Duration
+	// ThrottleWait is time reads spent blocked in the tenant admission
+	// gate (rate/byte budget waits), before any plan state was touched.
+	ThrottleWait time.Duration
 	// StorageBusy is the total producer time spent inside backend reads
 	// (context, not part of the share math).
 	StorageBusy time.Duration
@@ -37,8 +48,9 @@ type AttributionInput struct {
 
 // Attribution is the per-epoch critical-path breakdown: how the consumers'
 // time divides between waiting on storage, waiting on buffer capacity, IPC
-// overhead, and actually consuming (the stage keeping up). The four shares
-// sum to 1 by construction.
+// overhead, shared-cache coalescing, tiering work, tenant-gate throttling,
+// and actually consuming (the stage keeping up). The seven shares sum to 1
+// by construction.
 type Attribution struct {
 	Window    time.Duration `json:"window"`
 	Consumers int           `json:"consumers"`
@@ -51,6 +63,16 @@ type Attribution struct {
 	BufferFullShare float64 `json:"buffer_full_share"`
 	// IPCShare: fraction lost to socket transport and framing.
 	IPCShare float64 `json:"ipc_share"`
+	// CacheShare: fraction lost blocked on the shared cache's single-flight
+	// coalescing — contention for the same hot samples across tenants.
+	CacheShare float64 `json:"cache_share"`
+	// TierShare: fraction lost to tier promotion and transparent
+	// decompression — CPU the tier trades for device reads.
+	TierShare float64 `json:"tier_share"`
+	// ThrottleShare: fraction lost in the tenant admission gate — lower
+	// demand or raise the tenant's budget, the data plane isn't the
+	// bottleneck.
+	ThrottleShare float64 `json:"throttle_share"`
 	// ConsumerShare: the remainder — time consumers were computing, i.e.
 	// the data plane kept up (the pipeline is consumer-bound).
 	ConsumerShare float64 `json:"consumer_share"`
@@ -60,6 +82,9 @@ type Attribution struct {
 	StorageWait  time.Duration `json:"storage_wait"`
 	BufferWait   time.Duration `json:"buffer_wait"`
 	IPCOverhead  time.Duration `json:"ipc_overhead"`
+	CacheWait    time.Duration `json:"cache_wait"`
+	TierWait     time.Duration `json:"tier_wait"`
+	ThrottleWait time.Duration `json:"throttle_wait"`
 	StorageBusy  time.Duration `json:"storage_busy"`
 	ProducerPark time.Duration `json:"producer_park"`
 }
@@ -80,6 +105,9 @@ func Attribute(in AttributionInput) Attribution {
 		StorageWait:  clampDur(in.StorageWait),
 		BufferWait:   clampDur(in.BufferWait),
 		IPCOverhead:  clampDur(in.IPCOverhead),
+		CacheWait:    clampDur(in.CacheWait),
+		TierWait:     clampDur(in.TierWait),
+		ThrottleWait: clampDur(in.ThrottleWait),
 		StorageBusy:  clampDur(in.StorageBusy),
 		ProducerPark: clampDur(in.ProducerPark),
 	}
@@ -91,11 +119,18 @@ func Attribute(in AttributionInput) Attribution {
 	a.StorageShare = clampShare(float64(a.StorageWait) / denom)
 	a.BufferFullShare = clampShare(float64(a.BufferWait) / denom)
 	a.IPCShare = clampShare(float64(a.IPCOverhead) / denom)
-	total := a.StorageShare + a.BufferFullShare + a.IPCShare
+	a.CacheShare = clampShare(float64(a.CacheWait) / denom)
+	a.TierShare = clampShare(float64(a.TierWait) / denom)
+	a.ThrottleShare = clampShare(float64(a.ThrottleWait) / denom)
+	total := a.StorageShare + a.BufferFullShare + a.IPCShare +
+		a.CacheShare + a.TierShare + a.ThrottleShare
 	if total > 1 {
 		a.StorageShare /= total
 		a.BufferFullShare /= total
 		a.IPCShare /= total
+		a.CacheShare /= total
+		a.TierShare /= total
+		a.ThrottleShare /= total
 		total = 1
 	}
 	a.ConsumerShare = 1 - total
@@ -152,6 +187,12 @@ func AttributeSpans(spans []Span, consumers int) Attribution {
 			ipcClient += s.Latency
 		case StageIPCServe:
 			ipcServe += s.Latency
+		case StageCacheCoalesce:
+			in.CacheWait += s.Latency
+		case StageTierPromote, StageTierWarm, StageDecompress:
+			in.TierWait += s.Latency
+		case StageTenantThrottle:
+			in.ThrottleWait += s.Latency
 		}
 	}
 	if seen {

@@ -16,8 +16,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
@@ -37,6 +39,17 @@ const (
 	// Control-plane plan-lifecycle spans (name is "epoch-<id>").
 	StagePlanSubmit  = "plan-submit"  // one epoch submission (Size = plan length)
 	StageEpochCancel = "epoch-cancel" // one epoch cancellation (Size = entries dropped)
+
+	// Serving-chain spans (PR 6/7 surfaces): the shared cache, the tier,
+	// the transparent codec, and the tenant gate.
+	StageCacheHit       = "sharedcache-hit"      // shared-cache resident hit
+	StageCacheMiss      = "sharedcache-miss"     // single-flight leader's backend fetch
+	StageCacheCoalesce  = "sharedcache-coalesce" // follower waiting on the leader's fetch
+	StageTierPromote    = "tier-promote"         // read-triggered fast-tier admission
+	StageTierWarm       = "tier-warm"            // plan-driven prefetch into the tier
+	StageDecompress     = "recordio-decompress"  // transparent payload decode
+	StageTenantThrottle = "tenant-throttle"      // admission-gate rate/byte wait
+	StageTenantShed     = "tenant-shed"          // admission-gate load shed (Error set)
 )
 
 // Span is one timed step of a sample's (or a read's) lifecycle. The JSON
@@ -107,6 +120,12 @@ type Tracer struct {
 	size int
 	base uint64
 
+	// samplingBits mirrors sampling (math.Float64bits) so the sampling-off
+	// fast path in StartTrace never touches the mutex: the serving chain
+	// draws a context per read, and a shared lock there is contention the
+	// ≤5% overhead gate can see.
+	samplingBits atomic.Uint64
+
 	mu       conc.Mutex
 	sampling float64
 	rng      *rand.Rand
@@ -158,6 +177,7 @@ func NewTracer(env conc.Env, opts TracerOptions) *Tracer {
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		rings:    make(map[string]*spanRing),
 	}
+	t.samplingBits.Store(math.Float64bits(t.sampling))
 	return t
 }
 
@@ -184,9 +204,7 @@ func (t *Tracer) Sampling() float64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sampling
+	return math.Float64frombits(t.samplingBits.Load())
 }
 
 // SetSampling adjusts the head-sampling probability at runtime (control
@@ -197,6 +215,7 @@ func (t *Tracer) SetSampling(p float64) {
 	}
 	t.mu.Lock()
 	t.sampling = clampProb(p)
+	t.samplingBits.Store(math.Float64bits(t.sampling))
 	t.mu.Unlock()
 }
 
@@ -205,6 +224,11 @@ func (t *Tracer) SetSampling(p float64) {
 // no-op.
 func (t *Tracer) StartTrace() Ctx {
 	if t == nil {
+		return Ctx{}
+	}
+	// Lock-free fast path: with sampling off (the default in production)
+	// drawing a context costs one atomic load, not a shared lock.
+	if math.Float64frombits(t.samplingBits.Load()) <= 0 {
 		return Ctx{}
 	}
 	t.mu.Lock()

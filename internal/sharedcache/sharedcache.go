@@ -16,10 +16,12 @@ package sharedcache
 import (
 	"container/list"
 	"fmt"
+	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
 
@@ -32,6 +34,10 @@ type Stats struct {
 	UsedBytes   int64
 	Residents   int
 	DeviceReads int64 // misses that actually hit the backend
+	// WaitTime is the cumulative time followers spent blocked on another
+	// job's in-flight fetch — the cache's contribution to the attribution
+	// split (always on, independent of trace sampling).
+	WaitTime time.Duration
 }
 
 // Cache is a byte-bounded, single-flight, LRU sample cache over a shared
@@ -53,8 +59,11 @@ type Cache struct {
 	hits      *metrics.Counter
 	misses    *metrics.Counter
 	waits     *metrics.Counter
+	waitTime  *metrics.Counter // nanoseconds followers spent coalesced
 	evictions *metrics.Counter
 	devReads  *metrics.Counter
+
+	tracer *obs.Tracer // nil-safe: spans only for sampled reads
 }
 
 // entry is one resident sample. When the backend serves pooled payloads,
@@ -88,6 +97,7 @@ func New(env conc.Env, inner storage.Backend, capacity int64) (*Cache, error) {
 		hits:      metrics.NewCounter(env),
 		misses:    metrics.NewCounter(env),
 		waits:     metrics.NewCounter(env),
+		waitTime:  metrics.NewCounter(env),
 		evictions: metrics.NewCounter(env),
 		devReads:  metrics.NewCounter(env),
 	}
@@ -95,8 +105,22 @@ func New(env conc.Env, inner storage.Backend, capacity int64) (*Cache, error) {
 	return c, nil
 }
 
+// SetTracer attaches the lifecycle tracer: sampled reads then record
+// sharedcache-hit/miss/coalesce spans. Nil (the default) disables spans;
+// the wait-time counter stays on either way.
+func (c *Cache) SetTracer(t *obs.Tracer) { c.tracer = t }
+
 // ReadFile implements storage.Backend with single-flight caching.
 func (c *Cache) ReadFile(name string) (storage.Data, error) {
+	return c.ReadFileCtx(name, obs.Ctx{})
+}
+
+// ReadFileCtx implements storage.CtxReader: ReadFile recording hit, miss,
+// and single-flight-coalesce spans against the read's trace when it is
+// sampled, so a follower's wait on another job's fetch is no longer
+// invisible to attribution.
+func (c *Cache) ReadFileCtx(name string, ctx obs.Ctx) (storage.Data, error) {
+	var waitStart, waited time.Duration
 	c.mu.Lock()
 	for {
 		if el, ok := c.resident[name]; ok {
@@ -107,9 +131,16 @@ func (c *Cache) ReadFile(name string) (storage.Data, error) {
 				// the entry alive; the caller releases as usual (§11).
 				e.ref.Retain()
 			}
+			size := e.size
+			bytes := e.bytes
+			ref := e.ref
 			c.mu.Unlock()
 			c.hits.Inc()
-			return storage.Data{Name: name, Size: e.size, Bytes: e.bytes, Ref: e.ref}, nil
+			c.noteWait(ctx, name, waitStart, waited)
+			if ctx.Sampled {
+				c.tracer.Record(obs.Span{Trace: ctx.Trace, Stage: obs.StageCacheHit, Name: name, At: c.env.Now(), Size: size})
+			}
+			return storage.Data{Name: name, Size: size, Bytes: bytes, Ref: ref}, nil
 		}
 		if !c.inflight[name] {
 			break
@@ -117,14 +148,31 @@ func (c *Cache) ReadFile(name string) (storage.Data, error) {
 		// Another job is already fetching this file: wait for it instead
 		// of issuing a duplicate device read.
 		c.waits.Inc()
+		begin := c.env.Now()
+		if waited == 0 {
+			waitStart = begin
+		}
 		c.fetchDone.Wait()
+		waited += c.env.Now() - begin
 	}
 	c.inflight[name] = true
 	c.mu.Unlock()
+	c.noteWait(ctx, name, waitStart, waited)
 
 	c.misses.Inc()
 	c.devReads.Inc()
-	data, err := c.inner.ReadFile(name)
+	fetchStart := time.Duration(0)
+	if ctx.Sampled {
+		fetchStart = c.env.Now()
+	}
+	data, err := storage.ReadFileCtx(c.inner, name, ctx)
+	if ctx.Sampled {
+		sp := obs.Span{Trace: ctx.Trace, Stage: obs.StageCacheMiss, Name: name, At: fetchStart, Latency: c.env.Now() - fetchStart, Size: data.Size}
+		if err != nil {
+			sp.Error = err.Error()
+		}
+		c.tracer.Record(sp)
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, name)
@@ -134,6 +182,18 @@ func (c *Cache) ReadFile(name string) (storage.Data, error) {
 	c.fetchDone.Broadcast()
 	c.mu.Unlock()
 	return data, err
+}
+
+// noteWait folds one completed coalesced wait into the always-on wait-time
+// counter and, for sampled reads, records the follower's coalesce span.
+func (c *Cache) noteWait(ctx obs.Ctx, name string, start, waited time.Duration) {
+	if waited <= 0 {
+		return
+	}
+	c.waitTime.Add(int64(waited))
+	if ctx.Sampled {
+		c.tracer.Record(obs.Span{Trace: ctx.Trace, Stage: obs.StageCacheCoalesce, Name: name, At: start, Latency: waited})
+	}
 }
 
 // admit inserts the fetched sample, evicting LRU residents. The cache
@@ -237,6 +297,7 @@ func (c *Cache) Stats() Stats {
 		UsedBytes:   used,
 		Residents:   n,
 		DeviceReads: c.devReads.Value(),
+		WaitTime:    time.Duration(c.waitTime.Value()),
 	}
 }
 

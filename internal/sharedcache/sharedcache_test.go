@@ -9,6 +9,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/sim"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -92,6 +93,76 @@ func TestSingleFlightCollapsesConcurrentMisses(t *testing.T) {
 		st := c.Stats()
 		if st.Waits != 4 {
 			t.Fatalf("waits = %d, want 4", st.Waits)
+		}
+	})
+}
+
+// TestSingleFlightSpans proves trace context survives the single-flight
+// path: for ONE collapsed backend read, the leader emits a sharedcache-miss
+// span against its trace and the follower emits a sharedcache-coalesce span
+// (plus the hit it wakes to) against its own, so coalesced waits are no
+// longer invisible to attribution.
+func TestSingleFlightSpans(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, dev, names := fixture(env, 1, 1000, 10*time.Millisecond, 8)
+		c, _ := New(env, backend, 1<<20)
+		tracer := obs.NewTracer(env, obs.TracerOptions{Sampling: 1})
+		c.SetTracer(tracer)
+
+		leader := tracer.StartTrace()
+		follower := tracer.StartTrace()
+		if !leader.Sampled || !follower.Sampled || leader.Trace == follower.Trace {
+			t.Fatalf("bad trace contexts: %+v %+v", leader, follower)
+		}
+		wg := env.NewWaitGroup()
+		wg.Add(2)
+		env.Go("leader", func() {
+			defer wg.Done()
+			if _, err := c.ReadFileCtx(names[0], leader); err != nil {
+				t.Errorf("leader read: %v", err)
+			}
+		})
+		env.Go("follower", func() {
+			defer wg.Done()
+			env.Sleep(time.Millisecond) // arrive mid-fetch
+			if _, err := c.ReadFileCtx(names[0], follower); err != nil {
+				t.Errorf("follower read: %v", err)
+			}
+		})
+		wg.Wait()
+
+		if dev.Stats().Reads != 1 {
+			t.Fatalf("device reads = %d, want 1 (single flight)", dev.Stats().Reads)
+		}
+		var miss, coalesce, hit []obs.Span
+		for _, sp := range tracer.Spans() {
+			switch sp.Stage {
+			case obs.StageCacheMiss:
+				miss = append(miss, sp)
+			case obs.StageCacheCoalesce:
+				coalesce = append(coalesce, sp)
+			case obs.StageCacheHit:
+				hit = append(hit, sp)
+			}
+		}
+		if len(miss) != 1 || len(coalesce) != 1 || len(hit) != 1 {
+			t.Fatalf("spans = %d miss / %d coalesce / %d hit, want 1/1/1",
+				len(miss), len(coalesce), len(hit))
+		}
+		if miss[0].Trace != leader.Trace {
+			t.Errorf("miss span trace = %d, want leader %d", miss[0].Trace, leader.Trace)
+		}
+		if coalesce[0].Trace != follower.Trace || hit[0].Trace != follower.Trace {
+			t.Errorf("follower spans traces = %d/%d, want %d",
+				coalesce[0].Trace, hit[0].Trace, follower.Trace)
+		}
+		// The follower joined 1ms into a 10ms fetch: its coalesced wait is
+		// the remaining 9ms, both on the span and the always-on counter.
+		if coalesce[0].Latency != 9*time.Millisecond {
+			t.Errorf("coalesce latency = %v, want 9ms", coalesce[0].Latency)
+		}
+		if c.Stats().WaitTime != 9*time.Millisecond {
+			t.Errorf("WaitTime = %v, want 9ms", c.Stats().WaitTime)
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
 
 // Data is the result of reading a file through a Backend. Modeled backends
@@ -51,6 +52,27 @@ type Backend interface {
 	ReadFile(name string) (Data, error)
 	// Size reports the file size from metadata, without data transfer.
 	Size(name string) (int64, error)
+}
+
+// CtxReader is the optional trace-context extension of Backend: wrappers
+// that do attributable work on the read path (the shared cache's
+// single-flight coalescing, the tier's promote/decompress) implement it so
+// a sampled read's spans land on the read's own trace instead of being
+// invisible. Wrappers forward the ctx inward; use the ReadFileCtx helper at
+// call sites so plain Backends keep working unchanged.
+type CtxReader interface {
+	// ReadFileCtx reads name in full, recording spans against ctx when it
+	// is sampled. Semantics are otherwise identical to ReadFile.
+	ReadFileCtx(name string, ctx obs.Ctx) (Data, error)
+}
+
+// ReadFileCtx dispatches a read through the CtxReader extension when b
+// implements it, falling back to the plain ReadFile otherwise.
+func ReadFileCtx(b Backend, name string, ctx obs.Ctx) (Data, error) {
+	if cr, ok := b.(CtxReader); ok {
+		return cr.ReadFileCtx(name, ctx)
+	}
+	return b.ReadFile(name)
 }
 
 // RangeReader is the optional byte-range extension of Backend, needed by

@@ -9,6 +9,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
 
 // ErrCircuitOpen reports a read shed by the circuit breaker without touching
@@ -190,6 +191,13 @@ type DetailedReader interface {
 	ReadFileDetailed(name string) (Data, ReadDetail, error)
 }
 
+// DetailedCtxReader is DetailedReader with trace-context forwarding: the
+// sampled read path uses it so per-read resilience detail and inner-layer
+// (cache/tier) spans land on the same trace.
+type DetailedCtxReader interface {
+	ReadFileDetailedCtx(name string, ctx obs.Ctx) (Data, ReadDetail, error)
+}
+
 // ResilientBackend wraps a Backend (and its RangeReader extension, when
 // present) with per-read deadlines, bounded retries with exponential
 // backoff and deterministic jitter, and a circuit breaker that sheds load
@@ -273,6 +281,20 @@ func (b *ResilientBackend) ReadFile(name string) (Data, error) {
 // attempt count and breaker state, for span annotation.
 func (b *ResilientBackend) ReadFileDetailed(name string) (Data, ReadDetail, error) {
 	return b.do(func() (Data, error) { return b.inner.ReadFile(name) })
+}
+
+// ReadFileCtx implements CtxReader: ReadFile with the trace context
+// forwarded inward, so the shared cache's and tier's spans attach to the
+// sampled read's trace.
+func (b *ResilientBackend) ReadFileCtx(name string, ctx obs.Ctx) (Data, error) {
+	d, _, err := b.do(func() (Data, error) { return ReadFileCtx(b.inner, name, ctx) })
+	return d, err
+}
+
+// ReadFileDetailedCtx implements DetailedCtxReader: ReadFileDetailed with
+// trace-context forwarding.
+func (b *ResilientBackend) ReadFileDetailedCtx(name string, ctx obs.Ctx) (Data, ReadDetail, error) {
+	return b.do(func() (Data, error) { return ReadFileCtx(b.inner, name, ctx) })
 }
 
 // ReadRange implements RangeReader when the wrapped backend supports byte

@@ -34,6 +34,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/fairness"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 )
 
 // DefaultTenant is the identity assigned to connections that never send a
@@ -87,6 +88,10 @@ type Spec struct {
 	// Secret, when non-empty, must be presented by the hello frame for a
 	// connection to assume this identity.
 	Secret string
+	// SLO, when non-nil, installs a latency objective for the tenant: its
+	// reads feed an env-clock burn-rate tracker whose OK/WARN/BREACH
+	// transitions drive gate weight boosts and audited control actions.
+	SLO *obs.SLOConfig
 }
 
 // Config tunes the manager.
@@ -115,6 +120,14 @@ type Config struct {
 	// Load probes current saturation; nil means never overloaded (the
 	// gate still throttles by rate and byte budgets).
 	Load func() Load
+	// SLOBoostFactor multiplies a tenant's arbitration weight while its
+	// latency objective is breaching — the victim of a noisy neighbor gets
+	// a bigger max-min share until its burn rate recovers (default 2).
+	SLOBoostFactor float64
+	// OnSLOAction, when non-nil, observes every SLO-driven control action
+	// (breach boosts, recoveries, warns). The serving layer wires it into
+	// the autotuner's decision audit log so the actions stay explainable.
+	OnSLOAction func(SLOAction)
 }
 
 func (c Config) withDefaults() Config {
@@ -133,14 +146,34 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetryAfter <= 0 {
 		c.MaxRetryAfter = 5 * time.Second
 	}
+	if c.SLOBoostFactor <= 1 {
+		c.SLOBoostFactor = 2
+	}
 	return c
+}
+
+// SLOAction is one SLO-driven control action, surfaced through
+// Config.OnSLOAction for audit.
+type SLOAction struct {
+	Tenant string `json:"tenant"`
+	// Rule names the action: "slo-breach" (weight boosted), "slo-recovered"
+	// (boost removed), "slo-warn" (observed, no actuation).
+	Rule         string        `json:"rule"`
+	From         string        `json:"from"`
+	To           string        `json:"to"`
+	WeightBefore float64       `json:"weight_before"`
+	WeightAfter  float64       `json:"weight_after"`
+	Status       obs.SLOStatus `json:"status"`
 }
 
 // state is one tenant's runtime record.
 type state struct {
 	name   string
-	weight float64
+	weight float64 // base (operator-set) arbitration weight
 	secret string
+	// boosted marks an active SLO breach boost: the arbiter currently runs
+	// this tenant at weight x SLOBoostFactor.
+	boosted bool
 
 	bucket      *fairness.TokenBucket // request-rate budget (arbiter-driven)
 	bytes       *fairness.TokenBucket // byte budget, nil when unmetered
@@ -150,6 +183,7 @@ type state struct {
 	shed      *metrics.Counter
 	bytesRead *metrics.Counter
 	errors    *metrics.Counter
+	latency   *metrics.BucketedHistogram // end-to-end read latency
 }
 
 // Manager is the tenant registry plus the admission-control gate. It
@@ -159,6 +193,7 @@ type Manager struct {
 	env conc.Env
 	cfg Config
 	arb *fairness.Arbiter
+	slo *obs.SLOTracker
 
 	mu         conc.Mutex
 	tenants    map[string]*state
@@ -182,6 +217,7 @@ func New(env conc.Env, cfg Config) (*Manager, error) {
 		env:     env,
 		cfg:     cfg,
 		arb:     arb,
+		slo:     obs.NewSLOTracker(env),
 		mu:      env.NewMutex(),
 		tenants: make(map[string]*state),
 	}
@@ -219,6 +255,7 @@ func (m *Manager) Register(spec Spec) error {
 		shed:      metrics.NewCounter(m.env),
 		bytesRead: metrics.NewCounter(m.env),
 		errors:    metrics.NewCounter(m.env),
+		latency:   metrics.NewBucketedHistogram(m.env, nil),
 	}
 	if spec.BytesPerSecond > 0 {
 		// Burst = one second of budget: post-hoc charging needs room to go
@@ -243,7 +280,39 @@ func (m *Manager) Register(spec Spec) error {
 		m.mu.Unlock()
 		return err
 	}
+	if spec.SLO != nil {
+		m.slo.Set(spec.Name, *spec.SLO)
+	}
 	return nil
+}
+
+// SetSLO installs (or replaces) a tenant's latency objective at runtime.
+func (m *Manager) SetSLO(name string, cfg obs.SLOConfig) error {
+	m.mu.Lock()
+	_, ok := m.tenants[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("tenancy: tenant %q not registered", name)
+	}
+	m.slo.Set(name, cfg)
+	return nil
+}
+
+// ClearSLO removes a tenant's latency objective (and any active boost).
+func (m *Manager) ClearSLO(name string) {
+	m.slo.Remove(name)
+	m.mu.Lock()
+	var base float64
+	restore := false
+	if st, ok := m.tenants[name]; ok && st.boosted {
+		st.boosted = false
+		base = st.weight
+		restore = true
+	}
+	m.mu.Unlock()
+	if restore {
+		m.arb.SetWeight(name, base)
+	}
 }
 
 // Unregister removes a tenant; its arbiter share flows back to the rest at
@@ -260,6 +329,7 @@ func (m *Manager) Unregister(name string) error {
 		return fmt.Errorf("tenancy: tenant %q not registered", name)
 	}
 	m.arb.Unregister(name)
+	m.slo.Remove(name)
 	return nil
 }
 
@@ -277,7 +347,11 @@ func (m *Manager) SetTenant(name string, weight, bytesPerSecond float64) error {
 			return err
 		}
 		m.mu.Lock()
+		// An operator-set weight becomes the new base and lands directly in
+		// the arbiter, dropping any active SLO boost (it re-applies on the
+		// tenant's next transition into breach).
 		st.weight = weight
+		st.boosted = false
 		m.mu.Unlock()
 	}
 	if bytesPerSecond > 0 {
@@ -389,6 +463,22 @@ func (m *Manager) Admit(tenant string) error {
 	return nil
 }
 
+// ObserveLatency implements the stage's latencyObserver extension: every
+// tenant read's end-to-end latency (including admission waits) lands in the
+// tenant's histogram and, when the tenant has a latency objective, in the
+// SLO burn-rate tracker. Shed reads count against the shed budget instead
+// of the latency threshold.
+func (m *Manager) ObserveLatency(tenant string, latency time.Duration, shed bool) {
+	st := m.lookup(tenant)
+	if !shed {
+		st.latency.Observe(latency)
+	}
+	m.slo.Observe(st.name, latency, shed)
+}
+
+// SLO exposes the burn-rate tracker (for bundles and metrics surfaces).
+func (m *Manager) SLO() *obs.SLOTracker { return m.slo }
+
 // ObserveRead implements core.TenantGate: byte budgets are charged after
 // the read, when the payload size is known; the debt throttles (or, under
 // overload, sheds) subsequent reads from the same tenant.
@@ -428,6 +518,53 @@ func (m *Manager) tick(interval time.Duration) {
 		m.arb.SetCapacity(m.cfg.Capacity)
 	}
 	m.arb.Tick(interval)
+	for _, tr := range m.slo.Evaluate() {
+		m.applySLOTransition(tr)
+	}
+}
+
+// applySLOTransition turns one SLO state change into a gate action: a
+// tenant entering BREACH gets its arbitration weight boosted by
+// SLOBoostFactor (the noisy neighbor is squeezed by max-min in its favor);
+// recovering to OK restores the base weight; WARN is observed without
+// actuation. Every transition is reported through OnSLOAction for audit.
+func (m *Manager) applySLOTransition(tr obs.SLOTransition) {
+	m.mu.Lock()
+	st, ok := m.tenants[tr.Tenant]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	act := SLOAction{Tenant: tr.Tenant, From: tr.From, To: tr.To, Status: tr.Status}
+	base := st.weight
+	act.WeightBefore = base
+	if st.boosted {
+		act.WeightBefore = base * m.cfg.SLOBoostFactor
+	}
+	act.WeightAfter = act.WeightBefore
+	switch tr.To {
+	case obs.SLOBreach:
+		act.Rule = "slo-breach"
+		if !st.boosted {
+			st.boosted = true
+			act.WeightAfter = base * m.cfg.SLOBoostFactor
+		}
+	case obs.SLOOK:
+		act.Rule = "slo-recovered"
+		if st.boosted {
+			st.boosted = false
+			act.WeightAfter = base
+		}
+	default:
+		act.Rule = "slo-warn"
+	}
+	m.mu.Unlock()
+	if act.WeightAfter != act.WeightBefore {
+		m.arb.SetWeight(tr.Tenant, act.WeightAfter)
+	}
+	if m.cfg.OnSLOAction != nil {
+		m.cfg.OnSLOAction(act)
+	}
 }
 
 // Tick runs one arbitration/overload evaluation round (tests drive this
@@ -477,6 +614,13 @@ type TenantStats struct {
 	Errors       int64   `json:"errors"`
 	ByteBudget   float64 `json:"byte_budget,omitempty"` // bytes/s, 0 = unmetered
 	InDebt       bool    `json:"in_debt"`
+	// SLOBoosted marks an active breach boost (Weight is the base weight;
+	// the arbiter currently runs Weight x SLOBoostFactor).
+	SLOBoosted bool `json:"slo_boosted,omitempty"`
+	// Latency is the tenant's end-to-end read latency histogram.
+	Latency metrics.HistogramSnapshot `json:"latency"`
+	// SLO is the tenant's objective evaluation, nil without an objective.
+	SLO *obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // Snapshot is the full control-plane view.
@@ -495,8 +639,10 @@ func (m *Manager) Stats() Snapshot {
 	}
 	m.mu.Lock()
 	states := make([]*state, 0, len(m.tenants))
+	boosted := make(map[string]bool, len(m.tenants))
 	for _, st := range m.tenants {
 		states = append(states, st)
+		boosted[st.name] = st.boosted
 	}
 	overloaded := m.overloaded
 	m.mu.Unlock()
@@ -513,9 +659,14 @@ func (m *Manager) Stats() Snapshot {
 			BytesRead:    st.bytesRead.Value(),
 			Errors:       st.errors.Value(),
 			ByteBudget:   st.bytesPerSec,
+			SLOBoosted:   boosted[st.name],
+			Latency:      st.latency.Snapshot(),
 		}
 		if st.bytes != nil {
 			ts.InDebt = st.bytes.InDebt()
+		}
+		if slo, ok := m.slo.Status(st.name); ok {
+			ts.SLO = &slo
 		}
 		snap.Tenants = append(snap.Tenants, ts)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/sim"
 )
 
@@ -288,6 +289,189 @@ func TestUnknownTenantFallsBackToDefault(t *testing.T) {
 		for _, ts := range m.Stats().Tenants {
 			if ts.Name == DefaultTenant && ts.Admitted != 1 {
 				t.Fatalf("default tenant admitted = %d, want 1 (fallback)", ts.Admitted)
+			}
+		}
+	})
+}
+
+// TestSLONoisyNeighborLifecycle is the ISSUE's deterministic noisy-neighbor
+// sim: a victim tenant with a latency objective is driven WARN -> BREACH ->
+// OK purely by observed latencies (the noisy neighbor's contention), and the
+// gate's actuation is checked at each step — a breach boosts the victim's
+// arbitration weight by SLOBoostFactor, recovery restores the base weight,
+// and every transition is surfaced through OnSLOAction for audit.
+func TestSLONoisyNeighborLifecycle(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		var actions []SLOAction
+		m, err := New(env, Config{
+			Capacity:       1000,
+			TickInterval:   100 * time.Millisecond,
+			SLOBoostFactor: 3,
+			OnSLOAction:    func(a SLOAction) { actions = append(actions, a) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(Spec{Name: "noisy"}); err != nil {
+			t.Fatal(err)
+		}
+		err = m.Register(Spec{Name: "victim", SLO: &obs.SLOConfig{
+			Quantile:    0.9,
+			Threshold:   time.Millisecond,
+			Window:      12 * time.Second,
+			ShortWindow: time.Second,
+			WarnBurn:    1,
+			BreachBurn:  4,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		observe := func(n int, lat time.Duration) {
+			for i := 0; i < n; i++ {
+				m.ObserveLatency("victim", lat, false)
+			}
+		}
+		victim := func() TenantStats {
+			for _, ts := range m.Stats().Tenants {
+				if ts.Name == "victim" {
+					return ts
+				}
+			}
+			t.Fatal("victim missing from snapshot")
+			return TenantStats{}
+		}
+
+		// Healthy bucket: everything under threshold, no actions.
+		observe(100, 100*time.Microsecond)
+		m.Tick(100 * time.Millisecond)
+		if len(actions) != 0 {
+			t.Fatalf("healthy traffic produced actions: %+v", actions)
+		}
+
+		// The noisy neighbor starts inflating tail latency: 20 bad reads
+		// over the 200-read short window burn exactly the 10% budget =>
+		// WARN, observed but not actuated.
+		env.Sleep(time.Second)
+		observe(80, 100*time.Microsecond)
+		observe(20, 5*time.Millisecond)
+		m.Tick(100 * time.Millisecond)
+		if len(actions) != 1 || actions[0].Rule != "slo-warn" {
+			t.Fatalf("actions = %+v, want [slo-warn]", actions)
+		}
+		if actions[0].WeightAfter != actions[0].WeightBefore {
+			t.Fatalf("warn actuated a weight change: %+v", actions[0])
+		}
+
+		// Full-bucket contention => BREACH: the gate boosts the victim's
+		// arbitration weight so max-min squeezes the noisy neighbor.
+		env.Sleep(time.Second)
+		observe(100, 20*time.Millisecond)
+		m.Tick(100 * time.Millisecond)
+		if len(actions) != 2 || actions[1].Rule != "slo-breach" {
+			t.Fatalf("actions = %+v, want slo-breach appended", actions)
+		}
+		if actions[1].WeightBefore != 1 || actions[1].WeightAfter != 3 {
+			t.Fatalf("breach weights = %v -> %v, want 1 -> 3", actions[1].WeightBefore, actions[1].WeightAfter)
+		}
+		vs := victim()
+		if !vs.SLOBoosted || vs.SLO == nil || vs.SLO.State != obs.SLOBreach {
+			t.Fatalf("victim snapshot = boosted=%v slo=%+v, want boosted breach", vs.SLOBoosted, vs.SLO)
+		}
+
+		// Contention ends: two healthy buckets empty the short window and
+		// the gate hands the boost back.
+		for i := 0; i < 2; i++ {
+			env.Sleep(time.Second)
+			observe(100, 100*time.Microsecond)
+		}
+		m.Tick(100 * time.Millisecond)
+		if len(actions) != 3 || actions[2].Rule != "slo-recovered" {
+			t.Fatalf("actions = %+v, want slo-recovered appended", actions)
+		}
+		if actions[2].WeightBefore != 3 || actions[2].WeightAfter != 1 {
+			t.Fatalf("recovery weights = %v -> %v, want 3 -> 1", actions[2].WeightBefore, actions[2].WeightAfter)
+		}
+		vs = victim()
+		if vs.SLOBoosted || vs.SLO.State != obs.SLOOK {
+			t.Fatalf("victim snapshot after recovery = boosted=%v state=%q, want unboosted ok", vs.SLOBoosted, vs.SLO.State)
+		}
+	})
+}
+
+// TestSLOShedObservations checks the gate's shed accounting reaches the
+// tracker: shed reads are bad reads against the shed budget even though no
+// latency was measured.
+func TestSLOShedObservations(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m, err := New(env, Config{Capacity: 1000, TickInterval: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.Register(Spec{Name: "a", SLO: &obs.SLOConfig{
+			Quantile: 0.9, Threshold: time.Millisecond,
+			Window: 12 * time.Second, ShortWindow: time.Second,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			m.ObserveLatency("a", 0, true)
+		}
+		st, ok := m.SLO().Status("a")
+		if !ok {
+			t.Fatal("no SLO status")
+		}
+		if st.Shed != 10 || st.Bad != 10 || st.Good != 0 {
+			t.Fatalf("status = %+v, want 10 shed = 10 bad", st)
+		}
+		// Shed reads must not pollute the latency histogram.
+		for _, ts := range m.Stats().Tenants {
+			if ts.Name == "a" && ts.Latency.Count != 0 {
+				t.Fatalf("latency count = %d, want 0 (shed reads skip the histogram)", ts.Latency.Count)
+			}
+		}
+	})
+}
+
+// TestSetSLOClearSLO checks runtime objective management: SetSLO on a live
+// tenant starts tracking, ClearSLO stops it and drops any active boost.
+func TestSetSLOClearSLO(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		m, err := New(env, Config{Capacity: 1000, TickInterval: 100 * time.Millisecond, SLOBoostFactor: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(Spec{Name: "a"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetSLO("nope", obs.SLOConfig{Threshold: time.Millisecond}); err == nil {
+			t.Fatal("SetSLO on unknown tenant accepted")
+		}
+		if err := m.SetSLO("a", obs.SLOConfig{
+			Quantile: 0.9, Threshold: time.Millisecond,
+			Window: 12 * time.Second, ShortWindow: time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Breach it, then clear: the boost must not outlive the objective.
+		for i := 0; i < 100; i++ {
+			m.ObserveLatency("a", time.Second, false)
+		}
+		m.Tick(100 * time.Millisecond)
+		for _, ts := range m.Stats().Tenants {
+			if ts.Name == "a" && !ts.SLOBoosted {
+				t.Fatal("breach did not boost")
+			}
+		}
+		m.ClearSLO("a")
+		for _, ts := range m.Stats().Tenants {
+			if ts.Name == "a" {
+				if ts.SLOBoosted {
+					t.Fatal("boost survived ClearSLO")
+				}
+				if ts.SLO != nil {
+					t.Fatal("SLO status survived ClearSLO")
+				}
 			}
 		}
 	})

@@ -17,10 +17,12 @@ package tiering
 import (
 	"container/list"
 	"fmt"
+	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
+	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/recordio"
 	"github.com/dsrhaslab/prisma-go/internal/storage"
 )
@@ -87,6 +89,12 @@ type Stats struct {
 	// the halving sweeps that bounded it.
 	TrackedNames int
 	AccessDecays int64
+	// PromoteTime is cumulative read-path promotion work (compression +
+	// admission) and DecodeTime cumulative hit-path decompression — the
+	// tier's CPU contribution to the attribution split (always on,
+	// independent of trace sampling).
+	PromoteTime time.Duration
+	DecodeTime  time.Duration
 }
 
 // Backend is the tiered storage backend. It is safe for concurrent use
@@ -123,6 +131,10 @@ type Backend struct {
 	evictions    *metrics.Counter
 	prefPromoted *metrics.Counter
 	prefSkipped  *metrics.Counter
+	promoteTime  *metrics.Counter // nanoseconds of read-path promote work
+	decodeTime   *metrics.Counter // nanoseconds of hit-path decompression
+
+	tracer *obs.Tracer // nil-safe: spans only for sampled reads
 }
 
 // entry is one fast-tier resident. In live mode it owns the payload: an
@@ -173,13 +185,28 @@ func NewBackend(env conc.Env, cfg Config, slow storage.Backend, fastDevice *stor
 		evictions:    metrics.NewCounter(env),
 		prefPromoted: metrics.NewCounter(env),
 		prefSkipped:  metrics.NewCounter(env),
+		promoteTime:  metrics.NewCounter(env),
+		decodeTime:   metrics.NewCounter(env),
 	}
 	b.planCond = env.NewCond(b.mu)
 	return b, nil
 }
 
+// SetTracer attaches the lifecycle tracer: sampled reads then record
+// tier-promote and recordio-decompress spans, and the warming worker
+// records tier-warm spans on its own (head-sampled) traces. Nil disables
+// spans; the promote/decode time counters stay on either way.
+func (b *Backend) SetTracer(t *obs.Tracer) { b.tracer = t }
+
 // ReadFile implements storage.Backend.
 func (b *Backend) ReadFile(name string) (storage.Data, error) {
+	return b.ReadFileCtx(name, obs.Ctx{})
+}
+
+// ReadFileCtx implements storage.CtxReader: ReadFile with the tier's
+// attributable work — hit-path decompression and read-path promotion —
+// recorded as spans on the read's trace when it is sampled.
+func (b *Backend) ReadFileCtx(name string, ctx obs.Ctx) (storage.Data, error) {
 	b.mu.Lock()
 	if el, hit := b.resident[name]; hit {
 		b.order.MoveToFront(el)
@@ -208,7 +235,17 @@ func (b *Backend) ReadFile(name string) (storage.Data, error) {
 			return storage.Data{Name: name, Size: size, Bytes: bytes, Ref: ref}, nil
 		}
 		dst, dstRef := b.sampleBuf(int(size))
+		decStart := b.env.Now()
 		err := recordio.DecompressInto(dst, bytes)
+		decDur := b.env.Now() - decStart
+		b.decodeTime.Add(int64(decDur))
+		if ctx.Sampled {
+			sp := obs.Span{Trace: ctx.Trace, Stage: obs.StageDecompress, Name: name, At: decStart, Latency: decDur, Size: size}
+			if err != nil {
+				sp.Error = err.Error()
+			}
+			b.tracer.Record(sp)
+		}
 		if ref != nil {
 			ref.Release()
 		}
@@ -222,7 +259,7 @@ func (b *Backend) ReadFile(name string) (storage.Data, error) {
 	}
 	b.mu.Unlock()
 
-	data, err := b.slow.ReadFile(name)
+	data, err := storage.ReadFileCtx(b.slow, name, ctx)
 	if err != nil {
 		return storage.Data{}, err
 	}
@@ -244,14 +281,20 @@ func (b *Backend) ReadFile(name string) (storage.Data, error) {
 	// work), then race to admit: concurrent misses on the same name all
 	// reach here, but only the winner charges the fast device and the
 	// promotion counter.
+	promStart := b.env.Now()
 	e := b.prepareEntry(name, data)
 	b.mu.Lock()
 	admitted := b.admitLocked(e, true)
 	b.mu.Unlock()
+	promDur := b.env.Now() - promStart
+	b.promoteTime.Add(int64(promDur))
 	if admitted {
 		b.promotions.Inc()
 		if b.fastDevice != nil {
 			b.fastDevice.Write(e.stored) // copy-in cost
+		}
+		if ctx.Sampled {
+			b.tracer.Record(obs.Span{Trace: ctx.Trace, Stage: obs.StageTierPromote, Name: name, At: promStart, Latency: promDur, Size: e.stored})
 		}
 	} else {
 		e.drop()
@@ -407,7 +450,11 @@ func (b *Backend) prefetchLoop() {
 				b.prefSkipped.Inc()
 				continue
 			}
-			data, err := b.slow.ReadFile(name)
+			// Warming runs off the consumer read path, so each warmed file
+			// gets its own head-sampled trace instead of riding a read's.
+			ctx := b.tracer.StartTrace()
+			warmStart := b.env.Now()
+			data, err := storage.ReadFileCtx(b.slow, name, ctx)
 			if err != nil {
 				b.prefSkipped.Inc()
 				continue
@@ -420,6 +467,9 @@ func (b *Backend) prefetchLoop() {
 				b.prefPromoted.Inc()
 				if b.fastDevice != nil {
 					b.fastDevice.Write(e.stored)
+				}
+				if ctx.Sampled {
+					b.tracer.Record(obs.Span{Trace: ctx.Trace, Stage: obs.StageTierWarm, Name: name, At: warmStart, Latency: b.env.Now() - warmStart, Size: e.stored})
 				}
 			} else {
 				e.drop()
@@ -498,6 +548,8 @@ func (b *Backend) Stats() Stats {
 		Residents:          residents,
 		TrackedNames:       tracked,
 		AccessDecays:       decays,
+		PromoteTime:        time.Duration(b.promoteTime.Value()),
+		DecodeTime:         time.Duration(b.decodeTime.Value()),
 	}
 }
 

@@ -127,6 +127,36 @@ type TieringOptions struct {
 	PrefetchNextEpoch bool
 }
 
+// SLOOptions declares one tenant's latency service-level objective: "the
+// Quantile of this tenant's reads completes within Threshold". The SLO
+// plane tracks the objective's error-budget burn rate over a short and a
+// long sliding window (the SRE multi-window method), flips the tenant
+// OK -> WARN -> BREACH, and on breach boosts the tenant's arbitration
+// weight until the budget recovers — every action landing in the decision
+// audit log.
+type SLOOptions struct {
+	// Quantile is the objective's target quantile in (0, 1); reads slower
+	// than Threshold beyond the 1-Quantile allowance burn the error
+	// budget (default 0.99).
+	Quantile float64
+	// Threshold is the latency objective (required, > 0).
+	Threshold time.Duration
+	// ShedBudget is an extra error-budget fraction granted for admission
+	// sheds, so deliberate load shedding does not instantly breach a
+	// tight latency objective (default 0).
+	ShedBudget float64
+	// Window is the long sliding window the budget is evaluated over
+	// (default 60s). The short (fast-burn) window is Window/12.
+	Window time.Duration
+	// WarnBurn is the long-window burn rate that flips the tenant to
+	// WARN (default 1 = burning exactly the budget).
+	WarnBurn float64
+	// BreachBurn is the short-window burn rate that, together with
+	// WarnBurn sustained on the long window, flips the tenant to BREACH
+	// (default 4 x WarnBurn).
+	BreachBurn float64
+}
+
 // TenantSpec declares one tenant for TenancyOptions.Tenants or
 // Prisma.RegisterTenant.
 type TenantSpec struct {
@@ -141,6 +171,8 @@ type TenantSpec struct {
 	// Secret, when non-empty, must be presented at hello time for a
 	// connection to assume this identity.
 	Secret string
+	// SLO, when set, attaches a latency objective to this tenant.
+	SLO *SLOOptions
 }
 
 // TenancyOptions tunes the tenant-aware robustness layer: admission
@@ -179,6 +211,10 @@ type TenancyOptions struct {
 	// flight LRU cache above the storage backend so co-located tenants
 	// reading the same files don't multiply backend load.
 	SharedCacheBytes int64
+	// SLOBoostFactor scales a tenant's arbitration weight while its SLO
+	// is breached, shifting share from its noisy neighbors to the victim
+	// until the error budget recovers (default 2; must be > 1).
+	SLOBoostFactor float64
 	// Tenants pre-registers tenants at Open (more can be added at
 	// runtime via RegisterTenant or self-service hello).
 	Tenants []TenantSpec
@@ -258,6 +294,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validate rejects an inconsistent SLO declaration (nil passes: no SLO).
+func (s *SLOOptions) validate(tenant string) error {
+	if s == nil {
+		return nil
+	}
+	if s.Threshold <= 0 {
+		return fmt.Errorf("prisma: tenant %q SLO: Threshold %v <= 0", tenant, s.Threshold)
+	}
+	if s.Quantile < 0 || s.Quantile >= 1 {
+		return fmt.Errorf("prisma: tenant %q SLO: Quantile %v outside [0, 1)", tenant, s.Quantile)
+	}
+	if s.ShedBudget < 0 || s.ShedBudget > 1 {
+		return fmt.Errorf("prisma: tenant %q SLO: ShedBudget %v outside [0, 1]", tenant, s.ShedBudget)
+	}
+	if s.Window < 0 || s.WarnBurn < 0 || s.BreachBurn < 0 {
+		return fmt.Errorf("prisma: tenant %q SLO: negative Window or burn threshold", tenant)
+	}
+	return nil
+}
+
 // validate rejects inconsistent options.
 func (o Options) validate() error {
 	if o.Dir == "" {
@@ -315,9 +371,15 @@ func (o Options) validate() error {
 		if o.Tenancy.DegradedFactor < 0 || o.Tenancy.DegradedFactor > 1 {
 			return fmt.Errorf("prisma: Tenancy.DegradedFactor %v outside [0, 1]", o.Tenancy.DegradedFactor)
 		}
+		if o.Tenancy.SLOBoostFactor != 0 && o.Tenancy.SLOBoostFactor <= 1 {
+			return fmt.Errorf("prisma: Tenancy.SLOBoostFactor %v <= 1", o.Tenancy.SLOBoostFactor)
+		}
 		for _, ts := range o.Tenancy.Tenants {
 			if ts.Name == "" {
 				return fmt.Errorf("prisma: Tenancy.Tenants entry with empty name")
+			}
+			if err := ts.SLO.validate(ts.Name); err != nil {
+				return err
 			}
 		}
 	}

@@ -82,7 +82,8 @@ type Stats struct {
 	PoolFreeBytes   int64   // bytes parked in the pool
 
 	// Shared-cache telemetry (zero-valued unless Tenancy.SharedCacheBytes
-	// is set; filled locally only — remote Client.Stats reports zeros).
+	// is set). Rides the stage snapshot, so remote Client.Stats sees it
+	// too.
 	CacheEnabled     bool
 	CacheHits        int64
 	CacheMisses      int64
@@ -91,6 +92,7 @@ type Stats struct {
 	CacheDeviceReads int64 // misses that actually hit the backend
 	CacheUsedBytes   int64
 	CacheResidents   int
+	CacheWaitTime    time.Duration // cumulative follower time spent coalesced on a leader's fetch
 
 	// Tiering telemetry (zero-valued unless Tiering.Enable). Unlike the
 	// cache fields this rides the stage snapshot, so remote Client.Stats
@@ -108,9 +110,12 @@ type Stats struct {
 	TierResidents          int
 	TierTrackedNames       int
 	TierAccessDecays       int64
+	TierPromoteTime        time.Duration // cumulative time spent admitting samples into the tier
+	TierDecodeTime         time.Duration // cumulative time spent decompressing tier hits
 
 	// Tenancy telemetry (zero-valued unless Tenancy.Enable).
-	TenantsShed int64 // reads refused at admission with ErrOverloaded
+	TenantsShed  int64         // reads refused at admission with ErrOverloaded
+	ThrottleWait time.Duration // cumulative time reads spent queued at the admission gate
 
 	// Plan-lifecycle telemetry (the epoch-aware plan manager).
 	EpochsSubmitted int64 // plan epochs submitted since Open
@@ -123,18 +128,26 @@ type Stats struct {
 }
 
 // Attribution is the critical-path latency breakdown: how consumer time
-// divides between waiting on storage, waiting on buffer capacity, IPC
-// overhead, and actually consuming. The shares sum to 1.
+// divides between waiting on storage, waiting on buffer capacity, the
+// shared cache (coalesced fetches), the fast tier (promotion and decode),
+// the tenant admission gate, IPC overhead, and actually consuming. The
+// shares sum to 1.
 type Attribution struct {
 	Window          time.Duration
 	Consumers       int
 	StorageShare    float64
 	BufferFullShare float64
+	CacheShare      float64
+	TierShare       float64
+	ThrottleShare   float64
 	IPCShare        float64
 	ConsumerShare   float64
 	ConsumerWait    time.Duration
 	StorageWait     time.Duration
 	BufferWait      time.Duration
+	CacheWait       time.Duration
+	TierWait        time.Duration
+	ThrottleWait    time.Duration
 }
 
 func attributionFrom(a obs.Attribution) Attribution {
@@ -143,11 +156,17 @@ func attributionFrom(a obs.Attribution) Attribution {
 		Consumers:       a.Consumers,
 		StorageShare:    a.StorageShare,
 		BufferFullShare: a.BufferFullShare,
+		CacheShare:      a.CacheShare,
+		TierShare:       a.TierShare,
+		ThrottleShare:   a.ThrottleShare,
 		IPCShare:        a.IPCShare,
 		ConsumerShare:   a.ConsumerShare,
 		ConsumerWait:    a.ConsumerWait,
 		StorageWait:     a.StorageWait,
 		BufferWait:      a.BufferWait,
+		CacheWait:       a.CacheWait,
+		TierWait:        a.TierWait,
+		ThrottleWait:    a.ThrottleWait,
 	}
 }
 
@@ -198,8 +217,21 @@ func statsFrom(s core.StageStats) Stats {
 		TierResidents:          s.Tiering.Residents,
 		TierTrackedNames:       s.Tiering.TrackedNames,
 		TierAccessDecays:       s.Tiering.AccessDecays,
+		TierPromoteTime:        s.Tiering.PromoteTime,
+		TierDecodeTime:         s.Tiering.DecodeTime,
 
-		TenantsShed: s.Shed,
+		CacheEnabled:     s.CacheEnabled,
+		CacheHits:        s.Cache.Hits,
+		CacheMisses:      s.Cache.Misses,
+		CacheWaits:       s.Cache.Waits,
+		CacheEvictions:   s.Cache.Evictions,
+		CacheDeviceReads: s.Cache.DeviceReads,
+		CacheUsedBytes:   s.Cache.UsedBytes,
+		CacheResidents:   s.Cache.Residents,
+		CacheWaitTime:    s.Cache.WaitTime,
+
+		TenantsShed:  s.Shed,
+		ThrottleWait: s.ThrottleWait,
 
 		EpochsSubmitted: s.Plan.EpochsSubmitted,
 		EpochsCancelled: s.Plan.EpochsCancelled,
@@ -318,8 +350,26 @@ func Open(opts Options) (*Prisma, error) {
 	tracer := obs.NewTracer(env, obs.TracerOptions{Sampling: opts.TraceSampling})
 	stage.SetTracer(tracer)
 	stage.SetBufferPool(pool)
+	if cache != nil {
+		sc := cache
+		sc.SetTracer(tracer)
+		stage.SetCacheSource(func() core.CacheStats {
+			cs := sc.Stats()
+			return core.CacheStats{
+				Hits:        cs.Hits,
+				Misses:      cs.Misses,
+				Waits:       cs.Waits,
+				Evictions:   cs.Evictions,
+				UsedBytes:   cs.UsedBytes,
+				Residents:   cs.Residents,
+				DeviceReads: cs.DeviceReads,
+				WaitTime:    cs.WaitTime,
+			}
+		})
+	}
 	if tiered != nil {
 		tb := tiered
+		tb.SetTracer(tracer)
 		stage.SetTieringSource(func() core.TieringStats {
 			ts := tb.Stats()
 			return core.TieringStats{
@@ -335,6 +385,8 @@ func Open(opts Options) (*Prisma, error) {
 				Residents:          ts.Residents,
 				TrackedNames:       ts.TrackedNames,
 				AccessDecays:       ts.AccessDecays,
+				PromoteTime:        ts.PromoteTime,
+				DecodeTime:         ts.DecodeTime,
 			}
 		})
 		if opts.Tiering.PrefetchNextEpoch {
@@ -359,60 +411,8 @@ func Open(opts Options) (*Prisma, error) {
 		spanTo:      opts.SpanFile,
 		enablePprof: opts.EnablePprof,
 	}
-	if opts.Tenancy.Enable {
-		mqd := opts.Tenancy.MaxQueueDepth
-		if mqd < 0 {
-			mqd = 0 // -1 in the public options disables the check
-		}
-		// The pooled-byte pressure probe estimates the outstanding buffer
-		// footprint as live leases times the mean sample size (the pool
-		// tracks lease counts, not bytes).
-		avgSample := int64(1)
-		if n := manifest.Len(); n > 0 {
-			if avgSample = manifest.TotalBytes() / int64(n); avgSample < 1 {
-				avgSample = 1
-			}
-		}
-		mgr, err := tenancy.New(env, tenancy.Config{
-			Capacity:       opts.Tenancy.Capacity,
-			Burst:          opts.Tenancy.Burst,
-			TickInterval:   opts.Tenancy.TickInterval,
-			DegradedFactor: opts.Tenancy.DegradedFactor,
-			MaxQueueDepth:  mqd,
-			MaxPooledBytes: opts.Tenancy.MaxPooledBytes,
-			MaxRetryAfter:  opts.Tenancy.MaxRetryAfter,
-			Load: func() tenancy.Load {
-				s := stage.Stats()
-				var pooled int64
-				if pool != nil {
-					pooled = pool.Outstanding() * avgSample
-				}
-				return tenancy.Load{
-					QueueDepth:  s.QueueLen,
-					PooledBytes: pooled,
-					Degraded:    s.Resilience.Degraded,
-				}
-			},
-		})
-		if err != nil {
-			stage.Close()
-			return nil, fmt.Errorf("prisma: %w", err)
-		}
-		for _, ts := range opts.Tenancy.Tenants {
-			if err := mgr.Register(tenancy.Spec{
-				Name:           ts.Name,
-				Weight:         ts.Weight,
-				BytesPerSecond: ts.BytesPerSecond,
-				Secret:         ts.Secret,
-			}); err != nil {
-				stage.Close()
-				return nil, fmt.Errorf("prisma: %w", err)
-			}
-		}
-		stage.SetTenantGate(mgr)
-		mgr.Start()
-		p.tenants = mgr
-	}
+	// The controller is built before the tenancy manager so SLO actions can
+	// land in its decision audit log from the manager's first tick onward.
 	if !opts.DisableAutoTune {
 		pol := control.DefaultPolicy()
 		pol.MinProducers = 1
@@ -428,7 +428,94 @@ func Open(opts Options) (*Prisma, error) {
 		ctl.Start()
 		p.ctl = ctl
 	}
+	if opts.Tenancy.Enable {
+		mqd := opts.Tenancy.MaxQueueDepth
+		if mqd < 0 {
+			mqd = 0 // -1 in the public options disables the check
+		}
+		// The pooled-byte pressure probe estimates the outstanding buffer
+		// footprint as live leases times the mean sample size (the pool
+		// tracks lease counts, not bytes).
+		avgSample := int64(1)
+		if n := manifest.Len(); n > 0 {
+			if avgSample = manifest.TotalBytes() / int64(n); avgSample < 1 {
+				avgSample = 1
+			}
+		}
+		cfg := tenancy.Config{
+			Capacity:       opts.Tenancy.Capacity,
+			Burst:          opts.Tenancy.Burst,
+			TickInterval:   opts.Tenancy.TickInterval,
+			DegradedFactor: opts.Tenancy.DegradedFactor,
+			MaxQueueDepth:  mqd,
+			MaxPooledBytes: opts.Tenancy.MaxPooledBytes,
+			MaxRetryAfter:  opts.Tenancy.MaxRetryAfter,
+			SLOBoostFactor: opts.Tenancy.SLOBoostFactor,
+			Load: func() tenancy.Load {
+				s := stage.Stats()
+				var pooled int64
+				if pool != nil {
+					pooled = pool.Outstanding() * avgSample
+				}
+				return tenancy.Load{
+					QueueDepth:  s.QueueLen,
+					PooledBytes: pooled,
+					Degraded:    s.Resilience.Degraded,
+				}
+			},
+		}
+		if p.ctl != nil {
+			// Every SLO actuation (breach boost, recovery restore, warn)
+			// lands in the stage's decision audit log next to the
+			// autotuner's own decisions.
+			ctl := p.ctl
+			cfg.OnSLOAction = func(act tenancy.SLOAction) {
+				ctl.RecordEvent("stage", act.Rule+":"+act.Tenant)
+			}
+		}
+		mgr, err := tenancy.New(env, cfg)
+		if err != nil {
+			if p.ctl != nil {
+				p.ctl.Stop()
+			}
+			stage.Close()
+			return nil, fmt.Errorf("prisma: %w", err)
+		}
+		for _, ts := range opts.Tenancy.Tenants {
+			if err := mgr.Register(specFrom(ts)); err != nil {
+				if p.ctl != nil {
+					p.ctl.Stop()
+				}
+				stage.Close()
+				return nil, fmt.Errorf("prisma: %w", err)
+			}
+		}
+		stage.SetTenantGate(mgr)
+		mgr.Start()
+		p.tenants = mgr
+	}
 	return p, nil
+}
+
+// specFrom maps the public tenant declaration to the internal spec.
+func specFrom(ts TenantSpec) tenancy.Spec {
+	spec := tenancy.Spec{
+		Name:           ts.Name,
+		Weight:         ts.Weight,
+		BytesPerSecond: ts.BytesPerSecond,
+		Secret:         ts.Secret,
+	}
+	if ts.SLO != nil {
+		spec.SLO = &obs.SLOConfig{
+			Quantile:   ts.SLO.Quantile,
+			Threshold:  ts.SLO.Threshold,
+			ShedBudget: ts.SLO.ShedBudget,
+			Window:     ts.SLO.Window,
+			WarnBurn:   ts.SLO.WarnBurn,
+			BreachBurn: ts.SLO.BreachBurn,
+		}
+	}
+	return spec
 }
 
 // Read serves one file through the data plane: planned files come from the
@@ -580,21 +667,10 @@ func (p *Prisma) Files() int { return p.manifest.Len() }
 // TotalBytes reports the scanned dataset volume.
 func (p *Prisma) TotalBytes() int64 { return p.manifest.TotalBytes() }
 
-// Stats snapshots the data plane.
+// Stats snapshots the data plane. Shared-cache counters ride the stage
+// snapshot (SetCacheSource), so local and remote views agree.
 func (p *Prisma) Stats() Stats {
-	s := statsFrom(p.stage.Stats())
-	if p.cache != nil {
-		cs := p.cache.Stats()
-		s.CacheEnabled = true
-		s.CacheHits = cs.Hits
-		s.CacheMisses = cs.Misses
-		s.CacheWaits = cs.Waits
-		s.CacheEvictions = cs.Evictions
-		s.CacheDeviceReads = cs.DeviceReads
-		s.CacheUsedBytes = cs.UsedBytes
-		s.CacheResidents = cs.Residents
-	}
-	return s
+	return statsFrom(p.stage.Stats())
 }
 
 // SetProducers pins the producer count t (disable AutoTune to keep it).
@@ -622,6 +698,9 @@ func (p *Prisma) Attribution(consumers int) Attribution {
 		ConsumerWait: s.Buffer.ConsumerWait,
 		StorageWait:  s.Buffer.ConsumerWaitStorage,
 		BufferWait:   s.Buffer.ConsumerWaitBufferFull,
+		CacheWait:    s.Cache.WaitTime,
+		TierWait:     s.Tiering.PromoteTime + s.Tiering.DecodeTime,
+		ThrottleWait: s.ThrottleWait,
 		StorageBusy:  s.StorageBusy,
 		ProducerPark: s.Buffer.ProducerWait,
 	}))
@@ -649,6 +728,14 @@ type TenantStats struct {
 	Errors       int64
 	ByteBudget   float64 // bytes/s, 0 = unmetered
 	InDebt       bool
+
+	// SLO fields, meaningful only when HasSLO is set.
+	HasSLO             bool
+	SLOState           string  // "ok", "warn", or "breach"
+	SLOBurnShort       float64 // error-budget burn rate over the short window
+	SLOBurnLong        float64 // error-budget burn rate over the long window
+	SLOBudgetRemaining float64 // fraction of the long-window budget left
+	SLOBoosted         bool    // breach weight boost currently in force
 }
 
 // TenantsSnapshot is the control-plane view of every tenant, sorted by
@@ -662,7 +749,7 @@ type TenantsSnapshot struct {
 func tenantsFrom(s tenancy.Snapshot) TenantsSnapshot {
 	out := TenantsSnapshot{Overloaded: s.Overloaded, Capacity: s.Capacity}
 	for _, ts := range s.Tenants {
-		out.Tenants = append(out.Tenants, TenantStats{
+		pub := TenantStats{
 			Name:         ts.Name,
 			Weight:       ts.Weight,
 			GrantedRate:  ts.GrantedRate,
@@ -673,7 +760,16 @@ func tenantsFrom(s tenancy.Snapshot) TenantsSnapshot {
 			Errors:       ts.Errors,
 			ByteBudget:   ts.ByteBudget,
 			InDebt:       ts.InDebt,
-		})
+		}
+		if ts.SLO != nil {
+			pub.HasSLO = true
+			pub.SLOState = ts.SLO.State
+			pub.SLOBurnShort = ts.SLO.BurnShort
+			pub.SLOBurnLong = ts.SLO.BurnLong
+			pub.SLOBudgetRemaining = ts.SLO.BudgetRemaining
+			pub.SLOBoosted = ts.SLOBoosted
+		}
+		out.Tenants = append(out.Tenants, pub)
 	}
 	return out
 }
@@ -686,12 +782,39 @@ func (p *Prisma) RegisterTenant(spec TenantSpec) error {
 	if p.tenants == nil {
 		return errTenancyDisabled
 	}
-	return p.tenants.Register(tenancy.Spec{
-		Name:           spec.Name,
-		Weight:         spec.Weight,
-		BytesPerSecond: spec.BytesPerSecond,
-		Secret:         spec.Secret,
+	if err := spec.SLO.validate(spec.Name); err != nil {
+		return err
+	}
+	return p.tenants.Register(specFrom(spec))
+}
+
+// SetTenantSLO attaches (or replaces) a tenant's latency objective at
+// runtime. Burn-rate tracking restarts from an empty window.
+func (p *Prisma) SetTenantSLO(name string, slo SLOOptions) error {
+	if p.tenants == nil {
+		return errTenancyDisabled
+	}
+	if err := (&slo).validate(name); err != nil {
+		return err
+	}
+	return p.tenants.SetSLO(name, obs.SLOConfig{
+		Quantile:   slo.Quantile,
+		Threshold:  slo.Threshold,
+		ShedBudget: slo.ShedBudget,
+		Window:     slo.Window,
+		WarnBurn:   slo.WarnBurn,
+		BreachBurn: slo.BreachBurn,
 	})
+}
+
+// ClearTenantSLO detaches a tenant's latency objective, restoring the
+// tenant's base arbitration weight if a breach boost was in force.
+func (p *Prisma) ClearTenantSLO(name string) error {
+	if p.tenants == nil {
+		return errTenancyDisabled
+	}
+	p.tenants.ClearSLO(name)
+	return nil
 }
 
 // UnregisterTenant removes a tenant; its share flows back to the rest at
@@ -747,14 +870,11 @@ func (p *Prisma) ReadSampleAs(tenant, name string) (*Sample, error) {
 	return &Sample{Name: data.Name, Size: data.Size, data: data}, nil
 }
 
-// AdminHandler returns an http.Handler exposing the stage's control
-// interface for dashboards and scrapers: GET /healthz, GET /stats (JSON),
-// GET /metrics (Prometheus text format), GET /attribution, GET /decisions,
-// GET /tenants (and POST /tenants?name=X&weight=W&bytes=B on tenancy-
-// enabled instances), POST /tuning?producers=N&buffer=M&shards=K&sampling=P,
-// and (when Options.EnablePprof is set) /debug/pprof/.
-func (p *Prisma) AdminHandler() http.Handler {
-	cfg := httpadmin.Config{EnablePprof: p.enablePprof}
+// adminConfig assembles the httpadmin sources this instance can serve —
+// shared by AdminHandler and the diagnostic-bundle builder so both
+// surfaces expose the same view.
+func (p *Prisma) adminConfig() httpadmin.Config {
+	cfg := httpadmin.Config{EnablePprof: p.enablePprof, Tracer: p.tracer}
 	if p.ctl != nil {
 		cfg.Decisions = func() []control.DecisionRecord { return p.ctl.Decisions("stage") }
 	}
@@ -763,7 +883,27 @@ func (p *Prisma) AdminHandler() http.Handler {
 		cfg.Tenants = func() tenancy.Snapshot { return mgr.Stats() }
 		cfg.SetTenant = mgr.SetTenant
 	}
-	return httpadmin.NewWithConfig(p.stage, cfg)
+	return cfg
+}
+
+// Bundle captures the one-shot diagnostic bundle — stats (cache, tiering,
+// pool, and plan counters included), latency attribution, per-tenant QoS
+// and SLO states, plan epochs, the decision audit log, and recent spans —
+// as one JSON document. The same document backs GET /debug/bundle and
+// prisma-ctl bundle.
+func (p *Prisma) Bundle() ([]byte, error) {
+	return json.Marshal(httpadmin.BuildBundle(p.stage, p.adminConfig(), 0))
+}
+
+// AdminHandler returns an http.Handler exposing the stage's control
+// interface for dashboards and scrapers: GET /healthz, GET /stats (JSON),
+// GET /metrics (Prometheus text format), GET /attribution, GET /decisions,
+// GET /tenants (and POST /tenants?name=X&weight=W&bytes=B on tenancy-
+// enabled instances), GET /debug/bundle (one-shot diagnostic capture),
+// POST /tuning?producers=N&buffer=M&shards=K&sampling=P,
+// and (when Options.EnablePprof is set) /debug/pprof/.
+func (p *Prisma) AdminHandler() http.Handler {
+	return httpadmin.NewWithConfig(p.stage, p.adminConfig())
 }
 
 // ServeUnix exposes this stage to other processes over a UNIX domain
@@ -790,6 +930,7 @@ func (p *Prisma) ServeUnix(socketPath string) error {
 			return json.Marshal(recs)
 		})
 	}
+	srv.SetBundleSource(p.Bundle)
 	p.server = srv
 	return nil
 }
@@ -1012,6 +1153,10 @@ func (c *Client) SetTenant(name string, weight, bytesPerSecond float64) error {
 
 // Decisions fetches the remote autotuner's decision audit log as raw JSON.
 func (c *Client) Decisions() ([]byte, error) { return c.c.Decisions() }
+
+// Bundle fetches the server's one-shot diagnostic bundle as raw JSON (the
+// same document GET /debug/bundle serves).
+func (c *Client) Bundle() ([]byte, error) { return c.c.Bundle() }
 
 // Ping probes server liveness.
 func (c *Client) Ping() error { return c.c.Ping() }
