@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|tiering|all
+//	prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|cluster|chaos|buffer-shards|attribution|alloc|tiering|all
 //
 // Scale note: -scale 1 simulates the full 1.28 M-image ImageNet; the
 // default 1/128 preserves every shape in a fraction of the event count.
@@ -39,6 +39,7 @@ func main() {
 		format   = flag.String("format", "table", "output format: table | csv | json")
 		deadline = flag.Duration("timeout", 0, "abort after this wall-clock duration (0 = none)")
 		chaosN   = flag.Int("chaos-schedules", 100, "seeded fault schedules for the chaos target")
+		clNodes  = flag.Int("cluster-nodes", 4, "node count for the cluster target")
 		shardKs  = flag.String("shards", "1,2,4,8,16", "comma-separated shard counts for the buffer-shards target")
 		shardCs  = flag.String("consumers", "1,2,4,8,16", "comma-separated consumer counts for the buffer-shards target")
 		shardOps = flag.Int("samples-per-consumer", 200, "samples each consumer moves in the buffer-shards target")
@@ -46,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|chaos|buffer-shards|attribution|alloc|tiering|all")
+		fmt.Fprintln(os.Stderr, "usage: prisma-bench [flags] fig2|fig3|fig4|ablation|distrib|cluster|chaos|buffer-shards|attribution|alloc|tiering|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -168,6 +169,9 @@ func main() {
 	if what == "distrib" || what == "all" {
 		runDistrib()
 	}
+	if what == "cluster" || what == "all" {
+		runCluster(*clNodes)
+	}
 	if what == "chaos" || what == "all" {
 		runChaos(cal.Seed, *chaosN)
 	}
@@ -184,7 +188,7 @@ func main() {
 		runTiering(report)
 	}
 	switch what {
-	case "fig2", "fig3", "fig4", "ablation", "distrib", "chaos", "buffer-shards", "attribution", "alloc", "tiering", "all":
+	case "fig2", "fig3", "fig4", "ablation", "distrib", "cluster", "chaos", "buffer-shards", "attribution", "alloc", "tiering", "all":
 	default:
 		log.Fatalf("prisma-bench: unknown target %q", what)
 	}
@@ -368,6 +372,65 @@ func runChaos(baseSeed int64, n int) {
 	if err := experiments.WriteTable(os.Stdout,
 		[]string{"schedules", "delivered", "consumer errs", "injected", "retries", "breaker opens", "fast fails", "degraded runs", "worst recovery"},
 		rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// runCluster sweeps the multi-node prefetch fabric's three arrangements —
+// independent (every node prefetches the full epoch), coordinated (same,
+// under one producer budget), and clairvoyant (consistent-hash placement
+// partitions the plan; cross-node reads are peer-buffer forwards) — over a
+// shared slow store, and asserts the fabric's economy claim so CI can run
+// this target as a gate: clairvoyant issues exactly one backend read per
+// unique sample per epoch, while the unpartitioned arrangements issue one
+// per node.
+func runCluster(nodes int) {
+	fmt.Printf("Cluster fabric — independent vs coordinated vs clairvoyant placement (%d nodes, shared PFS)\n", nodes)
+	rows := make([][]string, 0, 3)
+	for _, mode := range []distrib.ClusterMode{
+		distrib.ClusterIndependent, distrib.ClusterCoordinated, distrib.ClusterClairvoyant,
+	} {
+		cfg := distrib.DefaultClusterConfig()
+		cfg.Nodes = nodes
+		cfg.Mode = mode
+		res, err := distrib.RunCluster(cfg)
+		if err != nil {
+			log.Fatalf("prisma-bench: cluster %s: %v", mode, err)
+		}
+		if res.Errors != 0 || res.OverDeliveries != 0 || res.MissedDeliveries != 0 {
+			log.Fatalf("prisma-bench: cluster %s: delivery broke (errors=%d over=%d missed=%d)",
+				mode, res.Errors, res.OverDeliveries, res.MissedDeliveries)
+		}
+		perEpoch := int64(res.UniqueSamples)
+		if mode != distrib.ClusterClairvoyant {
+			perEpoch *= int64(nodes)
+		}
+		for e, reads := range res.EpochBackendReads {
+			if reads != perEpoch {
+				log.Fatalf("prisma-bench: cluster %s: epoch %d backend reads %d, want %d",
+					mode, e, reads, perEpoch)
+			}
+		}
+		if mode == distrib.ClusterClairvoyant {
+			if res.DuplicateReadFactor != 1 {
+				log.Fatalf("prisma-bench: clairvoyant duplicate-read factor %.3f, want 1", res.DuplicateReadFactor)
+			}
+		} else if nodes >= 2 && res.DuplicateReadFactor <= 1 {
+			log.Fatalf("prisma-bench: %s duplicate-read factor %.3f, want > 1", mode, res.DuplicateReadFactor)
+		}
+		rows = append(rows, []string{
+			mode.String(),
+			res.Makespan.Round(time.Millisecond).String(),
+			fmt.Sprint(res.BackendReads),
+			fmt.Sprintf("%.2fx", res.DuplicateReadFactor),
+			fmt.Sprint(res.PeerReads),
+			fmt.Sprint(res.Failovers),
+			fmt.Sprint(res.TotalProducers),
+		})
+	}
+	if err := experiments.WriteTable(os.Stdout,
+		[]string{"mode", "makespan", "pfs reads", "dup factor", "peer reads", "failovers", "producers"}, rows); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()

@@ -22,6 +22,26 @@ import (
 	prisma "github.com/dsrhaslab/prisma-go"
 )
 
+// parsePeers decodes the -peers flag: NAME=SOCKET entries separated by
+// commas, e.g. "node-1=/tmp/prisma-1.sock,node-2=/tmp/prisma-2.sock".
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		name, sock, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" || sock == "" {
+			return nil, fmt.Errorf("bad -peers entry %q: want NAME=SOCKET", entry)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("bad -peers entry %q: duplicate node %q", entry, name)
+		}
+		peers[name] = sock
+	}
+	return peers, nil
+}
+
 // parseTenantSpecs decodes the -tenants flag:
 // NAME[:WEIGHT[:BYTES_PER_SEC[:SECRET]]] entries separated by commas.
 func parseTenantSpecs(s string) ([]prisma.TenantSpec, error) {
@@ -146,6 +166,11 @@ func main() {
 		tieringComp    = flag.Bool("tiering-compress", false, "store fast-tier residents compressed, decoded in place on hits")
 		tieringPref    = flag.Bool("tiering-prefetch-next", false, "warm next-epoch cold samples into free fast-tier space when a plan is submitted")
 		tieringTracked = flag.Int("tiering-max-tracked", 0, "promotion-counter map bound before decay sweeps (0 = default 65536)")
+
+		nodeID      = flag.String("node-id", "", "this node's name in the cluster placement ring (enables the multi-node prefetch fabric with -peers)")
+		peerList    = flag.String("peers", "", "peer nodes as NAME=SOCKET,... e.g. node-1=/tmp/prisma-1.sock (requires -node-id)")
+		vnodes      = flag.Int("vnodes", 0, "consistent-hash virtual nodes per ring member (0 = default 64; all nodes must agree)")
+		noPartition = flag.Bool("no-partition", false, "prefetch full epoch plans instead of only ring-owned samples (the independent arrangement; reads still route by ownership)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -162,6 +187,13 @@ func main() {
 	}
 	if err := parseSLOSpecs(*sloSpecs, tenants); err != nil {
 		log.Fatalf("prisma-server: %v", err)
+	}
+	peers, err := parsePeers(*peerList)
+	if err != nil {
+		log.Fatalf("prisma-server: %v", err)
+	}
+	if len(peers) > 0 && *nodeID == "" {
+		log.Fatalf("prisma-server: -peers requires -node-id")
 	}
 
 	p, err := prisma.Open(prisma.Options{
@@ -201,6 +233,13 @@ func main() {
 			Compress:          *tieringComp,
 			PrefetchNextEpoch: *tieringPref,
 		},
+		Cluster: prisma.ClusterOptions{
+			Enable:             *nodeID != "",
+			NodeID:             *nodeID,
+			Peers:              peers,
+			VirtualNodes:       *vnodes,
+			DisablePartitioner: *noPartition,
+		},
 	})
 	if err != nil {
 		log.Fatalf("prisma-server: %v", err)
@@ -214,6 +253,10 @@ func main() {
 	}
 	log.Printf("prisma-server: serving %d files (%.1f MiB) from %s on %s",
 		p.Files(), float64(p.TotalBytes())/(1<<20), *dir, *socket)
+	if *nodeID != "" {
+		log.Printf("prisma-server: cluster node %q in a %d-node ring (clairvoyant partitioning %v)",
+			*nodeID, len(peers)+1, !*noPartition)
+	}
 
 	if *httpAddr != "" {
 		go func() {

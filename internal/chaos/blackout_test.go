@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The node-blackout invariants, across 20 seeded schedules: delivery is
+// exactly-once-or-error, orphaned placements fail over to the slow store
+// within the read deadline, and the fault-free final epoch is clean.
+func TestBlackoutTwentySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultBlackoutConfig(seed)
+			res, err := RunBlackout(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			total := int64(cfg.Files) * int64(cfg.Epochs)
+			if got := res.Delivered + res.ConsumerErrors; got != total {
+				t.Errorf("seed %d: delivered %d + errors %d = %d, want %d (exactly-once-or-error)",
+					seed, res.Delivered, res.ConsumerErrors, got, total)
+			}
+			if res.FinalEpochErrors != 0 {
+				t.Errorf("seed %d: %d errors in the fault-free final epoch", seed, res.FinalEpochErrors)
+			}
+			if res.BlackoutsExecuted < 1 {
+				t.Errorf("seed %d: no blackout cycles executed", seed)
+			}
+			if res.Failovers == 0 {
+				t.Errorf("seed %d: blackouts never intersected cross-node traffic", seed)
+			}
+			if res.PeerErrors < res.Failovers {
+				t.Errorf("seed %d: peer errors %d < failovers %d", seed, res.PeerErrors, res.Failovers)
+			}
+			// A severed transport fails over instantly; the worst case is a
+			// reachable peer whose buffer wait ate the whole take deadline
+			// before erroring, plus one slow-store read for the fallback.
+			bound := cfg.TakeDeadline + 100*time.Millisecond
+			if res.MaxFailoverLatency <= 0 || res.MaxFailoverLatency > bound {
+				t.Errorf("seed %d: max failover latency %v outside (0, %v]",
+					seed, res.MaxFailoverLatency, bound)
+			}
+			if res.OrphansReaped == 0 {
+				t.Errorf("seed %d: no orphaned placements reaped", seed)
+			}
+			if res.PeerReads == 0 {
+				t.Errorf("seed %d: healthy cross-node traffic absent", seed)
+			}
+		})
+	}
+}
+
+// Config validation gates the blackout harness.
+func TestBlackoutConfigValidate(t *testing.T) {
+	good := DefaultBlackoutConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*BlackoutConfig){
+		func(c *BlackoutConfig) { c.Nodes = 1 },
+		func(c *BlackoutConfig) { c.Files = 1 },
+		func(c *BlackoutConfig) { c.Epochs = 2 },
+		func(c *BlackoutConfig) { c.Producers = 0 },
+		func(c *BlackoutConfig) { c.TakeDeadline = 0 },
+		func(c *BlackoutConfig) { c.Blackouts = 0 },
+	}
+	for i, mutate := range cases {
+		bad := DefaultBlackoutConfig(1)
+		mutate(&bad)
+		if bad.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -221,14 +221,15 @@ type Stage struct {
 	env       conc.Env
 	backend   storage.Backend
 	objects   []OptimizationObject
-	pf        *Prefetcher          // non-nil when a PrefetchObject is attached
-	tracer    *obs.Tracer          // nil-safe; set once via SetTracer before traffic
-	pool      *mempool.Pool        // nil when pooling is off; stats only
-	gate      TenantGate           // nil when multi-tenant QoS is off
-	gateObs   latencyObserver      // gate's latency extension, nil if unsupported
-	tiering   func() TieringStats  // nil when no fast tier is wired in
-	cache     func() CacheStats    // nil when no shared cache is wired in
-	epochHook func(names []string) // nil unless a plan observer (tier warmer) is attached
+	pf        *Prefetcher                   // non-nil when a PrefetchObject is attached
+	tracer    *obs.Tracer                   // nil-safe; set once via SetTracer before traffic
+	pool      *mempool.Pool                 // nil when pooling is off; stats only
+	gate      TenantGate                    // nil when multi-tenant QoS is off
+	gateObs   latencyObserver               // gate's latency extension, nil if unsupported
+	tiering   func() TieringStats           // nil when no fast tier is wired in
+	cache     func() CacheStats             // nil when no shared cache is wired in
+	epochHook func(names []string)          // nil unless a plan observer (tier warmer) is attached
+	partition func(names []string) []string // nil unless a plan partitioner (cluster fabric) is attached
 
 	reads        *metrics.Counter
 	hits         *metrics.Counter
@@ -369,6 +370,15 @@ func (s *Stage) SetTieringSource(f func() TieringStats) { s.tiering = f }
 // from remote data loaders too. Call before traffic starts.
 func (s *Stage) SetEpochPlanHook(f func(names []string)) { s.epochHook = f }
 
+// SetPlanPartitioner registers a function that narrows every submitted
+// epoch plan to the subset this stage should actually prefetch, preserving
+// plan order. The cluster fabric installs the consistent-hash ownership
+// filter here, so a worker can submit the full shuffled epoch order (the
+// clairvoyant signal) to any node while each node prefetches exactly the
+// samples it owns. The epoch-plan hook still observes the full plan. Call
+// before traffic starts; nil (the default) submits plans unfiltered.
+func (s *Stage) SetPlanPartitioner(f func(names []string) []string) { s.partition = f }
+
 // ReadTenant is ReadTenantCtx without a trace context.
 func (s *Stage) ReadTenant(tenant, name string) (storage.Data, error) {
 	return s.ReadTenantCtx(tenant, name, obs.Ctx{})
@@ -435,7 +445,11 @@ func (s *Stage) SubmitEpoch(names []string) (PlanResult, error) {
 	if s.pf == nil {
 		return PlanResult{}, ErrNoPrefetcher
 	}
-	res, err := s.pf.SubmitEpoch(names)
+	submit := names
+	if s.partition != nil {
+		submit = s.partition(names)
+	}
+	res, err := s.pf.SubmitEpoch(submit)
 	if err == nil && s.epochHook != nil {
 		s.epochHook(names)
 	}

@@ -1,0 +1,253 @@
+package distrib
+
+import (
+	"sync"
+	"testing"
+)
+
+// testClusterConfig is a small, fast cluster cell for the harness tests.
+func testClusterConfig(mode ClusterMode, nodes int) ClusterConfig {
+	cfg := DefaultClusterConfig()
+	cfg.Mode = mode
+	cfg.Nodes = nodes
+	cfg.TrainFiles = 400
+	cfg.Epochs = 2
+	return cfg
+}
+
+// The deterministic cluster harness: every sample is served exactly the
+// expected number of times per epoch, and clairvoyant placement issues zero
+// duplicate slow-store reads while the uncoordinated sweeps issue N per
+// sample.
+func TestClusterExactlyOnceAndDuplicateReads(t *testing.T) {
+	cases := []struct {
+		name  string
+		mode  ClusterMode
+		nodes int
+	}{
+		{"independent-2", ClusterIndependent, 2},
+		{"independent-4", ClusterIndependent, 4},
+		{"coordinated-2", ClusterCoordinated, 2},
+		{"coordinated-4", ClusterCoordinated, 4},
+		{"clairvoyant-1", ClusterClairvoyant, 1},
+		{"clairvoyant-2", ClusterClairvoyant, 2},
+		{"clairvoyant-4", ClusterClairvoyant, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := testClusterConfig(tc.mode, tc.nodes)
+			res, err := RunCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d read errors", res.Errors)
+			}
+			if res.OverDeliveries != 0 || res.MissedDeliveries != 0 {
+				t.Fatalf("delivery ledger off: over=%d missed=%d",
+					res.OverDeliveries, res.MissedDeliveries)
+			}
+			perEpoch := int64(cfg.TrainFiles)
+			wantDelivered := perEpoch * int64(cfg.Epochs)
+			if tc.mode != ClusterClairvoyant {
+				wantDelivered *= int64(tc.nodes)
+				perEpoch *= int64(tc.nodes)
+			}
+			if res.Delivered != wantDelivered {
+				t.Fatalf("delivered = %d, want %d", res.Delivered, wantDelivered)
+			}
+			if len(res.EpochBackendReads) != cfg.Epochs {
+				t.Fatalf("epoch read samples = %d, want %d", len(res.EpochBackendReads), cfg.Epochs)
+			}
+			for e, reads := range res.EpochBackendReads {
+				if reads != perEpoch {
+					t.Fatalf("epoch %d backend reads = %d, want %d", e, reads, perEpoch)
+				}
+			}
+			switch {
+			case tc.mode == ClusterClairvoyant:
+				if res.DuplicateReadFactor != 1 {
+					t.Fatalf("clairvoyant duplicate factor = %v, want 1", res.DuplicateReadFactor)
+				}
+				if tc.nodes >= 2 && (res.PeerReads == 0 || res.PeerServes != res.PeerReads) {
+					t.Fatalf("peer traffic off: reads=%d serves=%d", res.PeerReads, res.PeerServes)
+				}
+				if res.Failovers != 0 {
+					t.Fatalf("unexpected failovers: %d", res.Failovers)
+				}
+			case tc.nodes >= 2:
+				if res.DuplicateReadFactor <= 1 {
+					t.Fatalf("uncoordinated duplicate factor = %v, want > 1", res.DuplicateReadFactor)
+				}
+			}
+			if res.Makespan <= 0 {
+				t.Fatal("zero makespan")
+			}
+		})
+	}
+}
+
+// Clairvoyant placement's economy claim: at N nodes the independent sweep
+// reads every sample N times from the slow store; clairvoyant reads it
+// once, converting the difference into peer-buffer hits.
+func TestClusterClairvoyantEliminatesDuplicateReads(t *testing.T) {
+	const nodes = 4
+	ind, err := RunCluster(testClusterConfig(ClusterIndependent, nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clair, err := RunCluster(testClusterConfig(ClusterClairvoyant, nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.BackendReads != int64(nodes)*clair.BackendReads {
+		t.Fatalf("independent reads %d != %d x clairvoyant reads %d",
+			ind.BackendReads, nodes, clair.BackendReads)
+	}
+	if clair.PeerReads == 0 {
+		t.Fatal("clairvoyant run forwarded nothing")
+	}
+}
+
+// Centralized and replicated control planes are behaviourally identical
+// while the leader is healthy: same producer budget, same data-plane
+// outcome. A leader crash mid-run fails over and stays within budget.
+func TestClusterControlPlaneConvergence(t *testing.T) {
+	base := testClusterConfig(ClusterCoordinated, 4)
+
+	central, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replicated := base
+	replicated.Replicas = 3
+	repl, err := RunCluster(replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.TotalProducers != central.TotalProducers {
+		t.Fatalf("replicated budget %d != centralized %d",
+			repl.TotalProducers, central.TotalProducers)
+	}
+	if repl.Delivered != central.Delivered || repl.BackendReads != central.BackendReads {
+		t.Fatalf("replicated data plane diverged: delivered %d/%d reads %d/%d",
+			repl.Delivered, central.Delivered, repl.BackendReads, central.BackendReads)
+	}
+	if repl.ControlFailovers != 0 {
+		t.Fatalf("healthy replicated run recorded %d failovers", repl.ControlFailovers)
+	}
+
+	// Kill the leader mid-run: replica 1 must take over and keep the
+	// cluster inside the budget; the training run still completes cleanly.
+	failover := replicated
+	failover.FailLeaderAt = central.Makespan / 2
+	failed, err := RunCluster(failover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.ControlFailovers < 1 {
+		t.Fatal("leader crash produced no failover")
+	}
+	if failed.TotalProducers > base.ProducerBudget {
+		t.Fatalf("post-failover producers %d exceed budget %d",
+			failed.TotalProducers, base.ProducerBudget)
+	}
+	if failed.Errors != 0 || failed.OverDeliveries != 0 || failed.MissedDeliveries != 0 {
+		t.Fatalf("failover run broke delivery: errors=%d over=%d missed=%d",
+			failed.Errors, failed.OverDeliveries, failed.MissedDeliveries)
+	}
+	if failed.Delivered != central.Delivered {
+		t.Fatalf("failover delivered %d, want %d", failed.Delivered, central.Delivered)
+	}
+}
+
+// Clairvoyant mode also runs under coordinated control arrangements; the
+// budget holds there too.
+func TestClusterClairvoyantUnderReplicatedControl(t *testing.T) {
+	cfg := testClusterConfig(ClusterClairvoyant, 4)
+	cfg.Replicas = 2
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.OverDeliveries != 0 || res.MissedDeliveries != 0 {
+		t.Fatalf("delivery broke: errors=%d over=%d missed=%d",
+			res.Errors, res.OverDeliveries, res.MissedDeliveries)
+	}
+	if res.DuplicateReadFactor != 1 {
+		t.Fatalf("duplicate factor = %v, want 1", res.DuplicateReadFactor)
+	}
+	if res.TotalProducers > cfg.ProducerBudget {
+		t.Fatalf("producers %d exceed budget %d", res.TotalProducers, cfg.ProducerBudget)
+	}
+}
+
+// The debug-signals observer is installed from the test goroutine and read
+// from sim processes every tick; the locked setter keeps that race-free
+// under -race, and the observed producer counts never exceed the budget.
+func TestClusterDebugSignalsObserver(t *testing.T) {
+	var mu sync.Mutex
+	ticks := 0
+	maxProducers := 0
+	prev := setDebugSignals(func(stage int, starvation, idle float64, queue, producers int) {
+		mu.Lock()
+		ticks++
+		if producers > maxProducers {
+			maxProducers = producers
+		}
+		mu.Unlock()
+	})
+	defer setDebugSignals(prev)
+
+	cfg := testClusterConfig(ClusterCoordinated, 2)
+	cfg.Epochs = 1
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ticks == 0 {
+		t.Fatal("observer never fired")
+	}
+	if maxProducers > cfg.ProducerBudget {
+		t.Fatalf("observed %d producers, budget %d", maxProducers, cfg.ProducerBudget)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no samples delivered")
+	}
+}
+
+// The harness validates configs before simulating.
+func TestClusterConfigValidate(t *testing.T) {
+	good := DefaultClusterConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Nodes = 0
+	if bad.Validate() == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad = good
+	bad.TrainFiles = 2
+	bad.Nodes = 4
+	if bad.Validate() == nil {
+		t.Error("fewer files than nodes accepted")
+	}
+	bad = good
+	bad.Mode = ClusterCoordinated
+	bad.ProducerBudget = 1
+	bad.Nodes = 4
+	if bad.Validate() == nil {
+		t.Error("budget below node count accepted")
+	}
+	if ClusterIndependent.String() != "independent" ||
+		ClusterCoordinated.String() != "coordinated" ||
+		ClusterClairvoyant.String() != "clairvoyant" {
+		t.Error("mode strings wrong")
+	}
+}

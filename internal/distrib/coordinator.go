@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"sync"
 	"time"
 
 	"github.com/dsrhaslab/prisma-go/internal/conc"
@@ -13,9 +14,12 @@ import (
 // producer budget, giving threads to starved stages and reclaiming them
 // from idle ones. Unlike per-node tuners it can never oversubscribe the
 // shared backend: the cluster-wide producer count stays within the budget.
+// It drives stages through control.DataPlane, so the same loop tunes
+// in-process stages (the sim) and remote nodes behind an IPC adapter
+// (control.NewRemoteAdapter over an ipc client).
 type coordinator struct {
 	env    conc.Env
-	stages []*core.Stage
+	stages []control.DataPlane
 	pol    control.Policy
 	budget int
 
@@ -26,11 +30,33 @@ type coordinator struct {
 	started bool
 }
 
-// debugSignals, when set by tests, observes each stage's control signals
-// every tick.
-var debugSignals func(stage int, starvation, idle float64, queue, producers int)
+// debugSignalsFn observes each stage's control signals every tick (test
+// hook). Guarded by its own mutex, not the coordinator's: distrib tests run
+// concurrently under -race, and the observer is installed from the test
+// goroutine while coordinator ticks read it from sim processes.
+var (
+	debugSignalsMu sync.Mutex
+	debugSignalsFn func(stage int, starvation, idle float64, queue, producers int)
+)
 
-func newCoordinator(env conc.Env, stages []*core.Stage, pol control.Policy, budget int) *coordinator {
+// setDebugSignals installs (or, with nil, removes) the per-tick signal
+// observer and returns the previous one so tests can restore it.
+func setDebugSignals(f func(stage int, starvation, idle float64, queue, producers int)) (prev func(stage int, starvation, idle float64, queue, producers int)) {
+	debugSignalsMu.Lock()
+	defer debugSignalsMu.Unlock()
+	prev = debugSignalsFn
+	debugSignalsFn = f
+	return prev
+}
+
+// debugSignalsHook snapshots the observer under the lock for one tick.
+func debugSignalsHook() func(stage int, starvation, idle float64, queue, producers int) {
+	debugSignalsMu.Lock()
+	defer debugSignalsMu.Unlock()
+	return debugSignalsFn
+}
+
+func newCoordinator(env conc.Env, stages []control.DataPlane, pol control.Policy, budget int) *coordinator {
 	c := &coordinator{
 		env:     env,
 		stages:  stages,
@@ -90,9 +116,9 @@ func (c *coordinator) tick() {
 		used += c.tunings[i].Producers
 	}
 
-	if debugSignals != nil {
+	if hook := debugSignalsHook(); hook != nil {
 		for i, sg := range signals {
-			debugSignals(i, sg.starvation, sg.idle, sg.queue, c.tunings[i].Producers)
+			hook(i, sg.starvation, sg.idle, sg.queue, c.tunings[i].Producers)
 		}
 	}
 

@@ -256,7 +256,11 @@ func Run(cfg Config) (Result, error) {
 				controllers = append(controllers, ctl)
 			}
 		case Coordinated:
-			coord = newCoordinator(env, stages, cfg.Policy, cfg.ProducerBudget)
+			planes := make([]control.DataPlane, len(stages))
+			for i, st := range stages {
+				planes[i] = st
+			}
+			coord = newCoordinator(env, planes, cfg.Policy, cfg.ProducerBudget)
 			coord.start(cfg.ControlInterval)
 		}
 

@@ -1,0 +1,138 @@
+package distrib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is the cluster's consistent-hash placement map: every sample name
+// is owned by exactly one node, membership changes move only ~1/N of the
+// keyspace, and the mapping is a pure function of the node set — every
+// node computes the same ring locally, so ownership needs no coordination
+// traffic (Dryden et al.'s clairvoyant-prefetching observation: placement
+// can be decided from shared knowledge alone).
+//
+// Each node is projected onto the ring at VirtualNodes seeded positions;
+// a key is owned by the first virtual node clockwise from its hash. More
+// virtual nodes flatten the per-node keyspace share at the cost of a
+// larger (still tiny) sorted table.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultVirtualNodes balances ownership evenness (a few percent spread at
+// 64 points per node) against table size.
+const DefaultVirtualNodes = 64
+
+// NewRing builds a placement ring over the given node ids. vnodes <= 0
+// selects DefaultVirtualNodes. Duplicate node ids are an error.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{vnodes: vnodes, nodes: make(map[string]struct{}, len(nodes))}
+	for _, n := range nodes {
+		if err := r.Add(n); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// hashKey is FNV-64a: fast, allocation-free, and stable across processes —
+// every node derives the identical ring.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// vnodeHash positions one of a node's virtual points. The replica index is
+// folded into the hashed string so points are independent.
+func vnodeHash(node string, replica int) uint64 {
+	return hashKey(fmt.Sprintf("%s#%d", node, replica))
+}
+
+// Add joins a node to the ring, moving ~1/(N+1) of the keyspace to it.
+func (r *Ring) Add(node string) error {
+	if node == "" {
+		return fmt.Errorf("distrib: empty node id")
+	}
+	if _, ok := r.nodes[node]; ok {
+		return fmt.Errorf("distrib: duplicate node id %q", node)
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return nil
+}
+
+// Remove leaves a node, redistributing only its keyspace share to the
+// surviving nodes.
+func (r *Ring) Remove(node string) error {
+	if _, ok := r.nodes[node]; !ok {
+		return fmt.Errorf("distrib: unknown node id %q", node)
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Size reports the node count.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Nodes lists the member node ids, sorted for deterministic iteration.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner reports which node owns a key: the first virtual point clockwise
+// from the key's hash. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].node
+}
+
+// PartitionPlan splits an epoch plan into per-node sub-plans by ring
+// ownership, preserving the plan's order within each partition. The
+// partitions are disjoint and complete: every name lands in exactly the
+// owner's slice. Because SubmitEpoch reveals the full shuffled access
+// order, each node's partition is exactly the set of samples it will serve
+// this epoch, in the order they will be consumed — the clairvoyant
+// placement the fabric prefetches against.
+func (r *Ring) PartitionPlan(names []string) map[string][]string {
+	out := make(map[string][]string, len(r.nodes))
+	for _, name := range names {
+		owner := r.Owner(name)
+		out[owner] = append(out[owner], name)
+	}
+	return out
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/dsrhaslab/prisma-go/internal/control"
 	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/distrib"
 	"github.com/dsrhaslab/prisma-go/internal/metrics"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
 	"github.com/dsrhaslab/prisma-go/internal/tenancy"
@@ -42,6 +43,9 @@ type Config struct {
 	// Tracer, when set, lets GET /debug/bundle include the retained spans
 	// so one capture carries both counters and recent per-read timelines.
 	Tracer *obs.Tracer
+	// Cluster, when set, backs GET /cluster and the prisma_cluster_*
+	// Prometheus metrics with the multi-node fabric's traffic snapshot.
+	Cluster func() distrib.ClusterStats
 }
 
 // DefaultBundleSpans bounds the spans embedded in a diagnostic bundle when
@@ -60,6 +64,7 @@ type Bundle struct {
 	Tenants     *tenancy.Snapshot        `json:"tenants,omitempty"`
 	Epochs      []core.EpochStatus       `json:"epochs,omitempty"`
 	Decisions   []control.DecisionRecord `json:"decisions,omitempty"`
+	Cluster     *distrib.ClusterStats    `json:"cluster,omitempty"`
 	Spans       []obs.Span               `json:"spans,omitempty"`
 	// SpansDropped counts retained spans omitted by the span limit.
 	SpansDropped int `json:"spans_dropped,omitempty"`
@@ -104,6 +109,10 @@ func BuildBundle(dp control.DataPlane, cfg Config, spanLimit int) Bundle {
 	if cfg.Decisions != nil {
 		b.Decisions = cfg.Decisions()
 	}
+	if cfg.Cluster != nil {
+		cs := cfg.Cluster()
+		b.Cluster = &cs
+	}
 	if cfg.Tracer != nil {
 		spans := cfg.Tracer.Spans()
 		if over := len(spans) - spanLimit; over > 0 {
@@ -138,6 +147,7 @@ func NewWithConfig(dp control.DataPlane, cfg Config) *Handler {
 	h.mux.HandleFunc("/epochs", h.epochs)
 	h.mux.HandleFunc("/tenants", h.tenants)
 	h.mux.HandleFunc("/tiering", h.tiering)
+	h.mux.HandleFunc("/cluster", h.cluster)
 	h.mux.HandleFunc("/debug/bundle", h.bundle)
 	if cfg.EnablePprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -262,10 +272,43 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		write("prisma_tiering_tracked_names", "Names in the promotion-counter map.", "gauge", float64(t.TrackedNames))
 		write("prisma_tiering_access_decays_total", "Promotion-counter decay sweeps.", "counter", float64(t.AccessDecays))
 	}
+	clusterEnabled := 0.0
+	if h.cfg.Cluster != nil {
+		clusterEnabled = 1
+	}
+	write("prisma_cluster_enabled", "1 when the multi-node prefetch fabric is wired in.", "gauge", clusterEnabled)
+	if h.cfg.Cluster != nil {
+		cs := h.cfg.Cluster()
+		write("prisma_cluster_nodes", "Nodes in the placement ring (including this one).", "gauge", float64(len(cs.Nodes)))
+		write("prisma_cluster_local_reads_total", "Reads served by this node's own stage (ring-owned).", "counter", float64(cs.LocalReads))
+		write("prisma_cluster_peer_reads_total", "Reads forwarded to the owning peer's buffer.", "counter", float64(cs.PeerReads))
+		write("prisma_cluster_peer_serves_total", "Forwarded reads this node served from its buffer.", "counter", float64(cs.PeerServes))
+		write("prisma_cluster_peer_errors_total", "Peer forwards that failed and fell back.", "counter", float64(cs.PeerErrors))
+		write("prisma_cluster_failovers_total", "Reads served by the slow store after a peer failure.", "counter", float64(cs.Failovers))
+		write("prisma_cluster_peer_wait_seconds_total", "Cumulative time spent waiting on peer forwards.", "counter", cs.PeerWait.Seconds())
+		write("prisma_cluster_max_failover_latency_seconds", "Worst single peer-failure read (peer attempt plus slow-store fallback).", "gauge", cs.MaxFailoverLatency.Seconds())
+	}
 	writeHistogram(w, "prisma_storage_read_latency_seconds", "Producer-observed backend read latency.", s.StorageReadLatency)
 	writeHistogram(w, "prisma_consumer_wait_latency_seconds", "Per-Take consumer blocking time.", s.Buffer.WaitHist)
 	if h.cfg.Tenants != nil {
 		writeTenantMetrics(w, h.cfg.Tenants())
+	}
+}
+
+// cluster serves the multi-node fabric snapshot: GET /cluster returns the
+// ClusterStats as JSON, 501 when this instance is not part of a cluster.
+func (h *Handler) cluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.cfg.Cluster == nil {
+		http.Error(w, "cluster fabric not enabled", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h.cfg.Cluster()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -77,9 +77,10 @@ type Client struct {
 	pre        []byte        // response head scratch (status + two uvarints)
 
 	// Hello credentials, replayed after every redial so the connection's
-	// tenant identity survives reconnects.
+	// tenant identity (and cluster role) survives reconnects.
 	helloName   string
 	helloSecret string
+	helloRole   string
 	helloSent   bool
 }
 
@@ -255,7 +256,7 @@ func (c *Client) redialLocked(attempt int) error {
 	// A fresh connection is anonymous: replay the hello so the tenant
 	// identity — and the budgets attached to it — survive the reconnect.
 	if c.helloSent {
-		if _, err := c.exchangeLocked(OpHello, 0, helloPayload(c.helloName, c.helloSecret)); err != nil {
+		if _, err := c.exchangeLocked(OpHello, 0, helloPayload(c.helloName, c.helloSecret, c.helloRole)); err != nil {
 			c.poisonLocked()
 			return fmt.Errorf("ipc: hello replay on reconnect: %w", err)
 		}
@@ -263,9 +264,15 @@ func (c *Client) redialLocked(attempt int) error {
 	return nil
 }
 
-// helloPayload encodes an OpHello request.
-func helloPayload(name, secret string) []byte {
-	return appendString(appendString(nil, name), secret)
+// helloPayload encodes an OpHello request. The role rides as an optional
+// third string: pre-cluster servers decode the first two and ignore the
+// rest, so sending it is always safe.
+func helloPayload(name, secret, role string) []byte {
+	out := appendString(appendString(nil, name), secret)
+	if role != "" {
+		out = appendString(out, role)
+	}
+	return out
 }
 
 // Hello establishes the connection's tenant identity and returns the
@@ -273,7 +280,15 @@ func helloPayload(name, secret string) []byte {
 // credentials are remembered and replayed after every redial. Resendable:
 // hello is idempotent.
 func (c *Client) Hello(name, secret string) (string, error) {
-	resp, err := c.roundTrip(OpHello, helloPayload(name, secret), true)
+	return c.HelloRole(name, secret, "")
+}
+
+// HelloRole is Hello additionally declaring the connection's role
+// ("worker" for ordinary consumers, "peer" for a cluster node's
+// forwarding connection). The role is replayed with the credentials on
+// every redial.
+func (c *Client) HelloRole(name, secret, role string) (string, error) {
+	resp, err := c.roundTrip(OpHello, helloPayload(name, secret, role), true)
 	if err != nil {
 		return "", err
 	}
@@ -282,7 +297,7 @@ func (c *Client) Hello(name, secret string) (string, error) {
 		return "", fmt.Errorf("ipc: malformed hello response: %v", err)
 	}
 	c.mu.Lock()
-	c.helloName, c.helloSecret, c.helloSent = name, secret, true
+	c.helloName, c.helloSecret, c.helloRole, c.helloSent = name, secret, role, true
 	c.mu.Unlock()
 	return resolved, nil
 }
@@ -348,6 +363,13 @@ func (c *Client) readAlloc(name string, trace uint64) (storage.Data, error) {
 	if err != nil {
 		return storage.Data{}, err
 	}
+	return decodeReadResponse(name, resp)
+}
+
+// decodeReadResponse parses an OpRead/OpPeerRead OK payload (size +
+// uvarint-prefixed bytes) into a Data handed to the caller without a
+// defensive copy.
+func decodeReadResponse(name string, resp []byte) (storage.Data, error) {
 	size, k := binary.Uvarint(resp)
 	if k <= 0 {
 		return storage.Data{}, fmt.Errorf("ipc: malformed read response")
@@ -360,6 +382,26 @@ func (c *Client) readAlloc(name string, trace uint64) (storage.Data, error) {
 		bytes = nil
 	}
 	return storage.Data{Name: name, Size: int64(size), Bytes: bytes}, nil
+}
+
+// PeerRead requests a sample from this server's buffer on behalf of
+// another cluster node (OpPeerRead): the requester does not own the sample
+// and the owner serves it — ideally a buffer hit, thanks to clairvoyant
+// placement. Like Read it consumes the sample from the owner's
+// evict-on-read buffer, so it is not resendable; the caller (the fabric)
+// fails over to the slow store on ErrConnBroken rather than resending. The
+// sampled trace id (if any) rides the frame so owner-side peer-serve spans
+// join the requester's trace.
+func (c *Client) PeerRead(name string) (storage.Data, error) {
+	c.mu.Lock()
+	tracer := c.tracer
+	c.mu.Unlock()
+	ctx := tracer.StartTrace()
+	resp, err := c.roundTripTrace(OpPeerRead, ctx.Trace, appendString(nil, name), false)
+	if err != nil {
+		return storage.Data{}, err
+	}
+	return decodeReadResponse(name, resp)
 }
 
 // readPooled performs one read round trip, landing the payload directly in

@@ -47,6 +47,14 @@ const (
 	OpSetTenant = 14 // control: adjust a tenant's weight / byte budget
 
 	OpBundle = 15 // fetch the one-shot diagnostic bundle (JSON)
+
+	// OpPeerRead is a node-to-node forwarded read in the cluster fabric:
+	// the requester does not own the sample and asks the owner to serve it
+	// from its buffer. Same response shape and non-resendable discipline as
+	// OpRead (the owner's evict-on-read buffer consumes the sample), but
+	// dispatched through the server's peer router so owner-side accounting
+	// (peer-serve spans, cluster counters) stays separate from local reads.
+	OpPeerRead = 16
 )
 
 // Response status bytes.

@@ -14,6 +14,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
 	"github.com/dsrhaslab/prisma-go/internal/obs"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
 	"github.com/dsrhaslab/prisma-go/internal/tenancy"
 )
 
@@ -42,10 +43,14 @@ type Server struct {
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	closed    bool
-	decisions func() ([]byte, error) // OpDecisions source (pre-marshaled JSON)
-	bundle    func() ([]byte, error) // OpBundle source (pre-marshaled JSON)
-	tenancy   *tenancy.Manager       // nil = single-tenant (hello still accepted)
-	wg        sync.WaitGroup
+	decisions func() ([]byte, error)                               // OpDecisions source (pre-marshaled JSON)
+	bundle    func() ([]byte, error)                               // OpBundle source (pre-marshaled JSON)
+	tenancy   *tenancy.Manager                                     // nil = single-tenant (hello still accepted)
+	peerRead  func(name string, ctx obs.Ctx) (storage.Data, error) // OpPeerRead router (nil = local stage)
+	// readRouter interposes on OpRead (nil = local stage) — the cluster
+	// fabric's ownership routing for socket clients.
+	readRouter func(tenant, name string, ctx obs.Ctx) (storage.Data, error)
+	wg         sync.WaitGroup
 }
 
 // Serve starts a server for stage on the given socket path with the zero
@@ -93,6 +98,42 @@ func (s *Server) SetTenantManager(m *tenancy.Manager) {
 	s.mu.Lock()
 	s.tenancy = m
 	s.mu.Unlock()
+}
+
+// SetPeerReadHandler wires the OpPeerRead opcode to the cluster fabric's
+// owner-side service routine (peer-serve accounting and spans happen
+// there). Without a handler, OpPeerRead falls back to the local stage —
+// a single-node server still answers peers correctly, just without
+// cluster counters. Call before peers connect; the indirection keeps ipc
+// decoupled from the placement package.
+func (s *Server) SetPeerReadHandler(f func(name string, ctx obs.Ctx) (storage.Data, error)) {
+	s.mu.Lock()
+	s.peerRead = f
+	s.mu.Unlock()
+}
+
+func (s *Server) peerReadHandler() func(name string, ctx obs.Ctx) (storage.Data, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerRead
+}
+
+// SetReadRouter interposes on client OpRead requests — the cluster fabric
+// uses it so socket clients get the same ownership routing (local buffer,
+// peer forward, slow-store failover) as in-process readers. Without a
+// router, reads go straight to the local stage. The router receives the
+// connection's hello-resolved tenant so it can keep tenant-attributed
+// reads on the local admission path. Call before clients connect.
+func (s *Server) SetReadRouter(f func(tenant, name string, ctx obs.Ctx) (storage.Data, error)) {
+	s.mu.Lock()
+	s.readRouter = f
+	s.mu.Unlock()
+}
+
+func (s *Server) readRouterFn() func(tenant, name string, ctx obs.Ctx) (storage.Data, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readRouter
 }
 
 func (s *Server) tenantManager() *tenancy.Manager {
@@ -144,6 +185,10 @@ type connState struct {
 	// resolves to the default tenant at the gate. It lives on the
 	// connection, not the request: one consumer process = one identity.
 	tenant string
+	// role is the hello frame's optional third field: "peer" marks a
+	// fabric node's forwarding connection, "worker" (or absent, for
+	// pre-cluster clients) an ordinary consumer.
+	role string
 }
 
 func newConnState() *connState {
@@ -263,7 +308,12 @@ func (s *Server) handle(cs *connState, opcode byte, trace uint64, payload []byte
 		ctx := obs.Ctx{Trace: trace, Sampled: trace != 0}
 		tracer := s.stage.Tracer()
 		start := tracer.Now()
-		data, err := s.stage.ReadTenantCtx(cs.tenant, name, ctx)
+		var data storage.Data
+		if rr := s.readRouterFn(); rr != nil {
+			data, err = rr(cs.tenant, name, ctx)
+		} else {
+			data, err = s.stage.ReadTenantCtx(cs.tenant, name, ctx)
+		}
 		if ctx.Sampled {
 			sp := obs.Span{
 				Trace:   ctx.Trace,
@@ -294,14 +344,51 @@ func (s *Server) handle(cs *connState, opcode byte, trace uint64, payload []byte
 		head = binary.AppendUvarint(head, uint64(len(data.Bytes)))
 		return response{head: head, body: data.Bytes, ref: data.Ref}
 
+	case OpPeerRead:
+		nameBytes, _, err := readStringBytes(payload)
+		if err != nil {
+			return response{head: errResponse(err)}
+		}
+		name := cs.internName(nameBytes)
+		ctx := obs.Ctx{Trace: trace, Sampled: trace != 0}
+		var data storage.Data
+		if pr := s.peerReadHandler(); pr != nil {
+			// The fabric's owner-side routine: peer-serve counters and
+			// spans live there.
+			data, err = pr(name, ctx)
+		} else {
+			data, err = s.stage.ReadCtx(name, ctx)
+		}
+		if err != nil {
+			var oe *tenancy.OverloadError
+			if errors.As(err, &oe) {
+				return response{head: overloadResponse(oe)}
+			}
+			return response{head: errResponse(err)}
+		}
+		head := append(cs.head[:0], statusOK)
+		head = binary.AppendUvarint(head, uint64(data.Size))
+		head = binary.AppendUvarint(head, uint64(len(data.Bytes)))
+		return response{head: head, body: data.Bytes, ref: data.Ref}
+
 	case OpHello:
 		name, rest, err := readString(payload)
 		if err != nil {
 			return response{head: errResponse(err)}
 		}
-		secret, _, err := readString(rest)
+		secret, rest, err := readString(rest)
 		if err != nil {
 			return response{head: errResponse(err)}
+		}
+		// Optional third field (cluster fabric: the connection's role).
+		// Pre-cluster clients send two strings; the server has always
+		// ignored trailing bytes here, so both directions stay compatible.
+		if len(rest) > 0 {
+			role, _, err := readString(rest)
+			if err != nil {
+				return response{head: errResponse(err)}
+			}
+			cs.role = role
 		}
 		resolved := name
 		if m := s.tenantManager(); m != nil {

@@ -38,6 +38,9 @@ type AttributionInput struct {
 	// ThrottleWait is time reads spent blocked in the tenant admission
 	// gate (rate/byte budget waits), before any plan state was touched.
 	ThrottleWait time.Duration
+	// PeerWait is time reads spent forwarded to a peer node's buffer in
+	// the cluster fabric — cross-node service time, not local storage.
+	PeerWait time.Duration
 	// StorageBusy is the total producer time spent inside backend reads
 	// (context, not part of the share math).
 	StorageBusy time.Duration
@@ -49,8 +52,8 @@ type AttributionInput struct {
 // Attribution is the per-epoch critical-path breakdown: how the consumers'
 // time divides between waiting on storage, waiting on buffer capacity, IPC
 // overhead, shared-cache coalescing, tiering work, tenant-gate throttling,
-// and actually consuming (the stage keeping up). The seven shares sum to 1
-// by construction.
+// peer-forwarded cluster reads, and actually consuming (the stage keeping
+// up). The eight shares sum to 1 by construction.
 type Attribution struct {
 	Window    time.Duration `json:"window"`
 	Consumers int           `json:"consumers"`
@@ -73,6 +76,10 @@ type Attribution struct {
 	// demand or raise the tenant's budget, the data plane isn't the
 	// bottleneck.
 	ThrottleShare float64 `json:"throttle_share"`
+	// PeerShare: fraction lost waiting on peer nodes' buffers in the
+	// cluster fabric — cross-node traffic, not local storage; rebalance
+	// placement or the interconnect before blaming the device.
+	PeerShare float64 `json:"peer_share"`
 	// ConsumerShare: the remainder — time consumers were computing, i.e.
 	// the data plane kept up (the pipeline is consumer-bound).
 	ConsumerShare float64 `json:"consumer_share"`
@@ -85,6 +92,7 @@ type Attribution struct {
 	CacheWait    time.Duration `json:"cache_wait"`
 	TierWait     time.Duration `json:"tier_wait"`
 	ThrottleWait time.Duration `json:"throttle_wait"`
+	PeerWait     time.Duration `json:"peer_wait"`
 	StorageBusy  time.Duration `json:"storage_busy"`
 	ProducerPark time.Duration `json:"producer_park"`
 }
@@ -108,6 +116,7 @@ func Attribute(in AttributionInput) Attribution {
 		CacheWait:    clampDur(in.CacheWait),
 		TierWait:     clampDur(in.TierWait),
 		ThrottleWait: clampDur(in.ThrottleWait),
+		PeerWait:     clampDur(in.PeerWait),
 		StorageBusy:  clampDur(in.StorageBusy),
 		ProducerPark: clampDur(in.ProducerPark),
 	}
@@ -122,8 +131,9 @@ func Attribute(in AttributionInput) Attribution {
 	a.CacheShare = clampShare(float64(a.CacheWait) / denom)
 	a.TierShare = clampShare(float64(a.TierWait) / denom)
 	a.ThrottleShare = clampShare(float64(a.ThrottleWait) / denom)
+	a.PeerShare = clampShare(float64(a.PeerWait) / denom)
 	total := a.StorageShare + a.BufferFullShare + a.IPCShare +
-		a.CacheShare + a.TierShare + a.ThrottleShare
+		a.CacheShare + a.TierShare + a.ThrottleShare + a.PeerShare
 	if total > 1 {
 		a.StorageShare /= total
 		a.BufferFullShare /= total
@@ -131,6 +141,7 @@ func Attribute(in AttributionInput) Attribution {
 		a.CacheShare /= total
 		a.TierShare /= total
 		a.ThrottleShare /= total
+		a.PeerShare /= total
 		total = 1
 	}
 	a.ConsumerShare = 1 - total
@@ -193,6 +204,8 @@ func AttributeSpans(spans []Span, consumers int) Attribution {
 			in.TierWait += s.Latency
 		case StageTenantThrottle:
 			in.ThrottleWait += s.Latency
+		case StagePeerRead:
+			in.PeerWait += s.Latency
 		}
 	}
 	if seen {

@@ -50,6 +50,11 @@ const (
 	StageDecompress     = "recordio-decompress"  // transparent payload decode
 	StageTenantThrottle = "tenant-throttle"      // admission-gate rate/byte wait
 	StageTenantShed     = "tenant-shed"          // admission-gate load shed (Error set)
+
+	// Cluster-fabric spans (multi-node placement): a read forwarded to the
+	// sample's owner node, and the owner-side service of such a read.
+	StagePeerRead  = "peer-read"  // requester-side forwarded read (Error set on peer failure)
+	StagePeerServe = "peer-serve" // owner-side buffer service of a forwarded read
 )
 
 // Span is one timed step of a sample's (or a read's) lifecycle. The JSON

@@ -98,6 +98,42 @@ type Options struct {
 	// optional transparent compression and next-epoch warming. Off by
 	// default.
 	Tiering TieringOptions
+
+	// Cluster configures the multi-node prefetch fabric: N prisma-server
+	// instances front the same (slow, typically parallel-filesystem-backed)
+	// dataset, samples are owned by consistent-hash placement, and a read
+	// of a non-owned sample is forwarded to the owner's buffer over IPC
+	// instead of duplicating the slow-store read. Off by default.
+	Cluster ClusterOptions
+}
+
+// ClusterOptions wires one instance into a multi-node prefetch fabric
+// (internal/distrib). With clairvoyant placement each node prefetches
+// exactly the subsequence of the epoch plan it owns, so an N-node cluster
+// reads every sample from the slow store once per epoch instead of N
+// times; cross-node accesses become peer-buffer hits. A peer that cannot
+// be reached fails over to the slow store, so a node outage degrades
+// throughput, never correctness.
+type ClusterOptions struct {
+	// Enable turns the fabric on. NodeID is then required.
+	Enable bool
+	// NodeID is this node's name in the placement ring (required; must be
+	// unique across the cluster and listed in every peer's Peers map).
+	NodeID string
+	// Peers maps the other nodes' names to their UNIX socket paths (the
+	// sockets their prisma-server instances ServeUnix on). Peer
+	// connections are dialed lazily on first forward and redialed after
+	// transport failures; an unreachable peer degrades to slow-store
+	// failover.
+	Peers map[string]string
+	// VirtualNodes is the consistent-hash vnode count per node (default
+	// 64). All nodes must agree on it.
+	VirtualNodes int
+	// DisablePartitioner keeps each node prefetching full epoch plans
+	// instead of only its ring-owned subsequence — the paper's
+	// "independent" arrangement, useful for measuring what clairvoyant
+	// placement saves. Reads still route by ownership.
+	DisablePartitioner bool
 }
 
 // TieringOptions tunes the tiered fast-store stage (internal/tiering).
@@ -294,6 +330,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validateCluster rejects an inconsistent fabric declaration.
+func (c ClusterOptions) validate() error {
+	if !c.Enable {
+		return nil
+	}
+	if c.NodeID == "" {
+		return fmt.Errorf("prisma: Cluster.NodeID is required when Cluster.Enable is set")
+	}
+	if c.VirtualNodes < 0 {
+		return fmt.Errorf("prisma: Cluster.VirtualNodes %d < 0", c.VirtualNodes)
+	}
+	for name, sock := range c.Peers {
+		if name == "" {
+			return fmt.Errorf("prisma: Cluster.Peers entry with empty node name")
+		}
+		if name == c.NodeID {
+			return fmt.Errorf("prisma: Cluster.Peers lists this node %q as its own peer", name)
+		}
+		if sock == "" {
+			return fmt.Errorf("prisma: Cluster.Peers[%q] has an empty socket path", name)
+		}
+	}
+	return nil
+}
+
 // validate rejects an inconsistent SLO declaration (nil passes: no SLO).
 func (s *SLOOptions) validate(tenant string) error {
 	if s == nil {
@@ -382,6 +443,9 @@ func (o Options) validate() error {
 				return err
 			}
 		}
+	}
+	if err := o.Cluster.validate(); err != nil {
+		return err
 	}
 	if o.Tiering.Enable {
 		if o.Tiering.CapacityBytes < 1 {

@@ -13,6 +13,7 @@ import (
 	"github.com/dsrhaslab/prisma-go/internal/control"
 	"github.com/dsrhaslab/prisma-go/internal/core"
 	"github.com/dsrhaslab/prisma-go/internal/dataset"
+	"github.com/dsrhaslab/prisma-go/internal/distrib"
 	"github.com/dsrhaslab/prisma-go/internal/httpadmin"
 	"github.com/dsrhaslab/prisma-go/internal/ipc"
 	"github.com/dsrhaslab/prisma-go/internal/mempool"
@@ -37,6 +38,8 @@ type Prisma struct {
 	tenants     *tenancy.Manager   // nil unless Options.Tenancy.Enable
 	cache       *sharedcache.Cache // nil unless SharedCacheBytes > 0
 	tiered      *tiering.Backend   // nil unless Options.Tiering.Enable
+	fabric      *distrib.Fabric    // nil unless Options.Cluster.Enable
+	peers       []*socketPeer      // fabric peer transports, closed on Close
 	traceTo     string
 	spanTo      string
 	enablePprof bool
@@ -411,6 +414,17 @@ func Open(opts Options) (*Prisma, error) {
 		spanTo:      opts.SpanFile,
 		enablePprof: opts.EnablePprof,
 	}
+	if opts.Cluster.Enable {
+		// The fabric sits in front of the stage: reads of ring-owned
+		// samples stay local, the rest forward to the owner's buffer (or
+		// fail over to the composed backend chain). With the partitioner
+		// installed, submitted epoch plans are narrowed to this node's
+		// owned subsequence before prefetching — clairvoyant placement.
+		if err := buildFabric(p, opts.Cluster, backend); err != nil {
+			stage.Close()
+			return nil, err
+		}
+	}
 	// The controller is built before the tenancy manager so SLO actions can
 	// land in its decision audit log from the manager's first tick onward.
 	if !opts.DisableAutoTune {
@@ -525,10 +539,7 @@ func specFrom(ts TenantSpec) tenancy.Spec {
 // returned to the pool here. Allocation-sensitive consumers use ReadSample
 // instead, which hands over the pooled buffer itself.
 func (p *Prisma) Read(name string) ([]byte, error) {
-	// The empty tenant resolves to the default tenant under tenancy (the
-	// in-process analogue of an untagged connection) and is a free no-op
-	// without it.
-	data, err := p.stage.ReadTenant("", name)
+	data, err := p.readData(name)
 	if err != nil {
 		return nil, err
 	}
@@ -561,11 +572,26 @@ func (s *Sample) Release() { s.data.Release() }
 // handed to the caller, who must Release it after consuming the bytes —
 // the zero-allocation fast path for in-process consumers.
 func (p *Prisma) ReadSample(name string) (*Sample, error) {
-	data, err := p.stage.ReadTenant("", name)
+	data, err := p.readData(name)
 	if err != nil {
 		return nil, err
 	}
 	return &Sample{Name: data.Name, Size: data.Size, data: data}, nil
+}
+
+// readData is the untagged read path shared by Read and ReadSample: with
+// the cluster fabric enabled it routes by ring ownership (local buffer,
+// peer forward, or slow-store failover); otherwise it goes straight to the
+// stage. The empty tenant resolves to the default tenant under tenancy
+// (the in-process analogue of an untagged connection) and is a free no-op
+// without it. Tenant-attributed reads (ReadAs) stay local: admission
+// control is per node, and forwarding them would double-count the tenant
+// on the owner.
+func (p *Prisma) readData(name string) (storage.Data, error) {
+	if p.fabric != nil {
+		return p.fabric.Read(name)
+	}
+	return p.stage.ReadTenant("", name)
 }
 
 // SubmitPlan shares one epoch's shuffled filename list with the data plane;
@@ -883,6 +909,10 @@ func (p *Prisma) adminConfig() httpadmin.Config {
 		cfg.Tenants = func() tenancy.Snapshot { return mgr.Stats() }
 		cfg.SetTenant = mgr.SetTenant
 	}
+	if p.fabric != nil {
+		fab := p.fabric
+		cfg.Cluster = func() distrib.ClusterStats { return fab.Stats() }
+	}
 	return cfg
 }
 
@@ -920,6 +950,26 @@ func (p *Prisma) ServeUnix(socketPath string) error {
 	if p.tenants != nil {
 		srv.SetTenantManager(p.tenants)
 	}
+	if p.fabric != nil {
+		// Forwarded reads (OpPeerRead) are served by the fabric's owner-side
+		// routine, joining the requester's trace and feeding the peer-serve
+		// counters.
+		fab := p.fabric
+		srv.SetPeerReadHandler(func(name string, ctx obs.Ctx) (storage.Data, error) {
+			return fab.ServePeerCtx(name, ctx)
+		})
+		// Client reads (OpRead) get the same ownership routing as in-process
+		// Prisma.Read: owned samples from the local buffer, non-owned from
+		// the owner's buffer over the peer fabric, slow-store failover when
+		// a peer is down. Named tenants stay on the local admission path —
+		// QoS control is per node, mirroring ReadAs (see readData).
+		srv.SetReadRouter(func(tenant, name string, ctx obs.Ctx) (storage.Data, error) {
+			if tenant == "" || tenant == tenancy.DefaultTenant {
+				return fab.ReadCtx(name, ctx)
+			}
+			return p.stage.ReadTenantCtx(tenant, name, ctx)
+		})
+	}
 	if p.ctl != nil {
 		ctl := p.ctl
 		srv.SetDecisionSource(func() ([]byte, error) {
@@ -951,6 +1001,9 @@ func (p *Prisma) Close() error {
 	var err error
 	if p.server != nil {
 		err = p.server.Close()
+	}
+	for _, sp := range p.peers {
+		sp.close()
 	}
 	p.stage.Close()
 	if p.tiered != nil {
