@@ -19,6 +19,7 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 	b.Run("unpooled", experiments.AllocBenchmark(experiments.AllocConfig{Pool: false}))
 	b.Run("pooled", experiments.AllocBenchmark(experiments.AllocConfig{Pool: true}))
 	b.Run("pooled-compressed", experiments.AllocBenchmark(experiments.AllocConfig{Pool: true, Compressed: true}))
+	b.Run("pooled-batched", experiments.AllocBenchmark(experiments.AllocConfig{Pool: true, Batch: 4}))
 }
 
 // allocBudget is the committed allocation budget (alloc_budget.txt) the CI
@@ -28,6 +29,7 @@ type allocBudget struct {
 	MinReductionPct       float64 // required pooled-vs-unpooled drop
 	CachedAllocsPerOp     int64   // hard ceiling for pooled + shared cache
 	CompressedAllocsPerOp int64   // hard ceiling for pooled + compressed shards
+	BatchedAllocsPerOp    int64   // hard ceiling for pooled + read coalescing
 }
 
 func readAllocBudget(t *testing.T, path string) allocBudget {
@@ -74,6 +76,12 @@ func readAllocBudget(t *testing.T, path string) allocBudget {
 				t.Fatalf("alloc budget: %q: %v", line, err)
 			}
 			b.CompressedAllocsPerOp = v
+		case "batched_allocs_per_op":
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("alloc budget: %q: %v", line, err)
+			}
+			b.BatchedAllocsPerOp = v
 		default:
 			t.Fatalf("alloc budget: unknown key %q", fields[0])
 		}
@@ -82,7 +90,7 @@ func readAllocBudget(t *testing.T, path string) allocBudget {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"pooled_allocs_per_op", "min_reduction_percent", "cached_allocs_per_op", "compressed_allocs_per_op"} {
+	for _, key := range []string{"pooled_allocs_per_op", "min_reduction_percent", "cached_allocs_per_op", "compressed_allocs_per_op", "batched_allocs_per_op"} {
 		if !seen[key] {
 			t.Fatalf("alloc budget: missing %s", key)
 		}
@@ -137,6 +145,16 @@ func TestAllocRegressionGate(t *testing.T) {
 	if compressed.AllocsPerOp > budget.CompressedAllocsPerOp {
 		t.Errorf("pooled hot path over compressed shards allocates %d/op, budget is %d/op (see CONTRIBUTING.md to re-baseline)",
 			compressed.AllocsPerOp, budget.CompressedAllocsPerOp)
+	}
+	// Batched cell: FIFO runs coalesced into vectored reads and split into
+	// views aliasing the shared region buffer must keep the hot path at
+	// zero allocations — batching exists to remove per-request costs, not
+	// to trade them for per-sample ones.
+	batched := experiments.RunAllocCell(experiments.AllocConfig{Pool: true, Batch: 4})
+	t.Logf("pooled+batched: %d allocs/op (%d ops)", batched.AllocsPerOp, batched.Ops)
+	if batched.AllocsPerOp > budget.BatchedAllocsPerOp {
+		t.Errorf("pooled hot path with read coalescing allocates %d/op, budget is %d/op (see CONTRIBUTING.md to re-baseline)",
+			batched.AllocsPerOp, budget.BatchedAllocsPerOp)
 	}
 	if unpooled.AllocsPerOp == 0 {
 		t.Error("unpooled variant reported zero allocs/op: the benchmark is not measuring the hot path")

@@ -1,0 +1,235 @@
+package prisma
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/prisma-go/internal/conc"
+	"github.com/dsrhaslab/prisma-go/internal/core"
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
+	"github.com/dsrhaslab/prisma-go/internal/recordio"
+	"github.com/dsrhaslab/prisma-go/internal/sharedcache"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+	"github.com/dsrhaslab/prisma-go/internal/tiering"
+	"github.com/dsrhaslab/prisma-go/internal/trace"
+)
+
+// chainWrap names one optional layer of the serving chain, in the canonical
+// nesting order Open composes them: recorder innermost (sees device reads),
+// then shared cache, then tiering, resilient outermost.
+type chainWrap struct {
+	recorder, cache, tiering, resilient bool
+}
+
+func (w chainWrap) String() string {
+	s := ""
+	for _, part := range []struct {
+		on   bool
+		name string
+	}{{w.recorder, "recorder"}, {w.cache, "cache"}, {w.tiering, "tiering"}, {w.resilient, "resilient"}} {
+		if part.on {
+			if s != "" {
+				s += "<"
+			}
+			s += part.name
+		}
+	}
+	if s == "" {
+		return "bare"
+	}
+	return s
+}
+
+// chainPermutations is every subset of the four optional wrappers.
+func chainPermutations() []chainWrap {
+	perms := make([]chainWrap, 0, 16)
+	for m := 0; m < 16; m++ {
+		perms = append(perms, chainWrap{
+			recorder:  m&1 != 0,
+			cache:     m&2 != 0,
+			tiering:   m&4 != 0,
+			resilient: m&8 != 0,
+		})
+	}
+	return perms
+}
+
+// packChainDataset writes files records into one recordio shard inside a
+// fresh MemBackend and returns the store, index, names, and ground-truth
+// payloads. compressed packs with CodecLZ (repetitive payloads so the codec
+// actually engages), otherwise CodecNone — the path whose views alias the
+// coalescer's shared region buffer.
+func packChainDataset(t *testing.T, files, size int, compressed bool) (*storage.MemBackend, *recordio.Index, []string, [][]byte) {
+	t.Helper()
+	mem := storage.NewMemBackend()
+	names := make([]string, files)
+	contents := make([][]byte, files)
+	var shard bytes.Buffer
+	w := recordio.NewWriter(&shard)
+	ix := recordio.NewIndex()
+	const shardName = "chain/shard-00000.rec"
+	for i := range names {
+		names[i] = fmt.Sprintf("chain%04d.bin", i)
+		buf := make([]byte, size)
+		for j := range buf {
+			if compressed {
+				buf[j] = byte((i + j/64) % 7) // repetitive: compresses
+			} else {
+				buf[j] = byte(i*31 + j*7 + j>>3)
+			}
+		}
+		contents[i] = buf
+		payload, codec := buf, recordio.CodecNone
+		if compressed {
+			comp, ok := recordio.Compress(buf)
+			if !ok {
+				t.Fatalf("fixture payload %d unexpectedly incompressible", i)
+			}
+			payload, codec = comp, recordio.CodecLZ
+		}
+		off, length, err := w.WriteRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = ix.Add(names[i], recordio.Entry{
+			Shard: shardName, Offset: off, Length: length,
+			Codec: codec, Raw: int64(len(buf)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem.Add(shardName, shard.Bytes())
+	return mem, ix, names, contents
+}
+
+// runChainCell streams the packed dataset through the full prefetch
+// pipeline over the given wrapper chain with coalescing budget k (0 =
+// per-sample), asserting every delivered payload is bit-identical to the
+// packed ground truth, nothing leaks from the pool, and — when coalescing
+// is on — the batched counters actually moved (the chain did not silently
+// fall back sample-by-sample).
+func runChainCell(t *testing.T, wrap chainWrap, compressed bool, k int) {
+	t.Helper()
+	env := conc.NewReal()
+	mem, ix, names, contents := packChainDataset(t, 16, 4<<10, compressed)
+
+	var b storage.Backend = mem
+	closers := []func(){}
+	if wrap.recorder {
+		b = trace.NewRecorder(env, b)
+	}
+	if wrap.cache {
+		sc, err := sharedcache.New(env, b, 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = sc
+		closers = append(closers, sc.Close)
+	}
+	if wrap.tiering {
+		tb, err := tiering.NewBackend(env, tiering.Config{FastCapacity: 64 << 20, PromoteAfter: 1}, b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = tb
+		closers = append(closers, tb.Close)
+	}
+	if wrap.resilient {
+		cfg := storage.DefaultResilienceConfig()
+		cfg.ReadDeadline = 10 * time.Second
+		rb, err := storage.NewResilientBackend(env, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = rb
+	}
+	rr, ok := b.(storage.RangeReader)
+	if !ok {
+		t.Fatalf("%s: chain lost the RangeReader surface (%T)", wrap, b)
+	}
+	backend := recordio.NewIndexedBackend(ix, rr)
+	pool := mempool.New(mempool.Config{Debug: true})
+	backend.SetBufferPool(pool)
+
+	pf, err := core.NewPrefetcher(env, backend, core.PrefetcherConfig{
+		InitialProducers:      2,
+		MaxProducers:          2,
+		InitialBufferCapacity: len(names),
+		MaxBufferCapacity:     len(names),
+		BatchSamples:          k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := core.NewStage(env, backend, core.NewPrefetchObject(pf))
+	if err := stage.SubmitPlan(names); err != nil {
+		stage.Close()
+		t.Fatal(err)
+	}
+	pf.Start()
+
+	for i, name := range names {
+		d, err := stage.Read(name)
+		if err != nil {
+			stage.Close()
+			t.Fatalf("%s k=%d: read %s: %v", wrap, k, name, err)
+		}
+		if !bytes.Equal(d.Bytes, contents[i]) {
+			d.Release()
+			stage.Close()
+			t.Fatalf("%s k=%d: %s: payload differs from ground truth (%d bytes, want %d)",
+				wrap, k, name, d.Size, len(contents[i]))
+		}
+		d.Release()
+	}
+	batched, fallbacks := pf.BatchedSamples(), pf.BatchFallbacks()
+	stage.Close()
+	for _, c := range closers {
+		c()
+	}
+	if k > 1 && batched == 0 && fallbacks == 0 {
+		t.Fatalf("%s k=%d: coalescer never engaged (0 batched samples, 0 fallbacks)", wrap, k)
+	}
+	if leaks := pool.Leaks(); len(leaks) != 0 {
+		t.Fatalf("%s k=%d: pool leaks:\n%s", wrap, k, mempool.FormatLeaks(leaks))
+	}
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("%s k=%d: %d pooled refs still outstanding", wrap, k, n)
+	}
+}
+
+// TestBatchChainComposition is the chain-composition property suite: for
+// every subset of the serving-chain wrappers nested in canonical order
+// between the shard store and the recordio view layer, a coalesced run at
+// every budget K delivers byte-for-byte what the per-sample run delivers
+// (both are checked against the packed ground truth), with no pooled-ref
+// leaks. This is the regression net for range-read bypasses: a wrapper
+// that mangles, truncates, or double-releases a vectored read fails here.
+func TestBatchChainComposition(t *testing.T) {
+	for _, wrap := range chainPermutations() {
+		wrap := wrap
+		t.Run(wrap.String(), func(t *testing.T) {
+			for _, k := range []int{0, 1, 2, 3, 4, 8} {
+				runChainCell(t, wrap, false, k)
+			}
+		})
+	}
+}
+
+// TestBatchChainCompositionCompressed repeats the property over LZ-packed
+// shards (decompression copies out of the region instead of aliasing it)
+// for the bare store and the full chain at representative budgets.
+func TestBatchChainCompositionCompressed(t *testing.T) {
+	full := chainWrap{recorder: true, cache: true, tiering: true, resilient: true}
+	for _, wrap := range []chainWrap{{}, full} {
+		wrap := wrap
+		t.Run(wrap.String(), func(t *testing.T) {
+			for _, k := range []int{0, 1, 4, 8} {
+				runChainCell(t, wrap, true, k)
+			}
+		})
+	}
+}

@@ -99,6 +99,10 @@ func main() {
 				s.TierFastHits, s.TierSlowReads, s.TierResidents,
 				float64(s.TierUsedBytes)/(1<<20), float64(s.TierCapacityBytes)/(1<<20))
 		}
+		if s.BatchEnabled {
+			fmt.Printf("batched reads:    %d vectored ops, %d samples, %d fallbacks\n",
+				s.BatchReads, s.BatchedSamples, s.BatchFallbacks)
+		}
 
 	case "ping":
 		if err := client.Ping(); err != nil {

@@ -90,6 +90,42 @@ func (q *Queue[T]) GetOr(stop func() bool) (v T, ok, stopped bool) {
 	return v, true, false
 }
 
+// GetRunOr is GetOr extended to drain a FIFO run: it blocks for the first
+// item exactly like GetOr, then greedily appends up to max-1 further items
+// while same(first, candidate) holds, preserving FIFO order (the run is
+// always a contiguous prefix of the queue — the first non-matching item
+// stays queued, so ordering across runs is untouched). Items are appended
+// to out (caller-owned scratch, may be non-empty). same runs under the
+// queue lock with the same constraints as stop: it must not call back into
+// this queue, and any locks it takes order "queue before callee".
+func (q *Queue[T]) GetRunOr(stop func() bool, max int, same func(first, candidate T) bool, out []T) (run []T, ok, stopped bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		if stop != nil && stop() {
+			return out, false, true
+		}
+		q.notEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return out, false, false
+	}
+	first := q.items[0]
+	out = append(out, first)
+	taken := 1
+	for taken < max && taken < len(q.items) && same(first, q.items[taken]) {
+		out = append(out, q.items[taken])
+		taken++
+	}
+	q.items = q.items[taken:]
+	if taken > 1 {
+		q.notFull.Broadcast()
+	} else {
+		q.notFull.Signal()
+	}
+	return out, true, false
+}
+
 // Wake wakes every blocked getter so GetOr callers re-evaluate their stop
 // condition. Plain Get callers just re-check emptiness and park again.
 func (q *Queue[T]) Wake() {

@@ -39,7 +39,23 @@ type PrefetcherConfig struct {
 	// fails with ErrTakeDeadline and the plan entry is returned to its
 	// epoch. Adjustable at runtime via SetTakeDeadline.
 	TakeDeadline time.Duration
+	// BatchSamples, when > 1, coalesces up to that many FIFO-adjacent plan
+	// entries living in the same storage container (recordio shard) into
+	// one vectored backend read — the plan-aware read coalescer. It only
+	// takes effect when the backend implements storage.BatchProvider and
+	// storage.BatchLocator (recordio.IndexedBackend); other backends keep
+	// per-sample reads. The run length is additionally capped by the
+	// backend's BatchParallelism hint (the modeled device's channel count)
+	// when it offers one. 0 or 1 disables coalescing.
+	BatchSamples int
+	// BatchBytes bounds the stored bytes one coalesced read may carry
+	// (0 = DefaultBatchBytes when coalescing is enabled).
+	BatchBytes int64
 }
+
+// DefaultBatchBytes is the per-batch stored-byte budget when BatchSamples
+// enables coalescing without an explicit BatchBytes.
+const DefaultBatchBytes = 4 << 20
 
 // DefaultPrefetcherConfig mirrors the prototype's conservative starting
 // point: one producer and a small buffer, leaving tuning to the control
@@ -79,6 +95,12 @@ func (c PrefetcherConfig) Validate() error {
 	if c.TakeDeadline < 0 {
 		return fmt.Errorf("core: negative TakeDeadline")
 	}
+	if c.BatchSamples < 0 {
+		return fmt.Errorf("core: negative BatchSamples")
+	}
+	if c.BatchBytes < 0 {
+		return fmt.Errorf("core: negative BatchBytes")
+	}
 	return nil
 }
 
@@ -112,10 +134,19 @@ type Prefetcher struct {
 	takeDL  time.Duration // consumer take deadline (0 = none)
 	closed  bool
 
-	activeReaders *metrics.TimeInState       // threads inside backend.ReadFile (Fig. 3 signal)
-	readLat       *metrics.BucketedHistogram // producer-observed storage read latency
-	prefetched    *metrics.Counter
-	readErrors    *metrics.Counter
+	// Plan-aware read coalescer (nil batcher = per-sample reads).
+	batcher    storage.BatchProvider
+	locator    storage.BatchLocator
+	batchMax   int
+	batchBytes int64
+
+	activeReaders  *metrics.TimeInState       // threads inside backend.ReadFile (Fig. 3 signal)
+	readLat        *metrics.BucketedHistogram // producer-observed storage read latency
+	prefetched     *metrics.Counter
+	readErrors     *metrics.Counter
+	batchReads     *metrics.Counter // vectored backend ops issued
+	batchedSamples *metrics.Counter // samples served by those ops
+	batchFallbacks *metrics.Counter // batches degraded to per-sample reads
 }
 
 // NewPrefetcher builds (but does not start) a prefetcher.
@@ -128,17 +159,37 @@ func NewPrefetcher(env conc.Env, backend storage.Backend, cfg PrefetcherConfig) 
 		shards = 1
 	}
 	pf := &Prefetcher{
-		env:           env,
-		backend:       backend,
-		cfg:           cfg,
-		buffer:        NewShardedBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost, shards),
-		queue:         conc.NewQueue[planEntry](env, cfg.PlanQueueCapacity),
-		plans:         newPlanManager(env),
-		takeDL:        cfg.TakeDeadline,
-		activeReaders: metrics.NewTimeInState(env, 0),
-		readLat:       metrics.NewBucketedHistogram(env, nil),
-		prefetched:    metrics.NewCounter(env),
-		readErrors:    metrics.NewCounter(env),
+		env:            env,
+		backend:        backend,
+		cfg:            cfg,
+		buffer:         NewShardedBuffer(env, cfg.InitialBufferCapacity, cfg.BufferAccessCost, shards),
+		queue:          conc.NewQueue[planEntry](env, cfg.PlanQueueCapacity),
+		plans:          newPlanManager(env),
+		takeDL:         cfg.TakeDeadline,
+		activeReaders:  metrics.NewTimeInState(env, 0),
+		readLat:        metrics.NewBucketedHistogram(env, nil),
+		prefetched:     metrics.NewCounter(env),
+		readErrors:     metrics.NewCounter(env),
+		batchReads:     metrics.NewCounter(env),
+		batchedSamples: metrics.NewCounter(env),
+		batchFallbacks: metrics.NewCounter(env),
+	}
+	if cfg.BatchSamples > 1 {
+		bp, okP := backend.(storage.BatchProvider)
+		bl, okL := backend.(storage.BatchLocator)
+		if okP && okL {
+			pf.batcher, pf.locator = bp, bl
+			pf.batchMax = cfg.BatchSamples
+			if h, okH := backend.(storage.BatchParallelismHinter); okH {
+				if hint := h.BatchParallelism(); hint > 0 && hint < pf.batchMax {
+					pf.batchMax = hint
+				}
+			}
+			pf.batchBytes = cfg.BatchBytes
+			if pf.batchBytes == 0 {
+				pf.batchBytes = DefaultBatchBytes
+			}
+		}
 	}
 	pf.mu = env.NewMutex()
 	// Epoch-cancellation awareness: rejected puts and woken consumers both
@@ -340,8 +391,25 @@ func (pf *Prefetcher) surplus() bool {
 	return pf.closed || pf.running > pf.target
 }
 
+// readOne dispatches one per-sample read through the richest extension the
+// backend offers for sampled traces (detail annotation, trace context).
+func (pf *Prefetcher) readOne(e planEntry) (storage.Data, storage.ReadDetail, error) {
+	if dr, ok := pf.backend.(storage.DetailedCtxReader); ok && e.ctx.Sampled {
+		return dr.ReadFileDetailedCtx(e.name, e.ctx)
+	}
+	if dr, ok := pf.backend.(storage.DetailedReader); ok && e.ctx.Sampled {
+		return dr.ReadFileDetailed(e.name)
+	}
+	d, err := storage.ReadFileCtx(pf.backend, e.name, e.ctx)
+	return d, storage.ReadDetail{}, err
+}
+
 // producerLoop is the body of one producer thread.
 func (pf *Prefetcher) producerLoop() {
+	if pf.batcher != nil {
+		pf.producerLoopBatched()
+		return
+	}
 	// prevPark is how long this thread's previous Put parked on a full
 	// shard. It rides on the next Item as PopDelay: that sample's read
 	// started late by (up to) this much because of buffer capacity, which
@@ -389,19 +457,8 @@ func (pf *Prefetcher) producerLoop() {
 			})
 		}
 
-		var (
-			data   storage.Data
-			detail storage.ReadDetail
-			err    error
-		)
 		pf.activeReaders.Add(1)
-		if dr, okd := pf.backend.(storage.DetailedCtxReader); okd && e.ctx.Sampled {
-			data, detail, err = dr.ReadFileDetailedCtx(e.name, e.ctx)
-		} else if dr, okd := pf.backend.(storage.DetailedReader); okd && e.ctx.Sampled {
-			data, detail, err = dr.ReadFileDetailed(e.name)
-		} else {
-			data, err = storage.ReadFileCtx(pf.backend, e.name, e.ctx)
-		}
+		data, detail, err := pf.readOne(e)
 		pf.activeReaders.Add(-1)
 		readEnd := pf.env.Now()
 		pf.readLat.Observe(readEnd - readStart)
@@ -463,6 +520,219 @@ func (pf *Prefetcher) producerLoop() {
 		}
 	}
 }
+
+// producerLoopBatched is producerLoop with the plan-aware read coalescer:
+// it pops contiguous same-shard runs off the plan FIFO (bounded by
+// BatchSamples, BatchBytes, and the device's parallelism hint) and serves
+// each run with one vectored backend read, delivering per-sample views
+// into the buffer under the exact semantics of the per-sample loop —
+// per-entry cancel checks, spans, counters, PopDelay attribution, and
+// pooled single-ownership hand-off all included. A failed batch falls back
+// to per-sample reads for that run, so batching can degrade but never
+// lose or duplicate a sample.
+func (pf *Prefetcher) producerLoopBatched() {
+	reader := pf.batcher.BatchReader()
+	var prevPark time.Duration
+	// Per-producer scratch, reused every iteration: the batched hot path
+	// must stay 0 allocs/op like the per-sample one.
+	run := make([]planEntry, 0, pf.batchMax)
+	names := make([]string, 0, pf.batchMax)
+	datas := make([]storage.Data, 0, pf.batchMax)
+	errs := make([]error, 0, pf.batchMax)
+	details := make([]storage.ReadDetail, 0, pf.batchMax)
+
+	// Run-grouping state for the queue predicate, reset before each pop.
+	// The closure is allocated once per producer; it runs under the queue
+	// lock and touches only the read-only locator index.
+	var runShard string
+	var runBytes int64
+	var haveFirst, firstBatchable bool
+	same := func(first, cand planEntry) bool {
+		if !haveFirst {
+			haveFirst = true
+			sh, n, ok := pf.locator.Locate(first.name)
+			firstBatchable = ok
+			if !ok {
+				return false
+			}
+			runShard, runBytes = sh, n
+		}
+		if !firstBatchable || cand.epoch != first.epoch {
+			return false
+		}
+		sh, n, ok := pf.locator.Locate(cand.name)
+		if !ok || sh != runShard {
+			return false
+		}
+		if pf.batchBytes > 0 && runBytes+n > pf.batchBytes {
+			return false
+		}
+		runBytes += n
+		return true
+	}
+
+	for {
+		pf.mu.Lock()
+		if pf.closed || pf.running > pf.target {
+			pf.running--
+			pf.mu.Unlock()
+			return
+		}
+		pf.mu.Unlock()
+
+		haveFirst = false
+		var ok, stopped bool
+		run, ok, stopped = pf.queue.GetRunOr(pf.surplus, pf.batchMax, same, run[:0])
+		if stopped {
+			continue
+		}
+		if !ok { // queue closed and drained
+			pf.mu.Lock()
+			pf.running--
+			pf.mu.Unlock()
+			return
+		}
+		// Drop entries whose epoch was cancelled while they sat in the FIFO
+		// (or popped concurrently with the cancel's DropWhere).
+		live := 0
+		for _, e := range run {
+			if pf.plans.cancelledEpoch(e.epoch) {
+				pf.plans.noteDropped(e.epoch, 1)
+				continue
+			}
+			run[live] = e
+			live++
+		}
+		run = run[:live]
+		if live == 0 {
+			continue
+		}
+
+		readStart := pf.env.Now()
+		names = names[:0]
+		for _, e := range run {
+			if e.ctx.Sampled {
+				pf.tracer.Record(obs.Span{
+					Trace:   e.ctx.Trace,
+					Stage:   obs.StageFIFOPop,
+					Name:    e.name,
+					At:      e.at,
+					Latency: readStart - e.at,
+				})
+			}
+			names = append(names, e.name)
+		}
+
+		datas = datas[:0]
+		errs = errs[:0]
+		details = details[:0]
+		batched := false
+		pf.activeReaders.Add(1)
+		if live > 1 {
+			res, berr := reader.ReadSampleBatch(names, datas)
+			if berr == nil {
+				datas = res
+				batched = true
+				for range run {
+					errs = append(errs, nil)
+					details = append(details, storage.ReadDetail{})
+				}
+			} else {
+				pf.batchFallbacks.Inc()
+			}
+		}
+		if !batched {
+			for _, e := range run {
+				d, det, rerr := pf.readOne(e)
+				datas = append(datas, d)
+				details = append(details, det)
+				errs = append(errs, rerr)
+			}
+		}
+		pf.activeReaders.Add(-1)
+		readEnd := pf.env.Now()
+		pf.readLat.Observe(readEnd - readStart)
+		if batched {
+			pf.batchReads.Inc()
+			pf.batchedSamples.Add(int64(live))
+		}
+
+		for i, e := range run {
+			d, rerr := datas[i], errs[i]
+			if e.ctx.Sampled {
+				sp := obs.Span{
+					Trace:   e.ctx.Trace,
+					Stage:   obs.StageStorageRead,
+					Name:    e.name,
+					At:      readStart,
+					Latency: readEnd - readStart,
+					Size:    d.Size,
+					Breaker: details[i].Breaker,
+				}
+				if details[i].Attempts > 1 {
+					sp.Retries = details[i].Attempts - 1
+				}
+				if rerr != nil {
+					sp.Error = rerr.Error()
+				}
+				pf.tracer.Record(sp)
+			}
+			it := Item{
+				Name:      e.name,
+				Size:      d.Size,
+				Bytes:     d.Bytes,
+				Ref:       d.Ref,
+				Err:       rerr,
+				Ctx:       e.ctx,
+				Epoch:     e.epoch,
+				ReadStart: readStart,
+				ReadEnd:   readEnd,
+				PopDelay:  prevPark,
+			}
+			if rerr != nil {
+				pf.readErrors.Inc()
+			} else {
+				pf.prefetched.Inc()
+			}
+			parked, perr := pf.buffer.PutTimed(it)
+			switch {
+			case perr == nil:
+				prevPark = parked
+			case errors.Is(perr, ErrEpochCancelled):
+				// Cancelled mid-read or while parked: the view never entered
+				// the buffer, so its pooled lease is this thread's to drop.
+				it.Release()
+				pf.plans.noteDropped(e.epoch, 1)
+				prevPark = 0
+			default:
+				// Buffer closed: shutting down. Release this view and every
+				// undelivered one — they never entered the buffer.
+				it.Release()
+				for j := i + 1; j < len(datas); j++ {
+					datas[j].Release()
+				}
+				pf.mu.Lock()
+				pf.running--
+				pf.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// BatchEnabled reports whether the plan-aware read coalescer is active
+// (configured on and supported by the backend).
+func (pf *Prefetcher) BatchEnabled() bool { return pf.batcher != nil }
+
+// BatchReads reports the number of vectored backend reads issued.
+func (pf *Prefetcher) BatchReads() int64 { return pf.batchReads.Value() }
+
+// BatchedSamples reports how many samples were served by vectored reads.
+func (pf *Prefetcher) BatchedSamples() int64 { return pf.batchedSamples.Value() }
+
+// BatchFallbacks reports how many runs degraded to per-sample reads after
+// a failed batch.
+func (pf *Prefetcher) BatchFallbacks() int64 { return pf.batchFallbacks.Value() }
 
 // StorageBusy reports the cumulative producer time spent inside backend
 // reads — the attribution report's storage-busy context signal.

@@ -139,6 +139,14 @@ type StageStats struct {
 	PrefetchedFiles  int64
 	ReadErrors       int64
 
+	// Plan-aware read coalescer state (zero-valued unless the backend
+	// supports batching and BatchSamples enables it). BatchEnabled
+	// disambiguates "off" from "enabled but idle".
+	BatchReads     int64 // vectored backend ops issued
+	BatchedSamples int64 // samples served by those ops
+	BatchFallbacks int64 // runs degraded to per-sample reads
+	BatchEnabled   bool
+
 	// StorageBusy is cumulative producer time inside backend reads — the
 	// attribution denominator context.
 	StorageBusy time.Duration
@@ -505,6 +513,10 @@ func (s *Stage) Stats() StageStats {
 		st.Plan = s.pf.PlanStats()
 		st.StorageBusy = s.pf.StorageBusy()
 		st.StorageReadLatency = s.pf.ReadLatency()
+		st.BatchReads = s.pf.BatchReads()
+		st.BatchedSamples = s.pf.BatchedSamples()
+		st.BatchFallbacks = s.pf.BatchFallbacks()
+		st.BatchEnabled = s.pf.BatchEnabled()
 	}
 	st.TraceSampling = s.tracer.Sampling()
 	if s.pool != nil {

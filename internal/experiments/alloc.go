@@ -52,6 +52,12 @@ type AllocConfig struct {
 	// read path: ranged shard read, CRC check, in-place decode into a
 	// pooled buffer.
 	Compressed bool
+	// Batch, when > 1, packs the dataset into one uncompressed recordio
+	// shard and enables the plan-aware read coalescer at that run budget,
+	// so the cell measures the vectored read path: FIFO runs fetched by
+	// one ranged read each, split into per-sample views aliasing the
+	// shared region buffer.
+	Batch int
 }
 
 func (c AllocConfig) withDefaults() AllocConfig {
@@ -87,26 +93,32 @@ func AllocBenchmark(cfg AllocConfig) func(b *testing.B) {
 			names[i] = fmt.Sprintf("alloc%04d.bin", i)
 		}
 		var backend storage.Backend = mem
-		if cfg.Compressed {
+		if cfg.Compressed || cfg.Batch > 1 {
 			// Pack compressible payloads (AddSeeded's pseudo-random content
-			// would defeat the codec) into one in-memory shard.
+			// would defeat the codec) into one in-memory shard. The batched
+			// cell packs the same records uncompressed, so its per-sample
+			// views alias the vectored read's region buffer directly.
 			var shard bytes.Buffer
 			w := recordio.NewWriter(&shard)
 			ix := recordio.NewIndex()
 			const shardName = "alloc/shard-00000.rec"
 			for i, name := range names {
 				content := compressibleSample(i, cfg.FileSize, 0.25)
-				comp, ok := recordio.Compress(content)
-				if !ok {
-					b.Fatal("alloc: patterned payload did not compress")
+				payload, codec := content, recordio.CodecNone
+				if cfg.Compressed {
+					comp, ok := recordio.Compress(content)
+					if !ok {
+						b.Fatal("alloc: patterned payload did not compress")
+					}
+					payload, codec = comp, recordio.CodecLZ
 				}
-				off, length, err := w.WriteRecord(comp)
+				off, length, err := w.WriteRecord(payload)
 				if err != nil {
 					b.Fatal(err)
 				}
 				err = ix.Add(name, recordio.Entry{
 					Shard: shardName, Offset: off, Length: length,
-					Codec: recordio.CodecLZ, Raw: int64(len(content)),
+					Codec: codec, Raw: int64(len(content)),
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -136,6 +148,7 @@ func AllocBenchmark(cfg AllocConfig) func(b *testing.B) {
 			MaxProducers:          cfg.Producers,
 			InitialBufferCapacity: cfg.BufferCap,
 			MaxBufferCapacity:     cfg.BufferCap,
+			BatchSamples:          cfg.Batch,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -272,6 +272,16 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		write("prisma_tiering_tracked_names", "Names in the promotion-counter map.", "gauge", float64(t.TrackedNames))
 		write("prisma_tiering_access_decays_total", "Promotion-counter decay sweeps.", "counter", float64(t.AccessDecays))
 	}
+	batchEnabled := 0.0
+	if s.BatchEnabled {
+		batchEnabled = 1
+	}
+	write("prisma_batch_enabled", "1 when plan-aware read coalescing is active.", "gauge", batchEnabled)
+	if s.BatchEnabled {
+		write("prisma_batch_reads_total", "Vectored range reads issued by the coalescer.", "counter", float64(s.BatchReads))
+		write("prisma_batch_samples_total", "Samples delivered through vectored reads.", "counter", float64(s.BatchedSamples))
+		write("prisma_batch_fallbacks_total", "Batches that fell back to per-sample reads.", "counter", float64(s.BatchFallbacks))
+	}
 	clusterEnabled := 0.0
 	if h.cfg.Cluster != nil {
 		clusterEnabled = 1

@@ -1,0 +1,133 @@
+package recordio
+
+import (
+	"fmt"
+
+	"github.com/dsrhaslab/prisma-go/internal/mempool"
+	"github.com/dsrhaslab/prisma-go/internal/storage"
+)
+
+// Locate implements storage.BatchLocator: it reports the shard holding
+// name's record and the record's stored length (header + possibly
+// compressed payload), which is what the plan-aware coalescer needs to
+// group FIFO-adjacent samples and budget a batch's bytes. Index lookups
+// are lock-free after Freeze-less construction (the index is read-only at
+// serving time), so this is safe to call from the queue's run predicate.
+func (b *IndexedBackend) Locate(name string) (container string, storedBytes int64, ok bool) {
+	e, found := b.ix.Lookup(name)
+	if !found {
+		return "", 0, false
+	}
+	return e.Shard, e.Length, true
+}
+
+// BatchParallelism implements storage.BatchParallelismHinter by forwarding
+// the shard store's hint (the modeled device's channel count); zero when
+// the store has no opinion.
+func (b *IndexedBackend) BatchParallelism() int {
+	if h, ok := b.backend.(storage.BatchParallelismHinter); ok {
+		return h.BatchParallelism()
+	}
+	return 0
+}
+
+// BatchReader implements storage.BatchProvider: it mints a per-goroutine
+// batch context. Each producer thread owns one, so the scratch slices it
+// carries are reused across batches without synchronization and
+// steady-state batched reads allocate nothing.
+func (b *IndexedBackend) BatchReader() storage.SampleBatcher {
+	return &batchReader{b: b}
+}
+
+// batchReader is the single-goroutine scratch context behind BatchReader.
+type batchReader struct {
+	b      *IndexedBackend
+	ranges []storage.Range
+	datas  []storage.Data
+}
+
+// ReadSampleBatch implements storage.SampleBatcher: every name's record —
+// all must live in one shard — is fetched by a single vectored
+// ReadRangeBatch against the shard store, then split in place:
+// uncompressed records alias their segment of the shared region buffer
+// (the segment's reference rides along, zero copies), compressed records
+// decode into a pooled sample buffer and drop their segment reference.
+// Any failure releases every reference taken so far and fails the whole
+// batch; the caller falls back to per-sample reads.
+func (r *batchReader) ReadSampleBatch(names []string, out []storage.Data) ([]storage.Data, error) {
+	if len(names) == 0 {
+		return out, nil
+	}
+	brr, ok := r.b.backend.(storage.BatchRangeReader)
+	if !ok {
+		return out, fmt.Errorf("recordio: shard store %T does not support batched range reads", r.b.backend)
+	}
+	r.ranges = r.ranges[:0]
+	var shard string
+	for i, name := range names {
+		e, found := r.b.ix.Lookup(name)
+		if !found {
+			return out, &storage.NotExistError{Name: name}
+		}
+		if i == 0 {
+			shard = e.Shard
+		} else if e.Shard != shard {
+			return out, fmt.Errorf("recordio: batch spans shards %s and %s", shard, e.Shard)
+		}
+		r.ranges = append(r.ranges, storage.Range{Off: e.Offset, N: e.Length})
+	}
+	datas, err := brr.ReadRangeBatch(shard, r.ranges, r.datas[:0])
+	r.datas = datas[:0]
+	if err != nil {
+		return out, err
+	}
+	base := len(out)
+	fail := func(i int, err error) ([]storage.Data, error) {
+		for j := base; j < len(out); j++ {
+			out[j].Release()
+		}
+		for j := i; j < len(datas); j++ {
+			datas[j].Release()
+		}
+		return out[:base], err
+	}
+	for i, name := range names {
+		e, _ := r.b.ix.Lookup(name)
+		d := datas[i]
+		if d.Bytes == nil {
+			// Modeled shard store: the device was charged once for the
+			// whole vector; report decoded sample sizes.
+			out = append(out, storage.Data{Name: name, Size: e.PayloadSize()})
+			continue
+		}
+		payload, _, derr := Decode(d.Bytes)
+		if derr != nil {
+			return fail(i, fmt.Errorf("recordio: %s in %s: %w", name, shard, derr))
+		}
+		if e.Codec == CodecNone {
+			// The payload aliases this segment of the region buffer; the
+			// segment's reference transfers to the sample view.
+			out = append(out, storage.Data{Name: name, Size: int64(len(payload)), Bytes: payload, Ref: d.Ref})
+			continue
+		}
+		var (
+			dst    []byte
+			dstRef *mempool.Ref
+		)
+		if r.b.pool != nil {
+			dstRef = r.b.pool.Get(int(e.Raw))
+			dst = dstRef.Bytes()
+		} else {
+			dst = make([]byte, e.Raw)
+		}
+		if derr := DecompressInto(dst, payload); derr != nil {
+			if dstRef != nil {
+				dstRef.Release()
+			}
+			return fail(i, fmt.Errorf("recordio: %s in %s: %w", name, shard, derr))
+		}
+		d.Release()
+		out = append(out, storage.Data{Name: name, Size: e.Raw, Bytes: dst, Ref: dstRef})
+	}
+	return out, nil
+}

@@ -408,3 +408,161 @@ func samplesOf(names []string) []dataset.Sample {
 	}
 	return out
 }
+
+// TestRangeCachedAndSingleFlighted is the regression test for the
+// range-read bypass: an identical repeated range must be a cache hit (one
+// device read total), and concurrent misses on the same range must
+// collapse onto one backend fetch exactly like whole-file reads do.
+func TestRangeCachedAndSingleFlighted(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		backend, dev, names := fixture(env, 1, 10_000, 10*time.Millisecond, 8)
+		c, _ := New(env, backend, 1<<20)
+		d, err := c.ReadRange(names[0], 100, 200)
+		if err != nil || d.Size != 200 {
+			t.Fatalf("ReadRange = %+v, %v", d, err)
+		}
+		start := env.Now()
+		d, err = c.ReadRange(names[0], 100, 200)
+		if err != nil || d.Size != 200 {
+			t.Fatalf("repeated ReadRange = %+v, %v", d, err)
+		}
+		if env.Now() != start {
+			t.Fatal("repeated range consumed device time (not served from cache)")
+		}
+		if dev.Stats().Reads != 1 {
+			t.Fatalf("device reads = %d, want 1 (range must be cached)", dev.Stats().Reads)
+		}
+		st := c.Stats()
+		if st.Hits != 1 || st.Misses != 1 {
+			t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+		}
+		// A different range of the same file is its own entry.
+		if _, err := c.ReadRange(names[0], 300, 50); err != nil {
+			t.Fatal(err)
+		}
+		if dev.Stats().Reads != 2 {
+			t.Fatalf("device reads = %d, want 2 (distinct range, distinct entry)", dev.Stats().Reads)
+		}
+
+		// Concurrent identical ranges: one leader fetch, four coalesced
+		// followers.
+		preWaits := c.Stats().Waits
+		wg := env.NewWaitGroup()
+		wg.Add(5)
+		for i := 0; i < 5; i++ {
+			env.Go(fmt.Sprintf("ranger-%d", i), func() {
+				defer wg.Done()
+				if _, err := c.ReadRange(names[0], 5000, 1000); err != nil {
+					t.Errorf("concurrent range: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+		if dev.Stats().Reads != 3 {
+			t.Fatalf("device reads = %d, want 3 (concurrent ranges single-flighted)", dev.Stats().Reads)
+		}
+		if got := c.Stats().Waits - preWaits; got != 4 {
+			t.Fatalf("waits = %d, want 4", got)
+		}
+	})
+}
+
+// TestRangeSlicedFromWholeFileResident proves a cached whole file serves
+// any range of itself by slicing in place: no second device read, counted
+// as a hit, and the payload window is byte-identical.
+func TestRangeSlicedFromWholeFileResident(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		env2 := env
+		mem := storage.NewMemBackend()
+		content := mem.AddSeeded("s", 1000, 42)
+		c, _ := New(env2, mem, 1<<20)
+		if _, err := c.ReadFile("s"); err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.ReadRange("s", 100, 300)
+		if err != nil || d.Size != 300 {
+			t.Fatalf("ReadRange = %+v, %v", d, err)
+		}
+		if string(d.Bytes) != string(content[100:400]) {
+			t.Fatal("sliced range payload mismatch")
+		}
+		d.Release()
+		st := c.Stats()
+		if st.DeviceReads != 1 {
+			t.Fatalf("device reads = %d, want 1 (range sliced from the resident file)", st.DeviceReads)
+		}
+		if st.Hits != 1 {
+			t.Fatalf("hits = %d, want 1", st.Hits)
+		}
+		// Clamped and past-EOF windows follow the RangeReader contract
+		// without touching the backend.
+		d, err = c.ReadRange("s", 900, 500)
+		if err != nil || d.Size != 100 {
+			t.Fatalf("clamped slice = %+v, %v", d, err)
+		}
+		d.Release()
+		d, err = c.ReadRange("s", 5000, 10)
+		if err != nil || d.Size != 0 {
+			t.Fatalf("past-EOF slice = %+v, %v", d, err)
+		}
+		d.Release()
+		if st := c.Stats(); st.DeviceReads != 1 {
+			t.Fatalf("device reads = %d after clamped slices, want 1 still", st.DeviceReads)
+		}
+	})
+}
+
+// TestReadRangeBatchSharedCache covers the vectored path: a whole-file
+// resident serves every range of a batch by slicing (no backend touch),
+// and a cold batch forwards to the inner BatchRangeReader as one device
+// read without polluting the cache with K partial entries.
+func TestReadRangeBatchSharedCache(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		mem := storage.NewMemBackend()
+		content := mem.AddSeeded("s", 1000, 7)
+		c, _ := New(env, mem, 1<<20)
+		ranges := []storage.Range{{Off: 0, N: 100}, {Off: 400, N: 100}, {Off: 950, N: 100}}
+
+		// Cold: forwarded as one vector.
+		out, err := c.ReadRangeBatch("s", ranges, nil)
+		if err != nil || len(out) != 3 {
+			t.Fatalf("cold batch = %d results, %v", len(out), err)
+		}
+		for _, d := range out {
+			d.Release()
+		}
+		st := c.Stats()
+		if st.DeviceReads != 1 {
+			t.Fatalf("device reads = %d, want 1 (one vector)", st.DeviceReads)
+		}
+		if st.Residents != 0 {
+			t.Fatalf("residents = %d, want 0 (batches must not churn the cache)", st.Residents)
+		}
+
+		// Warm the whole file, then the same batch slices from it.
+		if _, err := c.ReadFile("s"); err != nil {
+			t.Fatal(err)
+		}
+		out, err = c.ReadRangeBatch("s", ranges, nil)
+		if err != nil || len(out) != 3 {
+			t.Fatalf("resident batch = %d results, %v", len(out), err)
+		}
+		wantSizes := []int64{100, 100, 50}
+		for i, d := range out {
+			if d.Size != wantSizes[i] {
+				t.Fatalf("segment %d size = %d, want %d", i, d.Size, wantSizes[i])
+			}
+			if string(d.Bytes) != string(content[ranges[i].Off:ranges[i].Off+wantSizes[i]]) {
+				t.Fatalf("segment %d payload mismatch", i)
+			}
+			d.Release()
+		}
+		st = c.Stats()
+		if st.DeviceReads != 2 {
+			t.Fatalf("device reads = %d, want 2 (resident batch is free)", st.DeviceReads)
+		}
+		if got := st.Hits; got != 3 {
+			t.Fatalf("hits = %d, want 3 (one per sliced range)", got)
+		}
+	})
+}

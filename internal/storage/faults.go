@@ -197,6 +197,25 @@ func (f *FaultyBackend) ReadRange(name string, off, n int64) (Data, error) {
 	return f.rr.ReadRange(name, off, n)
 }
 
+// ReadRangeBatch implements BatchRangeReader, applying one armed fault to
+// the whole vector — a coalesced batch is one physical request, so a fault
+// fails all of its samples together, exactly what the coalescer's fallback
+// path has to absorb.
+func (f *FaultyBackend) ReadRangeBatch(name string, ranges []Range, out []Data) ([]Data, error) {
+	brr, ok := f.inner.(BatchRangeReader)
+	if !ok {
+		return out, fmt.Errorf("storage: faulty: %T does not support batched range reads", f.inner)
+	}
+	fire, delay := f.apply(name)
+	if delay > 0 {
+		f.env.Sleep(delay)
+	}
+	if fire {
+		return out, fmt.Errorf("%w: batched range read of %q (%d ranges)", ErrInjected, name, len(ranges))
+	}
+	return brr.ReadRangeBatch(name, ranges, out)
+}
+
 // Size delegates to the wrapped backend (metadata is assumed healthy).
 func (f *FaultyBackend) Size(name string) (int64, error) { return f.inner.Size(name) }
 

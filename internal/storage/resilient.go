@@ -160,6 +160,7 @@ type ResilienceStats struct {
 	DeadlineExceeded int64  // attempts abandoned at the read deadline
 	FastFails        int64  // reads shed while the breaker was open
 	BreakerOpens     int64  // closed/half-open -> open transitions
+	UnsupportedOps   int64  // range/batch reads refused: inner lacks the extension
 	State            string // current breaker state
 	Degraded         bool   // breaker not closed: autotuner backs off
 }
@@ -183,6 +184,10 @@ type ReadDetail struct {
 	// Breaker is the breaker state at completion ("" when no breaker is
 	// configured).
 	Breaker string
+	// Unsupported reports a range/batch read refused because the wrapped
+	// backend lacks the extension — a chain-composition mistake, distinct
+	// from a device fault (no attempt was issued, the breaker is untouched).
+	Unsupported bool
 }
 
 // DetailedReader is implemented by backends that can report per-read
@@ -210,7 +215,8 @@ type DetailedCtxReader interface {
 type ResilientBackend struct {
 	env   conc.Env
 	inner Backend
-	rr    RangeReader // inner's range extension, nil when unsupported
+	rr    RangeReader      // inner's range extension, nil when unsupported
+	brr   BatchRangeReader // inner's vectored extension, nil when unsupported
 	cfg   ResilienceConfig
 
 	mu          conc.Mutex
@@ -228,6 +234,7 @@ type ResilientBackend struct {
 	deadlineHits *metrics.Counter
 	fastFails    *metrics.Counter
 	opens        *metrics.Counter
+	unsupported  *metrics.Counter     // range reads refused for lack of an inner extension
 	stateTime    *metrics.TimeInState // time spent in each BreakerState
 }
 
@@ -238,10 +245,12 @@ func NewResilientBackend(env conc.Env, inner Backend, cfg ResilienceConfig) (*Re
 		return nil, err
 	}
 	rr, _ := inner.(RangeReader)
+	brr, _ := inner.(BatchRangeReader)
 	b := &ResilientBackend{
 		env:          env,
 		inner:        inner,
 		rr:           rr,
+		brr:          brr,
 		cfg:          cfg,
 		mu:           env.NewMutex(),
 		rng:          rand.New(rand.NewSource(cfg.JitterSeed)),
@@ -252,6 +261,7 @@ func NewResilientBackend(env conc.Env, inner Backend, cfg ResilienceConfig) (*Re
 		deadlineHits: metrics.NewCounter(env),
 		fastFails:    metrics.NewCounter(env),
 		opens:        metrics.NewCounter(env),
+		unsupported:  metrics.NewCounter(env),
 		stateTime:    metrics.NewTimeInState(env, int(BreakerClosed)),
 	}
 	return b, nil
@@ -298,13 +308,60 @@ func (b *ResilientBackend) ReadFileDetailedCtx(name string, ctx obs.Ctx) (Data, 
 }
 
 // ReadRange implements RangeReader when the wrapped backend supports byte
-// ranges; otherwise it fails without consulting the retry machinery.
+// ranges.
 func (b *ResilientBackend) ReadRange(name string, off, n int64) (Data, error) {
-	if b.rr == nil {
-		return Data{}, fmt.Errorf("storage: resilient: %T does not support range reads", b.inner)
-	}
-	d, _, err := b.do(func() (Data, error) { return b.rr.ReadRange(name, off, n) })
+	d, _, err := b.ReadRangeDetailed(name, off, n)
 	return d, err
+}
+
+// ReadRangeDetailed is ReadRange plus the per-read resilience annotation.
+// An unsupported inner backend is a chain-composition mistake, not a
+// device fault: it is counted (ResilienceStats.UnsupportedOps) and flagged
+// on the detail so it surfaces in stats instead of vanishing into a bare
+// error string.
+func (b *ResilientBackend) ReadRangeDetailed(name string, off, n int64) (Data, ReadDetail, error) {
+	if b.rr == nil {
+		detail, err := b.rangeUnsupported("range")
+		return Data{}, detail, err
+	}
+	return b.do(func() (Data, error) { return b.rr.ReadRange(name, off, n) })
+}
+
+// ReadRangeBatch implements BatchRangeReader through the full resilience
+// policy (breaker admission, per-attempt deadline, bounded retries). Batch
+// implementations release every reference on failure, so a retried batch
+// never duplicates references.
+func (b *ResilientBackend) ReadRangeBatch(name string, ranges []Range, out []Data) ([]Data, error) {
+	if b.brr == nil {
+		_, err := b.rangeUnsupported("batched range")
+		return out, err
+	}
+	if b.cfg.ReadDeadline <= 0 {
+		res, _, err := b.doBatch(func() ([]Data, error) { return b.brr.ReadRangeBatch(name, ranges, out) })
+		if err != nil {
+			return out, err
+		}
+		return res, nil
+	}
+	// With a per-attempt deadline armed, an expired attempt keeps running
+	// on its own thread and appends into whatever slice it was given; each
+	// attempt therefore gets a fresh slice so an orphan can never race the
+	// caller's scratch.
+	res, _, err := b.doBatch(func() ([]Data, error) { return b.brr.ReadRangeBatch(name, ranges, nil) })
+	if err != nil {
+		return out, err
+	}
+	return append(out, res...), nil
+}
+
+// rangeUnsupported records a range request the wrapped backend cannot
+// serve: counted, flagged on the detail, breaker untouched (no attempt was
+// issued — the chain is miswired, the device is not at fault).
+func (b *ResilientBackend) rangeUnsupported(kind string) (ReadDetail, error) {
+	b.unsupported.Inc()
+	d := b.detail(0)
+	d.Unsupported = true
+	return d, fmt.Errorf("storage: resilient: %T does not support %s reads", b.inner, kind)
 }
 
 // Size delegates to the wrapped backend. Metadata lookups are cheap and
@@ -317,19 +374,37 @@ func (b *ResilientBackend) Size(name string) (int64, error) { return b.inner.Siz
 // returned detail reports the attempts actually issued and the breaker
 // state at completion.
 func (b *ResilientBackend) do(op func() (Data, error)) (Data, ReadDetail, error) {
+	return doResilient(b, op, func(d *Data) { d.Release() })
+}
+
+// doBatch is do for vectored reads: the same policy applied to a batch op,
+// with every pooled view released when an expired attempt's result arrives
+// after the caller has moved on.
+func (b *ResilientBackend) doBatch(op func() ([]Data, error)) ([]Data, ReadDetail, error) {
+	return doResilient(b, op, func(ds *[]Data) {
+		for i := range *ds {
+			(*ds)[i].Release()
+		}
+	})
+}
+
+// doResilient is the shared retry/breaker loop behind do and doBatch;
+// release drops an orphaned result's pooled references.
+func doResilient[T any](b *ResilientBackend, op func() (T, error), release func(*T)) (T, ReadDetail, error) {
+	var zero T
 	var lastErr error
 	issued := 0
 	for attempt := 1; ; attempt++ {
 		if err := b.admit(); err != nil {
 			b.fastFails.Inc()
 			if lastErr != nil {
-				return Data{}, b.detail(issued), fmt.Errorf("%w (last failure: %v)", ErrCircuitOpen, lastErr)
+				return zero, b.detail(issued), fmt.Errorf("%w (last failure: %v)", ErrCircuitOpen, lastErr)
 			}
-			return Data{}, b.detail(issued), err
+			return zero, b.detail(issued), err
 		}
 		b.attempts.Inc()
 		issued++
-		d, err := b.attemptOnce(op)
+		d, err := attemptOnceResilient(b, op, release)
 		if err == nil {
 			b.onSuccess()
 			return d, b.detail(issued), nil
@@ -339,7 +414,7 @@ func (b *ResilientBackend) do(op func() (Data, error)) (Data, ReadDetail, error)
 			// A missing file is a correct answer from a healthy backend,
 			// not a device fault: no retry, no breaker penalty.
 			b.onSuccess()
-			return Data{}, b.detail(issued), err
+			return zero, b.detail(issued), err
 		}
 		b.failures.Inc()
 		if errors.Is(err, ErrReadDeadline) {
@@ -349,7 +424,7 @@ func (b *ResilientBackend) do(op func() (Data, error)) (Data, ReadDetail, error)
 		lastErr = err
 		if attempt >= b.cfg.MaxAttempts {
 			b.exhausted.Inc()
-			return Data{}, b.detail(issued), fmt.Errorf("storage: resilient: %d attempts failed: %w", attempt, err)
+			return zero, b.detail(issued), fmt.Errorf("storage: resilient: %d attempts failed: %w", attempt, err)
 		}
 		b.retries.Inc()
 		b.env.Sleep(b.backoff(attempt))
@@ -365,18 +440,19 @@ func (b *ResilientBackend) detail(issued int) ReadDetail {
 	return d
 }
 
-// attemptOnce runs op, bounded by the configured per-attempt deadline. With
-// a deadline armed, the read runs on its own thread and the caller waits for
-// completion or timer expiry, whichever comes first — the only way to bound
-// a blocking read under both the real and the virtual-time environment.
-func (b *ResilientBackend) attemptOnce(op func() (Data, error)) (Data, error) {
+// attemptOnceResilient runs op, bounded by the configured per-attempt
+// deadline. With a deadline armed, the read runs on its own thread and the
+// caller waits for completion or timer expiry, whichever comes first — the
+// only way to bound a blocking read under both the real and the
+// virtual-time environment.
+func attemptOnceResilient[T any](b *ResilientBackend, op func() (T, error), release func(*T)) (T, error) {
 	if b.cfg.ReadDeadline <= 0 {
 		return op()
 	}
 	mu := b.env.NewMutex()
 	done := b.env.NewCond(mu)
 	var (
-		d        Data
+		d        T
 		err      error
 		finished bool
 		expired  bool
@@ -389,7 +465,7 @@ func (b *ResilientBackend) attemptOnce(op func() (Data, error)) (Data, error) {
 			// see this result, so a pooled payload must be released here or
 			// its buffer leaks for the life of the process.
 			mu.Unlock()
-			rd.Release()
+			release(&rd)
 			return
 		}
 		d, err, finished = rd, rerr, true
@@ -411,7 +487,8 @@ func (b *ResilientBackend) attemptOnce(op func() (Data, error)) (Data, error) {
 	if finished {
 		return d, err
 	}
-	return Data{}, ErrReadDeadline
+	var zero T
+	return zero, ErrReadDeadline
 }
 
 // backoff computes the sleep before retry number `attempt` (1-based), with
@@ -539,6 +616,7 @@ func (b *ResilientBackend) ResilienceStats() ResilienceStats {
 		DeadlineExceeded: b.deadlineHits.Value(),
 		FastFails:        b.fastFails.Value(),
 		BreakerOpens:     b.opens.Value(),
+		UnsupportedOps:   b.unsupported.Value(),
 		State:            state.String(),
 		Degraded:         state != BreakerClosed,
 	}

@@ -254,6 +254,30 @@ func TestResilientRangeReaderPassthrough(t *testing.T) {
 	})
 }
 
+// TestResilientBatchRetries proves the retry machinery covers vectored
+// reads: an injected transient failure on the batch is retried and the
+// whole vector delivered, with the attempt counted like any other read.
+func TestResilientBatchRetries(t *testing.T) {
+	runSim(t, func(env conc.Env) {
+		res, faulty := newResilientOverFaulty(t, env, testResilience())
+		faulty.FailNTimes("c", 1)
+		out, err := res.ReadRangeBatch("c", []Range{{Off: 0, N: 100}, {Off: 100, N: 200}}, nil)
+		if err != nil {
+			t.Fatalf("batched read after transient fault: %v", err)
+		}
+		if len(out) != 2 || out[0].Size != 100 || out[1].Size != 200 {
+			t.Fatalf("batch = %+v, want sizes 100 and 200", out)
+		}
+		st := res.ResilienceStats()
+		if st.Retries != 1 {
+			t.Errorf("Retries = %d, want 1", st.Retries)
+		}
+		if st.UnsupportedOps != 0 {
+			t.Errorf("UnsupportedOps = %d, want 0 (batch is supported)", st.UnsupportedOps)
+		}
+	})
+}
+
 // rangelessBackend hides the RangeReader extension of its inner backend.
 type rangelessBackend struct{ inner Backend }
 
@@ -270,6 +294,35 @@ func TestResilientRangeReaderUnsupported(t *testing.T) {
 		}
 		if _, err := res.ReadRange("a", 0, 10); err == nil {
 			t.Fatal("ReadRange over rangeless backend succeeded")
+		}
+		// The refusal must be visible in stats, not a silent error path:
+		// operators watching a range-heavy workload against a rangeless
+		// chain need to see the unsupported ops counted.
+		if st := res.ResilienceStats(); st.UnsupportedOps != 1 {
+			t.Fatalf("UnsupportedOps = %d after refused range, want 1", st.UnsupportedOps)
+		}
+		_, detail, err := res.ReadRangeDetailed("a", 0, 10)
+		if err == nil {
+			t.Fatal("ReadRangeDetailed over rangeless backend succeeded")
+		}
+		if !detail.Unsupported {
+			t.Fatal("ReadDetail.Unsupported not set on the refused range read")
+		}
+		if detail.Attempts != 0 {
+			t.Fatalf("refused range recorded %d attempts, want 0 (the backend was never touched)", detail.Attempts)
+		}
+		if _, err := res.ReadRangeBatch("a", []Range{{Off: 0, N: 10}}, nil); err == nil {
+			t.Fatal("ReadRangeBatch over batchless backend succeeded")
+		}
+		if st := res.ResilienceStats(); st.UnsupportedOps != 3 {
+			t.Fatalf("UnsupportedOps = %d after three refusals, want 3", st.UnsupportedOps)
+		}
+		// Supported reads must not move the counter.
+		if _, err := res.ReadFile("a"); err != nil {
+			t.Fatal(err)
+		}
+		if st := res.ResilienceStats(); st.UnsupportedOps != 3 {
+			t.Fatalf("UnsupportedOps = %d after a whole-file read, want 3 still", st.UnsupportedOps)
 		}
 	})
 }

@@ -484,15 +484,165 @@ func (b *Backend) prefetchLoop() {
 // Size implements storage.Backend (metadata comes from the slow tier).
 func (b *Backend) Size(name string) (int64, error) { return b.slow.Size(name) }
 
-// ReadRange implements storage.RangeReader when the slow tier does; range
-// reads bypass the fast tier (they address packed shards, not samples).
-// Wrapping a rangeless backend yields an error at call time, not a
-// dropped extension (the repo-wide wrapper convention).
+// ReadRange implements storage.RangeReader. A range of an uncompressed
+// fast-tier resident is served as a zero-copy slice of the resident
+// payload (retaining its pool reference), charged to the fast device and
+// counted as a hit; anything else — miss, compressed resident, negative
+// range left for the slow tier to reject — goes to the slow tier's
+// RangeReader with the access recorded in the promotion counters, so
+// range-heavy workloads show up in tier accounting instead of silently
+// bypassing it. Wrapping a rangeless backend yields an error at call time,
+// not a dropped extension (the repo-wide wrapper convention).
 func (b *Backend) ReadRange(name string, off, n int64) (storage.Data, error) {
-	if rr, ok := b.slow.(storage.RangeReader); ok {
-		return rr.ReadRange(name, off, n)
+	if off >= 0 && n >= 0 {
+		if d, ok := b.rangeFromResident(name, off, n); ok {
+			return d, nil
+		}
 	}
-	return storage.Data{}, fmt.Errorf("tiering: %T does not support range reads", b.slow)
+	rr, ok := b.slow.(storage.RangeReader)
+	if !ok {
+		return storage.Data{}, fmt.Errorf("tiering: %T does not support range reads", b.slow)
+	}
+	data, err := rr.ReadRange(name, off, n)
+	if err != nil {
+		return storage.Data{}, err
+	}
+	b.slowReads.Inc()
+	b.noteAccess(name)
+	return data, nil
+}
+
+// rangeFromResident serves [off, off+n) of an uncompressed (or modeled)
+// resident, clamped per the RangeReader contract. Compressed residents
+// report !ok: slicing them would need a decode of the whole record, which
+// the per-sample hit path already covers.
+func (b *Backend) rangeFromResident(name string, off, n int64) (storage.Data, bool) {
+	b.mu.Lock()
+	el, hit := b.resident[name]
+	if !hit {
+		b.mu.Unlock()
+		return storage.Data{}, false
+	}
+	e := el.Value.(*entry)
+	if e.compressed {
+		b.mu.Unlock()
+		return storage.Data{}, false
+	}
+	b.order.MoveToFront(el)
+	size := e.size
+	bytes, ref := e.bytes, e.ref
+	if off > size {
+		off = size
+	}
+	if off+n > size {
+		n = size - off
+	}
+	if ref != nil {
+		ref.Retain()
+	}
+	b.mu.Unlock()
+
+	b.fastHits.Inc()
+	if b.fastDevice != nil {
+		b.fastDevice.Read(n)
+	}
+	if bytes == nil {
+		// Modeled fast tier: sizes only.
+		return storage.Data{Name: name, Size: n}, true
+	}
+	return storage.Data{Name: name, Size: n, Bytes: bytes[off : off+n], Ref: ref}, true
+}
+
+// ReadRangeBatch implements storage.BatchRangeReader: one vectored request
+// against the slow tier, with the shard access recorded once (it is one
+// physical access). Batched ranges address packed shards that are rarely
+// tier residents, but when an uncompressed resident does cover the name the
+// whole batch is sliced from it — one fast-device request for the total
+// bytes, mirroring what a vectored read would cost.
+func (b *Backend) ReadRangeBatch(name string, ranges []storage.Range, out []storage.Data) ([]storage.Data, error) {
+	if err := validBatch(ranges); err == nil {
+		if res, ok := b.batchFromResident(name, ranges, out); ok {
+			return res, nil
+		}
+	}
+	brr, ok := b.slow.(storage.BatchRangeReader)
+	if !ok {
+		return out, fmt.Errorf("tiering: %T does not support batched range reads", b.slow)
+	}
+	res, err := brr.ReadRangeBatch(name, ranges, out)
+	if err != nil {
+		return out, err
+	}
+	b.slowReads.Inc()
+	b.noteAccess(name)
+	return res, nil
+}
+
+// validBatch reports whether every range is non-negative (negative ranges
+// are left for the slow tier to reject, matching ReadRange).
+func validBatch(ranges []storage.Range) error {
+	for _, r := range ranges {
+		if r.Off < 0 || r.N < 0 {
+			return fmt.Errorf("tiering: negative range (%d, %d)", r.Off, r.N)
+		}
+	}
+	return nil
+}
+
+// batchFromResident slices every range of a batch from one uncompressed
+// resident, each view retaining the resident's pool reference.
+func (b *Backend) batchFromResident(name string, ranges []storage.Range, out []storage.Data) ([]storage.Data, bool) {
+	b.mu.Lock()
+	el, hit := b.resident[name]
+	if !hit {
+		b.mu.Unlock()
+		return out, false
+	}
+	e := el.Value.(*entry)
+	if e.compressed {
+		b.mu.Unlock()
+		return out, false
+	}
+	b.order.MoveToFront(el)
+	size := e.size
+	bytes, ref := e.bytes, e.ref
+	var total int64
+	for _, r := range ranges {
+		if r.Off > size {
+			r.Off = size
+		}
+		if r.Off+r.N > size {
+			r.N = size - r.Off
+		}
+		total += r.N
+		if ref != nil {
+			ref.Retain()
+		}
+		if bytes == nil {
+			out = append(out, storage.Data{Name: name, Size: r.N})
+		} else {
+			out = append(out, storage.Data{Name: name, Size: r.N, Bytes: bytes[r.Off : r.Off+r.N], Ref: ref})
+		}
+	}
+	b.mu.Unlock()
+
+	b.fastHits.Add(int64(len(ranges)))
+	if b.fastDevice != nil {
+		b.fastDevice.Read(total)
+	}
+	return out, true
+}
+
+// noteAccess records a slow-tier access in the bounded promotion counters
+// (no promotion is attempted: a range carries only part of the payload, so
+// there is nothing complete to admit).
+func (b *Backend) noteAccess(name string) {
+	b.mu.Lock()
+	b.accesses[name]++
+	if len(b.accesses) > b.cfg.MaxTracked {
+		b.decayAccessesLocked()
+	}
+	b.mu.Unlock()
 }
 
 // SetBufferPool implements storage.PoolAttacher: the pool serves hit-path

@@ -136,6 +136,39 @@ func (r *Recorder) ReadRange(name string, off, n int64) (storage.Data, error) {
 	return data, err
 }
 
+// ReadRangeBatch implements storage.BatchRangeReader when the wrapped
+// backend does, recording one "range" event per constituent range (all
+// sharing the batch's start and latency) so replay and byte accounting see
+// the same access stream a per-sample workload would produce.
+func (r *Recorder) ReadRangeBatch(name string, ranges []storage.Range, out []storage.Data) ([]storage.Data, error) {
+	brr, ok := r.inner.(storage.BatchRangeReader)
+	if !ok {
+		err := fmt.Errorf("trace: backend %T does not support batched range reads", r.inner)
+		start := r.env.Now()
+		for _, rg := range ranges {
+			r.record(Event{At: start, Name: name, Op: OpRange, Off: rg.Off, N: rg.N, Error: err.Error()})
+		}
+		return out, err
+	}
+	start := r.env.Now()
+	base := len(out)
+	res, err := brr.ReadRangeBatch(name, ranges, out)
+	lat := r.env.Now() - start
+	for i, rg := range ranges {
+		ev := Event{At: start, Name: name, Latency: lat, Op: OpRange, Off: rg.Off, N: rg.N}
+		if err != nil {
+			ev.Error = err.Error()
+		} else {
+			ev.Size = res[base+i].Size
+		}
+		r.record(ev)
+	}
+	if err != nil {
+		return out, err
+	}
+	return res, nil
+}
+
 // Trace snapshots the recorded events.
 func (r *Recorder) Trace() *Trace {
 	r.mu.Lock()

@@ -116,6 +116,14 @@ type Stats struct {
 	TierPromoteTime        time.Duration // cumulative time spent admitting samples into the tier
 	TierDecodeTime         time.Duration // cumulative time spent decompressing tier hits
 
+	// Batched-read telemetry (zero-valued unless Batch.Enable and the
+	// dataset backend supports sample batching). Rides the stage snapshot,
+	// so remote Client.Stats sees it too.
+	BatchEnabled   bool
+	BatchReads     int64 // vectored range reads issued
+	BatchedSamples int64 // samples delivered through vectored reads
+	BatchFallbacks int64 // batches that fell back to per-sample reads
+
 	// Tenancy telemetry (zero-valued unless Tenancy.Enable).
 	TenantsShed  int64         // reads refused at admission with ErrOverloaded
 	ThrottleWait time.Duration // cumulative time reads spent queued at the admission gate
@@ -233,6 +241,11 @@ func statsFrom(s core.StageStats) Stats {
 		CacheResidents:   s.Cache.Residents,
 		CacheWaitTime:    s.Cache.WaitTime,
 
+		BatchEnabled:   s.BatchEnabled,
+		BatchReads:     s.BatchReads,
+		BatchedSamples: s.BatchedSamples,
+		BatchFallbacks: s.BatchFallbacks,
+
 		TenantsShed:  s.Shed,
 		ThrottleWait: s.ThrottleWait,
 
@@ -244,6 +257,15 @@ func statsFrom(s core.StageStats) Stats {
 		PlanDelivered:   s.Plan.Delivered,
 		PlanDropped:     s.Plan.Dropped,
 	}
+}
+
+// batchSamples resolves the coalescer's sample cap from opts (0 when
+// batching is off, so the prefetcher stays on the per-sample path).
+func batchSamples(opts Options) int {
+	if !opts.Batch.Enable {
+		return 0
+	}
+	return opts.Batch.MaxSamples
 }
 
 // Open builds a PRISMA instance over opts.Dir. The directory is scanned
@@ -341,6 +363,8 @@ func Open(opts Options) (*Prisma, error) {
 		MaxBufferCapacity:     opts.MaxBuffer,
 		BufferShards:          opts.BufferShards,
 		TakeDeadline:          opts.ConsumerDeadline,
+		BatchSamples:          batchSamples(opts),
+		BatchBytes:            opts.Batch.MaxBytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("prisma: %w", err)
